@@ -1,0 +1,32 @@
+//! Analysis of probabilistic forecast quality: reliability diagrams, RMS
+//! error, SMT metrics and text rendering for the experiment harnesses.
+//!
+//! The paper evaluates PaCo as a *probabilistic forecast system* (§4.3):
+//! predicted goodpath probabilities are binned and compared with the
+//! observed frequency of actually being on the goodpath, visualized as
+//! reliability diagrams (Murphy & Winkler) and summarized as an
+//! occurrence-weighted RMS error.
+//!
+//! # Examples
+//!
+//! ```
+//! use paco_analysis::ReliabilityDiagram;
+//!
+//! // A perfectly calibrated predictor: observed == predicted in each bin.
+//! let mut bins = vec![(0u64, 0u64); 101];
+//! bins[25] = (1000, 250);
+//! bins[99] = (4000, 3960);
+//! let d = ReliabilityDiagram::from_bins(&bins);
+//! assert!(d.rms_error() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod metrics;
+mod reliability;
+mod render;
+
+pub use metrics::{badpath_reduction_pct, hmwipc, perf_delta_pct};
+pub use reliability::{ReliabilityDiagram, ReliabilityPoint};
+pub use render::{render_diagram_ascii, Table};

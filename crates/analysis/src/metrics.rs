@@ -1,0 +1,91 @@
+//! Application-level metrics: SMT throughput/fairness and gating
+//! effectiveness.
+
+/// Harmonic mean of weighted IPCs (paper Eq. 6):
+/// `HMWIPC = N / Σᵢ (SingleIPCᵢ / IPCᵢ)`.
+///
+/// The metric of choice for SMT fetch prioritization because it balances
+/// throughput and fairness (Luo et al.).
+///
+/// # Examples
+///
+/// ```
+/// use paco_analysis::hmwipc;
+/// // Both threads achieve exactly half their standalone IPC:
+/// let h = hmwipc(&[(2.0, 1.0), (1.0, 0.5)]);
+/// assert!((h - 0.5).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty or any IPC is non-positive.
+pub fn hmwipc(pairs: &[(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "need at least one thread");
+    let mut denom = 0.0;
+    for &(single, smt) in pairs {
+        assert!(single > 0.0 && smt > 0.0, "IPCs must be positive");
+        denom += single / smt;
+    }
+    pairs.len() as f64 / denom
+}
+
+/// Percentage reduction in wrong-path instructions executed, gated run vs
+/// ungated baseline (paper Figure 10 y-axis).
+///
+/// Returns 0 when the baseline executed no wrong-path instructions.
+pub fn badpath_reduction_pct(baseline_badpath: u64, gated_badpath: u64) -> f64 {
+    if baseline_badpath == 0 {
+        return 0.0;
+    }
+    100.0 * (baseline_badpath as f64 - gated_badpath as f64) / baseline_badpath as f64
+}
+
+/// Performance delta in percent (positive = loss), gated vs baseline
+/// (paper Figure 10 x-axis).
+///
+/// # Panics
+///
+/// Panics if `baseline_ipc` is non-positive.
+pub fn perf_delta_pct(baseline_ipc: f64, gated_ipc: f64) -> f64 {
+    assert!(baseline_ipc > 0.0, "baseline IPC must be positive");
+    100.0 * (baseline_ipc - gated_ipc) / baseline_ipc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmwipc_single_thread() {
+        assert!((hmwipc(&[(2.0, 2.0)]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hmwipc_penalizes_starvation() {
+        // Fair split beats starving one thread even with equal throughput.
+        let fair = hmwipc(&[(2.0, 1.0), (2.0, 1.0)]);
+        let starved = hmwipc(&[(2.0, 1.9), (2.0, 0.1)]);
+        assert!(fair > starved);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn hmwipc_rejects_zero_ipc() {
+        hmwipc(&[(2.0, 0.0)]);
+    }
+
+    #[test]
+    fn reduction_pct() {
+        assert!((badpath_reduction_pct(1000, 680) - 32.0).abs() < 1e-12);
+        assert_eq!(badpath_reduction_pct(0, 0), 0.0);
+        // Gating can in principle increase badpath (negative reduction).
+        assert!(badpath_reduction_pct(100, 110) < 0.0);
+    }
+
+    #[test]
+    fn perf_delta() {
+        assert!((perf_delta_pct(2.0, 1.9) - 5.0).abs() < 1e-12);
+        // Slight speedups (the paper's cache-pollution effect) go negative.
+        assert!(perf_delta_pct(2.0, 2.02) < 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Reliability diagrams and RMS error for probabilistic forecasts.
+
+use serde::Serialize;
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ReliabilityPoint {
+    /// Predicted goodpath probability for this bin, in percent (0–100).
+    pub predicted_pct: f64,
+    /// Observed goodpath frequency among the bin's instances, in percent.
+    pub observed_pct: f64,
+    /// Number of instances that fell into the bin.
+    pub instances: u64,
+}
+
+/// A reliability diagram: predicted probability vs observed frequency,
+/// with per-bin occupancy (the paper's Figures 8–9).
+#[derive(Debug, Clone, Serialize)]
+pub struct ReliabilityDiagram {
+    points: Vec<ReliabilityPoint>,
+    total_instances: u64,
+}
+
+impl ReliabilityDiagram {
+    /// Builds a diagram from percent bins of `(instances, on-goodpath)`
+    /// pairs; bin `i` holds instances whose predicted probability rounded
+    /// to `i` percent.
+    pub fn from_bins(bins: &[(u64, u64)]) -> Self {
+        let mut points = Vec::new();
+        let mut total = 0;
+        for (i, &(n, good)) in bins.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            total += n;
+            points.push(ReliabilityPoint {
+                predicted_pct: i as f64 * 100.0 / (bins.len().max(2) - 1) as f64,
+                observed_pct: 100.0 * good as f64 / n as f64,
+                instances: n,
+            });
+        }
+        ReliabilityDiagram {
+            points,
+            total_instances: total,
+        }
+    }
+
+    /// Merges several runs' bins (e.g. the cumulative all-benchmarks
+    /// diagram of Figure 9(f)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin vectors have different lengths.
+    pub fn from_many(bins: &[Vec<(u64, u64)>]) -> Self {
+        let mut merged = vec![(0u64, 0u64); bins.first().map(|b| b.len()).unwrap_or(0)];
+        for b in bins {
+            assert_eq!(b.len(), merged.len(), "bin vectors must align");
+            for (m, x) in merged.iter_mut().zip(b) {
+                m.0 += x.0;
+                m.1 += x.1;
+            }
+        }
+        Self::from_bins(&merged)
+    }
+
+    /// The non-empty bins.
+    pub fn points(&self) -> &[ReliabilityPoint] {
+        &self.points
+    }
+
+    /// Total instances across all bins.
+    pub fn total_instances(&self) -> u64 {
+        self.total_instances
+    }
+
+    /// Occurrence-weighted RMS error between predicted and observed
+    /// goodpath probability, as a fraction (paper Table 7; 0.0377 mean).
+    pub fn rms_error(&self) -> f64 {
+        if self.total_instances == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for p in &self.points {
+            let err = (p.predicted_pct - p.observed_pct) / 100.0;
+            acc += p.instances as f64 * err * err;
+        }
+        (acc / self.total_instances as f64).sqrt()
+    }
+
+    /// Observed probability (percent) at a given predicted percent, if any
+    /// instances landed there.
+    pub fn observed_at(&self, predicted_pct: u32) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.predicted_pct - predicted_pct as f64).abs() < 0.5)
+            .map(|p| p.observed_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bins_with(entries: &[(usize, u64, u64)]) -> Vec<(u64, u64)> {
+        let mut bins = vec![(0, 0); 101];
+        for &(i, n, good) in entries {
+            bins[i] = (n, good);
+        }
+        bins
+    }
+
+    #[test]
+    fn perfect_calibration_zero_rms() {
+        let d = ReliabilityDiagram::from_bins(&bins_with(&[
+            (50, 1000, 500),
+            (90, 1000, 900),
+            (100, 1000, 1000),
+        ]));
+        assert!(d.rms_error() < 1e-9);
+        assert_eq!(d.total_instances(), 3000);
+        assert_eq!(d.points().len(), 3);
+    }
+
+    #[test]
+    fn systematic_error_measured() {
+        // Predicts 50%, observes 40%: RMS = 0.10.
+        let d = ReliabilityDiagram::from_bins(&bins_with(&[(50, 1000, 400)]));
+        assert!((d.rms_error() - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighting_by_occupancy() {
+        // A rarely-hit bad bin barely moves the weighted RMS.
+        let d = ReliabilityDiagram::from_bins(&bins_with(&[
+            (100, 99_000, 99_000),
+            (0, 1_000, 1_000), // predicted 0%, observed 100%: error 1.0
+        ]));
+        let expected = (0.01f64).sqrt() * 1.0; // sqrt(1000/100000 * 1)
+        assert!((d.rms_error() - expected).abs() < 1e-6, "{}", d.rms_error());
+    }
+
+    #[test]
+    fn observed_at_lookup() {
+        let d = ReliabilityDiagram::from_bins(&bins_with(&[(42, 10, 5)]));
+        assert_eq!(d.observed_at(42), Some(50.0));
+        assert_eq!(d.observed_at(43), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = bins_with(&[(50, 100, 50)]);
+        let b = bins_with(&[(50, 100, 100)]);
+        let d = ReliabilityDiagram::from_many(&[a, b]);
+        assert_eq!(d.observed_at(50), Some(75.0));
+        assert_eq!(d.total_instances(), 200);
+    }
+
+    #[test]
+    fn empty_diagram() {
+        let d = ReliabilityDiagram::from_bins(&[]);
+        assert_eq!(d.rms_error(), 0.0);
+        assert!(d.points().is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Text rendering for experiment output: aligned tables and ASCII
+//! reliability diagrams.
+
+use crate::ReliabilityDiagram;
+
+/// A simple aligned text table builder for harness output.
+///
+/// # Examples
+///
+/// ```
+/// use paco_analysis::Table;
+/// let mut t = Table::new(&["bench", "rms"]);
+/// t.row(&["gzip", "0.042"]);
+/// let s = t.render();
+/// assert!(s.contains("bench"));
+/// assert!(s.contains("gzip"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let empty = String::new();
+                let c = cells.get(i).unwrap_or(&empty);
+                line.push_str(&format!("{:<width$}  ", c, width = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1).max(0)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a reliability diagram as an ASCII scatter: predicted percent on
+/// the x-axis, observed percent on the y-axis, `*` marks data points, `.`
+/// the perfect-calibration diagonal.
+pub fn render_diagram_ascii(diagram: &ReliabilityDiagram, width: usize, height: usize) -> String {
+    let width = width.max(20);
+    let height = height.max(10);
+    let mut grid = vec![vec![' '; width]; height];
+    // Diagonal reference.
+    for x in 0..width {
+        let y = height - 1 - (x * (height - 1)) / (width - 1);
+        grid[y][x] = '.';
+    }
+    for p in diagram.points() {
+        let x = ((p.predicted_pct / 100.0) * (width - 1) as f64).round() as usize;
+        let y = height
+            - 1
+            - ((p.observed_pct / 100.0) * (height - 1) as f64).round() as usize;
+        grid[y.min(height - 1)][x.min(width - 1)] = '*';
+    }
+    let mut out = String::new();
+    out.push_str("observed %\n");
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            "100 |"
+        } else if i == height - 1 {
+            "  0 |"
+        } else {
+            "    |"
+        };
+        out.push_str(label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("     {}\n", "-".repeat(width)));
+    out.push_str(&format!(
+        "     0{}predicted %{}100\n",
+        " ".repeat(width.saturating_sub(24) / 2),
+        " ".repeat(width.saturating_sub(24) / 2)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer-name", "22"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Columns align: "1" and "22" start at the same offset.
+        let off1 = lines[2].find('1').unwrap();
+        let off2 = lines[3].find("22").unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["x", "extra"]);
+        t.row(&[]);
+        let r = t.render();
+        assert!(r.contains("extra"));
+    }
+
+    #[test]
+    fn ascii_diagram_marks_points() {
+        let mut bins = vec![(0u64, 0u64); 101];
+        bins[50] = (100, 50);
+        let d = ReliabilityDiagram::from_bins(&bins);
+        let art = render_diagram_ascii(&d, 40, 20);
+        assert!(art.contains('*'));
+        assert!(art.contains('.'));
+        assert!(art.contains("predicted %"));
+    }
+}

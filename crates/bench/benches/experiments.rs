@@ -1,0 +1,56 @@
+//! End-to-end experiment benchmarks: one reduced-scale instance of each
+//! paper artefact, so `cargo bench` exercises every experimental pipeline
+//! and reports its cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paco::{PacoConfig, ThresholdCountConfig};
+use paco_bench::{accuracy_run, gating_run, single_thread_ipc_smt, smt_run};
+use paco_sim::{EstimatorKind, FetchPolicy, GatingPolicy};
+use paco_types::Probability;
+use paco_workloads::BenchmarkId;
+
+fn bench_accuracy_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    group.bench_function("tab7_single_benchmark_50k", |b| {
+        b.iter(|| {
+            accuracy_run(
+                BenchmarkId::Gzip,
+                EstimatorKind::Paco(PacoConfig::paper()),
+                50_000,
+                1,
+            )
+            .rms()
+        })
+    });
+    group.bench_function("fig10_single_point_50k", |b| {
+        b.iter(|| {
+            gating_run(
+                BenchmarkId::Twolf,
+                EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+                GatingPolicy::paco_gate(Probability::new(0.2).unwrap()),
+                50_000,
+                1,
+            )
+        })
+    });
+    group.bench_function("fig12_single_pair_30k", |b| {
+        let s1 = single_thread_ipc_smt(BenchmarkId::Gzip, 30_000, 1);
+        let s2 = single_thread_ipc_smt(BenchmarkId::Twolf, 30_000, 1);
+        b.iter(|| {
+            smt_run(
+                (BenchmarkId::Gzip, BenchmarkId::Twolf),
+                EstimatorKind::Paco(PacoConfig::paper()),
+                FetchPolicy::Confidence,
+                (s1, s2),
+                30_000,
+                1,
+            )
+            .hmwipc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy_pipeline);
+criterion_main!(benches);

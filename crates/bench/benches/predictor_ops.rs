@@ -1,0 +1,97 @@
+//! Microbenchmarks of the predictor hot paths: the operations a hardware
+//! PaCo performs every fetch/resolve, plus the periodic log circuit.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use paco::{
+    BranchFetchInfo, LogCircuit, LogMode, PacoConfig, PacoPredictor, PathConfidenceEstimator,
+    ThresholdCountConfig, ThresholdCountPredictor,
+};
+use paco_branch::{ConfidenceConfig, DirectionPredictor, Mdc, MdcTable, TournamentPredictor};
+use paco_types::Pc;
+
+fn bench_paco_fetch_resolve(c: &mut Criterion) {
+    c.bench_function("paco_fetch_resolve_pair", |b| {
+        let mut paco = PacoPredictor::new(PacoConfig::paper());
+        let mut i = 0u8;
+        b.iter(|| {
+            let t = paco.on_fetch(BranchFetchInfo::conditional(Mdc::new(i % 16)));
+            paco.on_resolve(black_box(t), i % 7 == 0);
+            i = i.wrapping_add(1);
+        })
+    });
+}
+
+fn bench_counter_fetch_resolve(c: &mut Criterion) {
+    c.bench_function("threshold_count_fetch_resolve_pair", |b| {
+        let mut est = ThresholdCountPredictor::new(ThresholdCountConfig::paper_default());
+        let mut i = 0u8;
+        b.iter(|| {
+            let t = est.on_fetch(BranchFetchInfo::conditional(Mdc::new(i % 16)));
+            est.on_resolve(black_box(t), false);
+            i = i.wrapping_add(1);
+        })
+    });
+}
+
+fn bench_log_circuit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_circuit");
+    group.bench_function("mitchell_refresh_16_buckets", |b| {
+        let circuit = LogCircuit::new(LogMode::Mitchell);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in 1u32..=16 {
+                acc = acc.wrapping_add(circuit.encode_ratio(black_box(k * 60), k).raw());
+            }
+            acc
+        })
+    });
+    group.bench_function("exact_refresh_16_buckets", |b| {
+        let circuit = LogCircuit::new(LogMode::Exact);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in 1u32..=16 {
+                acc = acc.wrapping_add(circuit.encode_ratio(black_box(k * 60), k).raw());
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_tournament_predict(c: &mut Criterion) {
+    c.bench_function("tournament_predict_update", |b| {
+        let mut pred = TournamentPredictor::paper_default();
+        let mut pc = 0x40_0000u64;
+        b.iter(|| {
+            let p = Pc::new(pc);
+            let d = pred.predict(p, pc & 0xff);
+            pred.update(p, pc & 0xff, d, d);
+            pc = pc.wrapping_add(4) | 0x40_0000;
+            d
+        })
+    });
+}
+
+fn bench_mdc_table(c: &mut Criterion) {
+    c.bench_function("mdc_index_read_update", |b| {
+        let mut mdc = MdcTable::new(ConfidenceConfig::paper());
+        let mut pc = 0x40_0000u64;
+        b.iter(|| {
+            let idx = mdc.index(Pc::new(pc), pc & 0xff, pc & 1 == 0);
+            let v = mdc.read(idx);
+            mdc.update(idx, v.value() < 12);
+            pc = pc.wrapping_add(4) | 0x40_0000;
+            v
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_paco_fetch_resolve,
+    bench_counter_fetch_resolve,
+    bench_log_circuit,
+    bench_tournament_predict,
+    bench_mdc_table
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Benchmarks of the timing simulator itself: cycles/second and
+//! instructions/second across workload characters.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use paco::PacoConfig;
+use paco_sim::{EstimatorKind, MachineBuilder, SimConfig};
+use paco_workloads::BenchmarkId;
+
+fn machine(bench: BenchmarkId, estimator: EstimatorKind) -> paco_sim::Machine {
+    MachineBuilder::new(SimConfig::paper_4wide())
+        .thread(Box::new(bench.build(1)), estimator)
+        .seed(1)
+        .build()
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_20k_instructions");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(20_000));
+    for bench in [BenchmarkId::Gzip, BenchmarkId::Mcf, BenchmarkId::Twolf] {
+        group.bench_function(bench.name(), |b| {
+            b.iter_batched(
+                || machine(bench, EstimatorKind::None),
+                |mut m| m.run(20_000),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimator_overhead(c: &mut Criterion) {
+    // How much the confidence hooks cost the simulator (the paper's
+    // hardware adds <60B of state; our model should add little time).
+    let mut group = c.benchmark_group("estimator_overhead_20k");
+    group.sample_size(10);
+    for (name, est) in [
+        ("none", EstimatorKind::None),
+        ("paco", EstimatorKind::Paco(PacoConfig::paper())),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || machine(BenchmarkId::Gzip, est),
+                |mut m| m.run(20_000),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    use paco_workloads::Workload;
+    let mut group = c.benchmark_group("workload_stream");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("gcc_next_instr_x10k", |b| {
+        let mut w = BenchmarkId::Gcc.build(3);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(w.next_instr().pc.addr());
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulation_throughput,
+    bench_estimator_overhead,
+    bench_workload_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Experiment harnesses reproducing the PaCo paper's tables and figures.
+//!
+//! Each binary in `src/bin/` regenerates one artefact:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `fig2` | Fig. 2 — per-MDC-bucket mispredict rates |
+//! | `fig3` | Fig. 3 — goodpath probability at counter = 5 |
+//! | `tab7` | Fig. 7 (table) — RMS error + mispredict rates |
+//! | `fig9` | Figs. 8–9 — reliability diagrams |
+//! | `fig10` | Fig. 10 — pipeline gating trade-off curves |
+//! | `fig12` | Fig. 12 — SMT fetch prioritization (HMWIPC) |
+//! | `tab_a1` | Appendix Table 1 — MRT variants ablation |
+//! | `ablations` | refresh-period / log-mode / throttling ablations |
+//!
+//! Run lengths default to values that complete in minutes; set
+//! `PACO_INSTRS` (instructions per run) and `PACO_SEED` to override.
+
+#![warn(missing_docs)]
+
+pub mod runner;
+
+pub use runner::{
+    accuracy_run, default_instrs, default_seed, default_warmup, gating_run,
+    single_thread_ipc_smt, smt_run, AccuracyResult, GatingResult, SmtResult,
+};

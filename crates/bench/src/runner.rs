@@ -1,0 +1,222 @@
+//! Shared machinery for the experiment binaries.
+
+use paco::PacoConfig;
+use paco_analysis::ReliabilityDiagram;
+use paco_sim::{
+    EstimatorKind, FetchPolicy, GatingPolicy, MachineBuilder, MachineStats, SimConfig,
+};
+use paco_workloads::BenchmarkId;
+
+/// Default per-run instruction budget; override with `PACO_INSTRS`.
+pub fn default_instrs(fallback: u64) -> u64 {
+    std::env::var("PACO_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(fallback)
+}
+
+/// Default warmup instruction count (fast-forward analogue); override
+/// with `PACO_WARMUP`. The warmup must cover at least one MRT refresh
+/// period (200k cycles) so PaCo's encodings are live when measurement
+/// starts, mirroring the paper's fast-forward methodology.
+pub fn default_warmup() -> u64 {
+    std::env::var("PACO_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400_000)
+}
+
+/// Default experiment seed; override with `PACO_SEED`.
+pub fn default_seed() -> u64 {
+    std::env::var("PACO_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Outcome of a single-thread accuracy run.
+#[derive(Debug, Clone)]
+pub struct AccuracyResult {
+    /// Which benchmark ran.
+    pub bench: BenchmarkId,
+    /// Full machine statistics.
+    pub stats: MachineStats,
+    /// Reliability diagram built from the run's confidence instances.
+    pub diagram: ReliabilityDiagram,
+}
+
+impl AccuracyResult {
+    /// Occurrence-weighted RMS error of the run's goodpath prediction.
+    pub fn rms(&self) -> f64 {
+        self.diagram.rms_error()
+    }
+}
+
+/// Runs `bench` on the paper's 4-wide machine with the given estimator and
+/// produces accuracy statistics (paper §4 methodology: every fetch and
+/// execute event is a confidence instance, judged by the goodpath oracle).
+pub fn accuracy_run(
+    bench: BenchmarkId,
+    estimator: EstimatorKind,
+    instrs: u64,
+    seed: u64,
+) -> AccuracyResult {
+    let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
+        .thread(Box::new(bench.build(seed)), estimator)
+        .seed(seed ^ 0xACC0)
+        .build();
+    machine.run(default_warmup());
+    machine.reset_stats();
+    let stats = machine.run(instrs);
+    let diagram = ReliabilityDiagram::from_bins(&stats.threads[0].prob_instances);
+    AccuracyResult {
+        bench,
+        stats,
+        diagram,
+    }
+}
+
+/// Outcome of one gating configuration relative to an ungated baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct GatingResult {
+    /// Performance loss in percent (negative = speedup).
+    pub perf_loss_pct: f64,
+    /// Reduction in wrong-path instructions executed, percent.
+    pub badpath_exec_reduction_pct: f64,
+    /// Reduction in wrong-path instructions fetched, percent.
+    pub badpath_fetch_reduction_pct: f64,
+}
+
+/// Runs `bench` twice — ungated baseline and gated — and reports the
+/// Figure-10 trade-off point.
+pub fn gating_run(
+    bench: BenchmarkId,
+    estimator: EstimatorKind,
+    gating: GatingPolicy,
+    instrs: u64,
+    seed: u64,
+) -> GatingResult {
+    let run = |policy: GatingPolicy| {
+        let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
+            .thread(Box::new(bench.build(seed)), estimator)
+            .gating(policy)
+            .seed(seed ^ 0x6A7E)
+            .build();
+        machine.run(default_warmup());
+        machine.reset_stats();
+        machine.run(instrs)
+    };
+    let base = run(GatingPolicy::None);
+    let gated = run(gating);
+    GatingResult {
+        perf_loss_pct: paco_analysis::perf_delta_pct(base.ipc(0), gated.ipc(0)),
+        badpath_exec_reduction_pct: paco_analysis::badpath_reduction_pct(
+            base.total_badpath_executed(),
+            gated.total_badpath_executed(),
+        ),
+        badpath_fetch_reduction_pct: paco_analysis::badpath_reduction_pct(
+            base.total_badpath_fetched(),
+            gated.total_badpath_fetched(),
+        ),
+    }
+}
+
+/// Standalone IPC of a benchmark on the 8-wide SMT machine (the
+/// `SingleIPC` term of HMWIPC).
+pub fn single_thread_ipc_smt(bench: BenchmarkId, instrs: u64, seed: u64) -> f64 {
+    let mut machine = MachineBuilder::new(SimConfig::paper_smt_8wide().with_threads(1))
+        .thread(Box::new(bench.build(seed)), EstimatorKind::None)
+        .seed(seed ^ 0x517)
+        .build();
+    machine.run(default_warmup() / 2);
+    machine.reset_stats();
+    machine.run(instrs).ipc(0)
+}
+
+/// Outcome of one SMT pair under one fetch policy.
+#[derive(Debug, Clone, Copy)]
+pub struct SmtResult {
+    /// Per-thread SMT IPCs.
+    pub ipc: [f64; 2],
+    /// Harmonic mean of weighted IPCs.
+    pub hmwipc: f64,
+}
+
+/// Runs a two-thread SMT experiment (paper §5.2). `estimator` configures
+/// the per-thread confidence estimator used by the `Confidence` policy.
+pub fn smt_run(
+    pair: (BenchmarkId, BenchmarkId),
+    estimator: EstimatorKind,
+    policy: FetchPolicy,
+    single_ipc: (f64, f64),
+    instrs: u64,
+    seed: u64,
+) -> SmtResult {
+    let mut machine = MachineBuilder::new(SimConfig::paper_smt_8wide())
+        .thread(Box::new(pair.0.build(seed)), estimator)
+        .thread(Box::new(pair.1.build(seed ^ 0xF00)), estimator)
+        .fetch_policy(policy)
+        .seed(seed ^ 0x53B)
+        .build();
+    machine.run(default_warmup() / 2);
+    machine.reset_stats();
+    let stats = machine.run(instrs);
+    let ipc = [stats.ipc(0), stats.ipc(1)];
+    SmtResult {
+        ipc,
+        hmwipc: paco_analysis::hmwipc(&[(single_ipc.0, ipc[0]), (single_ipc.1, ipc[1])]),
+    }
+}
+
+/// The standard PaCo estimator used across experiments.
+pub fn paco_estimator() -> EstimatorKind {
+    EstimatorKind::Paco(PacoConfig::paper())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco::ThresholdCountConfig;
+
+    #[test]
+    fn accuracy_run_produces_instances() {
+        let r = accuracy_run(BenchmarkId::Gzip, paco_estimator(), 20_000, 1);
+        assert!(r.diagram.total_instances() > 20_000);
+        assert!(r.rms() < 1.0);
+        assert!(r.stats.threads[0].retired >= 20_000);
+    }
+
+    #[test]
+    fn gating_run_reports_tradeoff() {
+        let r = gating_run(
+            BenchmarkId::Twolf,
+            EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+            GatingPolicy::CountGate { gate_count: 1 },
+            30_000,
+            1,
+        );
+        // Aggressive gating must remove a large share of badpath execution.
+        assert!(r.badpath_exec_reduction_pct > 20.0);
+    }
+
+    #[test]
+    fn smt_run_reports_hmwipc() {
+        let s1 = single_thread_ipc_smt(BenchmarkId::Gzip, 20_000, 1);
+        let s2 = single_thread_ipc_smt(BenchmarkId::Twolf, 20_000, 1);
+        let r = smt_run(
+            (BenchmarkId::Gzip, BenchmarkId::Twolf),
+            EstimatorKind::None,
+            FetchPolicy::ICount,
+            (s1, s2),
+            20_000,
+            1,
+        );
+        assert!(r.hmwipc > 0.0 && r.hmwipc <= 1.2, "hmwipc {}", r.hmwipc);
+    }
+
+    #[test]
+    fn env_overrides_parse() {
+        assert_eq!(default_instrs(123), 123);
+        assert!(default_seed() > 0);
+    }
+}

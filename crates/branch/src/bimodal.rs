@@ -1,0 +1,123 @@
+//! Bimodal (per-PC 2-bit counter) direction predictor.
+
+use crate::{DirectionPredictor, SaturatingCounter};
+use paco_types::Pc;
+
+/// A bimodal predictor: a table of 2-bit saturating counters indexed by a
+/// hash of the branch PC.
+///
+/// The paper's tournament predictor uses a 32KB bimodal component
+/// (2<sup>17</sup> 2-bit counters).
+///
+/// # Examples
+///
+/// ```
+/// use paco_branch::{BimodalPredictor, DirectionPredictor};
+/// use paco_types::Pc;
+///
+/// let mut p = BimodalPredictor::new(1 << 10);
+/// let pc = Pc::new(0x40);
+/// for _ in 0..4 {
+///     let pred = p.predict(pc, 0);
+///     p.update(pc, 0, true, pred);
+/// }
+/// assert!(p.predict(pc, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    table: Vec<SaturatingCounter>,
+    mask: u64,
+}
+
+impl BimodalPredictor {
+    /// Creates a predictor with `entries` 2-bit counters, initialized
+    /// weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        BimodalPredictor {
+            table: vec![SaturatingCounter::new(2, 1); entries],
+            mask: entries as u64 - 1,
+        }
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    #[inline]
+    fn index(&self, pc: Pc) -> usize {
+        (pc.table_hash() & self.mask) as usize
+    }
+}
+
+impl DirectionPredictor for BimodalPredictor {
+    fn predict(&self, pc: Pc, _history: u64) -> bool {
+        self.table[self.index(pc)].msb()
+    }
+
+    fn update(&mut self, pc: Pc, _history: u64, taken: bool, _predicted: bool) {
+        let idx = self.index(pc);
+        if taken {
+            self.table[idx].increment();
+        } else {
+            self.table[idx].decrement();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train(p: &mut BimodalPredictor, pc: Pc, outcomes: &[bool]) {
+        for &t in outcomes {
+            let pred = p.predict(pc, 0);
+            p.update(pc, 0, t, pred);
+        }
+    }
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut p = BimodalPredictor::new(256);
+        let pc = Pc::new(0x100);
+        train(&mut p, pc, &[true; 8]);
+        assert!(p.predict(pc, 0));
+        train(&mut p, pc, &[false; 8]);
+        assert!(!p.predict(pc, 0));
+    }
+
+    #[test]
+    fn hysteresis_survives_single_flip() {
+        let mut p = BimodalPredictor::new(256);
+        let pc = Pc::new(0x100);
+        train(&mut p, pc, &[true; 8]);
+        // One not-taken outcome should not flip a strongly-taken counter.
+        train(&mut p, pc, &[false]);
+        assert!(p.predict(pc, 0));
+    }
+
+    #[test]
+    fn different_pcs_use_different_entries() {
+        let mut p = BimodalPredictor::new(1 << 12);
+        let a = Pc::new(0x1000);
+        let b = Pc::new(0x1004);
+        train(&mut p, a, &[true; 8]);
+        train(&mut p, b, &[false; 8]);
+        assert!(p.predict(a, 0));
+        assert!(!p.predict(b, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = BimodalPredictor::new(1000);
+    }
+}

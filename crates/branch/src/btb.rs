@@ -1,0 +1,172 @@
+//! Branch target buffer.
+
+use paco_types::Pc;
+
+/// Configuration for a [`Btb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl BtbConfig {
+    /// A typical 4K-entry, 4-way BTB.
+    pub const fn paper() -> Self {
+        BtbConfig { sets: 1024, ways: 4 }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub const fn tiny() -> Self {
+        BtbConfig { sets: 16, ways: 2 }
+    }
+}
+
+impl Default for BtbConfig {
+    fn default() -> Self {
+        BtbConfig::paper()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: Pc,
+    lru: u64,
+}
+
+/// A set-associative branch target buffer with LRU replacement.
+///
+/// Stores the most recent target of taken control-flow instructions; used
+/// by the front end to redirect fetch for taken branches and as the
+/// last-target predictor for indirect jumps.
+///
+/// # Examples
+///
+/// ```
+/// use paco_branch::{Btb, BtbConfig};
+/// use paco_types::Pc;
+///
+/// let mut btb = Btb::new(BtbConfig::tiny());
+/// btb.update(Pc::new(0x100), Pc::new(0x900));
+/// assert_eq!(btb.lookup(Pc::new(0x100)), Some(Pc::new(0x900)));
+/// assert_eq!(btb.lookup(Pc::new(0x104)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<BtbEntry>,
+    ways: usize,
+    set_mask: u64,
+    tick: u64,
+}
+
+impl Btb {
+    /// Creates a BTB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(config: BtbConfig) -> Self {
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(config.ways > 0, "ways must be positive");
+        Btb {
+            entries: vec![BtbEntry::default(); config.sets * config.ways],
+            ways: config.ways,
+            set_mask: config.sets as u64 - 1,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, pc: Pc) -> std::ops::Range<usize> {
+        let set = (pc.table_hash() & self.set_mask) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks up the predicted target for `pc`, refreshing LRU state.
+    pub fn lookup(&mut self, pc: Pc) -> Option<Pc> {
+        self.tick += 1;
+        let tag = pc.addr();
+        let range = self.set_range(pc);
+        for e in &mut self.entries[range] {
+            if e.valid && e.tag == tag {
+                e.lru = self.tick;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// Installs or refreshes the target for `pc`, evicting LRU on conflict.
+    pub fn update(&mut self, pc: Pc, target: Pc) {
+        self.tick += 1;
+        let tag = pc.addr();
+        let range = self.set_range(pc);
+        // Hit: refresh.
+        let mut victim = range.start;
+        let mut oldest = u64::MAX;
+        for i in range {
+            let e = &mut self.entries[i];
+            if e.valid && e.tag == tag {
+                e.target = target;
+                e.lru = self.tick;
+                return;
+            }
+            let age = if e.valid { e.lru } else { 0 };
+            if age < oldest {
+                oldest = age;
+                victim = i;
+            }
+        }
+        self.entries[victim] = BtbEntry {
+            valid: true,
+            tag,
+            target,
+            lru: self.tick,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_and_retrieves_targets() {
+        let mut btb = Btb::new(BtbConfig::tiny());
+        btb.update(Pc::new(0x10), Pc::new(0x100));
+        btb.update(Pc::new(0x20), Pc::new(0x200));
+        assert_eq!(btb.lookup(Pc::new(0x10)), Some(Pc::new(0x100)));
+        assert_eq!(btb.lookup(Pc::new(0x20)), Some(Pc::new(0x200)));
+    }
+
+    #[test]
+    fn update_overwrites_target() {
+        let mut btb = Btb::new(BtbConfig::tiny());
+        btb.update(Pc::new(0x10), Pc::new(0x100));
+        btb.update(Pc::new(0x10), Pc::new(0x300));
+        assert_eq!(btb.lookup(Pc::new(0x10)), Some(Pc::new(0x300)));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_set() {
+        // 1 set, 2 ways: all PCs conflict.
+        let mut btb = Btb::new(BtbConfig { sets: 1, ways: 2 });
+        btb.update(Pc::new(0x10), Pc::new(0x100));
+        btb.update(Pc::new(0x20), Pc::new(0x200));
+        // Touch 0x10 so 0x20 becomes LRU.
+        assert!(btb.lookup(Pc::new(0x10)).is_some());
+        btb.update(Pc::new(0x30), Pc::new(0x300));
+        assert_eq!(btb.lookup(Pc::new(0x10)), Some(Pc::new(0x100)));
+        assert_eq!(btb.lookup(Pc::new(0x20)), None);
+        assert_eq!(btb.lookup(Pc::new(0x30)), Some(Pc::new(0x300)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_set_count() {
+        let _ = Btb::new(BtbConfig { sets: 3, ways: 2 });
+    }
+}

@@ -1,0 +1,303 @@
+//! JRS / enhanced-JRS branch confidence estimation.
+//!
+//! The JRS predictor (Jacobsen, Rotenberg, Smith, MICRO-29) keeps a table of
+//! 4-bit *miss distance counters* (MDCs). An MDC is incremented on every
+//! correct prediction of the branch that maps to it and reset to zero on a
+//! mispredict, so its value is the number of consecutive correct
+//! predictions since the last mispredict — a strong predictor of
+//! predictability. The *enhanced* JRS variant (Grunwald et al., ISCA-25)
+//! additionally folds the predicted direction into the table index.
+//!
+//! PaCo uses the MDC value not as a binary high/low classification but as a
+//! *stratifier*: branches are bucketed by MDC value and a correct-prediction
+//! probability is measured per bucket.
+
+use crate::SaturatingCounter;
+use paco_types::Pc;
+
+/// An MDC (miss-distance counter) value, `0..=15` for the paper's 4-bit
+/// counters.
+///
+/// # Examples
+///
+/// ```
+/// use paco_branch::Mdc;
+/// let m = Mdc::new(7);
+/// assert_eq!(m.value(), 7);
+/// assert!(!m.is_high_confidence(8));
+/// assert!(m.is_high_confidence(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Mdc(u8);
+
+impl Mdc {
+    /// Number of distinct MDC values for 4-bit counters.
+    pub const BUCKETS: usize = 16;
+    /// The maximum 4-bit MDC value.
+    pub const MAX: Mdc = Mdc(15);
+
+    /// Creates an MDC value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds 15.
+    pub fn new(value: u8) -> Self {
+        assert!(value < Self::BUCKETS as u8, "MDC value must be 0..=15");
+        Mdc(value)
+    }
+
+    /// The raw counter value.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// The bucket index for per-MDC statistics tables.
+    #[inline]
+    pub const fn bucket(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The conventional threshold classification: MDC ≥ threshold is "high
+    /// confidence" (unlikely to mispredict).
+    #[inline]
+    pub const fn is_high_confidence(self, threshold: u8) -> bool {
+        self.0 >= threshold
+    }
+}
+
+impl std::fmt::Display for Mdc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An index into the MDC table, captured at prediction time.
+///
+/// The front end reads the MDC when a branch is fetched and carries the
+/// index with the in-flight branch so that the resolution-time update hits
+/// the same entry even if global history has since moved on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MdcIndex(usize);
+
+/// Configuration for an [`MdcTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfidenceConfig {
+    /// Number of table entries (power of two). The paper uses an 8KB table
+    /// of 4-bit counters = 16384 entries.
+    pub entries: usize,
+    /// MDC counter width in bits (paper: 4).
+    pub counter_bits: u32,
+    /// Global-history bits folded into the index.
+    pub history_bits: u32,
+    /// Enhanced JRS: also fold the predicted direction into the index.
+    pub enhanced: bool,
+}
+
+impl ConfidenceConfig {
+    /// The paper's configuration: "an 8 KB enhanced JRS confidence
+    /// predictor, where the MDCs are 4-bit counters".
+    pub const fn paper() -> Self {
+        ConfidenceConfig {
+            entries: 16 * 1024,
+            counter_bits: 4,
+            history_bits: 8,
+            enhanced: true,
+        }
+    }
+
+    /// The original (non-enhanced) JRS configuration at the same size.
+    pub const fn jrs_classic() -> Self {
+        ConfidenceConfig {
+            entries: 16 * 1024,
+            counter_bits: 4,
+            history_bits: 8,
+            enhanced: false,
+        }
+    }
+
+    /// A small configuration for unit tests.
+    pub const fn tiny() -> Self {
+        ConfidenceConfig {
+            entries: 256,
+            counter_bits: 4,
+            history_bits: 4,
+            enhanced: true,
+        }
+    }
+}
+
+impl Default for ConfidenceConfig {
+    fn default() -> Self {
+        ConfidenceConfig::paper()
+    }
+}
+
+/// The JRS miss-distance-counter table.
+///
+/// # Examples
+///
+/// ```
+/// use paco_branch::{MdcTable, ConfidenceConfig};
+/// use paco_types::Pc;
+///
+/// let mut table = MdcTable::new(ConfidenceConfig::tiny());
+/// let pc = Pc::new(0x100);
+/// let idx = table.index(pc, 0, true);
+/// assert_eq!(table.read(idx).value(), 0);
+/// table.update(idx, true);
+/// table.update(idx, true);
+/// assert_eq!(table.read(idx).value(), 2);
+/// table.update(idx, false); // mispredict resets
+/// assert_eq!(table.read(idx).value(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MdcTable {
+    counters: Vec<SaturatingCounter>,
+    mask: u64,
+    history_mask: u64,
+    enhanced: bool,
+}
+
+impl MdcTable {
+    /// Creates an MDC table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or the counter width is
+    /// outside `1..=8`.
+    pub fn new(config: ConfidenceConfig) -> Self {
+        assert!(
+            config.entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        let history_mask = if config.history_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << config.history_bits) - 1
+        };
+        MdcTable {
+            counters: vec![SaturatingCounter::new(config.counter_bits, 0); config.entries],
+            mask: config.entries as u64 - 1,
+            history_mask,
+            enhanced: config.enhanced,
+        }
+    }
+
+    /// Computes the table index for a branch at prediction time.
+    ///
+    /// `predicted_taken` participates in the hash only in the enhanced
+    /// configuration.
+    #[inline]
+    pub fn index(&self, pc: Pc, history: u64, predicted_taken: bool) -> MdcIndex {
+        let mut h = pc.table_hash() ^ (history & self.history_mask);
+        if self.enhanced {
+            // Grunwald et al.: include the predicted direction in the hash.
+            h ^= (predicted_taken as u64) << 5;
+        }
+        MdcIndex((h & self.mask) as usize)
+    }
+
+    /// Reads the MDC at a previously computed index.
+    #[inline]
+    pub fn read(&self, idx: MdcIndex) -> Mdc {
+        Mdc(self.counters[idx.0].value())
+    }
+
+    /// Applies the resolution-time update: increment on a correct
+    /// prediction, reset on a mispredict.
+    #[inline]
+    pub fn update(&mut self, idx: MdcIndex, correct: bool) {
+        if correct {
+            self.counters[idx.0].increment();
+        } else {
+            self.counters[idx.0].reset();
+        }
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Storage footprint in bytes (for hardware-budget reporting).
+    pub fn storage_bytes(&self) -> usize {
+        // All counters share one width.
+        let bits = self
+            .counters
+            .first()
+            .map(|c| (c.max() as u16 + 1).trailing_zeros() as usize)
+            .unwrap_or(0);
+        self.counters.len() * bits / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mdc_counts_consecutive_correct_predictions() {
+        let mut t = MdcTable::new(ConfidenceConfig::tiny());
+        let idx = t.index(Pc::new(0x40), 0b1010, true);
+        for i in 1..=20 {
+            t.update(idx, true);
+            assert_eq!(t.read(idx).value(), i.min(15));
+        }
+        t.update(idx, false);
+        assert_eq!(t.read(idx).value(), 0);
+    }
+
+    #[test]
+    fn enhanced_index_depends_on_predicted_direction() {
+        let t = MdcTable::new(ConfidenceConfig::tiny());
+        let a = t.index(Pc::new(0x40), 0, true);
+        let b = t.index(Pc::new(0x40), 0, false);
+        assert_ne!(a, b, "enhanced JRS must split on predicted direction");
+    }
+
+    #[test]
+    fn classic_index_ignores_predicted_direction() {
+        let mut cfg = ConfidenceConfig::tiny();
+        cfg.enhanced = false;
+        let t = MdcTable::new(cfg);
+        let a = t.index(Pc::new(0x40), 0, true);
+        let b = t.index(Pc::new(0x40), 0, false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn index_depends_on_history() {
+        let t = MdcTable::new(ConfidenceConfig::tiny());
+        let a = t.index(Pc::new(0x40), 0b0001, true);
+        let b = t.index(Pc::new(0x40), 0b0010, true);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn paper_config_is_8kb() {
+        let t = MdcTable::new(ConfidenceConfig::paper());
+        assert_eq!(t.storage_bytes(), 8 * 1024);
+        assert_eq!(t.entries(), 16 * 1024);
+    }
+
+    #[test]
+    fn high_confidence_threshold_semantics() {
+        // "with a threshold of 3, branches need to be predicted correctly
+        // three consecutive times before they are considered high-confidence"
+        let mut t = MdcTable::new(ConfidenceConfig::tiny());
+        let idx = t.index(Pc::new(0x80), 0, false);
+        assert!(!t.read(idx).is_high_confidence(3));
+        t.update(idx, true);
+        t.update(idx, true);
+        assert!(!t.read(idx).is_high_confidence(3));
+        t.update(idx, true);
+        assert!(t.read(idx).is_high_confidence(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=15")]
+    fn mdc_rejects_out_of_range() {
+        let _ = Mdc::new(16);
+    }
+}

@@ -1,0 +1,132 @@
+//! Saturating up/down counters, the workhorse of table-based predictors.
+
+/// An n-bit saturating counter (n ≤ 8).
+///
+/// # Examples
+///
+/// ```
+/// use paco_branch::SaturatingCounter;
+/// let mut c = SaturatingCounter::new(2, 1); // 2-bit, weakly not-taken
+/// c.increment();
+/// c.increment();
+/// c.increment();
+/// assert_eq!(c.value(), 3); // saturates at 3
+/// assert!(c.msb());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SaturatingCounter {
+    /// Creates an `bits`-bit counter with the given initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 8, or `initial` exceeds the
+    /// maximum representable value.
+    pub fn new(bits: u32, initial: u8) -> Self {
+        assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
+        let max = ((1u16 << bits) - 1) as u8;
+        assert!(initial <= max, "initial value {initial} exceeds max {max}");
+        SaturatingCounter { value: initial, max }
+    }
+
+    /// Current counter value.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.value
+    }
+
+    /// Maximum representable value.
+    #[inline]
+    pub const fn max(self) -> u8 {
+        self.max
+    }
+
+    /// Increments, saturating at the maximum.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements, saturating at zero.
+    #[inline]
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Resets to zero (the JRS miss-distance counter does this on a
+    /// mispredict).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Most significant bit: the conventional "predict taken" test for
+    /// direction counters.
+    #[inline]
+    pub const fn msb(self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// Whether the counter is saturated high.
+    #[inline]
+    pub const fn is_max(self) -> bool {
+        self.value == self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_both_ends() {
+        let mut c = SaturatingCounter::new(2, 0);
+        c.decrement();
+        assert_eq!(c.value(), 0);
+        for _ in 0..10 {
+            c.increment();
+        }
+        assert_eq!(c.value(), 3);
+        assert!(c.is_max());
+    }
+
+    #[test]
+    fn msb_threshold_for_two_bit() {
+        // 0,1 predict not-taken; 2,3 predict taken.
+        assert!(!SaturatingCounter::new(2, 0).msb());
+        assert!(!SaturatingCounter::new(2, 1).msb());
+        assert!(SaturatingCounter::new(2, 2).msb());
+        assert!(SaturatingCounter::new(2, 3).msb());
+    }
+
+    #[test]
+    fn four_bit_counter_range() {
+        let mut c = SaturatingCounter::new(4, 0);
+        for _ in 0..20 {
+            c.increment();
+        }
+        assert_eq!(c.value(), 15);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn rejects_wide_counters() {
+        let _ = SaturatingCounter::new(9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_bad_initial() {
+        let _ = SaturatingCounter::new(2, 4);
+    }
+}

@@ -1,0 +1,102 @@
+//! Last-target indirect branch predictor.
+
+use paco_types::Pc;
+
+/// A tagless last-target predictor for indirect jumps and indirect calls.
+///
+/// Each entry remembers the most recent target of the indirect branch that
+/// hashed to it. This is the classic baseline indirect predictor; it
+/// mispredicts every time an indirect branch switches targets — which is
+/// precisely the behaviour behind the paper's `perlbmk` pathology (one
+/// indirect call responsible for >95% of mispredicts).
+///
+/// # Examples
+///
+/// ```
+/// use paco_branch::IndirectPredictor;
+/// use paco_types::Pc;
+///
+/// let mut p = IndirectPredictor::new(256);
+/// let pc = Pc::new(0x700);
+/// assert_eq!(p.predict(pc), None);
+/// p.update(pc, Pc::new(0x9000));
+/// assert_eq!(p.predict(pc), Some(Pc::new(0x9000)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndirectPredictor {
+    table: Vec<Option<Pc>>,
+    mask: u64,
+}
+
+impl IndirectPredictor {
+    /// Creates a predictor with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        IndirectPredictor {
+            table: vec![None; entries],
+            mask: entries as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: Pc) -> usize {
+        (pc.table_hash() & self.mask) as usize
+    }
+
+    /// Predicted target for the indirect branch at `pc`, if any history
+    /// exists.
+    pub fn predict(&self, pc: Pc) -> Option<Pc> {
+        self.table[self.index(pc)]
+    }
+
+    /// Records the resolved target.
+    pub fn update(&mut self, pc: Pc, target: Pc) {
+        let idx = self.index(pc);
+        self.table[idx] = Some(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_last_target() {
+        let mut p = IndirectPredictor::new(64);
+        let pc = Pc::new(0x100);
+        p.update(pc, Pc::new(0xa000));
+        assert_eq!(p.predict(pc), Some(Pc::new(0xa000)));
+        p.update(pc, Pc::new(0xb000));
+        assert_eq!(p.predict(pc), Some(Pc::new(0xb000)));
+    }
+
+    #[test]
+    fn cold_entry_is_none() {
+        let p = IndirectPredictor::new(64);
+        assert_eq!(p.predict(Pc::new(0x44)), None);
+    }
+
+    #[test]
+    fn alternating_targets_always_mispredict() {
+        // The perlbmk pathology in miniature.
+        let mut p = IndirectPredictor::new(64);
+        let pc = Pc::new(0x100);
+        let t = [Pc::new(0x1000), Pc::new(0x2000)];
+        let mut mispredicts = 0;
+        for i in 0..100 {
+            let actual = t[i % 2];
+            if p.predict(pc) != Some(actual) {
+                mispredicts += 1;
+            }
+            p.update(pc, actual);
+        }
+        assert!(mispredicts >= 99, "got {mispredicts}");
+    }
+}

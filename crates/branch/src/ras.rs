@@ -1,0 +1,147 @@
+//! Return-address stack.
+
+use paco_types::Pc;
+
+/// A fixed-depth return-address stack (RAS).
+///
+/// Calls push their fall-through PC; returns pop the predicted return
+/// target. Overflow wraps (overwriting the oldest entry) and underflow
+/// returns `None`, both of which manifest as return mispredictions in the
+/// simulator — matching real hardware behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use paco_branch::ReturnAddressStack;
+/// use paco_types::Pc;
+///
+/// let mut ras = ReturnAddressStack::new(4);
+/// ras.push(Pc::new(0x104));
+/// ras.push(Pc::new(0x204));
+/// assert_eq!(ras.pop(), Some(Pc::new(0x204)));
+/// assert_eq!(ras.pop(), Some(Pc::new(0x104)));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    stack: Vec<Pc>,
+    top: usize,
+    depth: usize,
+    occupancy: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "RAS depth must be positive");
+        ReturnAddressStack {
+            stack: vec![Pc::default(); depth],
+            top: 0,
+            depth,
+            occupancy: 0,
+        }
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, return_addr: Pc) {
+        self.stack[self.top] = return_addr;
+        self.top = (self.top + 1) % self.depth;
+        self.occupancy = (self.occupancy + 1).min(self.depth);
+    }
+
+    /// Pops the predicted return target (on a return).
+    ///
+    /// Returns `None` when the stack is empty.
+    pub fn pop(&mut self) -> Option<Pc> {
+        if self.occupancy == 0 {
+            return None;
+        }
+        self.top = (self.top + self.depth - 1) % self.depth;
+        self.occupancy -= 1;
+        Some(self.stack[self.top])
+    }
+
+    /// Current number of valid entries.
+    pub fn len(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.occupancy == 0
+    }
+
+    /// Captures the top-of-stack pointer and occupancy for checkpointing.
+    pub fn checkpoint(&self) -> (usize, usize) {
+        (self.top, self.occupancy)
+    }
+
+    /// Restores a previously captured checkpoint.
+    ///
+    /// Entries overwritten by wrong-path pushes stay corrupted — exactly
+    /// the real-hardware artifact that produces occasional return
+    /// mispredictions after deep wrong-path excursions.
+    pub fn restore(&mut self, checkpoint: (usize, usize)) {
+        self.top = checkpoint.0 % self.depth;
+        self.occupancy = checkpoint.1.min(self.depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(8);
+        for i in 1..=5u64 {
+            ras.push(Pc::new(i * 0x10));
+        }
+        for i in (1..=5u64).rev() {
+            assert_eq!(ras.pop(), Some(Pc::new(i * 0x10)));
+        }
+        assert!(ras.is_empty());
+    }
+
+    #[test]
+    fn overflow_wraps_and_loses_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(Pc::new(0x10));
+        ras.push(Pc::new(0x20));
+        ras.push(Pc::new(0x30)); // overwrites 0x10
+        assert_eq!(ras.pop(), Some(Pc::new(0x30)));
+        assert_eq!(ras.pop(), Some(Pc::new(0x20)));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn checkpoint_restore_recovers_pointer() {
+        let mut ras = ReturnAddressStack::new(8);
+        ras.push(Pc::new(0x10));
+        let cp = ras.checkpoint();
+        ras.push(Pc::new(0x20));
+        ras.pop();
+        ras.pop();
+        ras.restore(cp);
+        assert_eq!(ras.len(), 1);
+        assert_eq!(ras.pop(), Some(Pc::new(0x10)));
+    }
+
+    #[test]
+    fn wrong_path_corruption_persists_after_restore() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(Pc::new(0x10));
+        ras.push(Pc::new(0x20));
+        let cp = ras.checkpoint();
+        // Wrong path wraps around and overwrites the slot holding 0x10.
+        ras.push(Pc::new(0xbad));
+        ras.restore(cp);
+        assert_eq!(ras.pop(), Some(Pc::new(0x20)));
+        // The deeper entry was physically overwritten.
+        assert_eq!(ras.pop(), Some(Pc::new(0xbad)));
+    }
+}

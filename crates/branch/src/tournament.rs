@@ -1,0 +1,209 @@
+//! The paper's tournament (hybrid) predictor: gshare + bimodal + selector.
+
+use crate::{BimodalPredictor, DirectionPredictor, GsharePredictor, SaturatingCounter};
+use paco_types::Pc;
+
+/// Configuration for a [`TournamentPredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TournamentConfig {
+    /// Entries in the gshare component (2-bit counters).
+    pub gshare_entries: usize,
+    /// Entries in the bimodal component (2-bit counters).
+    pub bimodal_entries: usize,
+    /// Entries in the selector (2-bit chooser counters).
+    pub selector_entries: usize,
+    /// Global history bits folded into gshare and selector indices.
+    pub history_bits: u32,
+}
+
+impl TournamentConfig {
+    /// The paper's configuration: "96KB hybrid, 32KB gshare, 32KB bimodal,
+    /// 32KB selector, 8 bits of global history".
+    ///
+    /// 32KB of 2-bit counters = 2<sup>17</sup> entries per component.
+    pub const fn paper() -> Self {
+        TournamentConfig {
+            gshare_entries: 1 << 17,
+            bimodal_entries: 1 << 17,
+            selector_entries: 1 << 17,
+            history_bits: 8,
+        }
+    }
+
+    /// A small configuration for fast unit tests.
+    pub const fn tiny() -> Self {
+        TournamentConfig {
+            gshare_entries: 1 << 10,
+            bimodal_entries: 1 << 10,
+            selector_entries: 1 << 10,
+            history_bits: 8,
+        }
+    }
+}
+
+impl Default for TournamentConfig {
+    fn default() -> Self {
+        TournamentConfig::paper()
+    }
+}
+
+/// A McFarling-style tournament predictor combining gshare and bimodal
+/// components through a 2-bit chooser table.
+///
+/// The chooser counter moves toward the component that was correct when the
+/// two disagree (high = prefer gshare).
+///
+/// # Examples
+///
+/// ```
+/// use paco_branch::{TournamentPredictor, TournamentConfig, DirectionPredictor};
+/// use paco_types::Pc;
+///
+/// let mut p = TournamentPredictor::new(TournamentConfig::tiny());
+/// let pc = Pc::new(0x400);
+/// for _ in 0..16 {
+///     let pred = p.predict(pc, 0);
+///     p.update(pc, 0, true, pred);
+/// }
+/// assert!(p.predict(pc, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TournamentPredictor {
+    gshare: GsharePredictor,
+    bimodal: BimodalPredictor,
+    selector: Vec<SaturatingCounter>,
+    selector_mask: u64,
+    history_bits: u32,
+}
+
+impl TournamentPredictor {
+    /// Creates a tournament predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component size is not a power of two.
+    pub fn new(config: TournamentConfig) -> Self {
+        assert!(
+            config.selector_entries.is_power_of_two(),
+            "selector size must be a power of two"
+        );
+        TournamentPredictor {
+            gshare: GsharePredictor::new(config.gshare_entries, config.history_bits),
+            bimodal: BimodalPredictor::new(config.bimodal_entries),
+            // Initialize the chooser with a slight bimodal preference
+            // (bimodal warms up faster).
+            selector: vec![SaturatingCounter::new(2, 1); config.selector_entries],
+            selector_mask: config.selector_entries as u64 - 1,
+            history_bits: config.history_bits,
+        }
+    }
+
+    /// Creates the predictor in the paper's 96KB configuration.
+    pub fn paper_default() -> Self {
+        TournamentPredictor::new(TournamentConfig::paper())
+    }
+
+    #[inline]
+    fn selector_index(&self, pc: Pc, history: u64) -> usize {
+        let hist_mask = if self.history_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.history_bits) - 1
+        };
+        ((pc.table_hash() ^ (history & hist_mask)) & self.selector_mask) as usize
+    }
+
+    /// The two component predictions `(gshare, bimodal)` for inspection.
+    pub fn component_predictions(&self, pc: Pc, history: u64) -> (bool, bool) {
+        (
+            self.gshare.predict(pc, history),
+            self.bimodal.predict(pc, history),
+        )
+    }
+}
+
+impl DirectionPredictor for TournamentPredictor {
+    fn predict(&self, pc: Pc, history: u64) -> bool {
+        let g = self.gshare.predict(pc, history);
+        let b = self.bimodal.predict(pc, history);
+        if self.selector[self.selector_index(pc, history)].msb() {
+            g
+        } else {
+            b
+        }
+    }
+
+    fn update(&mut self, pc: Pc, history: u64, taken: bool, predicted: bool) {
+        let g = self.gshare.predict(pc, history);
+        let b = self.bimodal.predict(pc, history);
+        // Train the chooser only on disagreement.
+        if g != b {
+            let idx = self.selector_index(pc, history);
+            if g == taken {
+                self.selector[idx].increment();
+            } else {
+                self.selector[idx].decrement();
+            }
+        }
+        self.gshare.update(pc, history, taken, predicted);
+        self.bimodal.update(pc, history, taken, predicted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_static_bias() {
+        let mut p = TournamentPredictor::new(TournamentConfig::tiny());
+        let pc = Pc::new(0x3000);
+        for _ in 0..16 {
+            let pred = p.predict(pc, 0);
+            p.update(pc, 0, false, pred);
+        }
+        assert!(!p.predict(pc, 0));
+    }
+
+    #[test]
+    fn chooser_picks_gshare_for_history_correlated_branch() {
+        let mut p = TournamentPredictor::new(TournamentConfig::tiny());
+        let pc = Pc::new(0x5000);
+        // Alternating pattern driven by history bit 0: bimodal is ~50%,
+        // gshare is perfect once trained.
+        for i in 0..512u64 {
+            let h = i & 0xff;
+            let taken = h & 1 == 1;
+            let pred = p.predict(pc, h);
+            p.update(pc, h, taken, pred);
+        }
+        let mut correct = 0;
+        for i in 0..64u64 {
+            let h = i & 0xff;
+            let taken = h & 1 == 1;
+            if p.predict(pc, h) == taken {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 60, "tournament should track gshare: {correct}/64");
+    }
+
+    #[test]
+    fn paper_config_sizes() {
+        let c = TournamentConfig::paper();
+        // 2^17 2-bit counters = 32KB per component.
+        assert_eq!(c.gshare_entries * 2 / 8, 32 * 1024);
+        assert_eq!(c.bimodal_entries * 2 / 8, 32 * 1024);
+        assert_eq!(c.selector_entries * 2 / 8, 32 * 1024);
+        assert_eq!(c.history_bits, 8);
+    }
+
+    #[test]
+    fn component_predictions_exposed() {
+        let p = TournamentPredictor::new(TournamentConfig::tiny());
+        let (g, b) = p.component_predictions(Pc::new(0x10), 0);
+        // Fresh tables are weakly not-taken.
+        assert!(!g);
+        assert!(!b);
+    }
+}

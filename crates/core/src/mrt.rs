@@ -1,0 +1,261 @@
+//! The Mispredict Rate Table (MRT).
+//!
+//! One bucket per MDC value. Each bucket holds a 10-bit counter of correct
+//! predictions and a 6-bit counter of mispredictions (paper Fig. 5).
+//! When either counter overflows, **both are halved**, preserving the
+//! bucket's mispredict rate while aging old history. Periodically the log
+//! circuit converts each bucket's ratio to an encoded probability and the
+//! counters are reset.
+
+use crate::{EncodedProb, LogCircuit};
+use paco_branch::Mdc;
+
+/// One MRT bucket: correct/mispredict counters for an MDC value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MrtBucket {
+    correct: u32,
+    mispred: u32,
+}
+
+impl MrtBucket {
+    /// Capacity of the 10-bit correct-prediction counter.
+    pub const CORRECT_MAX: u32 = (1 << 10) - 1;
+    /// Capacity of the 6-bit misprediction counter.
+    pub const MISPRED_MAX: u32 = (1 << 6) - 1;
+
+    /// Records one resolved branch; halves both counters on overflow,
+    /// preserving the rate (paper §3.2).
+    pub fn record(&mut self, mispredicted: bool) {
+        if mispredicted {
+            if self.mispred == Self::MISPRED_MAX {
+                self.halve();
+            }
+            self.mispred += 1;
+        } else {
+            if self.correct == Self::CORRECT_MAX {
+                self.halve();
+            }
+            self.correct += 1;
+        }
+    }
+
+    fn halve(&mut self) {
+        self.correct /= 2;
+        self.mispred /= 2;
+    }
+
+    /// Correct-prediction count.
+    pub const fn correct(&self) -> u32 {
+        self.correct
+    }
+
+    /// Misprediction count.
+    pub const fn mispred(&self) -> u32 {
+        self.mispred
+    }
+
+    /// Total observations.
+    pub const fn total(&self) -> u32 {
+        self.correct + self.mispred
+    }
+
+    /// Whether the bucket saw no branches since the last reset.
+    pub const fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Resets both counters (done after each periodic refresh).
+    pub fn reset(&mut self) {
+        self.correct = 0;
+        self.mispred = 0;
+    }
+}
+
+/// The full Mispredict Rate Table: one [`MrtBucket`] per MDC value plus the
+/// latched encoded probabilities produced at the last refresh.
+///
+/// # Examples
+///
+/// ```
+/// use paco::{MispredictRateTable, LogCircuit, LogMode};
+/// use paco_branch::Mdc;
+///
+/// let mut mrt = MispredictRateTable::new();
+/// // Bucket 0 sees a 50% mispredict rate:
+/// for _ in 0..100 {
+///     mrt.record(Mdc::new(0), false);
+///     mrt.record(Mdc::new(0), true);
+/// }
+/// mrt.refresh(LogCircuit::new(LogMode::Exact));
+/// let enc = mrt.encoded(Mdc::new(0));
+/// assert!((enc.raw() as i64 - 1024).abs() <= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MispredictRateTable {
+    buckets: [MrtBucket; Mdc::BUCKETS],
+    encodings: [EncodedProb; Mdc::BUCKETS],
+}
+
+impl MispredictRateTable {
+    /// Creates an MRT with empty counters and optimistic (certainty)
+    /// initial encodings; the first refresh installs measured values.
+    pub fn new() -> Self {
+        MispredictRateTable {
+            buckets: [MrtBucket::default(); Mdc::BUCKETS],
+            encodings: [EncodedProb::CERTAIN; Mdc::BUCKETS],
+        }
+    }
+
+    /// Creates an MRT pre-seeded with the given encodings (used by tests
+    /// and by warm-started experiments).
+    pub fn with_encodings(encodings: [EncodedProb; Mdc::BUCKETS]) -> Self {
+        MispredictRateTable {
+            buckets: [MrtBucket::default(); Mdc::BUCKETS],
+            encodings,
+        }
+    }
+
+    /// Records an executed branch's outcome into its MDC bucket.
+    #[inline]
+    pub fn record(&mut self, mdc: Mdc, mispredicted: bool) {
+        self.buckets[mdc.bucket()].record(mispredicted);
+    }
+
+    /// Runs the periodic logarithmize-and-scale pass: converts every
+    /// non-empty bucket's ratio to an encoded probability, then resets the
+    /// counters. Buckets that saw no branches keep their previous encoding.
+    pub fn refresh(&mut self, circuit: LogCircuit) {
+        for (bucket, enc) in self.buckets.iter_mut().zip(self.encodings.iter_mut()) {
+            if !bucket.is_empty() {
+                *enc = circuit.encode_ratio(bucket.correct(), bucket.mispred());
+                bucket.reset();
+            }
+        }
+    }
+
+    /// The latched encoded probability for an MDC value.
+    #[inline]
+    pub fn encoded(&self, mdc: Mdc) -> EncodedProb {
+        self.encodings[mdc.bucket()]
+    }
+
+    /// All latched encodings (for inspection / the static-MRT profile dump).
+    pub fn encodings(&self) -> &[EncodedProb; Mdc::BUCKETS] {
+        &self.encodings
+    }
+
+    /// Read access to a bucket's raw counters.
+    pub fn bucket(&self, mdc: Mdc) -> &MrtBucket {
+        &self.buckets[mdc.bucket()]
+    }
+
+    /// Hardware storage estimate in bytes: 16 × (10 + 6) bits of counters
+    /// plus 16 × 12 bits of encodings — the paper's "less than 60 bytes".
+    pub fn storage_bytes() -> usize {
+        (Mdc::BUCKETS * (10 + 6) + Mdc::BUCKETS * 12) / 8
+    }
+}
+
+impl Default for MispredictRateTable {
+    fn default() -> Self {
+        MispredictRateTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogMode;
+
+    #[test]
+    fn bucket_counts_and_rates() {
+        let mut b = MrtBucket::default();
+        for _ in 0..30 {
+            b.record(false);
+        }
+        for _ in 0..10 {
+            b.record(true);
+        }
+        assert_eq!(b.correct(), 30);
+        assert_eq!(b.mispred(), 10);
+        assert_eq!(b.total(), 40);
+    }
+
+    #[test]
+    fn overflow_halves_both_counters_preserving_rate() {
+        let mut b = MrtBucket::default();
+        // Drive the 6-bit mispredict counter to overflow with a 3:1 ratio.
+        for _ in 0..189 {
+            b.record(false);
+        }
+        for _ in 0..63 {
+            b.record(true);
+        }
+        assert_eq!(b.mispred(), 63);
+        let rate_before = b.mispred() as f64 / b.total() as f64;
+        b.record(true); // overflow → halve, then count
+        let rate_after = b.mispred() as f64 / b.total() as f64;
+        assert!(b.mispred() <= 32);
+        assert!((rate_before - rate_after).abs() < 0.02);
+    }
+
+    #[test]
+    fn correct_counter_overflow_halves() {
+        let mut b = MrtBucket::default();
+        for _ in 0..MrtBucket::CORRECT_MAX {
+            b.record(false);
+        }
+        b.record(true);
+        b.record(false); // hits CORRECT_MAX again? No: still below.
+        assert!(b.correct() <= MrtBucket::CORRECT_MAX);
+        // Force the halving path.
+        let mut b2 = MrtBucket::default();
+        for _ in 0..=MrtBucket::CORRECT_MAX {
+            b2.record(false);
+        }
+        assert_eq!(b2.correct(), MrtBucket::CORRECT_MAX / 2 + 1);
+    }
+
+    #[test]
+    fn refresh_latches_and_resets() {
+        let mut mrt = MispredictRateTable::new();
+        for _ in 0..90 {
+            mrt.record(Mdc::new(2), false);
+        }
+        for _ in 0..10 {
+            mrt.record(Mdc::new(2), true);
+        }
+        mrt.refresh(LogCircuit::new(LogMode::Exact));
+        // ~10% mispredict → −1024·log2(0.9) ≈ 156.
+        let enc = mrt.encoded(Mdc::new(2)).raw() as i64;
+        assert!((enc - 156).abs() <= 4, "enc={enc}");
+        assert!(mrt.bucket(Mdc::new(2)).is_empty());
+    }
+
+    #[test]
+    fn empty_bucket_keeps_previous_encoding() {
+        let mut mrt = MispredictRateTable::new();
+        for _ in 0..50 {
+            mrt.record(Mdc::new(1), true);
+        }
+        mrt.refresh(LogCircuit::new(LogMode::Exact));
+        let first = mrt.encoded(Mdc::new(1));
+        assert_eq!(first, EncodedProb::MAX);
+        // Second period: bucket 1 sees nothing; encoding must persist.
+        mrt.refresh(LogCircuit::new(LogMode::Exact));
+        assert_eq!(mrt.encoded(Mdc::new(1)), first);
+    }
+
+    #[test]
+    fn storage_is_under_60_bytes() {
+        assert!(MispredictRateTable::storage_bytes() <= 60);
+    }
+
+    #[test]
+    fn fresh_table_encodes_certainty() {
+        let mrt = MispredictRateTable::new();
+        for i in 0..16 {
+            assert_eq!(mrt.encoded(Mdc::new(i)), EncodedProb::CERTAIN);
+        }
+    }
+}

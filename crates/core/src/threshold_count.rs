@@ -1,0 +1,197 @@
+//! The conventional threshold-and-count path confidence predictor.
+
+use crate::{
+    BranchFetchInfo, BranchToken, ConfidenceScore, PathConfidenceEstimator,
+};
+
+/// Configuration for a [`ThresholdCountPredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThresholdCountConfig {
+    /// Branches with MDC value **below** this threshold are classified
+    /// low-confidence. The paper sweeps thresholds {3, 7, 11, 15} and notes
+    /// 3 is usually best.
+    pub threshold: u8,
+}
+
+impl ThresholdCountConfig {
+    /// The conventional threshold of 3 ("a good threshold … indicated by
+    /// our experiments and previous research").
+    pub const fn paper_default() -> Self {
+        ThresholdCountConfig { threshold: 3 }
+    }
+
+    /// An arbitrary threshold.
+    pub const fn with_threshold(threshold: u8) -> Self {
+        ThresholdCountConfig { threshold }
+    }
+}
+
+impl Default for ThresholdCountConfig {
+    fn default() -> Self {
+        ThresholdCountConfig::paper_default()
+    }
+}
+
+/// The conventional path confidence predictor (paper Fig. 1): a counter of
+/// unresolved low-confidence branches.
+///
+/// A thresholding function collapses each branch's 4-bit MDC value into a
+/// single high/low-confidence bit; the count of unresolved low-confidence
+/// branches serves as the (inverse) path confidence estimate. The paper's
+/// critique: this implicitly assumes all low-confidence branches share one
+/// mispredict rate and high-confidence branches never mispredict, so the
+/// counter value does not correspond to any particular goodpath
+/// probability — hence [`goodpath_probability`] returns `None`.
+///
+/// [`goodpath_probability`]: PathConfidenceEstimator::goodpath_probability
+///
+/// # Examples
+///
+/// ```
+/// use paco::{ThresholdCountPredictor, ThresholdCountConfig,
+///            PathConfidenceEstimator, BranchFetchInfo, ConfidenceScore};
+/// use paco_branch::Mdc;
+///
+/// let mut pred = ThresholdCountPredictor::new(ThresholdCountConfig::paper_default());
+/// let low = pred.on_fetch(BranchFetchInfo::conditional(Mdc::new(1)));
+/// let high = pred.on_fetch(BranchFetchInfo::conditional(Mdc::new(9)));
+/// assert_eq!(pred.score(), ConfidenceScore(1)); // only the MDC-1 branch counts
+/// pred.on_resolve(low, false);
+/// pred.on_resolve(high, false);
+/// assert_eq!(pred.score(), ConfidenceScore(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThresholdCountPredictor {
+    threshold: u8,
+    low_conf_outstanding: u32,
+}
+
+impl ThresholdCountPredictor {
+    /// Creates a threshold-and-count predictor.
+    pub fn new(config: ThresholdCountConfig) -> Self {
+        ThresholdCountPredictor {
+            threshold: config.threshold,
+            low_conf_outstanding: 0,
+        }
+    }
+
+    /// The configured JRS threshold.
+    pub fn threshold(&self) -> u8 {
+        self.threshold
+    }
+
+    /// The current count of unresolved low-confidence branches.
+    pub fn low_confidence_count(&self) -> u32 {
+        self.low_conf_outstanding
+    }
+}
+
+impl PathConfidenceEstimator for ThresholdCountPredictor {
+    fn on_fetch(&mut self, info: BranchFetchInfo) -> BranchToken {
+        match info.mdc {
+            Some(mdc) if !mdc.is_high_confidence(self.threshold) => {
+                self.low_conf_outstanding += 1;
+                BranchToken {
+                    encoded: 0,
+                    low_conf: true,
+                    mdc: Some(mdc),
+                    table_key: info.table_key,
+                }
+            }
+            Some(mdc) => BranchToken {
+                encoded: 0,
+                low_conf: false,
+                mdc: Some(mdc),
+                table_key: info.table_key,
+            },
+            None => BranchToken::empty(),
+        }
+    }
+
+    fn on_resolve(&mut self, token: BranchToken, _mispredicted: bool) {
+        if token.low_conf {
+            debug_assert!(self.low_conf_outstanding > 0, "counter underflow");
+            self.low_conf_outstanding = self.low_conf_outstanding.saturating_sub(1);
+        }
+    }
+
+    fn on_squash(&mut self, token: BranchToken) {
+        if token.low_conf {
+            debug_assert!(self.low_conf_outstanding > 0, "counter underflow");
+            self.low_conf_outstanding = self.low_conf_outstanding.saturating_sub(1);
+        }
+    }
+
+    fn score(&self) -> ConfidenceScore {
+        ConfidenceScore(self.low_conf_outstanding as u64)
+    }
+
+    fn name(&self) -> String {
+        format!("JRS-t{}", self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco_branch::Mdc;
+
+    fn cond(mdc: u8) -> BranchFetchInfo {
+        BranchFetchInfo::conditional(Mdc::new(mdc))
+    }
+
+    #[test]
+    fn counts_only_low_confidence_branches() {
+        let mut p = ThresholdCountPredictor::new(ThresholdCountConfig::with_threshold(3));
+        let t0 = p.on_fetch(cond(0));
+        let t2 = p.on_fetch(cond(2));
+        let t3 = p.on_fetch(cond(3));
+        let t15 = p.on_fetch(cond(15));
+        assert_eq!(p.score(), ConfidenceScore(2));
+        p.on_resolve(t0, true);
+        p.on_resolve(t2, false);
+        p.on_resolve(t3, false);
+        p.on_resolve(t15, false);
+        assert_eq!(p.score(), ConfidenceScore(0));
+    }
+
+    #[test]
+    fn squash_decrements() {
+        let mut p = ThresholdCountPredictor::new(ThresholdCountConfig::paper_default());
+        let t = p.on_fetch(cond(0));
+        assert_eq!(p.score(), ConfidenceScore(1));
+        p.on_squash(t);
+        assert_eq!(p.score(), ConfidenceScore(0));
+    }
+
+    #[test]
+    fn non_conditional_ignored() {
+        let mut p = ThresholdCountPredictor::new(ThresholdCountConfig::paper_default());
+        let t = p.on_fetch(BranchFetchInfo::non_conditional());
+        assert_eq!(p.score(), ConfidenceScore(0));
+        p.on_resolve(t, true);
+        assert_eq!(p.score(), ConfidenceScore(0));
+    }
+
+    #[test]
+    fn threshold_15_counts_almost_everything() {
+        let mut p = ThresholdCountPredictor::new(ThresholdCountConfig::with_threshold(15));
+        let a = p.on_fetch(cond(14));
+        let b = p.on_fetch(cond(15));
+        assert_eq!(p.score(), ConfidenceScore(1)); // only MDC 15 is "high"
+        p.on_squash(a);
+        p.on_squash(b);
+    }
+
+    #[test]
+    fn no_probability_estimate() {
+        let p = ThresholdCountPredictor::new(ThresholdCountConfig::paper_default());
+        assert!(p.goodpath_probability().is_none());
+    }
+
+    #[test]
+    fn name_includes_threshold() {
+        let p = ThresholdCountPredictor::new(ThresholdCountConfig::with_threshold(7));
+        assert_eq!(p.name(), "JRS-t7");
+    }
+}

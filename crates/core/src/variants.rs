@@ -1,0 +1,326 @@
+//! Appendix-A ablation variants: static MRT and per-branch MRT.
+
+use crate::{
+    BranchFetchInfo, BranchToken, ConfidenceScore, EncodedProb, LogCircuit, LogMode,
+    MrtBucket, PathConfidenceCalculator, PathConfidenceEstimator,
+};
+use paco_branch::Mdc;
+use paco_types::Probability;
+
+/// The *Static MRT* variant (paper Appendix A): fixed, profile-derived
+/// encoded probabilities per MDC value — no counters, no log circuit.
+///
+/// Cheaper hardware, but unable to adapt across benchmarks or phases; the
+/// paper finds it roughly triples the RMS error.
+///
+/// # Examples
+///
+/// ```
+/// use paco::{StaticMrtPredictor, PathConfidenceEstimator, BranchFetchInfo};
+/// use paco_branch::Mdc;
+///
+/// let mut pred = StaticMrtPredictor::with_default_profile();
+/// let t = pred.on_fetch(BranchFetchInfo::conditional(Mdc::new(0)));
+/// assert!(pred.goodpath_probability().unwrap().value() < 1.0);
+/// pred.on_resolve(t, false);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticMrtPredictor {
+    encodings: [EncodedProb; Mdc::BUCKETS],
+    calculator: PathConfidenceCalculator,
+}
+
+impl StaticMrtPredictor {
+    /// Creates a static-MRT predictor from a profile of per-MDC
+    /// correct-prediction probabilities (already encoded).
+    pub fn new(encodings: [EncodedProb; Mdc::BUCKETS]) -> Self {
+        StaticMrtPredictor {
+            encodings,
+            calculator: PathConfidenceCalculator::new(),
+        }
+    }
+
+    /// Creates a static-MRT predictor from real probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is NaN.
+    pub fn from_profile(correct_prob: [f64; Mdc::BUCKETS]) -> Self {
+        let mut encodings = [EncodedProb::CERTAIN; Mdc::BUCKETS];
+        for (enc, &p) in encodings.iter_mut().zip(correct_prob.iter()) {
+            *enc = EncodedProb::from_probability(Probability::clamped(p));
+        }
+        Self::new(encodings)
+    }
+
+    /// A cross-benchmark average profile of per-MDC mispredict rates,
+    /// shaped like the paper's Figure 2 (high mispredict rates at low MDC
+    /// values, decaying toward zero at MDC 15).
+    pub fn with_default_profile() -> Self {
+        Self::from_profile(DEFAULT_MDC_CORRECT_PROFILE)
+    }
+
+    /// The fixed encodings in use.
+    pub fn encodings(&self) -> &[EncodedProb; Mdc::BUCKETS] {
+        &self.encodings
+    }
+}
+
+/// Cross-benchmark average correct-prediction probability per MDC value.
+///
+/// Derived from the paper's Figure 2 shape: MDC 0 branches mispredict
+/// ~35% of the time, decaying roughly geometrically with MDC value.
+pub const DEFAULT_MDC_CORRECT_PROFILE: [f64; Mdc::BUCKETS] = [
+    0.65, 0.75, 0.82, 0.86, 0.89, 0.915, 0.935, 0.95, 0.96, 0.968, 0.975, 0.98, 0.985, 0.988,
+    0.991, 0.9975,
+];
+
+impl PathConfidenceEstimator for StaticMrtPredictor {
+    fn on_fetch(&mut self, info: BranchFetchInfo) -> BranchToken {
+        match info.mdc {
+            Some(mdc) => {
+                let enc = self.encodings[mdc.bucket()];
+                self.calculator.add(enc);
+                BranchToken {
+                    encoded: enc.raw(),
+                    low_conf: false,
+                    mdc: Some(mdc),
+                    table_key: info.table_key,
+                }
+            }
+            None => BranchToken::empty(),
+        }
+    }
+
+    fn on_resolve(&mut self, token: BranchToken, _mispredicted: bool) {
+        if token.mdc.is_some() {
+            self.calculator.remove(EncodedProb::from_raw(token.encoded));
+        }
+    }
+
+    fn on_squash(&mut self, token: BranchToken) {
+        if token.mdc.is_some() {
+            self.calculator.remove(EncodedProb::from_raw(token.encoded));
+        }
+    }
+
+    fn score(&self) -> ConfidenceScore {
+        ConfidenceScore(self.calculator.encoded_sum())
+    }
+
+    fn goodpath_probability(&self) -> Option<Probability> {
+        Some(self.calculator.goodpath_probability())
+    }
+
+    fn name(&self) -> String {
+        "StaticMRT".to_string()
+    }
+}
+
+/// Configuration for a [`PerBranchMrtPredictor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerBranchMrtConfig {
+    /// Number of table entries (power of two).
+    pub entries: usize,
+    /// Log mode for the on-demand encoding.
+    pub log_mode: LogMode,
+}
+
+impl PerBranchMrtConfig {
+    /// The Appendix-A configuration: a large per-branch table indexed by
+    /// hash(PC, global history) — "more hardware-intensive" than the MDC
+    /// bucketing. With one entry per (branch, history) context each entry
+    /// sees only a handful of outcomes, which is precisely why the paper
+    /// finds this design far *less* accurate: lifetime micro-samples have
+    /// neither the recency signal nor the statistical mass of the 16
+    /// shared MDC buckets.
+    pub const fn paper() -> Self {
+        PerBranchMrtConfig {
+            entries: 64 * 1024,
+            log_mode: LogMode::Exact,
+        }
+    }
+}
+
+impl Default for PerBranchMrtConfig {
+    fn default() -> Self {
+        PerBranchMrtConfig::paper()
+    }
+}
+
+/// The *Per-branch MRT* variant (paper Appendix A): instead of bucketing
+/// branches by MDC value, keep a mispredict-rate entry per branch (indexed
+/// by a hash of PC and global history).
+///
+/// The paper finds this *worse* than MDC bucketing: a lifetime mispredict
+/// rate weighs ancient and recent mispredicts equally, losing the
+/// recency/correlation signal that the MDC structure captures.
+#[derive(Debug, Clone)]
+pub struct PerBranchMrtPredictor {
+    table: Vec<MrtBucket>,
+    mask: u64,
+    circuit: LogCircuit,
+    calculator: PathConfidenceCalculator,
+}
+
+impl PerBranchMrtPredictor {
+    /// Creates a per-branch MRT predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(config: PerBranchMrtConfig) -> Self {
+        assert!(
+            config.entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
+        PerBranchMrtPredictor {
+            table: vec![MrtBucket::default(); config.entries],
+            mask: config.entries as u64 - 1,
+            circuit: LogCircuit::new(config.log_mode),
+            calculator: PathConfidenceCalculator::new(),
+        }
+    }
+
+    #[inline]
+    fn entry_index(&self, table_key: u64) -> usize {
+        (table_key & self.mask) as usize
+    }
+
+    /// The current encoding a branch with `table_key` would contribute.
+    pub fn entry_encoding(&self, table_key: u64) -> EncodedProb {
+        let e = &self.table[self.entry_index(table_key)];
+        if e.is_empty() {
+            // Optimistic prior: an unseen branch is assumed predictable.
+            EncodedProb::CERTAIN
+        } else {
+            self.circuit.encode_ratio(e.correct(), e.mispred())
+        }
+    }
+}
+
+impl PathConfidenceEstimator for PerBranchMrtPredictor {
+    fn on_fetch(&mut self, info: BranchFetchInfo) -> BranchToken {
+        match info.mdc {
+            Some(mdc) => {
+                let enc = self.entry_encoding(info.table_key);
+                self.calculator.add(enc);
+                BranchToken {
+                    encoded: enc.raw(),
+                    low_conf: false,
+                    mdc: Some(mdc),
+                    table_key: info.table_key,
+                }
+            }
+            None => BranchToken::empty(),
+        }
+    }
+
+    fn on_resolve(&mut self, token: BranchToken, mispredicted: bool) {
+        if token.mdc.is_some() {
+            let idx = self.entry_index(token.table_key);
+            self.table[idx].record(mispredicted);
+            self.calculator.remove(EncodedProb::from_raw(token.encoded));
+        }
+    }
+
+    fn on_squash(&mut self, token: BranchToken) {
+        if token.mdc.is_some() {
+            self.calculator.remove(EncodedProb::from_raw(token.encoded));
+        }
+    }
+
+    fn score(&self) -> ConfidenceScore {
+        ConfidenceScore(self.calculator.encoded_sum())
+    }
+
+    fn goodpath_probability(&self) -> Option<Probability> {
+        Some(self.calculator.goodpath_probability())
+    }
+
+    fn name(&self) -> String {
+        "PerBranchMRT".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond_keyed(mdc: u8, key: u64) -> BranchFetchInfo {
+        BranchFetchInfo::conditional_keyed(Mdc::new(mdc), key)
+    }
+
+    #[test]
+    fn static_profile_orders_buckets() {
+        let p = StaticMrtPredictor::with_default_profile();
+        // Lower MDC → lower correct probability → larger encoding.
+        for i in 1..16 {
+            assert!(
+                p.encodings()[i - 1] >= p.encodings()[i],
+                "bucket {i} should encode no larger than bucket {}",
+                i - 1
+            );
+        }
+    }
+
+    #[test]
+    fn static_mrt_add_remove_round_trip() {
+        let mut p = StaticMrtPredictor::with_default_profile();
+        let t1 = p.on_fetch(cond_keyed(0, 1));
+        let t2 = p.on_fetch(cond_keyed(5, 2));
+        assert!(p.score() > ConfidenceScore(0));
+        p.on_resolve(t1, true);
+        p.on_squash(t2);
+        assert_eq!(p.score(), ConfidenceScore(0));
+    }
+
+    #[test]
+    fn per_branch_learns_lifetime_rate() {
+        let mut p = PerBranchMrtPredictor::new(PerBranchMrtConfig::paper());
+        let key = 0x1234;
+        // 50% lifetime mispredict rate.
+        for i in 0..100 {
+            let t = p.on_fetch(cond_keyed(0, key));
+            p.on_resolve(t, i % 2 == 0);
+        }
+        let enc = p.entry_encoding(key);
+        assert!((enc.raw() as i64 - 1024).abs() <= 16, "enc={}", enc.raw());
+    }
+
+    #[test]
+    fn per_branch_ignores_recency() {
+        // The paper's critique: branch P (1 mispredict then 100 correct)
+        // and branch Q (100 correct then 1 mispredict) get the same weight.
+        let mut p = PerBranchMrtPredictor::new(PerBranchMrtConfig::paper());
+        let (kp, kq) = (0x10u64, 0x20u64);
+        let t = p.on_fetch(cond_keyed(0, kp));
+        p.on_resolve(t, true);
+        for _ in 0..100 {
+            let t = p.on_fetch(cond_keyed(0, kp));
+            p.on_resolve(t, false);
+        }
+        for _ in 0..100 {
+            let t = p.on_fetch(cond_keyed(0, kq));
+            p.on_resolve(t, false);
+        }
+        let t = p.on_fetch(cond_keyed(0, kq));
+        p.on_resolve(t, true);
+        assert_eq!(p.entry_encoding(kp), p.entry_encoding(kq));
+    }
+
+    #[test]
+    fn per_branch_cold_entry_is_optimistic() {
+        let p = PerBranchMrtPredictor::new(PerBranchMrtConfig::paper());
+        assert_eq!(p.entry_encoding(0xdead), EncodedProb::CERTAIN);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(StaticMrtPredictor::with_default_profile().name(), "StaticMRT");
+        assert_eq!(
+            PerBranchMrtPredictor::new(PerBranchMrtConfig::paper()).name(),
+            "PerBranchMRT"
+        );
+    }
+}

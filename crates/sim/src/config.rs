@@ -1,0 +1,139 @@
+//! Machine configurations (paper Tables 6 and 11).
+
+use paco_branch::{BtbConfig, ConfidenceConfig, TournamentConfig};
+
+/// Full machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Pipeline width (fetch/dispatch/retire per cycle). Paper: 4
+    /// (single-thread), 8 (SMT).
+    pub width: usize,
+    /// Reorder buffer entries, dynamically shared among threads.
+    pub rob_entries: usize,
+    /// Scheduler entries, dynamically shared.
+    pub scheduler_entries: usize,
+    /// Number of identical general-purpose functional units.
+    pub fu_count: usize,
+    /// Front-end depth in cycles (fetch → dispatch); together with
+    /// branch-execution latency this yields the paper's "at least 10
+    /// cycles" (single-thread) / "at least 20 cycles" (SMT) mispredict
+    /// penalty.
+    pub frontend_depth: u64,
+    /// Extra bubble cycles on a fetch redirect after recovery.
+    pub redirect_penalty: u64,
+    /// Number of hardware threads.
+    pub threads: usize,
+    /// Direction predictor configuration (96KB hybrid).
+    pub tournament: TournamentConfig,
+    /// JRS confidence predictor configuration (8KB enhanced).
+    pub confidence: ConfidenceConfig,
+    /// Branch target buffer configuration.
+    pub btb: BtbConfig,
+    /// Return-address stack depth.
+    pub ras_depth: usize,
+    /// Integer multiply/divide latency.
+    pub muldiv_latency: u64,
+    /// Hard cap on simulated cycles (guards against deadlock bugs).
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// Paper Table 6: the 4-wide out-of-order superscalar.
+    pub const fn paper_4wide() -> Self {
+        SimConfig {
+            width: 4,
+            rob_entries: 256,
+            scheduler_entries: 64,
+            fu_count: 4,
+            frontend_depth: 8,
+            redirect_penalty: 2,
+            threads: 1,
+            tournament: TournamentConfig::paper(),
+            confidence: ConfidenceConfig::paper(),
+            btb: BtbConfig::paper(),
+            ras_depth: 32,
+            muldiv_latency: 8,
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// Paper Table 11: the 8-wide SMT machine with two threads and a
+    /// 512-entry ROB ("Misprediction Penalty: at least 20 cycles").
+    pub const fn paper_smt_8wide() -> Self {
+        SimConfig {
+            width: 8,
+            rob_entries: 512,
+            scheduler_entries: 64,
+            fu_count: 8,
+            frontend_depth: 18,
+            redirect_penalty: 2,
+            threads: 2,
+            tournament: TournamentConfig::paper(),
+            confidence: ConfidenceConfig::paper(),
+            btb: BtbConfig::paper(),
+            ras_depth: 32,
+            muldiv_latency: 8,
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// A scaled-down configuration for fast unit tests.
+    pub const fn tiny() -> Self {
+        SimConfig {
+            width: 2,
+            rob_entries: 32,
+            scheduler_entries: 16,
+            fu_count: 2,
+            frontend_depth: 4,
+            redirect_penalty: 1,
+            threads: 1,
+            tournament: TournamentConfig::tiny(),
+            confidence: ConfidenceConfig::tiny(),
+            btb: BtbConfig::tiny(),
+            ras_depth: 8,
+            muldiv_latency: 4,
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// Overrides the thread count, builder-style.
+    pub const fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper_4wide()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tables_match() {
+        let t6 = SimConfig::paper_4wide();
+        assert_eq!(t6.width, 4);
+        assert_eq!(t6.rob_entries, 256);
+        assert_eq!(t6.scheduler_entries, 64);
+        assert_eq!(t6.fu_count, 4);
+        // Minimum mispredict penalty: front-end depth + redirect ≥ 10.
+        assert!(t6.frontend_depth + t6.redirect_penalty >= 10);
+
+        let t11 = SimConfig::paper_smt_8wide();
+        assert_eq!(t11.width, 8);
+        assert_eq!(t11.rob_entries, 512);
+        assert_eq!(t11.fu_count, 8);
+        assert_eq!(t11.threads, 2);
+        assert!(t11.frontend_depth + t11.redirect_penalty >= 20);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = SimConfig::paper_smt_8wide().with_threads(1);
+        assert_eq!(c.threads, 1);
+    }
+}

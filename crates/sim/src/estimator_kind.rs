@@ -1,0 +1,84 @@
+//! Configuration-level selection of a path confidence estimator.
+
+use paco::{
+    BranchFetchInfo, BranchToken, ConfidenceScore, PacoConfig, PacoPredictor,
+    PathConfidenceEstimator, PerBranchMrtConfig, PerBranchMrtPredictor, StaticMrtPredictor,
+    ThresholdCountConfig, ThresholdCountPredictor,
+};
+
+/// Which path confidence estimator a simulated thread uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimatorKind {
+    /// No estimator (confidence hooks become no-ops).
+    None,
+    /// The PaCo predictor.
+    Paco(PacoConfig),
+    /// Conventional threshold-and-count.
+    ThresholdCount(ThresholdCountConfig),
+    /// Appendix-A static MRT (profile-derived fixed encodings).
+    StaticMrt,
+    /// Appendix-A per-branch MRT.
+    PerBranchMrt(PerBranchMrtConfig),
+}
+
+impl EstimatorKind {
+    /// Instantiates the estimator.
+    pub fn build(&self) -> Box<dyn PathConfidenceEstimator> {
+        match *self {
+            EstimatorKind::None => Box::new(NullEstimator),
+            EstimatorKind::Paco(cfg) => Box::new(PacoPredictor::new(cfg)),
+            EstimatorKind::ThresholdCount(cfg) => Box::new(ThresholdCountPredictor::new(cfg)),
+            EstimatorKind::StaticMrt => Box::new(StaticMrtPredictor::with_default_profile()),
+            EstimatorKind::PerBranchMrt(cfg) => Box::new(PerBranchMrtPredictor::new(cfg)),
+        }
+    }
+}
+
+/// An estimator that tracks nothing and always reports certainty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullEstimator;
+
+impl PathConfidenceEstimator for NullEstimator {
+    fn on_fetch(&mut self, _info: BranchFetchInfo) -> BranchToken {
+        BranchToken::empty()
+    }
+
+    fn on_resolve(&mut self, _token: BranchToken, _mispredicted: bool) {}
+
+    fn on_squash(&mut self, _token: BranchToken) {}
+
+    fn score(&self) -> ConfidenceScore {
+        ConfidenceScore(0)
+    }
+
+    fn name(&self) -> String {
+        "none".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_kind() {
+        let kinds = [
+            EstimatorKind::None,
+            EstimatorKind::Paco(PacoConfig::paper()),
+            EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+            EstimatorKind::StaticMrt,
+            EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
+        ];
+        let names: Vec<String> = kinds.iter().map(|k| k.build().name()).collect();
+        assert_eq!(names, ["none", "PaCo", "JRS-t3", "StaticMRT", "PerBranchMRT"]);
+    }
+
+    #[test]
+    fn null_estimator_is_inert() {
+        let mut e = NullEstimator;
+        let t = e.on_fetch(BranchFetchInfo::non_conditional());
+        e.on_resolve(t, true);
+        assert_eq!(e.score(), ConfidenceScore(0));
+        assert!(e.goodpath_probability().is_none());
+    }
+}

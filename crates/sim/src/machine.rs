@@ -1,0 +1,1063 @@
+//! The cycle-level out-of-order machine.
+//!
+//! A trace-driven model of the paper's superscalar: per-cycle fetch (with
+//! I-cache stalls, branch prediction, confidence hooks and gating), a
+//! front-end pipe of configurable depth, a dynamically shared ROB and
+//! scheduler, general-purpose FUs with data-cache latencies, in-order
+//! retirement, and full wrong-path execution — when a branch mispredicts,
+//! fetch follows the bogus target into a synthetic wrong-path stream whose
+//! instructions occupy real resources (and whose branches allocate real
+//! confidence state) until the mispredicted branch resolves.
+
+use std::collections::VecDeque;
+
+use paco::{BranchFetchInfo, BranchToken, PathConfidenceEstimator};
+use paco_branch::{
+    Btb, DirectionPredictor, IndirectPredictor, Mdc, MdcIndex, MdcTable, ReturnAddressStack,
+    TournamentPredictor,
+};
+use paco_types::{ControlKind, Cycle, DynInstr, GlobalHistory, InstrClass, Pc, SplitMix64};
+use paco_workloads::{Workload, WrongPathGen};
+
+use crate::{
+    CacheHierarchy, EstimatorKind, FetchPolicy, GatingPolicy, MachineStats, SimConfig,
+    ThreadStats,
+};
+
+/// Size of the completion event wheel; must exceed the largest possible
+/// instruction latency.
+const WHEEL: usize = 256;
+
+#[derive(Debug, Clone)]
+struct CtrlState {
+    kind: ControlKind,
+    mispredicted: bool,
+    predicted_taken: bool,
+    actual_taken: bool,
+    actual_target: Pc,
+    pc: Pc,
+    hist_before: u64,
+    mdc_index: Option<MdcIndex>,
+    mdc_at_fetch: Option<Mdc>,
+    ras_checkpoint: (usize, usize),
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    /// Globally unique slot id, guarding event/scheduler references against
+    /// sequence-number reuse after squashes.
+    uid: u64,
+    seq: u64,
+    class: InstrClass,
+    deps: [u32; 2],
+    mem_addr: Option<u64>,
+    on_goodpath: bool,
+    issued: bool,
+    done: bool,
+    token: Option<BranchToken>,
+    ctrl: Option<CtrlState>,
+}
+
+#[derive(Debug)]
+enum PathState {
+    Good,
+    Bad { gen: WrongPathGen },
+}
+
+struct Thread {
+    workload: Box<dyn Workload>,
+    estimator: Box<dyn PathConfidenceEstimator>,
+    hist: GlobalHistory,
+    ras: ReturnAddressStack,
+    path: PathState,
+    pending: Option<DynInstr>,
+    front: VecDeque<(Cycle, Slot)>,
+    rob: VecDeque<Slot>,
+    rob_front_seq: u64,
+    next_seq: u64,
+    fetch_stall_until: Cycle,
+    in_flight: usize,
+    wp_seeds: SplitMix64,
+    stats: ThreadStats,
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Thread")
+            .field("workload", &self.workload.name())
+            .field("in_flight", &self.in_flight)
+            .field("next_seq", &self.next_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Thread {
+    fn slot_by_seq(&self, seq: u64) -> Option<&Slot> {
+        if seq < self.rob_front_seq {
+            return None;
+        }
+        self.rob.get((seq - self.rob_front_seq) as usize)
+    }
+
+    fn slot_by_seq_mut(&mut self, seq: u64) -> Option<&mut Slot> {
+        if seq < self.rob_front_seq {
+            return None;
+        }
+        self.rob.get_mut((seq - self.rob_front_seq) as usize)
+    }
+
+    /// Whether the dependency at distance `d` from `seq` is satisfied.
+    fn dep_ready(&self, seq: u64, d: u32) -> bool {
+        if d == 0 {
+            return true;
+        }
+        match seq.checked_sub(d as u64) {
+            None => true,
+            Some(dep_seq) => match self.slot_by_seq(dep_seq) {
+                None => true, // retired or squashed
+                Some(s) => s.done,
+            },
+        }
+    }
+
+    /// The PC the fetch unit would fetch next (drives the I-cache probe).
+    fn peek_fetch_pc(&mut self) -> Pc {
+        match &self.path {
+            PathState::Good => {
+                if self.pending.is_none() {
+                    self.pending = Some(self.workload.next_instr());
+                }
+                self.pending.as_ref().unwrap().pc
+            }
+            PathState::Bad { gen } => gen.cursor(),
+        }
+    }
+
+    fn on_goodpath(&self) -> bool {
+        matches!(self.path, PathState::Good)
+    }
+}
+
+/// The simulated machine: one or more hardware threads sharing the
+/// pipeline, predictors and cache hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use paco_sim::{Machine, MachineBuilder, SimConfig, EstimatorKind, GatingPolicy};
+/// use paco::PacoConfig;
+/// use paco_workloads::BenchmarkId;
+///
+/// let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
+///     .thread(Box::new(BenchmarkId::Gzip.build(1)), EstimatorKind::Paco(PacoConfig::paper()))
+///     .seed(7)
+///     .build();
+/// let stats = machine.run(20_000);
+/// assert!(stats.threads[0].retired >= 20_000);
+/// assert!(stats.ipc(0) > 0.3);
+/// ```
+pub struct Machine {
+    config: SimConfig,
+    cycle: Cycle,
+    stats_since: Cycle,
+    predictor: TournamentPredictor,
+    btb: Btb,
+    indirect: IndirectPredictor,
+    mdc: MdcTable,
+    caches: CacheHierarchy,
+    threads: Vec<Thread>,
+    rob_free: usize,
+    sched_free: usize,
+    sched: VecDeque<(usize, u64, u64)>,
+    wheel: Vec<Vec<(usize, u64, u64)>>,
+    next_uid: u64,
+    gating: GatingPolicy,
+    fetch_policy: FetchPolicy,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cycle", &self.cycle)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`Machine`].
+pub struct MachineBuilder {
+    config: SimConfig,
+    threads: Vec<(Box<dyn Workload>, EstimatorKind)>,
+    gating: GatingPolicy,
+    fetch_policy: FetchPolicy,
+    seed: u64,
+}
+
+impl std::fmt::Debug for MachineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineBuilder")
+            .field("config", &self.config)
+            .field("threads", &self.threads.len())
+            .field("gating", &self.gating)
+            .field("fetch_policy", &self.fetch_policy)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl MachineBuilder {
+    /// Starts a builder for the given machine configuration.
+    pub fn new(config: SimConfig) -> Self {
+        MachineBuilder {
+            config,
+            threads: Vec::new(),
+            gating: GatingPolicy::None,
+            fetch_policy: FetchPolicy::ICount,
+            seed: 1,
+        }
+    }
+
+    /// Adds a hardware thread running `workload` with the given estimator.
+    pub fn thread(mut self, workload: Box<dyn Workload>, estimator: EstimatorKind) -> Self {
+        self.threads.push((workload, estimator));
+        self
+    }
+
+    /// Sets the gating policy (applies to every thread).
+    pub fn gating(mut self, gating: GatingPolicy) -> Self {
+        self.gating = gating;
+        self
+    }
+
+    /// Sets the SMT fetch policy.
+    pub fn fetch_policy(mut self, policy: FetchPolicy) -> Self {
+        self.fetch_policy = policy;
+        self
+    }
+
+    /// Sets the machine seed (wrong-path streams etc.).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no threads were added or more threads than
+    /// `config.threads` were added.
+    pub fn build(self) -> Machine {
+        assert!(!self.threads.is_empty(), "machine needs at least one thread");
+        assert!(
+            self.threads.len() <= self.config.threads,
+            "more workloads than configured hardware threads"
+        );
+        let mut seeder = SplitMix64::new(self.seed);
+        let threads = self
+            .threads
+            .into_iter()
+            .map(|(workload, est)| Thread {
+                workload,
+                estimator: est.build(),
+                hist: GlobalHistory::new(self.config.tournament.history_bits.max(8)),
+                ras: ReturnAddressStack::new(self.config.ras_depth),
+                path: PathState::Good,
+                pending: None,
+                front: VecDeque::new(),
+                rob: VecDeque::new(),
+                rob_front_seq: 0,
+                next_seq: 0,
+                fetch_stall_until: 0,
+                in_flight: 0,
+                wp_seeds: seeder.fork(),
+                stats: ThreadStats::new(),
+            })
+            .collect();
+        Machine {
+            predictor: TournamentPredictor::new(self.config.tournament),
+            btb: Btb::new(self.config.btb),
+            indirect: IndirectPredictor::new(1024),
+            mdc: MdcTable::new(self.config.confidence),
+            caches: CacheHierarchy::paper(),
+            threads,
+            rob_free: self.config.rob_entries,
+            sched_free: self.config.scheduler_entries,
+            sched: VecDeque::new(),
+            wheel: vec![Vec::new(); WHEEL],
+            gating: self.gating,
+            fetch_policy: self.fetch_policy,
+            cycle: 0,
+            stats_since: 0,
+            next_uid: 0,
+            config: self.config,
+        }
+    }
+}
+
+impl Machine {
+    /// Runs until every thread has retired at least `instructions`
+    /// goodpath instructions (or the configured cycle cap is hit).
+    /// Returns the accumulated statistics.
+    pub fn run(&mut self, instructions: u64) -> MachineStats {
+        while self
+            .threads
+            .iter()
+            .any(|t| t.stats.retired < instructions)
+            && self.cycle < self.config.max_cycles
+        {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// Runs for a fixed number of cycles.
+    pub fn run_cycles(&mut self, cycles: u64) -> MachineStats {
+        for _ in 0..cycles {
+            self.step();
+        }
+        self.stats()
+    }
+
+    /// A snapshot of the statistics accumulated since construction or the
+    /// last [`reset_stats`](Self::reset_stats) call.
+    pub fn stats(&self) -> MachineStats {
+        MachineStats {
+            cycles: self.cycle - self.stats_since,
+            threads: self.threads.iter().map(|t| t.stats.clone()).collect(),
+        }
+    }
+
+    /// Zeroes all statistics while preserving microarchitectural state
+    /// (predictor tables, caches, MRT encodings, in-flight instructions).
+    ///
+    /// Mirrors the paper's methodology of fast-forwarding through the
+    /// initialization phase before measuring: warm the machine up with
+    /// [`run`](Self::run), reset, then measure.
+    pub fn reset_stats(&mut self) {
+        self.stats_since = self.cycle;
+        for t in &mut self.threads {
+            t.stats = ThreadStats::new();
+        }
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        self.complete_stage();
+        self.retire_stage();
+        self.issue_stage();
+        self.dispatch_stage();
+        self.fetch_stage();
+        for t in &mut self.threads {
+            t.estimator.tick(1);
+        }
+        self.cycle += 1;
+    }
+
+    // ---------------------------------------------------------------- //
+    //  Completion: instructions finishing execution this cycle.        //
+    // ---------------------------------------------------------------- //
+    fn complete_stage(&mut self) {
+        let bucket = (self.cycle % WHEEL as u64) as usize;
+        let events = std::mem::take(&mut self.wheel[bucket]);
+        for (tid, seq, uid) in events {
+            let Some(slot) = self.threads[tid].slot_by_seq_mut(seq) else {
+                continue; // squashed while in flight
+            };
+            if slot.uid != uid {
+                continue; // stale event: the seq was reused after a squash
+            }
+            slot.done = true;
+            let token = slot.token.take();
+            let on_goodpath = slot.on_goodpath;
+            let ctrl = slot.ctrl.clone();
+
+            if let Some(ctrl) = ctrl {
+                if on_goodpath {
+                    if let Some(token) = token {
+                        self.threads[tid]
+                            .estimator
+                            .on_resolve(token, ctrl.mispredicted);
+                    }
+                    // The JRS MDC table trains at branch resolution, like
+                    // the MRT (paper Fig. 5: "Branch Exec Info (from
+                    // backend)").
+                    if let Some(idx) = ctrl.mdc_index {
+                        self.mdc.update(idx, !ctrl.mispredicted);
+                    }
+                    if ctrl.mispredicted {
+                        self.recover(tid, seq, &ctrl);
+                    }
+                } else if let Some(token) = token {
+                    // Wrong-path branches leave the window without an
+                    // architected outcome: remove their contribution
+                    // without training.
+                    self.threads[tid].estimator.on_squash(token);
+                }
+            }
+        }
+    }
+
+    /// Squashes everything younger than `seq` in thread `tid` and
+    /// redirects fetch to the goodpath.
+    fn recover(&mut self, tid: usize, seq: u64, ctrl: &CtrlState) {
+        let redirect_at = self.cycle + self.config.redirect_penalty;
+        let t = &mut self.threads[tid];
+        let mut rob_reclaimed = 0;
+        let mut sched_reclaimed = 0;
+
+        // Squash ROB suffix.
+        while t.rob.back().map(|s| s.seq > seq).unwrap_or(false) {
+            let mut s = t.rob.pop_back().unwrap();
+            if let Some(token) = s.token.take() {
+                t.estimator.on_squash(token);
+            }
+            rob_reclaimed += 1;
+            if !s.issued {
+                sched_reclaimed += 1;
+            }
+            t.in_flight = t.in_flight.saturating_sub(1);
+        }
+        // Squash the entire front-end pipe (all younger than the branch).
+        while let Some((_, mut s)) = t.front.pop_back() {
+            if let Some(token) = s.token.take() {
+                t.estimator.on_squash(token);
+            }
+            t.in_flight = t.in_flight.saturating_sub(1);
+        }
+        // Repair speculative state.
+        t.hist
+            .restore((ctrl.hist_before << 1) | ctrl.actual_taken as u64);
+        t.ras.restore(ctrl.ras_checkpoint);
+        t.path = PathState::Good;
+        t.fetch_stall_until = t.fetch_stall_until.max(redirect_at);
+        // Rewind the sequence counter: squashed seqs are dead, and reusing
+        // them keeps each thread's ROB contiguous in seq (which both the
+        // slot lookup and the workload's dependency distances rely on).
+        t.next_seq = seq + 1;
+        // `pending` (the peeked-but-unfetched goodpath successor) survives
+        // recovery: it is exactly where fetch must resume.
+        self.rob_free += rob_reclaimed;
+        self.sched_free += sched_reclaimed;
+        // Purge squashed scheduler entries eagerly: their seqs may be
+        // reused by post-recovery instructions.
+        self.sched.retain(|&(st, ss, _)| st != tid || ss <= seq);
+    }
+
+    // ---------------------------------------------------------------- //
+    //  Retirement: in-order, up to `width` per cycle, shared.           //
+    // ---------------------------------------------------------------- //
+    fn retire_stage(&mut self) {
+        let mut budget = self.config.width;
+        let nthreads = self.threads.len();
+        let mut made_progress = true;
+        while budget > 0 && made_progress {
+            made_progress = false;
+            for tid in 0..nthreads {
+                if budget == 0 {
+                    break;
+                }
+                let head_done = self.threads[tid]
+                    .rob
+                    .front()
+                    .map(|s| s.done)
+                    .unwrap_or(false);
+                if !head_done {
+                    continue;
+                }
+                let t = &mut self.threads[tid];
+                let slot = t.rob.pop_front().unwrap();
+                t.rob_front_seq = slot.seq + 1;
+                t.in_flight = t.in_flight.saturating_sub(1);
+                self.rob_free += 1;
+                budget -= 1;
+                made_progress = true;
+
+                debug_assert!(slot.on_goodpath, "wrong-path instruction retired");
+                t.stats.retired += 1;
+                if let Some(ctrl) = slot.ctrl {
+                    self.train_on_retire(tid, &ctrl);
+                }
+            }
+        }
+    }
+
+    fn train_on_retire(&mut self, tid: usize, ctrl: &CtrlState) {
+        let stats = &mut self.threads[tid].stats;
+        stats.control_retired += 1;
+        stats.control_mispredicted += ctrl.mispredicted as u64;
+        match ctrl.kind {
+            ControlKind::Conditional => {
+                stats.cond_retired += 1;
+                stats.cond_mispredicted += ctrl.mispredicted as u64;
+                if let Some(mdc) = ctrl.mdc_at_fetch {
+                    stats.mdc_retired[mdc.bucket()] += 1;
+                    stats.mdc_mispredicted[mdc.bucket()] += ctrl.mispredicted as u64;
+                }
+                self.predictor.update(
+                    ctrl.pc,
+                    ctrl.hist_before,
+                    ctrl.actual_taken,
+                    ctrl.predicted_taken,
+                );
+            }
+            ControlKind::Indirect => {
+                self.indirect.update(ctrl.pc, ctrl.actual_target);
+            }
+            ControlKind::Jump | ControlKind::Call | ControlKind::Return => {}
+        }
+        if ctrl.actual_taken {
+            self.btb.update(ctrl.pc, ctrl.actual_target);
+        }
+    }
+
+    // ---------------------------------------------------------------- //
+    //  Issue: oldest-first from the shared scheduler.                   //
+    // ---------------------------------------------------------------- //
+    fn issue_stage(&mut self) {
+        let mut issued = 0;
+        let mut i = 0;
+        while i < self.sched.len() && issued < self.config.fu_count {
+            let (tid, seq, uid) = self.sched[i];
+            let Some(slot) = self.threads[tid].slot_by_seq(seq) else {
+                self.sched.remove(i);
+                continue;
+            };
+            if slot.uid != uid {
+                self.sched.remove(i);
+                continue;
+            }
+            debug_assert!(!slot.issued);
+            let deps = slot.deps;
+            let ready = self.threads[tid].dep_ready(seq, deps[0])
+                && self.threads[tid].dep_ready(seq, deps[1]);
+            if !ready {
+                i += 1;
+                continue;
+            }
+            let class = slot.class;
+            let mem = slot.mem_addr;
+            let latency = match class {
+                InstrClass::Alu | InstrClass::Nop => 1,
+                InstrClass::MulDiv => self.config.muldiv_latency,
+                InstrClass::Store => {
+                    if let Some(addr) = mem {
+                        self.caches.l1d.access(addr);
+                    }
+                    1
+                }
+                InstrClass::Load => match mem {
+                    Some(addr) => self.caches.data_latency(addr),
+                    None => 2,
+                },
+                InstrClass::Control(_) => 1,
+            };
+            // Commit the issue.
+            let on_goodpath = self.threads[tid].on_goodpath();
+            let slot = self.threads[tid].slot_by_seq_mut(seq).unwrap();
+            slot.issued = true;
+            let was_goodpath_instr = slot.on_goodpath;
+            let done = self.cycle + latency.max(1);
+            self.wheel[(done % WHEEL as u64) as usize].push((tid, seq, uid));
+            self.sched.remove(i);
+            self.sched_free += 1;
+            issued += 1;
+
+            let t = &mut self.threads[tid];
+            t.stats.executed += 1;
+            t.stats.executed_badpath += (!was_goodpath_instr) as u64;
+            // Execute-event confidence instance (paper §4.3 footnote 6).
+            let prob = t.estimator.goodpath_probability().map(|p| p.value());
+            let score = t.estimator.score().0;
+            t.stats.sample_instance(prob, score, on_goodpath);
+        }
+    }
+
+    // ---------------------------------------------------------------- //
+    //  Dispatch: front-end pipe into ROB + scheduler.                   //
+    // ---------------------------------------------------------------- //
+    fn dispatch_stage(&mut self) {
+        for tid in 0..self.threads.len() {
+            let mut budget = self.config.width;
+            while budget > 0 && self.rob_free > 0 && self.sched_free > 0 {
+                let ready = self.threads[tid]
+                    .front
+                    .front()
+                    .map(|(c, _)| *c <= self.cycle)
+                    .unwrap_or(false);
+                if !ready {
+                    break;
+                }
+                let (_, slot) = self.threads[tid].front.pop_front().unwrap();
+                let seq = slot.seq;
+                let uid = slot.uid;
+                let t = &mut self.threads[tid];
+                if t.rob.is_empty() {
+                    t.rob_front_seq = seq;
+                }
+                t.rob.push_back(slot);
+                self.rob_free -= 1;
+                self.sched_free -= 1;
+                self.sched.push_back((tid, seq, uid));
+                budget -= 1;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- //
+    //  Fetch.                                                           //
+    // ---------------------------------------------------------------- //
+    fn fetch_stage(&mut self) {
+        if self.threads.is_empty() {
+            return;
+        }
+        // Offer the fetch port to threads in policy-priority order; the
+        // first thread able to fetch this cycle takes it.
+        let observations: Vec<(usize, paco::ConfidenceScore)> = self
+            .threads
+            .iter()
+            .map(|t| (t.in_flight, t.estimator.score()))
+            .collect();
+        let order = if self.threads.len() == 1 {
+            vec![0]
+        } else {
+            self.fetch_policy.priority_order(&observations, self.cycle)
+        };
+
+        let front_cap = self.config.width * self.config.frontend_depth.max(1) as usize;
+        // Fetch-slot sharing (ICOUNT.2.N style): threads claim groups in
+        // priority order until the cycle's fetch width is spent. The
+        // higher-priority (more confident / emptier) thread gets the first
+        // and usually larger share; the other thread fills leftover slots,
+        // so prioritization biases bandwidth without starving anyone —
+        // this is how Luo-style confidence prioritization allocates "more
+        // fetch bandwidth" rather than all of it.
+        let mut remaining = self.config.width;
+        for tid in order {
+            if remaining == 0 {
+                break;
+            }
+            if self.cycle < self.threads[tid].fetch_stall_until {
+                continue;
+            }
+            // Gating decision (per thread).
+            let score = self.threads[tid].estimator.score();
+            let width = self.gating.allowed_width(score, remaining);
+            if width == 0 {
+                self.threads[tid].stats.gated_cycles += 1;
+                continue;
+            }
+            if self.threads[tid].front.len() >= front_cap {
+                continue;
+            }
+            // I-cache probe for this thread's fetch group.
+            let fetch_pc = self.threads[tid].peek_fetch_pc();
+            let icache_stall = self.caches.fetch_latency(fetch_pc.addr());
+            if icache_stall > 0 {
+                self.threads[tid].fetch_stall_until = self.cycle + icache_stall;
+                continue;
+            }
+            remaining -= self.fetch_group(tid, width, front_cap);
+        }
+    }
+
+    /// Fetches up to `width` instructions for thread `tid`; returns how
+    /// many were fetched.
+    fn fetch_group(&mut self, tid: usize, width: usize, front_cap: usize) -> usize {
+        let ready_at = self.cycle + self.config.frontend_depth;
+        let mut fetched = 0;
+        while fetched < width && self.threads[tid].front.len() < front_cap {
+            let on_goodpath = self.threads[tid].on_goodpath();
+            let instr = {
+                let t = &mut self.threads[tid];
+                if on_goodpath {
+                    match t.pending.take() {
+                        Some(i) => i,
+                        None => t.workload.next_instr(),
+                    }
+                } else {
+                    match &mut t.path {
+                        PathState::Bad { gen } => gen.next_instr(),
+                        PathState::Good => unreachable!(),
+                    }
+                }
+            };
+            let seq = self.threads[tid].next_seq;
+            self.threads[tid].next_seq += 1;
+            let uid = self.next_uid;
+            self.next_uid += 1;
+
+            let mut slot = Slot {
+                uid,
+                seq,
+                class: instr.class,
+                deps: instr.deps,
+                mem_addr: instr.mem.map(|m| m.addr),
+                on_goodpath,
+                issued: false,
+                done: false,
+                token: None,
+                ctrl: None,
+            };
+
+            let mut ends_group = false;
+            if let InstrClass::Control(kind) = instr.class {
+                let (ctrl, token, predicted_taken) =
+                    self.process_control_fetch(tid, kind, &instr, on_goodpath);
+                ends_group = predicted_taken;
+                slot.token = token;
+                slot.ctrl = Some(ctrl);
+            }
+
+            let t = &mut self.threads[tid];
+            t.stats.fetched += 1;
+            t.stats.fetched_badpath += (!on_goodpath) as u64;
+            // Fetch-event confidence instance.
+            let prob = t.estimator.goodpath_probability().map(|p| p.value());
+            let sc = t.estimator.score().0;
+            t.stats.sample_instance(prob, sc, on_goodpath);
+
+            t.front.push_back((ready_at, slot));
+            t.in_flight += 1;
+            fetched += 1;
+            if ends_group {
+                break;
+            }
+        }
+        fetched
+    }
+
+
+    /// Handles prediction, confidence allocation and path bookkeeping for a
+    /// fetched control instruction. Returns the control state, the
+    /// confidence token, and whether fetch was redirected (ends the group).
+    fn process_control_fetch(
+        &mut self,
+        tid: usize,
+        kind: ControlKind,
+        instr: &DynInstr,
+        on_goodpath: bool,
+    ) -> (CtrlState, Option<BranchToken>, bool) {
+        let pc = instr.pc;
+        let hist_before = self.threads[tid].hist.bits();
+
+        let (predicted_taken, mispredicted, wrong_target, mdc_index, mdc_at_fetch, info) =
+            match kind {
+                ControlKind::Conditional => {
+                    let predicted = self.predictor.predict(pc, hist_before);
+                    let idx = self.mdc.index(pc, hist_before, predicted);
+                    let mdc = self.mdc.read(idx);
+                    let info = BranchFetchInfo::conditional_keyed(
+                        mdc,
+                        pc.table_hash() ^ hist_before,
+                    );
+                    let mispred = on_goodpath && predicted != instr.taken;
+                    let wrong = if predicted { instr.target } else { pc.next() };
+                    (predicted, mispred, wrong, Some(idx), Some(mdc), info)
+                }
+                ControlKind::Jump | ControlKind::Call => (
+                    true,
+                    false,
+                    instr.target,
+                    None,
+                    None,
+                    BranchFetchInfo::non_conditional(),
+                ),
+                ControlKind::Return => {
+                    let predicted_target = self.threads[tid].ras.pop();
+                    let mispred =
+                        on_goodpath && predicted_target != Some(instr.target);
+                    (
+                        true,
+                        mispred,
+                        predicted_target.unwrap_or_else(|| pc.next()),
+                        None,
+                        None,
+                        BranchFetchInfo::non_conditional(),
+                    )
+                }
+                ControlKind::Indirect => {
+                    let predicted_target = self.indirect.predict(pc);
+                    let mispred =
+                        on_goodpath && predicted_target != Some(instr.target);
+                    (
+                        true,
+                        mispred,
+                        predicted_target.unwrap_or_else(|| pc.next()),
+                        None,
+                        None,
+                        BranchFetchInfo::non_conditional(),
+                    )
+                }
+            };
+
+        // Speculative state updates.
+        if kind == ControlKind::Conditional {
+            self.threads[tid].hist.push(predicted_taken);
+        }
+        if kind == ControlKind::Call {
+            self.threads[tid].ras.push(pc.next());
+        }
+        let ras_checkpoint = self.threads[tid].ras.checkpoint();
+
+        // Confidence token.
+        let token = Some(self.threads[tid].estimator.on_fetch(info));
+
+        // Fetch-path bookkeeping.
+        if on_goodpath {
+            if mispredicted {
+                let seed = self.threads[tid].wp_seeds.next_u64();
+                let gen = self.threads[tid]
+                    .workload
+                    .wrong_path(wrong_target, seed);
+                self.threads[tid].path = PathState::Bad { gen };
+            }
+            // On the goodpath the trace itself continues at the actual
+            // successor; nothing to redirect.
+        } else if let PathState::Bad { gen } = &mut self.threads[tid].path {
+            // Follow the prediction down the wrong path: the generator's
+            // synthetic taken-target stands in for the BTB's prediction.
+            if predicted_taken {
+                gen.redirect(instr.target);
+            }
+        }
+
+        // The actual direction the front end follows: a predicted-taken
+        // control (or a goodpath-actually-taken one the predictor got
+        // right) redirects the group.
+        let redirects = predicted_taken || (on_goodpath && instr.taken);
+
+        let ctrl = CtrlState {
+            kind,
+            mispredicted,
+            predicted_taken,
+            actual_taken: instr.taken,
+            actual_target: instr.target,
+            pc,
+            hist_before,
+            mdc_index,
+            mdc_at_fetch,
+            ras_checkpoint,
+        };
+        (ctrl, token, redirects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco::{PacoConfig, ThresholdCountConfig};
+    use paco_workloads::BenchmarkId;
+
+    fn small_machine(est: EstimatorKind) -> Machine {
+        MachineBuilder::new(SimConfig::paper_4wide())
+            .thread(Box::new(BenchmarkId::Gzip.build(3)), est)
+            .seed(11)
+            .build()
+    }
+
+    #[test]
+    fn retires_requested_instructions() {
+        let mut m = small_machine(EstimatorKind::None);
+        let stats = m.run(5_000);
+        assert!(stats.threads[0].retired >= 5_000);
+        assert!(stats.cycles > 0);
+        let ipc = stats.ipc(0);
+        assert!(ipc > 0.2 && ipc <= 4.0, "ipc {ipc}");
+    }
+
+    #[test]
+    fn wrong_path_instructions_are_fetched_and_squashed() {
+        let mut m = small_machine(EstimatorKind::None);
+        let stats = m.run(30_000);
+        let t = &stats.threads[0];
+        assert!(t.fetched_badpath > 0, "mispredicts must cause wrong-path fetch");
+        assert!(t.executed_badpath > 0, "some wrong-path instrs must execute");
+        assert!(t.fetched > t.retired);
+        // Badpath never retires: retired == goodpath instruction count.
+        assert!(t.fetched - t.fetched_badpath >= t.retired);
+    }
+
+    #[test]
+    fn mispredict_rates_match_workload_regime() {
+        let mut m = small_machine(EstimatorKind::None);
+        let stats = m.run(200_000);
+        let rate = stats.threads[0].cond_mispredict_pct().unwrap();
+        // gzip models ~3.2% conditional mispredicts.
+        assert!(rate > 0.5 && rate < 8.0, "rate {rate}");
+    }
+
+    #[test]
+    fn paco_estimator_tokens_balance() {
+        // After draining the pipeline, the estimator's score returns to 0.
+        let mut m = small_machine(EstimatorKind::Paco(PacoConfig::paper()));
+        m.run(20_000);
+        // Drain: stop fetching by exhausting with a huge gate.
+        m.gating = GatingPolicy::CountGate { gate_count: 0 };
+        for _ in 0..5_000 {
+            m.step();
+        }
+        let t = &m.threads[0];
+        assert_eq!(t.in_flight, 0, "pipeline must drain");
+        assert_eq!(t.estimator.score().0, 0, "confidence register must empty");
+    }
+
+    #[test]
+    fn counter_estimator_tokens_balance() {
+        let mut m = small_machine(EstimatorKind::ThresholdCount(
+            ThresholdCountConfig::paper_default(),
+        ));
+        m.run(20_000);
+        m.gating = GatingPolicy::CountGate { gate_count: 0 };
+        for _ in 0..5_000 {
+            m.step();
+        }
+        assert_eq!(m.threads[0].estimator.score().0, 0);
+    }
+
+    #[test]
+    fn gating_reduces_badpath_execution() {
+        let mut base = small_machine(EstimatorKind::ThresholdCount(
+            ThresholdCountConfig::paper_default(),
+        ));
+        let b = base.run(100_000);
+
+        let mut gated = MachineBuilder::new(SimConfig::paper_4wide())
+            .thread(
+                Box::new(BenchmarkId::Gzip.build(3)),
+                EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+            )
+            .gating(GatingPolicy::CountGate { gate_count: 1 })
+            .seed(11)
+            .build();
+        let g = gated.run(100_000);
+
+        assert!(
+            g.total_badpath_executed() < b.total_badpath_executed(),
+            "gating must reduce badpath execution: {} vs {}",
+            g.total_badpath_executed(),
+            b.total_badpath_executed()
+        );
+        assert!(g.threads[0].gated_cycles > 0);
+    }
+
+    #[test]
+    fn smt_runs_two_threads() {
+        let mut m = MachineBuilder::new(SimConfig::paper_smt_8wide())
+            .thread(Box::new(BenchmarkId::Gzip.build(1)), EstimatorKind::None)
+            .thread(Box::new(BenchmarkId::Twolf.build(2)), EstimatorKind::None)
+            .fetch_policy(FetchPolicy::ICount)
+            .seed(5)
+            .build();
+        let stats = m.run(20_000);
+        assert!(stats.threads[0].retired >= 20_000);
+        assert!(stats.threads[1].retired >= 20_000);
+    }
+
+    #[test]
+    fn oracle_instances_are_recorded() {
+        let mut m = small_machine(EstimatorKind::Paco(PacoConfig::paper()));
+        let stats = m.run(50_000);
+        let total: u64 = stats.threads[0].prob_instances.iter().map(|b| b.0).sum();
+        assert!(total > 50_000, "fetch+execute instances: {total}");
+        // Badpath instances exist, so some bins contain non-goodpath samples.
+        let bad: u64 = stats.threads[0]
+            .prob_instances
+            .iter()
+            .map(|b| b.0 - b.1)
+            .sum();
+        assert!(bad > 0);
+    }
+
+    #[test]
+    fn throttling_reduces_fetch_without_stopping_it() {
+        let mut full = MachineBuilder::new(SimConfig::paper_4wide())
+            .thread(
+                Box::new(BenchmarkId::Twolf.build(7)),
+                EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+            )
+            .seed(3)
+            .build();
+        let f = full.run(50_000);
+
+        let mut throttled = MachineBuilder::new(SimConfig::paper_4wide())
+            .thread(
+                Box::new(BenchmarkId::Twolf.build(7)),
+                EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+            )
+            .gating(GatingPolicy::CountThrottle { start: 1 })
+            .seed(3)
+            .build();
+        let t = throttled.run(50_000);
+
+        assert!(
+            t.total_badpath_fetched() < f.total_badpath_fetched(),
+            "throttling must cut wrong-path fetch"
+        );
+        // Unlike a hard gate, throttling keeps the machine moving.
+        assert!(t.ipc(0) > f.ipc(0) * 0.5, "throttle IPC {}", t.ipc(0));
+    }
+
+    #[test]
+    fn smt_confidence_policy_does_not_starve_a_thread() {
+        // A memory-bound thread (mcf) must not monopolize fetch just
+        // because its few branches keep its confidence score at zero.
+        let mut m = MachineBuilder::new(SimConfig::paper_smt_8wide())
+            .thread(
+                Box::new(BenchmarkId::Mcf.build(1)),
+                EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+            )
+            .thread(
+                Box::new(BenchmarkId::VprPlace.build(2)),
+                EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+            )
+            .fetch_policy(FetchPolicy::Confidence)
+            .seed(5)
+            .build();
+        let stats = m.run_cycles(120_000);
+        let low = stats.threads[0].retired.min(stats.threads[1].retired);
+        let high = stats.threads[0].retired.max(stats.threads[1].retired);
+        assert!(
+            low * 20 > high,
+            "starvation: {} vs {} retired",
+            stats.threads[0].retired,
+            stats.threads[1].retired
+        );
+    }
+
+    #[test]
+    fn reset_stats_preserves_microarchitectural_state() {
+        let mut m = small_machine(EstimatorKind::Paco(PacoConfig::paper()));
+        m.run(30_000);
+        let warm_rate = {
+            let s = m.stats();
+            s.threads[0].cond_mispredict_pct().unwrap()
+        };
+        m.reset_stats();
+        let s = m.stats();
+        assert_eq!(s.threads[0].retired, 0);
+        assert_eq!(s.cycles, 0);
+        // Continue running: the predictor is still warm, so the mispredict
+        // rate should not blow back up to cold-start levels.
+        let s2 = m.run(30_000);
+        let rate = s2.threads[0].cond_mispredict_pct().unwrap();
+        assert!(
+            rate < warm_rate * 1.5 + 1.0,
+            "post-reset rate {rate:.2}% vs warm {warm_rate:.2}%"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let s1 = small_machine(EstimatorKind::Paco(PacoConfig::paper())).run(30_000);
+        let s2 = small_machine(EstimatorKind::Paco(PacoConfig::paper())).run(30_000);
+        assert_eq!(s1.cycles, s2.cycles);
+        assert_eq!(s1.threads[0].retired, s2.threads[0].retired);
+        assert_eq!(s1.threads[0].cond_mispredicted, s2.threads[0].cond_mispredicted);
+    }
+}

@@ -1,0 +1,124 @@
+//! Global branch-history shift register.
+
+/// A global branch-history register of configurable length (≤ 64 bits).
+///
+/// Branch predictors (gshare, selector) and the JRS confidence table all
+/// hash with some number of global history bits; the paper uses 8 bits for
+/// the tournament predictor.
+///
+/// # Examples
+///
+/// ```
+/// use paco_types::GlobalHistory;
+/// let mut h = GlobalHistory::new(4);
+/// h.push(true);
+/// h.push(false);
+/// h.push(true);
+/// assert_eq!(h.bits(), 0b101);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalHistory {
+    bits: u64,
+    len: u32,
+    mask: u64,
+}
+
+impl GlobalHistory {
+    /// Creates an all-zeros history of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or greater than 64.
+    pub fn new(len: u32) -> Self {
+        assert!((1..=64).contains(&len), "history length must be 1..=64");
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        GlobalHistory { bits: 0, len, mask }
+    }
+
+    /// Shifts in a branch outcome (`true` = taken) as the youngest bit.
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        self.bits = ((self.bits << 1) | taken as u64) & self.mask;
+    }
+
+    /// Returns the current history bits (youngest outcome in bit 0).
+    #[inline]
+    pub const fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Number of history bits tracked.
+    #[inline]
+    pub const fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether no outcome has been recorded yet (history is all zeros).
+    ///
+    /// Note this cannot distinguish "empty" from "all not-taken"; it exists
+    /// for the conventional `len`/`is_empty` pairing.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Replaces the raw history bits (used when restoring a checkpoint after
+    /// a branch misprediction).
+    #[inline]
+    pub fn restore(&mut self, bits: u64) {
+        self.bits = bits & self.mask;
+    }
+}
+
+impl Default for GlobalHistory {
+    /// An 8-bit history, matching the paper's tournament predictor.
+    fn default() -> Self {
+        GlobalHistory::new(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shifts_in_lsb_first() {
+        let mut h = GlobalHistory::new(3);
+        h.push(true);
+        assert_eq!(h.bits(), 0b1);
+        h.push(true);
+        assert_eq!(h.bits(), 0b11);
+        h.push(false);
+        assert_eq!(h.bits(), 0b110);
+        h.push(true);
+        // Oldest bit falls off the 3-bit window.
+        assert_eq!(h.bits(), 0b101);
+    }
+
+    #[test]
+    fn restore_masks_to_width() {
+        let mut h = GlobalHistory::new(4);
+        h.restore(0xff);
+        assert_eq!(h.bits(), 0xf);
+    }
+
+    #[test]
+    fn full_width_history() {
+        let mut h = GlobalHistory::new(64);
+        for _ in 0..80 {
+            h.push(true);
+        }
+        assert_eq!(h.bits(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "history length")]
+    fn zero_length_panics() {
+        let _ = GlobalHistory::new(0);
+    }
+
+    #[test]
+    fn default_is_eight_bits() {
+        assert_eq!(GlobalHistory::default().len(), 8);
+    }
+}

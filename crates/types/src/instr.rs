@@ -1,0 +1,186 @@
+//! Dynamic instruction descriptors shared between the workload models and
+//! the timing simulator.
+
+use crate::Pc;
+
+/// Functional class of an instruction, determining which functional unit it
+/// needs and its execution latency class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Single-cycle integer ALU operation.
+    Alu,
+    /// Multi-cycle integer multiply/divide.
+    MulDiv,
+    /// Memory load (latency depends on the data-cache hierarchy).
+    Load,
+    /// Memory store (retires through the store queue; 1-cycle execute).
+    Store,
+    /// Control-flow instruction; the detailed kind is in [`ControlKind`].
+    Control(ControlKind),
+    /// No-op / other (consumes a slot but no FU result).
+    Nop,
+}
+
+impl InstrClass {
+    /// Whether this instruction is any kind of control flow.
+    #[inline]
+    pub fn is_control(self) -> bool {
+        matches!(self, InstrClass::Control(_))
+    }
+
+    /// Whether this instruction is a conditional branch.
+    ///
+    /// Only conditional branches receive MDC (confidence) values in the JRS
+    /// scheme; the paper leans on this for the `perlbmk` pathology.
+    #[inline]
+    pub fn is_conditional_branch(self) -> bool {
+        matches!(self, InstrClass::Control(ControlKind::Conditional))
+    }
+
+    /// Whether the instruction reads memory.
+    #[inline]
+    pub fn is_load(self) -> bool {
+        matches!(self, InstrClass::Load)
+    }
+
+    /// Whether the instruction writes memory.
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, InstrClass::Store)
+    }
+}
+
+/// The detailed kind of a control-flow instruction.
+///
+/// The paper's "overall mispredict rate" covers *all* control flow
+/// (conditional branches, jumps, indirect jumps, calls, returns), while the
+/// JRS confidence table covers only conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlKind {
+    /// Conditional direct branch.
+    Conditional,
+    /// Unconditional direct jump (always correctly predicted once decoded).
+    Jump,
+    /// Direct function call (pushes the return address).
+    Call,
+    /// Indirect jump or indirect function call (BTB-predicted target).
+    Indirect,
+    /// Function return (predicted by the return-address stack).
+    Return,
+}
+
+/// A memory access descriptor attached to loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Effective virtual address of the access.
+    pub addr: u64,
+}
+
+/// A dynamic instruction as produced by a workload model.
+///
+/// This is the unit the trace-driven simulator consumes. Dependencies are
+/// expressed as *distances*: `dep[i] = d` means this instruction reads the
+/// result of the instruction `d` positions earlier in program order
+/// (`d == 0` means no dependency). Distances keep the descriptor compact and
+/// position-independent, which matters because wrong-path instructions are
+/// spliced into the stream at arbitrary points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynInstr {
+    /// Program counter of this instruction.
+    pub pc: Pc,
+    /// Functional class.
+    pub class: InstrClass,
+    /// Up to two input dependency distances (0 = unused).
+    pub deps: [u32; 2],
+    /// Memory access, for loads and stores.
+    pub mem: Option<MemAccess>,
+    /// For control flow: was the branch actually taken?
+    /// Non-control instructions leave this `false`.
+    pub taken: bool,
+    /// For control flow: the actual target when taken.
+    pub target: Pc,
+}
+
+impl DynInstr {
+    /// Creates a plain single-cycle ALU instruction with no dependencies.
+    pub fn alu(pc: Pc) -> Self {
+        DynInstr {
+            pc,
+            class: InstrClass::Alu,
+            deps: [0, 0],
+            mem: None,
+            taken: false,
+            target: Pc::default(),
+        }
+    }
+
+    /// Creates a conditional branch with the given outcome and taken-target.
+    pub fn branch(pc: Pc, taken: bool, target: Pc) -> Self {
+        DynInstr {
+            pc,
+            class: InstrClass::Control(ControlKind::Conditional),
+            deps: [0, 0],
+            mem: None,
+            taken,
+            target,
+        }
+    }
+
+    /// Returns the address of the instruction that follows this one on the
+    /// *actual* (correct) path.
+    #[inline]
+    pub fn successor(&self) -> Pc {
+        if self.class.is_control() && self.taken {
+            self.target
+        } else {
+            self.pc.next()
+        }
+    }
+
+    /// Sets dependency distances, returning `self` builder-style.
+    pub fn with_deps(mut self, d0: u32, d1: u32) -> Self {
+        self.deps = [d0, d1];
+        self
+    }
+
+    /// Attaches a memory access, returning `self` builder-style.
+    pub fn with_mem(mut self, addr: u64) -> Self {
+        self.mem = Some(MemAccess { addr });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates() {
+        assert!(InstrClass::Control(ControlKind::Conditional).is_control());
+        assert!(InstrClass::Control(ControlKind::Conditional).is_conditional_branch());
+        assert!(!InstrClass::Control(ControlKind::Indirect).is_conditional_branch());
+        assert!(InstrClass::Load.is_load());
+        assert!(InstrClass::Store.is_store());
+        assert!(!InstrClass::Alu.is_control());
+    }
+
+    #[test]
+    fn successor_follows_taken_branches() {
+        let target = Pc::new(0x2000);
+        let b = DynInstr::branch(Pc::new(0x1000), true, target);
+        assert_eq!(b.successor(), target);
+
+        let nt = DynInstr::branch(Pc::new(0x1000), false, target);
+        assert_eq!(nt.successor(), Pc::new(0x1004));
+
+        let a = DynInstr::alu(Pc::new(0x1000));
+        assert_eq!(a.successor(), Pc::new(0x1004));
+    }
+
+    #[test]
+    fn builders_attach_fields() {
+        let i = DynInstr::alu(Pc::new(0)).with_deps(1, 3).with_mem(0xbeef);
+        assert_eq!(i.deps, [1, 3]);
+        assert_eq!(i.mem, Some(MemAccess { addr: 0xbeef }));
+    }
+}

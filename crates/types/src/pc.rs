@@ -1,0 +1,130 @@
+//! Program counter newtype.
+
+/// A 64-bit program counter.
+///
+/// A newtype rather than a bare `u64` so that addresses, counters and hashes
+/// cannot be confused with one another at API boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use paco_types::Pc;
+/// let pc = Pc::new(0x1000);
+/// assert_eq!(pc.next(), Pc::new(0x1004));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Architectural instruction size in bytes (the paper simulates a
+    /// MIPS-like fixed-width ISA).
+    pub const INSTR_BYTES: u64 = 4;
+
+    /// Creates a program counter from a raw address.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        Pc(addr)
+    }
+
+    /// Returns the raw 64-bit address.
+    #[inline]
+    pub const fn addr(self) -> u64 {
+        self.0
+    }
+
+    /// The PC of the next sequential instruction.
+    #[inline]
+    pub const fn next(self) -> Self {
+        Pc(self.0 + Self::INSTR_BYTES)
+    }
+
+    /// The PC advanced by `n` sequential instructions.
+    #[inline]
+    pub const fn offset(self, n: u64) -> Self {
+        Pc(self.0 + n * Self::INSTR_BYTES)
+    }
+
+    /// The cache-block address of this PC for a block of `2^log2_bytes` bytes.
+    ///
+    /// Used by the instruction cache model.
+    #[inline]
+    pub const fn block(self, log2_bytes: u32) -> u64 {
+        self.0 >> log2_bytes
+    }
+
+    /// A well-mixed hash of this PC, suitable for indexing predictor tables.
+    ///
+    /// Drops the always-zero instruction-alignment bits first so that
+    /// adjacent instructions land in different table entries.
+    #[inline]
+    pub fn table_hash(self) -> u64 {
+        // SplitMix64 finalizer over the word-aligned address.
+        let mut z = self.0 >> 2;
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl std::fmt::Display for Pc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for Pc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Pc {
+    fn from(addr: u64) -> Self {
+        Pc(addr)
+    }
+}
+
+impl From<Pc> for u64 {
+    fn from(pc: Pc) -> Self {
+        pc.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_advances_by_instr_bytes() {
+        assert_eq!(Pc::new(0).next(), Pc::new(4));
+        assert_eq!(Pc::new(16).offset(3), Pc::new(28));
+    }
+
+    #[test]
+    fn block_strips_low_bits() {
+        let pc = Pc::new(0x1234);
+        assert_eq!(pc.block(6), 0x1234 >> 6);
+        assert_eq!(pc.block(7), 0x1234 >> 7);
+    }
+
+    #[test]
+    fn table_hash_differs_for_adjacent_instructions() {
+        let a = Pc::new(0x1000).table_hash();
+        let b = Pc::new(0x1004).table_hash();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Pc::new(0xff).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Pc::new(0xff)), "ff");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let pc: Pc = 0xdead_beef_u64.into();
+        let raw: u64 = pc.into();
+        assert_eq!(raw, 0xdead_beef);
+    }
+}

@@ -1,0 +1,150 @@
+//! A validated probability type.
+
+use std::fmt;
+
+/// Error returned when constructing a [`Probability`] from a value outside
+/// `[0, 1]` or from a NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbabilityError {
+    value: f64,
+}
+
+impl fmt::Display for ProbabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value {} is not a probability in [0, 1]", self.value)
+    }
+}
+
+impl std::error::Error for ProbabilityError {}
+
+/// A probability, statically guaranteed to lie in `[0, 1]` and be non-NaN.
+///
+/// # Examples
+///
+/// ```
+/// use paco_types::Probability;
+/// let p = Probability::new(0.25)?;
+/// assert_eq!(p.value(), 0.25);
+/// assert!(Probability::new(1.5).is_err());
+/// # Ok::<(), paco_types::ProbabilityError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// The certain event.
+    pub const ONE: Probability = Probability(1.0);
+    /// The impossible event.
+    pub const ZERO: Probability = Probability(0.0);
+
+    /// Creates a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbabilityError`] if `value` is NaN or outside `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, ProbabilityError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            Err(ProbabilityError { value })
+        } else {
+            Ok(Probability(value))
+        }
+    }
+
+    /// Creates a probability, clamping out-of-range values into `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn clamped(value: f64) -> Self {
+        assert!(!value.is_nan(), "probability must not be NaN");
+        Probability(value.clamp(0.0, 1.0))
+    }
+
+    /// Returns the inner value.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The complement `1 - p`.
+    #[inline]
+    pub fn complement(self) -> Self {
+        Probability(1.0 - self.0)
+    }
+
+    /// Product of two probabilities (independent conjunction).
+    #[inline]
+    pub fn and(self, other: Probability) -> Self {
+        Probability(self.0 * other.0)
+    }
+
+    /// Expresses the probability in percent (0–100).
+    #[inline]
+    pub fn percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Builds a probability from a ratio of counts, `hits / total`.
+    ///
+    /// Returns `None` when `total == 0` (the rate is undefined).
+    pub fn from_ratio(hits: u64, total: u64) -> Option<Self> {
+        if total == 0 {
+            None
+        } else {
+            Some(Probability(hits as f64 / total as f64))
+        }
+    }
+}
+
+impl fmt::Display for Probability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Probability::new(-0.1).is_err());
+        assert!(Probability::new(1.1).is_err());
+        assert!(Probability::new(f64::NAN).is_err());
+        assert!(Probability::new(0.0).is_ok());
+        assert!(Probability::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn clamps() {
+        assert_eq!(Probability::clamped(-3.0), Probability::ZERO);
+        assert_eq!(Probability::clamped(3.0), Probability::ONE);
+        assert_eq!(Probability::clamped(0.5).value(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn clamp_rejects_nan() {
+        let _ = Probability::clamped(f64::NAN);
+    }
+
+    #[test]
+    fn complement_and_product() {
+        let p = Probability::new(0.25).unwrap();
+        assert!((p.complement().value() - 0.75).abs() < 1e-12);
+        let q = Probability::new(0.5).unwrap();
+        assert!((p.and(q).value() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_handles_zero_total() {
+        assert_eq!(Probability::from_ratio(1, 0), None);
+        assert_eq!(Probability::from_ratio(1, 4).unwrap().value(), 0.25);
+    }
+
+    #[test]
+    fn error_is_displayable() {
+        let err = Probability::new(2.0).unwrap_err();
+        assert!(err.to_string().contains("not a probability"));
+    }
+}

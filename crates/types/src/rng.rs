@@ -1,0 +1,182 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic choice in the workspace flows from an explicitly seeded
+//! [`SplitMix64`] so experiments are reproducible bit-for-bit.
+
+use crate::Probability;
+
+/// A SplitMix64 pseudo-random number generator.
+///
+/// Small, fast, and statistically solid for simulation workloads; also used
+/// to derive independent child streams (`fork`) so that, e.g., the
+/// wrong-path generator does not perturb the goodpath stream.
+///
+/// # Examples
+///
+/// ```
+/// use paco_types::SplitMix64;
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift; bias is negligible for simulation bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: Probability) -> bool {
+        self.next_f64() < p.value()
+    }
+
+    /// Bernoulli trial from a raw `f64` probability (clamped into `[0,1]`).
+    #[inline]
+    pub fn chance_f64(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child stream is decorrelated from the parent by mixing in a
+    /// fresh draw; advancing the parent by one step.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0xa5a5_5a5a_dead_beef)
+    }
+
+    /// Chooses an index according to a slice of non-negative weights.
+    ///
+    /// Returns `None` when the weights sum to zero or the slice is empty.
+    pub fn weighted_choice(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || weights.is_empty() {
+            return None;
+        }
+        let mut draw = self.next_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w {
+                return Some(i);
+            }
+            draw -= w;
+        }
+        Some(weights.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(77);
+        for _ in 0..10_000 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn below_zero_bound_panics() {
+        SplitMix64::new(0).below(0);
+    }
+
+    #[test]
+    fn chance_matches_probability_roughly() {
+        let mut rng = SplitMix64::new(5);
+        let p = Probability::new(0.3).unwrap();
+        let hits = (0..100_000).filter(|_| rng.chance(p)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn fork_produces_decorrelated_stream() {
+        let mut parent = SplitMix64::new(42);
+        let mut child = parent.fork();
+        // Child and parent should not produce identical sequences.
+        let p: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(p, c);
+    }
+
+    #[test]
+    fn weighted_choice_follows_weights() {
+        let mut rng = SplitMix64::new(11);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted_choice(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_choice_empty_or_zero_is_none() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(rng.weighted_choice(&[]), None);
+        assert_eq!(rng.weighted_choice(&[0.0, 0.0]), None);
+    }
+}

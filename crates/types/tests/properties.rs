@@ -1,0 +1,115 @@
+//! Property-based tests for the shared vocabulary types.
+
+use paco_types::{GlobalHistory, Pc, Probability, SplitMix64};
+use proptest::prelude::*;
+
+proptest! {
+    /// History bits always fit the configured width, under any outcome
+    /// sequence.
+    #[test]
+    fn history_stays_in_width(
+        len in 1u32..=64,
+        outcomes in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut h = GlobalHistory::new(len);
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        for t in outcomes {
+            h.push(t);
+            prop_assert_eq!(h.bits() & !mask, 0);
+        }
+    }
+
+    /// Restoring checkpointed bits reproduces the exact state.
+    #[test]
+    fn history_checkpoint_round_trip(
+        len in 1u32..=64,
+        prefix in proptest::collection::vec(any::<bool>(), 0..100),
+        suffix in proptest::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let mut h = GlobalHistory::new(len);
+        for t in prefix {
+            h.push(t);
+        }
+        let cp = h.bits();
+        for t in suffix {
+            h.push(t);
+        }
+        h.restore(cp);
+        prop_assert_eq!(h.bits(), cp);
+    }
+
+    /// The history window is exactly the last `len` outcomes.
+    #[test]
+    fn history_window_semantics(
+        len in 1u32..=16,
+        outcomes in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut h = GlobalHistory::new(len);
+        for &t in &outcomes {
+            h.push(t);
+        }
+        let mut expected = 0u64;
+        for &t in outcomes.iter().rev().take(len as usize).rev() {
+            expected = (expected << 1) | t as u64;
+        }
+        prop_assert_eq!(h.bits(), expected);
+    }
+
+    /// `below` is always within the bound, `next_f64` within [0, 1).
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(bound) < bound);
+            let f = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    /// Forked streams are deterministic functions of the parent state.
+    #[test]
+    fn rng_fork_deterministic(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        for _ in 0..10 {
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+        // And the parents stay in lockstep too.
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// Probability construction accepts exactly [0, 1].
+    #[test]
+    fn probability_validation(v in -1.0f64..=2.0) {
+        let r = Probability::new(v);
+        prop_assert_eq!(r.is_ok(), (0.0..=1.0).contains(&v));
+        if let Ok(p) = r {
+            prop_assert!((p.complement().value() - (1.0 - v)).abs() < 1e-12);
+        }
+    }
+
+    /// from_ratio yields hits/total for any non-degenerate pair.
+    #[test]
+    fn probability_from_ratio(hits in 0u64..1000, extra in 0u64..1000) {
+        let total = hits + extra;
+        if total == 0 {
+            prop_assert_eq!(Probability::from_ratio(hits, total), None);
+        } else {
+            let p = Probability::from_ratio(hits, total).unwrap();
+            prop_assert!((p.value() - hits as f64 / total as f64).abs() < 1e-12);
+        }
+    }
+
+    /// PC block addresses are monotone in the address and collapse within
+    /// a block.
+    #[test]
+    fn pc_block_semantics(addr in 0u64..u64::MAX / 2, log2 in 4u32..12) {
+        let pc = Pc::new(addr);
+        let same_block = Pc::new(addr ^ (addr & ((1 << log2) - 1)));
+        prop_assert_eq!(pc.block(log2), same_block.block(log2));
+        let next_block = Pc::new((addr | ((1 << log2) - 1)) + 1);
+        prop_assert_eq!(pc.block(log2) + 1, next_block.block(log2));
+    }
+}

@@ -1,0 +1,366 @@
+//! Branch behaviour generators.
+//!
+//! Each static conditional-branch site in a synthetic CFG carries a
+//! [`BehaviorSpec`] describing how its outcome stream is produced, and a
+//! [`BehaviorState`] holding the site's runtime state (loop counters,
+//! pattern positions, burst mode). The *mispredict rate* of a site is an
+//! emergent property of streaming its outcomes through the real tournament
+//! predictor: a `Bias(0.7)` site ends up around 30% mispredicts, a
+//! `Loop(10)` site around 10% under bimodal but near 0% under gshare, etc.
+
+use paco_types::SplitMix64;
+
+/// Context available to a behaviour generator when producing an outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct OutcomeCtx {
+    /// Actual outcomes of recent branches, youngest in bit 0.
+    pub actual_history: u64,
+    /// Count of dynamic instructions produced so far (drives phases).
+    pub instr_count: u64,
+}
+
+/// The static description of a branch site's outcome process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BehaviorSpec {
+    /// Independent Bernoulli outcomes: taken with probability `p`.
+    ///
+    /// After training, the best any predictor can do is `min(p, 1−p)`
+    /// mispredicts — this is the knob for "inherently hard" branches.
+    Bias(f64),
+    /// A loop-exit branch: taken `n−1` times, then not-taken once.
+    ///
+    /// Learnable by gshare when `n` fits the history length.
+    Loop(u32),
+    /// A fixed repeating outcome pattern.
+    Pattern(Vec<bool>),
+    /// Outcome is the parity of the last `bits` *actual* branch outcomes,
+    /// flipped with probability `noise`.
+    ///
+    /// gshare learns the parity function; `noise` sets the floor.
+    Correlated {
+        /// How many recent outcomes feed the parity.
+        bits: u32,
+        /// Probability of flipping the deterministic outcome.
+        noise: f64,
+    },
+    /// Markov-modulated burstiness: in *calm* mode the branch is taken with
+    /// probability `calm_taken`; in *burst* mode it is an unpredictable
+    /// 50/50. Transitions happen with probabilities `enter_burst` /
+    /// `exit_burst` per execution. Produces globally clustered
+    /// mispredicts (the paper's `gap` pathology).
+    Burst {
+        /// P(taken) while calm.
+        calm_taken: f64,
+        /// P(calm → burst) per execution.
+        enter_burst: f64,
+        /// P(burst → calm) per execution.
+        exit_burst: f64,
+    },
+    /// Phase-modulated behaviour: cycles through `specs`, switching every
+    /// `period` dynamic instructions (the gcc / mcf pathology).
+    Phased {
+        /// The per-phase behaviours.
+        specs: Vec<BehaviorSpec>,
+        /// Dynamic-instruction count per phase.
+        period: u64,
+    },
+    /// Nonstationary bias: the taken-probability oscillates sinusoidally
+    /// between `min_taken` and `max_taken` over `period` dynamic
+    /// instructions, with a random per-site phase.
+    ///
+    /// This models the slow drift of real branches' behaviour. It is the
+    /// stress case separating the MRT designs of Appendix A: a *lifetime*
+    /// per-branch rate lags the drift, while the MDC bucketing (which keys
+    /// on *recent* predictability) and the periodically refreshed MRT
+    /// track it.
+    Drifting {
+        /// Minimum taken-probability over the cycle.
+        min_taken: f64,
+        /// Maximum taken-probability over the cycle.
+        max_taken: f64,
+        /// Dynamic instructions per full oscillation.
+        period: u64,
+    },
+}
+
+impl BehaviorSpec {
+    /// Creates the runtime state for this spec.
+    pub fn new_state(&self) -> BehaviorState {
+        match self {
+            BehaviorSpec::Phased { specs, .. } => BehaviorState {
+                loop_count: 0,
+                pattern_pos: 0,
+                in_burst: false,
+                phase_states: specs.iter().map(BehaviorSpec::new_state).collect(),
+            },
+            _ => BehaviorState::default(),
+        }
+    }
+
+    /// Produces the next outcome for a site with state `state`.
+    pub fn outcome(&self, state: &mut BehaviorState, ctx: OutcomeCtx, rng: &mut SplitMix64) -> bool {
+        match self {
+            BehaviorSpec::Bias(p) => rng.chance_f64(*p),
+            BehaviorSpec::Loop(n) => {
+                let n = (*n).max(2);
+                state.loop_count += 1;
+                if state.loop_count >= n {
+                    state.loop_count = 0;
+                    false
+                } else {
+                    true
+                }
+            }
+            BehaviorSpec::Pattern(pat) => {
+                if pat.is_empty() {
+                    return false;
+                }
+                let out = pat[state.pattern_pos % pat.len()];
+                state.pattern_pos = (state.pattern_pos + 1) % pat.len();
+                out
+            }
+            BehaviorSpec::Correlated { bits, noise } => {
+                let mask = if *bits >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bits) - 1
+                };
+                let parity = ((ctx.actual_history & mask).count_ones() & 1) == 1;
+                if rng.chance_f64(*noise) {
+                    !parity
+                } else {
+                    parity
+                }
+            }
+            BehaviorSpec::Burst {
+                calm_taken,
+                enter_burst,
+                exit_burst,
+            } => {
+                if state.in_burst {
+                    if rng.chance_f64(*exit_burst) {
+                        state.in_burst = false;
+                    }
+                } else if rng.chance_f64(*enter_burst) {
+                    state.in_burst = true;
+                }
+                if state.in_burst {
+                    rng.chance_f64(0.5)
+                } else {
+                    rng.chance_f64(*calm_taken)
+                }
+            }
+            BehaviorSpec::Drifting {
+                min_taken,
+                max_taken,
+                period,
+            } => {
+                if !state.in_burst {
+                    // Repurpose the flag as "phase initialized"; the phase
+                    // itself lives in pattern_pos (scaled to the period).
+                    state.in_burst = true;
+                    state.pattern_pos =
+                        (rng.next_f64() * (*period).max(1) as f64) as usize;
+                }
+                let t = (ctx.instr_count + state.pattern_pos as u64) as f64;
+                let angle = std::f64::consts::TAU * t / (*period).max(1) as f64;
+                let mid = (min_taken + max_taken) / 2.0;
+                let amp = (max_taken - min_taken) / 2.0;
+                let p = mid + amp * angle.sin();
+                rng.chance_f64(p)
+            }
+            BehaviorSpec::Phased { specs, period } => {
+                if specs.is_empty() {
+                    return false;
+                }
+                let phase = ((ctx.instr_count / (*period).max(1)) as usize) % specs.len();
+                // Phase states were created in `new_state`; guard anyway.
+                if state.phase_states.len() != specs.len() {
+                    state.phase_states = specs.iter().map(BehaviorSpec::new_state).collect();
+                }
+                let mut sub = std::mem::take(&mut state.phase_states);
+                let out = specs[phase].outcome(&mut sub[phase], ctx, rng);
+                state.phase_states = sub;
+                out
+            }
+        }
+    }
+}
+
+/// Runtime state for one branch site.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BehaviorState {
+    loop_count: u32,
+    pattern_pos: usize,
+    in_burst: bool,
+    phase_states: Vec<BehaviorState>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(count: u64) -> OutcomeCtx {
+        OutcomeCtx {
+            actual_history: 0,
+            instr_count: count,
+        }
+    }
+
+    fn run(spec: &BehaviorSpec, n: usize) -> Vec<bool> {
+        let mut state = spec.new_state();
+        let mut rng = SplitMix64::new(7);
+        (0..n)
+            .map(|i| spec.outcome(&mut state, ctx(i as u64), &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn bias_matches_probability() {
+        let outs = run(&BehaviorSpec::Bias(0.8), 50_000);
+        let taken = outs.iter().filter(|&&t| t).count() as f64 / outs.len() as f64;
+        assert!((taken - 0.8).abs() < 0.01, "taken rate {taken}");
+    }
+
+    #[test]
+    fn loop_repeats_exactly() {
+        let outs = run(&BehaviorSpec::Loop(4), 12);
+        assert_eq!(
+            outs,
+            vec![true, true, true, false, true, true, true, false, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn pattern_repeats() {
+        let outs = run(&BehaviorSpec::Pattern(vec![true, false]), 6);
+        assert_eq!(outs, vec![true, false, true, false, true, false]);
+    }
+
+    #[test]
+    fn correlated_without_noise_is_parity() {
+        let spec = BehaviorSpec::Correlated { bits: 3, noise: 0.0 };
+        let mut state = spec.new_state();
+        let mut rng = SplitMix64::new(1);
+        for hist in 0u64..8 {
+            let c = OutcomeCtx {
+                actual_history: hist,
+                instr_count: 0,
+            };
+            let out = spec.outcome(&mut state, c, &mut rng);
+            assert_eq!(out, hist.count_ones() % 2 == 1, "hist {hist:b}");
+        }
+    }
+
+    #[test]
+    fn burst_clusters_randomness() {
+        let spec = BehaviorSpec::Burst {
+            calm_taken: 1.0,
+            enter_burst: 0.01,
+            exit_burst: 0.05,
+        };
+        let outs = run(&spec, 100_000);
+        // In calm mode the branch is always taken; every not-taken outcome
+        // happens inside a burst. Not-taken outcomes must cluster: the
+        // probability that a not-taken is followed within 5 slots by
+        // another not-taken should far exceed the base rate.
+        let nt: Vec<usize> = outs
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| !t)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!nt.is_empty());
+        let base_rate = nt.len() as f64 / outs.len() as f64;
+        let clustered = nt
+            .windows(2)
+            .filter(|w| w[1] - w[0] <= 5)
+            .count() as f64
+            / (nt.len() - 1) as f64;
+        assert!(
+            clustered > 3.0 * base_rate,
+            "clustered {clustered} vs base {base_rate}"
+        );
+    }
+
+    #[test]
+    fn drifting_oscillates_between_bounds() {
+        let spec = BehaviorSpec::Drifting {
+            min_taken: 0.1,
+            max_taken: 0.9,
+            period: 1000,
+        };
+        let mut state = spec.new_state();
+        let mut rng = SplitMix64::new(9);
+        // Sample the taken rate in two half-period windows; with a random
+        // phase they must differ substantially at least somewhere across
+        // the cycle.
+        let mut window_rates = Vec::new();
+        for w in 0..16u64 {
+            let mut taken = 0;
+            for i in 0..125 {
+                let c = OutcomeCtx {
+                    actual_history: 0,
+                    instr_count: w * 125 + i,
+                };
+                taken += spec.outcome(&mut state, c, &mut rng) as u32;
+            }
+            window_rates.push(taken as f64 / 125.0);
+        }
+        let max = window_rates.iter().cloned().fold(0.0, f64::max);
+        let min = window_rates.iter().cloned().fold(1.0, f64::min);
+        assert!(max - min > 0.3, "drift must move the rate: {window_rates:?}");
+    }
+
+    #[test]
+    fn drifting_mean_rate_is_centered() {
+        let spec = BehaviorSpec::Drifting {
+            min_taken: 0.6,
+            max_taken: 1.0,
+            period: 2_000,
+        };
+        let mut state = spec.new_state();
+        let mut rng = SplitMix64::new(3);
+        let n = 100_000u64;
+        let mut taken = 0u64;
+        for i in 0..n {
+            let c = OutcomeCtx {
+                actual_history: 0,
+                instr_count: i,
+            };
+            taken += spec.outcome(&mut state, c, &mut rng) as u64;
+        }
+        let rate = taken as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.02, "mean rate {rate}");
+    }
+
+    #[test]
+    fn phased_switches_behavior() {
+        let spec = BehaviorSpec::Phased {
+            specs: vec![BehaviorSpec::Bias(1.0), BehaviorSpec::Bias(0.0)],
+            period: 100,
+        };
+        let mut state = spec.new_state();
+        let mut rng = SplitMix64::new(3);
+        let first = spec.outcome(&mut state, ctx(0), &mut rng);
+        let second = spec.outcome(&mut state, ctx(150), &mut rng);
+        assert!(first);
+        assert!(!second);
+    }
+
+    #[test]
+    fn phased_state_isolated_per_phase() {
+        let spec = BehaviorSpec::Phased {
+            specs: vec![BehaviorSpec::Loop(3), BehaviorSpec::Loop(3)],
+            period: 10,
+        };
+        let mut state = spec.new_state();
+        let mut rng = SplitMix64::new(3);
+        // Drive phase 0 one step, then phase 1, then phase 0 again — the
+        // loop counters must not interfere.
+        let a = spec.outcome(&mut state, ctx(0), &mut rng);
+        let _ = spec.outcome(&mut state, ctx(10), &mut rng);
+        let b = spec.outcome(&mut state, ctx(0), &mut rng);
+        assert!(a && b, "phase-0 loop counter must advance independently");
+    }
+}

@@ -1,0 +1,397 @@
+//! Synthetic control-flow graphs.
+//!
+//! A [`SyntheticCfg`] is a randomized-but-fixed program skeleton: a set of
+//! basic blocks with fixed PCs, fixed instruction classes, and fixed
+//! control-flow edges. Branch *outcomes* are dynamic (driven by
+//! [`BehaviorSpec`]s at walk time), but the static structure — which gives
+//! the I-cache, BTB and predictor tables realistic, repeating PC streams —
+//! never changes after construction.
+
+use crate::behavior::BehaviorSpec;
+use paco_types::{InstrClass, Pc, SplitMix64};
+
+/// How a basic block ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlTerminator {
+    /// Conditional branch: `taken_target` if the behaviour says taken,
+    /// fall-through otherwise.
+    Conditional {
+        /// Index of the behaviour spec driving this site.
+        behavior: usize,
+        /// Block index reached when taken.
+        taken_target: usize,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Destination block index.
+        target: usize,
+    },
+    /// Direct call: jumps to `target`, pushes the fall-through block.
+    Call {
+        /// Callee entry block index.
+        target: usize,
+    },
+    /// Function return: pops the caller's continuation block.
+    Return,
+    /// Indirect jump/call rotating among `targets`.
+    ///
+    /// `switch_prob` is the per-execution probability of hopping to the
+    /// next target in the set — the knob behind the `perlbmk` pathology
+    /// (a last-target predictor mispredicts on every hop).
+    Indirect {
+        /// Candidate destination block indices.
+        targets: Vec<usize>,
+        /// Per-execution probability of switching targets.
+        switch_prob: f64,
+    },
+    /// No control flow: fall straight through (merged blocks).
+    FallThrough,
+}
+
+/// One basic block: a run of body instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// PC of the first instruction.
+    pub start_pc: Pc,
+    /// Instruction classes of the body (not including the terminator).
+    pub body: Vec<InstrClass>,
+    /// Dependency distances for each body instruction.
+    pub deps: Vec<[u32; 2]>,
+    /// The terminator.
+    pub terminator: ControlTerminator,
+}
+
+impl BasicBlock {
+    /// Total instructions in the block, including the terminator (0 for
+    /// fall-through terminators, which emit no instruction).
+    pub fn len(&self) -> usize {
+        self.body.len()
+            + match self.terminator {
+                ControlTerminator::FallThrough => 0,
+                _ => 1,
+            }
+    }
+
+    /// Whether the block is empty (no body, fall-through terminator).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// PC of the terminator instruction.
+    pub fn terminator_pc(&self) -> Pc {
+        self.start_pc.offset(self.body.len() as u64)
+    }
+
+    /// PC of the first instruction after the block (fall-through target).
+    pub fn end_pc(&self) -> Pc {
+        self.start_pc.offset(self.len() as u64)
+    }
+}
+
+/// Parameters controlling random CFG construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfgParams {
+    /// Number of basic blocks.
+    pub blocks: usize,
+    /// Minimum body length per block.
+    pub min_body: usize,
+    /// Maximum body length per block.
+    pub max_body: usize,
+    /// Code base address.
+    pub code_base: u64,
+    /// Relative weights for terminator kinds:
+    /// `[conditional, jump, call, return, indirect]`.
+    pub terminator_weights: [f64; 5],
+    /// Behaviour specs assigned round-robin-by-weight to conditional sites:
+    /// `(spec, weight)`.
+    pub behavior_mix: Vec<(BehaviorSpec, f64)>,
+    /// Fraction of body instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of body instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of body instructions that are multi-cycle mul/div.
+    pub muldiv_frac: f64,
+    /// Number of targets per indirect site.
+    pub indirect_fanout: usize,
+    /// Per-execution probability an indirect site switches targets.
+    pub indirect_switch_prob: f64,
+    /// Construction-time jitter on each `Bias` site's minority-outcome
+    /// rate: the rate is scaled by `2^u` with `u` uniform in
+    /// `[-bias_jitter, bias_jitter]`. This gives sites a smooth continuum
+    /// of mispredict rates (like real programs) instead of a few discrete
+    /// classes, while preserving each class's order of magnitude.
+    pub bias_jitter: f64,
+}
+
+impl CfgParams {
+    /// A small, generic parameter set used by tests.
+    pub fn test_default() -> Self {
+        CfgParams {
+            blocks: 64,
+            min_body: 3,
+            max_body: 9,
+            code_base: 0x0040_0000,
+            terminator_weights: [0.70, 0.10, 0.08, 0.08, 0.04],
+            behavior_mix: vec![
+                (BehaviorSpec::Bias(0.95), 0.6),
+                (BehaviorSpec::Bias(0.7), 0.2),
+                (BehaviorSpec::Loop(8), 0.2),
+            ],
+            load_frac: 0.30,
+            store_frac: 0.12,
+            muldiv_frac: 0.04,
+            indirect_fanout: 4,
+            indirect_switch_prob: 0.1,
+            bias_jitter: 0.05,
+        }
+    }
+}
+
+/// A fixed synthetic program skeleton.
+#[derive(Debug, Clone)]
+pub struct SyntheticCfg {
+    blocks: Vec<BasicBlock>,
+    behaviors: Vec<BehaviorSpec>,
+    code_bytes: u64,
+}
+
+impl SyntheticCfg {
+    /// Builds a random CFG from `params`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.blocks == 0` or the body bounds are inverted.
+    pub fn build(params: &CfgParams, seed: u64) -> Self {
+        assert!(params.blocks > 0, "CFG needs at least one block");
+        assert!(
+            params.min_body <= params.max_body,
+            "body length bounds inverted"
+        );
+        let mut rng = SplitMix64::new(seed);
+        let mut behaviors = Vec::new();
+
+        // First pass: choose body lengths and terminator kinds, assign PCs.
+        let mut blocks = Vec::with_capacity(params.blocks);
+        let mut pc_cursor = params.code_base;
+        let kind_weights = params.terminator_weights;
+        // Stratified behaviour assignment: pick the spec whose assigned
+        // share lags its weight the most. This pins the *static* mix to the
+        // requested proportions exactly, instead of letting sampling noise
+        // skew small CFGs.
+        let behavior_weights: Vec<f64> =
+            params.behavior_mix.iter().map(|(_, w)| *w).collect();
+        let weight_total: f64 = behavior_weights.iter().sum::<f64>().max(1e-12);
+        let mut behavior_assigned = vec![0usize; params.behavior_mix.len()];
+
+        for i in 0..params.blocks {
+            let body_len = params.min_body
+                + rng.below((params.max_body - params.min_body + 1) as u64) as usize;
+            let mut body = Vec::with_capacity(body_len);
+            let mut deps = Vec::with_capacity(body_len);
+            for _ in 0..body_len {
+                let draw = rng.next_f64();
+                let class = if draw < params.load_frac {
+                    InstrClass::Load
+                } else if draw < params.load_frac + params.store_frac {
+                    InstrClass::Store
+                } else if draw < params.load_frac + params.store_frac + params.muldiv_frac {
+                    InstrClass::MulDiv
+                } else {
+                    InstrClass::Alu
+                };
+                body.push(class);
+                // Geometric-ish dependency distances 1..=8, sometimes none.
+                let d0 = if rng.chance_f64(0.75) {
+                    1 + rng.below(4) as u32
+                } else {
+                    0
+                };
+                let d1 = if rng.chance_f64(0.35) {
+                    1 + rng.below(8) as u32
+                } else {
+                    0
+                };
+                deps.push([d0, d1]);
+            }
+
+            // Terminator kind. The last block always jumps back to block 0
+            // so every walk is endless.
+            let kind = if i == params.blocks - 1 {
+                1 // jump
+            } else {
+                rng.weighted_choice(&kind_weights).unwrap_or(0)
+            };
+            let terminator = match kind {
+                0 => {
+                    let total_sites = behaviors.len() + 1;
+                    let spec_idx = (0..behavior_weights.len())
+                        .max_by(|&a, &b| {
+                            let deficit = |i: usize| {
+                                behavior_weights[i] / weight_total * total_sites as f64
+                                    - behavior_assigned[i] as f64
+                            };
+                            deficit(a)
+                                .partial_cmp(&deficit(b))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .unwrap_or(0);
+                    behavior_assigned[spec_idx] += 1;
+                    let mut spec = params.behavior_mix[spec_idx].0.clone();
+                    if let BehaviorSpec::Bias(p) = &mut spec {
+                        let u = (rng.next_f64() * 2.0 - 1.0) * params.bias_jitter;
+                        let factor = u.exp2();
+                        // Scale the minority-outcome rate multiplicatively.
+                        *p = if *p >= 0.5 {
+                            1.0 - ((1.0 - *p) * factor).clamp(0.0005, 0.38)
+                        } else {
+                            (*p * factor).clamp(0.0005, 0.38)
+                        };
+                    }
+                    behaviors.push(spec);
+                    ControlTerminator::Conditional {
+                        behavior: behaviors.len() - 1,
+                        taken_target: rng.below(params.blocks as u64) as usize,
+                    }
+                }
+                1 => ControlTerminator::Jump {
+                    target: if i == params.blocks - 1 {
+                        0
+                    } else {
+                        rng.below(params.blocks as u64) as usize
+                    },
+                },
+                2 => ControlTerminator::Call {
+                    target: rng.below(params.blocks as u64) as usize,
+                },
+                3 => ControlTerminator::Return,
+                _ => {
+                    let fanout = params.indirect_fanout.max(1);
+                    let targets = (0..fanout)
+                        .map(|_| rng.below(params.blocks as u64) as usize)
+                        .collect();
+                    ControlTerminator::Indirect {
+                        targets,
+                        switch_prob: params.indirect_switch_prob,
+                    }
+                }
+            };
+
+            // Blocks are laid out contiguously: a conditional branch's
+            // fall-through PC is exactly the next block's start PC, so the
+            // architectural successor of a not-taken branch is sequential.
+            let start_pc = Pc::new(pc_cursor);
+            let total_len = body_len + 1;
+            pc_cursor += total_len as u64 * Pc::INSTR_BYTES;
+
+            blocks.push(BasicBlock {
+                start_pc,
+                body,
+                deps,
+                terminator,
+            });
+        }
+
+        SyntheticCfg {
+            blocks,
+            behaviors,
+            code_bytes: pc_cursor - params.code_base,
+        }
+    }
+
+    /// The basic blocks.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The behaviour specs referenced by conditional terminators.
+    pub fn behaviors(&self) -> &[BehaviorSpec] {
+        &self.behaviors
+    }
+
+    /// Total code footprint in bytes (drives I-cache behaviour).
+    pub fn code_bytes(&self) -> u64 {
+        self.code_bytes
+    }
+
+    /// Number of conditional-branch sites.
+    pub fn conditional_sites(&self) -> usize {
+        self.behaviors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let p = CfgParams::test_default();
+        let a = SyntheticCfg::build(&p, 99);
+        let b = SyntheticCfg::build(&p, 99);
+        assert_eq!(a.blocks(), b.blocks());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = CfgParams::test_default();
+        let a = SyntheticCfg::build(&p, 1);
+        let b = SyntheticCfg::build(&p, 2);
+        assert_ne!(a.blocks(), b.blocks());
+    }
+
+    #[test]
+    fn pcs_are_disjoint_and_ordered() {
+        let p = CfgParams::test_default();
+        let cfg = SyntheticCfg::build(&p, 5);
+        for w in cfg.blocks().windows(2) {
+            assert!(w[0].end_pc() <= w[1].start_pc, "blocks must not overlap");
+        }
+    }
+
+    #[test]
+    fn last_block_jumps_to_entry() {
+        let p = CfgParams::test_default();
+        let cfg = SyntheticCfg::build(&p, 5);
+        assert_eq!(
+            cfg.blocks().last().unwrap().terminator,
+            ControlTerminator::Jump { target: 0 }
+        );
+    }
+
+    #[test]
+    fn terminator_mix_roughly_follows_weights() {
+        let mut p = CfgParams::test_default();
+        p.blocks = 2000;
+        let cfg = SyntheticCfg::build(&p, 7);
+        let cond = cfg
+            .blocks()
+            .iter()
+            .filter(|b| matches!(b.terminator, ControlTerminator::Conditional { .. }))
+            .count();
+        let frac = cond as f64 / p.blocks as f64;
+        assert!((frac - 0.70).abs() < 0.05, "conditional fraction {frac}");
+    }
+
+    #[test]
+    fn code_footprint_scales_with_blocks() {
+        let mut p = CfgParams::test_default();
+        p.blocks = 32;
+        let small = SyntheticCfg::build(&p, 3).code_bytes();
+        p.blocks = 512;
+        let large = SyntheticCfg::build(&p, 3).code_bytes();
+        assert!(large > 8 * small);
+    }
+
+    #[test]
+    fn block_pc_helpers() {
+        let b = BasicBlock {
+            start_pc: Pc::new(0x100),
+            body: vec![InstrClass::Alu, InstrClass::Load],
+            deps: vec![[0, 0], [1, 0]],
+            terminator: ControlTerminator::Return,
+        };
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.terminator_pc(), Pc::new(0x108));
+        assert_eq!(b.end_pc(), Pc::new(0x10c));
+    }
+}

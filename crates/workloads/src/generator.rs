@@ -1,0 +1,500 @@
+//! The CFG walker: turns a [`SyntheticCfg`] into an endless goodpath
+//! dynamic instruction stream.
+
+use crate::behavior::{BehaviorState, OutcomeCtx};
+use crate::cfg::{ControlTerminator, SyntheticCfg};
+use crate::wrong_path::WrongPathGen;
+use crate::Workload;
+use paco_types::{ControlKind, DynInstr, InstrClass, Pc, SplitMix64};
+
+/// Parameters for the data-address stream of a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataParams {
+    /// Base virtual address of the data region.
+    pub base: u64,
+    /// Data footprint in bytes — small footprints fit in L1/L2, large ones
+    /// (mcf) thrash.
+    pub footprint: u64,
+    /// Number of sequential streams.
+    pub streams: usize,
+    /// Probability that an access follows a stream rather than jumping to
+    /// a random address in the footprint.
+    pub locality: f64,
+}
+
+impl DataParams {
+    /// A cache-friendly default.
+    pub const fn friendly() -> Self {
+        DataParams {
+            base: 0x1000_0000,
+            footprint: 1 << 16, // 64 KB: fits in L2 easily
+            streams: 4,
+            locality: 0.9,
+        }
+    }
+
+    /// A cache-hostile configuration (mcf-like).
+    pub const fn hostile() -> Self {
+        DataParams {
+            base: 0x1000_0000,
+            footprint: 1 << 26, // 64 MB: thrashes L2
+            streams: 2,
+            locality: 0.25,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DataAddressGen {
+    params: DataParams,
+    stream_offsets: Vec<u64>,
+}
+
+impl DataAddressGen {
+    fn new(params: DataParams) -> Self {
+        DataAddressGen {
+            stream_offsets: (0..params.streams.max(1))
+                .map(|i| (i as u64 * 0x1000) % params.footprint.max(1))
+                .collect(),
+            params,
+        }
+    }
+
+    fn next_addr(&mut self, rng: &mut SplitMix64) -> u64 {
+        let fp = self.params.footprint.max(64);
+        if rng.chance_f64(self.params.locality) {
+            let s = rng.below(self.stream_offsets.len() as u64) as usize;
+            let off = self.stream_offsets[s];
+            self.stream_offsets[s] = (off + 8) % fp;
+            self.params.base + off
+        } else {
+            self.params.base + (rng.below(fp / 8)) * 8
+        }
+    }
+}
+
+/// A workload produced by walking a [`SyntheticCfg`].
+///
+/// # Examples
+///
+/// ```
+/// use paco_workloads::{BenchmarkId, Workload};
+/// use paco_types::InstrClass;
+///
+/// let mut w = BenchmarkId::Bzip2.build(1);
+/// let mut branches = 0;
+/// for _ in 0..10_000 {
+///     if w.next_instr().class.is_control() {
+///         branches += 1;
+///     }
+/// }
+/// assert!(branches > 500, "control flow should be a sizable fraction");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CfgWorkload {
+    name: String,
+    cfg: SyntheticCfg,
+    behavior_states: Vec<BehaviorState>,
+    indirect_cursor: Vec<usize>,
+    call_stack: CallRing,
+    data: DataAddressGen,
+    rng: SplitMix64,
+    cur_block: usize,
+    cur_slot: usize,
+    actual_history: u64,
+    produced: u64,
+    since_conditional: u64,
+    wrong_path_data: DataParams,
+}
+
+/// A fixed-depth call-continuation ring with the same wrap-on-overflow
+/// semantics as the simulator's return-address stack, so that deep
+/// recursion corrupts the *actual* return targets exactly the way the RAS
+/// predicts them — deep returns then still match instead of mispredicting.
+#[derive(Debug, Clone)]
+struct CallRing {
+    ring: Vec<usize>,
+    top: usize,
+    occupancy: usize,
+}
+
+impl CallRing {
+    fn new(depth: usize) -> Self {
+        CallRing {
+            ring: vec![0; depth],
+            top: 0,
+            occupancy: 0,
+        }
+    }
+
+    fn push(&mut self, continuation: usize) {
+        let depth = self.ring.len();
+        self.ring[self.top] = continuation;
+        self.top = (self.top + 1) % depth;
+        self.occupancy = (self.occupancy + 1).min(depth);
+    }
+
+    fn pop(&mut self) -> Option<usize> {
+        if self.occupancy == 0 {
+            return None;
+        }
+        let depth = self.ring.len();
+        self.top = (self.top + depth - 1) % depth;
+        self.occupancy -= 1;
+        Some(self.ring[self.top])
+    }
+}
+
+impl CfgWorkload {
+    /// Depth of the generator's call-continuation ring; matches the
+    /// simulator's default return-address-stack depth so overflow behaviour
+    /// is identical on both sides.
+    const MAX_STACK: usize = 32;
+
+    /// Creates a workload walking `cfg`.
+    pub fn new(name: impl Into<String>, cfg: SyntheticCfg, data: DataParams, seed: u64) -> Self {
+        let behavior_states = cfg.behaviors().iter().map(|b| b.new_state()).collect();
+        let indirect_cursor = vec![0; cfg.blocks().len()];
+        CfgWorkload {
+            name: name.into(),
+            behavior_states,
+            indirect_cursor,
+            call_stack: CallRing::new(Self::MAX_STACK),
+            data: DataAddressGen::new(data),
+            rng: SplitMix64::new(seed ^ 0x5eed_f00d),
+            cfg,
+            cur_block: 0,
+            cur_slot: 0,
+            actual_history: 0,
+            produced: 0,
+            since_conditional: 0,
+            wrong_path_data: data,
+        }
+    }
+
+    /// Instructions without a conditional branch after which the walk
+    /// forcibly escapes to a random block. Random CFGs can contain small
+    /// conditional-free cycles (pure jump/return loops); real programs
+    /// escape those via interrupts, and so do we.
+    const ESCAPE_LIMIT: u64 = 256;
+
+    /// The underlying CFG.
+    pub fn cfg(&self) -> &SyntheticCfg {
+        &self.cfg
+    }
+
+    fn fall_through(&self, block: usize) -> usize {
+        (block + 1) % self.cfg.blocks().len()
+    }
+
+    fn emit_terminator(&mut self) -> DynInstr {
+        let nblocks = self.cfg.blocks().len();
+        let block_idx = self.cur_block;
+        let pc = self.cfg.blocks()[block_idx].terminator_pc();
+        let terminator = self.cfg.blocks()[block_idx].terminator.clone();
+        // Anti-trap escape: see ESCAPE_LIMIT.
+        let escape_target = if self.since_conditional >= Self::ESCAPE_LIMIT
+            && !matches!(terminator, ControlTerminator::Conditional { .. })
+        {
+            self.since_conditional = 0;
+            Some(self.rng.below(nblocks as u64) as usize)
+        } else {
+            None
+        };
+        let (instr, next_block) = match terminator {
+            ControlTerminator::Conditional {
+                behavior,
+                taken_target,
+            } => {
+                let ctx = OutcomeCtx {
+                    actual_history: self.actual_history,
+                    instr_count: self.produced,
+                };
+                let spec = &self.cfg.behaviors()[behavior];
+                let taken =
+                    spec.outcome(&mut self.behavior_states[behavior], ctx, &mut self.rng);
+                self.actual_history = (self.actual_history << 1) | taken as u64;
+                self.since_conditional = 0;
+                let target_pc = self.cfg.blocks()[taken_target].start_pc;
+                let next = if taken {
+                    taken_target
+                } else {
+                    self.fall_through(block_idx)
+                };
+                (DynInstr::branch(pc, taken, target_pc), next)
+            }
+            ControlTerminator::Jump { target } => {
+                let target = escape_target.unwrap_or(target);
+                (
+                    DynInstr {
+                        pc,
+                        class: InstrClass::Control(ControlKind::Jump),
+                        deps: [0, 0],
+                        mem: None,
+                        taken: true,
+                        target: self.cfg.blocks()[target].start_pc,
+                    },
+                    target,
+                )
+            }
+            ControlTerminator::Call { target } => {
+                let target = escape_target.unwrap_or(target);
+                let continuation = self.fall_through(block_idx);
+                self.call_stack.push(continuation);
+                (
+                    DynInstr {
+                        pc,
+                        class: InstrClass::Control(ControlKind::Call),
+                        deps: [0, 0],
+                        mem: None,
+                        taken: true,
+                        target: self.cfg.blocks()[target].start_pc,
+                    },
+                    target,
+                )
+            }
+            ControlTerminator::Return => {
+                // A return that actually matches a call pops the stack and
+                // is emitted as a Return (predictable by the RAS). When the
+                // generator stack is empty (walk "returned" past its entry)
+                // or the anti-trap escape fires, the walk continues at a
+                // random block — real programs reach such code via computed
+                // jumps, so emit a Jump (which front ends resolve at
+                // decode) rather than a bogus unpredictable Return.
+                let (kind, target) = match (escape_target, self.call_stack.pop()) {
+                    (Some(t), popped) => {
+                        // The escape discards the pending continuation, if
+                        // any, exactly like a longjmp.
+                        let _ = popped;
+                        (ControlKind::Jump, t)
+                    }
+                    (None, Some(t)) => (ControlKind::Return, t),
+                    (None, None) => (
+                        ControlKind::Jump,
+                        self.rng.below(nblocks as u64) as usize,
+                    ),
+                };
+                (
+                    DynInstr {
+                        pc,
+                        class: InstrClass::Control(kind),
+                        deps: [0, 0],
+                        mem: None,
+                        taken: true,
+                        target: self.cfg.blocks()[target].start_pc,
+                    },
+                    target,
+                )
+            }
+            ControlTerminator::Indirect {
+                ref targets,
+                switch_prob,
+            } => {
+                let cursor = &mut self.indirect_cursor[block_idx];
+                if self.rng.chance_f64(switch_prob) {
+                    *cursor = (*cursor + 1) % targets.len().max(1);
+                }
+                let target = escape_target
+                    .unwrap_or_else(|| targets.get(*cursor).copied().unwrap_or(0) % nblocks);
+                (
+                    DynInstr {
+                        pc,
+                        class: InstrClass::Control(ControlKind::Indirect),
+                        deps: [0, 0],
+                        mem: None,
+                        taken: true,
+                        target: self.cfg.blocks()[target].start_pc,
+                    },
+                    target,
+                )
+            }
+            ControlTerminator::FallThrough => {
+                // Emits nothing; jump straight to the next block's first
+                // instruction by recursing (bounded: blocks are finite).
+                // Undo the count bump — the recursion re-counts.
+                self.produced -= 1;
+                self.cur_block = self.fall_through(block_idx);
+                self.cur_slot = 0;
+                return self.next_instr();
+            }
+        };
+        self.cur_block = next_block;
+        self.cur_slot = 0;
+        instr
+    }
+}
+
+impl Workload for CfgWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_instr(&mut self) -> DynInstr {
+        self.produced += 1;
+        self.since_conditional += 1;
+        let block = &self.cfg.blocks()[self.cur_block];
+        if self.cur_slot < block.body.len() {
+            let class = block.body[self.cur_slot];
+            let deps = block.deps[self.cur_slot];
+            let pc = block.start_pc.offset(self.cur_slot as u64);
+            self.cur_slot += 1;
+            let mut instr = DynInstr {
+                pc,
+                class,
+                deps,
+                mem: None,
+                taken: false,
+                target: Pc::default(),
+            };
+            if matches!(class, InstrClass::Load | InstrClass::Store) {
+                instr = instr.with_mem(self.data.next_addr(&mut self.rng));
+            }
+            instr
+        } else {
+            self.emit_terminator()
+        }
+    }
+
+    fn wrong_path(&self, from: Pc, seed: u64) -> WrongPathGen {
+        let base = self.cfg.blocks()[0].start_pc.addr();
+        WrongPathGen::new(
+            from,
+            base,
+            self.cfg.code_bytes(),
+            self.wrong_path_data,
+            seed,
+        )
+    }
+
+    fn instructions_produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::CfgParams;
+
+    fn test_workload(seed: u64) -> CfgWorkload {
+        let params = CfgParams::test_default();
+        let cfg = SyntheticCfg::build(&params, seed);
+        CfgWorkload::new("test", cfg, DataParams::friendly(), seed)
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = test_workload(3);
+        let mut b = test_workload(3);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn taken_branches_land_on_block_starts() {
+        let mut w = test_workload(4);
+        let starts: std::collections::HashSet<u64> =
+            w.cfg().blocks().iter().map(|b| b.start_pc.addr()).collect();
+        for _ in 0..20_000 {
+            let i = w.next_instr();
+            if i.class.is_control() && i.taken {
+                assert!(starts.contains(&i.target.addr()), "target {:x}", i.target);
+            }
+        }
+    }
+
+    #[test]
+    fn not_taken_branches_fall_through_sequentially() {
+        let mut w = test_workload(4);
+        let mut prev: Option<DynInstr> = None;
+        for _ in 0..20_000 {
+            let i = w.next_instr();
+            if let Some(p) = prev {
+                assert_eq!(
+                    i.pc,
+                    p.successor(),
+                    "instruction stream must follow architectural successors"
+                );
+            }
+            prev = Some(i);
+        }
+    }
+
+    #[test]
+    fn loads_and_stores_carry_addresses() {
+        let mut w = test_workload(9);
+        let mut mem_seen = 0;
+        for _ in 0..10_000 {
+            let i = w.next_instr();
+            match i.class {
+                InstrClass::Load | InstrClass::Store => {
+                    assert!(i.mem.is_some());
+                    mem_seen += 1;
+                }
+                _ => assert!(i.mem.is_none()),
+            }
+        }
+        assert!(mem_seen > 2000, "mem fraction too low: {mem_seen}");
+    }
+
+    #[test]
+    fn friendly_data_reuses_addresses() {
+        let mut gen = DataAddressGen::new(DataParams::friendly());
+        let mut rng = SplitMix64::new(5);
+        let mut set = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            set.insert(gen.next_addr(&mut rng));
+        }
+        // 64KB footprint / 8B granules = 8192 distinct addresses max.
+        assert!(set.len() <= 8192);
+    }
+
+    #[test]
+    fn hostile_data_spreads_addresses() {
+        let mut gen = DataAddressGen::new(DataParams::hostile());
+        let mut rng = SplitMix64::new(5);
+        let mut set = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            set.insert(gen.next_addr(&mut rng) >> 6); // cache lines
+        }
+        assert!(set.len() > 5_000, "hostile stream must touch many lines");
+    }
+
+    #[test]
+    fn call_return_targets_match_continuations() {
+        // Whenever a Return is emitted, its target must equal the
+        // continuation a RAS-like ring (same depth, same wrap semantics)
+        // would predict — by construction the generator and the simulator's
+        // return-address stack then agree even under deep recursion.
+        let mut w = test_workload(11);
+        let mut ring = CallRing::new(CfgWorkload::MAX_STACK);
+        let mut checked = 0;
+        for _ in 0..50_000 {
+            let i = w.next_instr();
+            match i.class {
+                InstrClass::Control(ControlKind::Call) => {
+                    // Continuations are block starts; the call's
+                    // fall-through PC is exactly the next block.
+                    ring.push(i.pc.next().addr() as usize);
+                }
+                InstrClass::Control(ControlKind::Return) => {
+                    let expect = ring.pop().expect("generator emits Jump on empty stack");
+                    assert_eq!(i.target.addr() as usize, expect);
+                    checked += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(checked > 10, "need real call/return nesting: {checked}");
+    }
+
+    #[test]
+    fn instructions_produced_counts() {
+        let mut w = test_workload(1);
+        for _ in 0..123 {
+            w.next_instr();
+        }
+        assert_eq!(w.instructions_produced(), 123);
+    }
+}

@@ -1,0 +1,68 @@
+//! Synthetic SPEC2000int-like workload models.
+//!
+//! The paper evaluates on the SPEC2000 integer benchmarks compiled for a
+//! 64-bit MIPS variant. Those binaries (and the authors' toolchain) are not
+//! available, so this crate substitutes **synthetic workload models**: each
+//! named model builds a randomized-but-fixed control-flow graph whose
+//! branch sites carry *behaviour generators* (biased, loop, pattern,
+//! history-correlated, bursty, phased). Streaming a walk over the CFG
+//! through the real tournament predictor reproduces the statistics that
+//! drive path-confidence behaviour:
+//!
+//! * the per-benchmark conditional/overall mispredict rates (paper Table 7),
+//! * the spread of mispredict rates across JRS/MDC buckets (Figure 2),
+//! * phase changes (gcc, mcf), clustered mispredicts (gap), and the
+//!   indirect-call-dominated profile of perlbmk,
+//! * realistic PC streams (I-cache, BTB) and data streams (D-cache).
+//!
+//! See `DESIGN.md` §2 for the substitution argument.
+//!
+//! # Examples
+//!
+//! ```
+//! use paco_workloads::{BenchmarkId, Workload};
+//!
+//! let mut w = BenchmarkId::Gzip.build(42);
+//! let i = w.next_instr();
+//! assert!(i.pc.addr() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod behavior;
+mod cfg;
+mod generator;
+mod spec;
+mod wrong_path;
+
+pub use behavior::{BehaviorSpec, BehaviorState};
+pub use cfg::{BasicBlock, ControlTerminator, SyntheticCfg};
+pub use generator::{CfgWorkload, DataParams};
+pub use spec::{drifting_stress_spec, BenchmarkId, ModelSpec, ALL_BENCHMARKS};
+pub use wrong_path::WrongPathGen;
+
+use paco_types::{DynInstr, Pc};
+
+/// A workload: an endless dynamic instruction stream plus a factory for
+/// wrong-path instruction generators.
+///
+/// The timing simulator pulls goodpath instructions with
+/// [`next_instr`](Self::next_instr); when a branch mispredicts it asks for
+/// a [`WrongPathGen`] starting at the bogus fetch target and consumes that
+/// until the mispredicted branch resolves.
+pub trait Workload {
+    /// The model's name (benchmark it imitates).
+    fn name(&self) -> &str;
+
+    /// Produces the next goodpath dynamic instruction.
+    fn next_instr(&mut self) -> DynInstr;
+
+    /// Creates a wrong-path instruction generator starting at `from`.
+    ///
+    /// `seed` decorrelates successive wrong-path excursions.
+    fn wrong_path(&self, from: Pc, seed: u64) -> WrongPathGen;
+
+    /// Number of goodpath instructions produced so far.
+    fn instructions_produced(&self) -> u64;
+}

@@ -1,0 +1,491 @@
+//! The twelve named SPEC2000int-like benchmark models.
+//!
+//! Each model is a parameter set for [`SyntheticCfg`] + [`CfgWorkload`]
+//! chosen to land near the paper's per-benchmark branch statistics
+//! (Table 7) and to reproduce the qualitative pathology the paper calls
+//! out for the benchmark (phases for gcc/mcf, clustered mispredicts for
+//! gap, the indirect-call blind spot for perlbmk, near-perfect prediction
+//! for vortex, hard data-dependent branches for twolf/vpr).
+//!
+//! The achieved mispredict rates are *emergent*: outcomes stream through
+//! the real tournament predictor, so the numbers below are targets, and
+//! the calibration test in this module checks the workspace stays in the
+//! right regime.
+
+use crate::behavior::BehaviorSpec;
+use crate::cfg::{CfgParams, SyntheticCfg};
+use crate::generator::{CfgWorkload, DataParams};
+
+/// Identifies one of the twelve modeled benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum BenchmarkId {
+    Bzip2,
+    Crafty,
+    Gcc,
+    Gap,
+    Gzip,
+    Mcf,
+    Parser,
+    Perlbmk,
+    Twolf,
+    Vortex,
+    VprPlace,
+    VprRoute,
+}
+
+/// All benchmarks, in the paper's table order.
+pub const ALL_BENCHMARKS: [BenchmarkId; 12] = [
+    BenchmarkId::Bzip2,
+    BenchmarkId::Crafty,
+    BenchmarkId::Gcc,
+    BenchmarkId::Gap,
+    BenchmarkId::Gzip,
+    BenchmarkId::Mcf,
+    BenchmarkId::Parser,
+    BenchmarkId::Perlbmk,
+    BenchmarkId::Twolf,
+    BenchmarkId::Vortex,
+    BenchmarkId::VprPlace,
+    BenchmarkId::VprRoute,
+];
+
+impl BenchmarkId {
+    /// The benchmark's display name (paper spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchmarkId::Bzip2 => "bzip2",
+            BenchmarkId::Crafty => "crafty",
+            BenchmarkId::Gcc => "gcc",
+            BenchmarkId::Gap => "gap",
+            BenchmarkId::Gzip => "gzip",
+            BenchmarkId::Mcf => "mcf",
+            BenchmarkId::Parser => "parser",
+            BenchmarkId::Perlbmk => "perlbmk",
+            BenchmarkId::Twolf => "twolf",
+            BenchmarkId::Vortex => "vortex",
+            BenchmarkId::VprPlace => "vprPlace",
+            BenchmarkId::VprRoute => "vprRoute",
+        }
+    }
+
+    /// Parses a benchmark name (paper spelling, case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        ALL_BENCHMARKS
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The model specification.
+    pub fn spec(self) -> ModelSpec {
+        ModelSpec::for_benchmark(self)
+    }
+
+    /// Builds the workload with a given seed.
+    pub fn build(self, seed: u64) -> CfgWorkload {
+        self.spec().build(seed)
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The full parameterization of one benchmark model.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Which benchmark this models.
+    pub id: BenchmarkId,
+    /// CFG construction parameters.
+    pub cfg: CfgParams,
+    /// Data-address stream parameters.
+    pub data: DataParams,
+    /// The paper's conditional-branch mispredict rate (Table 7), percent.
+    pub paper_cond_mispredict_pct: f64,
+    /// The paper's overall control-flow mispredict rate (Table 7), percent.
+    pub paper_overall_mispredict_pct: f64,
+}
+
+impl ModelSpec {
+    /// Builds the workload for this spec.
+    pub fn build(&self, seed: u64) -> CfgWorkload {
+        let cfg = SyntheticCfg::build(&self.cfg, seed ^ self.id as u64 as u64);
+        CfgWorkload::new(self.id.name(), cfg, self.data, seed.wrapping_mul(0x9e37))
+    }
+
+    /// Overrides the indirect-site target-switch probability
+    /// (benchmarks whose overall mispredict rate exceeds their conditional
+    /// rate in Table 7 need noisier indirect control flow).
+    fn with_indirect_churn(mut self, switch_prob: f64) -> Self {
+        self.cfg.indirect_switch_prob = switch_prob;
+        self
+    }
+
+    /// The specification for a benchmark (see module docs for rationale).
+    pub fn for_benchmark(id: BenchmarkId) -> ModelSpec {
+        use BehaviorSpec::{Bias, Burst, Correlated, Loop, Phased};
+        let std_terms = [0.72, 0.08, 0.08, 0.08, 0.04];
+        let base = |blocks, mix: Vec<(BehaviorSpec, f64)>, data, cond, overall| ModelSpec {
+            id,
+            cfg: CfgParams {
+                blocks,
+                min_body: 3,
+                max_body: 10,
+                code_base: 0x0040_0000,
+                terminator_weights: std_terms,
+                behavior_mix: mix,
+                load_frac: 0.28,
+                store_frac: 0.11,
+                muldiv_frac: 0.03,
+                indirect_fanout: 3,
+                indirect_switch_prob: 0.002,
+                bias_jitter: 0.4,
+            },
+            data,
+            paper_cond_mispredict_pct: cond,
+            paper_overall_mispredict_pct: overall,
+        };
+
+        let data_medium = DataParams {
+            base: 0x1000_0000,
+            footprint: 1 << 21, // 2 MB
+            streams: 4,
+            locality: 0.65,
+        };
+
+        match id {
+            BenchmarkId::Bzip2 => base(
+                360,
+                vec![
+                    (Bias(0.85), 0.45),
+                    (Bias(0.70), 0.12),
+                    (Bias(0.98), 0.30),
+                    (Loop(6), 0.13),
+                ],
+                DataParams {
+                    base: 0x1000_0000,
+                    footprint: 1 << 22,
+                    streams: 6,
+                    locality: 0.75,
+                },
+                10.5,
+                9.03,
+            ),
+            BenchmarkId::Crafty => base(
+                800,
+                vec![
+                    (Bias(0.92), 0.40),
+                    (Bias(0.80), 0.08),
+                    (Bias(0.99), 0.40),
+                    (Correlated { bits: 6, noise: 0.02 }, 0.12),
+                ],
+                DataParams::friendly(),
+                5.49,
+                5.43,
+            ),
+            BenchmarkId::Gcc => base(
+                2200,
+                vec![
+                    (
+                        Phased {
+                            specs: vec![Bias(0.97), Bias(0.92), Bias(0.96), Bias(0.995)],
+                            period: 25_000,
+                        },
+                        0.35,
+                    ),
+                    (Bias(0.995), 0.55),
+                    (Loop(5), 0.10),
+                ],
+                DataParams {
+                    base: 0x1000_0000,
+                    footprint: 1 << 20,
+                    streams: 4,
+                    locality: 0.7,
+                },
+                2.61,
+                3.07,
+            )
+            .with_indirect_churn(0.012),
+            BenchmarkId::Gap => base(
+                500,
+                vec![
+                    (
+                        Burst {
+                            calm_taken: 0.97,
+                            enter_burst: 0.004,
+                            exit_burst: 0.02,
+                        },
+                        0.35,
+                    ),
+                    (Bias(0.97), 0.45),
+                    (Loop(7), 0.20),
+                ],
+                data_medium,
+                5.16,
+                6.05,
+            )
+            .with_indirect_churn(0.012),
+            BenchmarkId::Gzip => base(
+                150,
+                vec![
+                    (Bias(0.94), 0.35),
+                    (Bias(0.99), 0.45),
+                    (Loop(12), 0.10),
+                    (Correlated { bits: 4, noise: 0.005 }, 0.10),
+                ],
+                DataParams {
+                    base: 0x1000_0000,
+                    footprint: 1 << 19,
+                    streams: 4,
+                    locality: 0.85,
+                },
+                3.17,
+                2.86,
+            ),
+            BenchmarkId::Mcf => base(
+                160,
+                vec![
+                    (
+                        Phased {
+                            specs: vec![Bias(0.93), Bias(0.985)],
+                            period: 400_000,
+                        },
+                        0.50,
+                    ),
+                    (Bias(0.95), 0.30),
+                    (Bias(0.995), 0.20),
+                ],
+                DataParams::hostile(),
+                4.51,
+                3.95,
+            ),
+            BenchmarkId::Parser => base(
+                700,
+                vec![
+                    (Bias(0.90), 0.35),
+                    (Bias(0.98), 0.45),
+                    (Correlated { bits: 5, noise: 0.03 }, 0.20),
+                ],
+                data_medium,
+                5.26,
+                3.98,
+            ),
+            BenchmarkId::Perlbmk => {
+                // >95% of mispredicts come from one hot indirect call that
+                // keeps switching targets; conditional branches are almost
+                // perfectly predictable.
+                let mut spec = base(
+                    600,
+                    vec![
+                        (Bias(0.9997), 0.90),
+                        (Correlated { bits: 2, noise: 0.001 }, 0.10),
+                    ],
+                    DataParams::friendly(),
+                    0.11,
+                    9.73,
+                );
+                spec.cfg.terminator_weights = [0.62, 0.08, 0.10, 0.10, 0.10];
+                spec.cfg.indirect_fanout = 6;
+                spec.cfg.indirect_switch_prob = 0.35;
+                spec
+            }
+            BenchmarkId::Twolf => base(
+                420,
+                vec![
+                    (Bias(0.72), 0.40),
+                    (Bias(0.88), 0.25),
+                    (Bias(0.99), 0.35),
+                ],
+                data_medium,
+                14.8,
+                11.8,
+            ),
+            BenchmarkId::Vortex => base(
+                1200,
+                // Nearly perfectly biased branches: bimodal learns each
+                // site in a handful of executions, matching vortex's
+                // famously predictable control flow.
+                vec![(Bias(0.998), 0.90), (Bias(0.97), 0.10)],
+                DataParams::friendly(),
+                0.65,
+                0.50,
+            ),
+            BenchmarkId::VprPlace => base(
+                380,
+                vec![
+                    (Bias(0.78), 0.55),
+                    (Bias(0.90), 0.20),
+                    (Bias(0.99), 0.25),
+                ],
+                data_medium,
+                11.7,
+                9.47,
+            ),
+            BenchmarkId::VprRoute => base(
+                380,
+                vec![
+                    (Bias(0.74), 0.35),
+                    (Bias(0.87), 0.22),
+                    (Bias(0.995), 0.43),
+                ],
+                data_medium,
+                11.9,
+                8.85,
+            ),
+        }
+    }
+}
+
+/// A nonstationary stress model (not one of the twelve benchmarks): most
+/// conditional sites drift sinusoidally between easy and hard regimes.
+///
+/// This is the regime the paper's Appendix A argues separates the MRT
+/// designs: lifetime per-branch mispredict rates lag the drift, while the
+/// MDC-bucketed, periodically re-measured MRT tracks it. Used by the
+/// `tab_a1` harness's stress section and the integration suite.
+pub fn drifting_stress_spec() -> ModelSpec {
+    use BehaviorSpec::{Bias, Drifting};
+    ModelSpec {
+        id: BenchmarkId::Twolf, // reuses twolf's name slot for display only
+        cfg: CfgParams {
+            blocks: 400,
+            min_body: 3,
+            max_body: 10,
+            code_base: 0x0040_0000,
+            terminator_weights: [0.72, 0.08, 0.08, 0.08, 0.04],
+            behavior_mix: vec![
+                (
+                    Drifting {
+                        min_taken: 0.62,
+                        max_taken: 0.995,
+                        // Slow drift: several MRT refresh windows per
+                        // oscillation, so the periodically re-measured MRT
+                        // can track it while a lifetime average lags.
+                        period: 1_500_000,
+                    },
+                    0.6,
+                ),
+                (Bias(0.97), 0.4),
+            ],
+            load_frac: 0.28,
+            store_frac: 0.11,
+            muldiv_frac: 0.03,
+            indirect_fanout: 3,
+            indirect_switch_prob: 0.002,
+            bias_jitter: 0.4,
+        },
+        data: DataParams::friendly(),
+        paper_cond_mispredict_pct: f64::NAN,
+        paper_overall_mispredict_pct: f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+
+    #[test]
+    fn all_models_build_and_stream() {
+        for id in ALL_BENCHMARKS {
+            let mut w = id.build(1);
+            for _ in 0..5_000 {
+                let _ = w.next_instr();
+            }
+            assert_eq!(w.name(), id.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for id in ALL_BENCHMARKS {
+            assert_eq!(BenchmarkId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(BenchmarkId::from_name("VPRROUTE"), Some(BenchmarkId::VprRoute));
+        assert_eq!(BenchmarkId::from_name("eon"), None);
+    }
+
+    #[test]
+    fn perlbmk_has_hot_indirect_sites() {
+        let spec = BenchmarkId::Perlbmk.spec();
+        assert!(spec.cfg.terminator_weights[4] >= 0.1);
+        assert!(spec.cfg.indirect_switch_prob >= 0.3);
+    }
+
+    #[test]
+    fn mcf_is_cache_hostile() {
+        let spec = BenchmarkId::Mcf.spec();
+        assert!(spec.data.footprint >= 1 << 25);
+        assert!(spec.data.locality < 0.5);
+    }
+
+    #[test]
+    fn models_are_deterministic_per_seed() {
+        let mut a = BenchmarkId::Twolf.build(9);
+        let mut b = BenchmarkId::Twolf.build(9);
+        for _ in 0..1_000 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn paper_targets_recorded() {
+        // Table 7 spot checks.
+        assert_eq!(BenchmarkId::Twolf.spec().paper_cond_mispredict_pct, 14.8);
+        assert_eq!(BenchmarkId::Vortex.spec().paper_overall_mispredict_pct, 0.50);
+    }
+
+    /// A coarse end-to-end calibration check: streaming each model through
+    /// the real tournament predictor must produce a conditional mispredict
+    /// rate in the same regime as the paper's Table 7 value. (The precise
+    /// values are recorded per run in EXPERIMENTS.md.)
+    #[test]
+    fn calibration_against_tournament_predictor() {
+        use paco_branch::{DirectionPredictor, TournamentConfig, TournamentPredictor};
+        use paco_types::GlobalHistory;
+
+        for id in ALL_BENCHMARKS {
+            let mut w = id.build(5);
+            let mut pred = TournamentPredictor::new(TournamentConfig::paper());
+            let mut hist = GlobalHistory::new(8);
+            let mut branches = 0u64;
+            let mut miss = 0u64;
+            // Warm up, then measure.
+            for phase in 0..2 {
+                let (n, measure) = if phase == 0 { (60_000, false) } else { (240_000, true) };
+                let mut seen = 0;
+                while seen < n {
+                    let i = w.next_instr();
+                    if i.class.is_conditional_branch() {
+                        let p = pred.predict(i.pc, hist.bits());
+                        pred.update(i.pc, hist.bits(), i.taken, p);
+                        hist.push(i.taken);
+                        if measure {
+                            branches += 1;
+                            if p != i.taken {
+                                miss += 1;
+                            }
+                        }
+                    }
+                    seen += 1;
+                }
+            }
+            let rate = 100.0 * miss as f64 / branches as f64;
+            let target = id.spec().paper_cond_mispredict_pct;
+            // Regime check: within a factor band, not exact equality.
+            let (lo, hi) = if target < 1.0 {
+                (0.0, 2.0)
+            } else {
+                (target * 0.5, target * 1.7 + 1.0)
+            };
+            assert!(
+                (lo..=hi).contains(&rate),
+                "{}: achieved {rate:.2}% vs paper {target}% (band {lo:.1}..{hi:.1})",
+                id.name()
+            );
+        }
+    }
+}

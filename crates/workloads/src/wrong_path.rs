@@ -1,0 +1,210 @@
+//! Wrong-path instruction synthesis.
+//!
+//! The paper's execution-driven simulator fetches real instructions down
+//! mispredicted paths. A trace has no wrong path, so we synthesize one:
+//! instructions with the same broad mix as the goodpath stream, PCs inside
+//! the program's code footprint (so they perturb the I-cache and BTB), and
+//! data accesses spread over the data footprint (cache pollution — the
+//! effect the paper observes on `gap` and `perlbmk`).
+
+use crate::generator::DataParams;
+use paco_types::{ControlKind, DynInstr, InstrClass, Pc, SplitMix64};
+
+/// A generator of synthetic wrong-path instructions.
+///
+/// Created by [`Workload::wrong_path`](crate::Workload::wrong_path) when a
+/// branch mispredicts; the simulator pulls instructions from it until the
+/// mispredicted branch resolves, calling [`redirect`](Self::redirect)
+/// whenever a wrong-path control instruction is predicted taken.
+#[derive(Debug, Clone)]
+pub struct WrongPathGen {
+    rng: SplitMix64,
+    cursor: Pc,
+    code_base: u64,
+    code_bytes: u64,
+    data: DataParams,
+    produced: u64,
+}
+
+impl WrongPathGen {
+    /// Fraction of wrong-path instructions that are conditional branches.
+    const COND_FRAC: f64 = 0.12;
+    /// Fraction that are unconditional jumps.
+    const JUMP_FRAC: f64 = 0.04;
+    /// Fraction that are loads.
+    const LOAD_FRAC: f64 = 0.26;
+    /// Fraction that are stores.
+    const STORE_FRAC: f64 = 0.10;
+
+    /// Creates a wrong-path generator starting at `from`.
+    pub fn new(from: Pc, code_base: u64, code_bytes: u64, data: DataParams, seed: u64) -> Self {
+        WrongPathGen {
+            rng: SplitMix64::new(seed ^ 0xbad_bad_bad),
+            cursor: from,
+            code_base,
+            code_bytes: code_bytes.max(64),
+            data,
+            produced: 0,
+        }
+    }
+
+    /// A random instruction-aligned PC inside the code footprint.
+    fn random_code_pc(&mut self) -> Pc {
+        let words = self.code_bytes / Pc::INSTR_BYTES;
+        Pc::new(self.code_base + self.rng.below(words.max(1)) * Pc::INSTR_BYTES)
+    }
+
+    /// Produces the next wrong-path instruction at the current cursor.
+    ///
+    /// Conditional branches are emitted with `taken = false` and a
+    /// plausible taken-target; the *simulator* decides the fetch direction
+    /// from its predictor (there is no ground truth down a wrong path).
+    pub fn next_instr(&mut self) -> DynInstr {
+        self.produced += 1;
+        let pc = self.cursor;
+        let draw = self.rng.next_f64();
+        let instr = if draw < Self::COND_FRAC {
+            let target = self.random_code_pc();
+            DynInstr {
+                pc,
+                class: InstrClass::Control(ControlKind::Conditional),
+                deps: [0, 0],
+                mem: None,
+                taken: false,
+                target,
+            }
+        } else if draw < Self::COND_FRAC + Self::JUMP_FRAC {
+            let target = self.random_code_pc();
+            DynInstr {
+                pc,
+                class: InstrClass::Control(ControlKind::Jump),
+                deps: [0, 0],
+                mem: None,
+                taken: true,
+                target,
+            }
+        } else if draw < Self::COND_FRAC + Self::JUMP_FRAC + Self::LOAD_FRAC {
+            let fp = self.data.footprint.max(64);
+            DynInstr {
+                pc,
+                class: InstrClass::Load,
+                deps: [self.dep(), self.dep()],
+                mem: None,
+                taken: false,
+                target: Pc::default(),
+            }
+            .with_mem(self.data.base + self.rng.below(fp / 8) * 8)
+        } else if draw < Self::COND_FRAC + Self::JUMP_FRAC + Self::LOAD_FRAC + Self::STORE_FRAC {
+            let fp = self.data.footprint.max(64);
+            DynInstr {
+                pc,
+                class: InstrClass::Store,
+                deps: [self.dep(), self.dep()],
+                mem: None,
+                taken: false,
+                target: Pc::default(),
+            }
+            .with_mem(self.data.base + self.rng.below(fp / 8) * 8)
+        } else {
+            DynInstr {
+                pc,
+                class: InstrClass::Alu,
+                deps: [self.dep(), self.dep()],
+                mem: None,
+                taken: false,
+                target: Pc::default(),
+            }
+        };
+        self.cursor = self.cursor.next();
+        instr
+    }
+
+    fn dep(&mut self) -> u32 {
+        if self.rng.chance_f64(0.6) {
+            1 + self.rng.below(4) as u32
+        } else {
+            0
+        }
+    }
+
+    /// Redirects the wrong-path cursor (the simulator followed a predicted
+    /// taken branch).
+    pub fn redirect(&mut self, to: Pc) {
+        self.cursor = to;
+    }
+
+    /// The PC the next instruction will be generated at (drives the
+    /// simulator's I-cache probe).
+    pub fn cursor(&self) -> Pc {
+        self.cursor
+    }
+
+    /// Number of wrong-path instructions produced.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(seed: u64) -> WrongPathGen {
+        WrongPathGen::new(
+            Pc::new(0x40_1000),
+            0x40_0000,
+            1 << 16,
+            DataParams::friendly(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn pcs_advance_sequentially_until_redirect() {
+        let mut g = gen(1);
+        let a = g.next_instr();
+        let b = g.next_instr();
+        assert_eq!(b.pc, a.pc.next());
+        g.redirect(Pc::new(0x40_2000));
+        assert_eq!(g.next_instr().pc, Pc::new(0x40_2000));
+    }
+
+    #[test]
+    fn mix_includes_branches_and_memory() {
+        let mut g = gen(2);
+        let mut cond = 0;
+        let mut mem = 0;
+        for _ in 0..10_000 {
+            let i = g.next_instr();
+            if i.class.is_conditional_branch() {
+                cond += 1;
+            }
+            if i.mem.is_some() {
+                mem += 1;
+            }
+        }
+        assert!((800..=1600).contains(&cond), "cond branches {cond}");
+        assert!(mem > 2500, "memory ops {mem}");
+    }
+
+    #[test]
+    fn targets_stay_in_code_footprint() {
+        let mut g = gen(3);
+        for _ in 0..5_000 {
+            let i = g.next_instr();
+            if i.class.is_control() {
+                let t = i.target.addr();
+                assert!((0x40_0000..0x40_0000 + (1 << 16)).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = gen(7);
+        let mut b = gen(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+}

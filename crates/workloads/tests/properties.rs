@@ -1,0 +1,95 @@
+//! Property-based tests for the workload models: stream well-formedness
+//! across arbitrary seeds and benchmarks.
+
+use paco_types::InstrClass;
+use paco_workloads::{BenchmarkId, Workload, ALL_BENCHMARKS};
+use proptest::prelude::*;
+
+fn any_benchmark() -> impl Strategy<Value = BenchmarkId> {
+    (0usize..ALL_BENCHMARKS.len()).prop_map(|i| ALL_BENCHMARKS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The goodpath stream follows architectural successors for every
+    /// benchmark and seed: instruction N+1 sits at N's successor PC.
+    #[test]
+    fn stream_continuity(bench in any_benchmark(), seed in 1u64..1_000_000) {
+        let mut w = bench.build(seed);
+        let mut prev = w.next_instr();
+        for _ in 0..3_000 {
+            let cur = w.next_instr();
+            prop_assert_eq!(cur.pc, prev.successor());
+            prev = cur;
+        }
+    }
+
+    /// Streams are reproducible from the seed.
+    #[test]
+    fn stream_determinism(bench in any_benchmark(), seed in 1u64..1_000_000) {
+        let mut a = bench.build(seed);
+        let mut b = bench.build(seed);
+        for _ in 0..500 {
+            prop_assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    /// Memory instructions always carry addresses inside the model's data
+    /// region; non-memory instructions never carry one.
+    #[test]
+    fn memory_addresses_in_region(bench in any_benchmark(), seed in 1u64..1_000_000) {
+        let spec = bench.spec();
+        let lo = spec.data.base;
+        let hi = spec.data.base + spec.data.footprint.max(64);
+        let mut w = bench.build(seed);
+        for _ in 0..3_000 {
+            let i = w.next_instr();
+            match i.class {
+                InstrClass::Load | InstrClass::Store => {
+                    let a = i.mem.expect("memory op must carry an address").addr;
+                    prop_assert!((lo..hi).contains(&a), "addr {a:#x} outside region");
+                }
+                _ => prop_assert!(i.mem.is_none()),
+            }
+        }
+    }
+
+    /// Wrong-path generators stay inside the code footprint and advance
+    /// sequentially between redirects.
+    #[test]
+    fn wrong_path_well_formed(bench in any_benchmark(), seed in 1u64..1_000_000) {
+        let w = bench.build(seed);
+        let start = w.cfg().blocks()[0].start_pc;
+        let mut gen = w.wrong_path(start, seed ^ 0xbad);
+        let mut prev_pc = None;
+        for _ in 0..500 {
+            let i = gen.next_instr();
+            if let Some(p) = prev_pc {
+                prop_assert_eq!(i.pc, p, "wrong path must be sequential");
+            }
+            prev_pc = Some(i.pc.next());
+            if i.class.is_control() {
+                let t = i.target.addr();
+                let base = start.addr();
+                prop_assert!(t >= base && t < base + w.cfg().code_bytes() + 64);
+            }
+        }
+    }
+
+    /// The dynamic conditional-branch fraction stays in a plausible band
+    /// for every model (control flow density drives everything downstream).
+    #[test]
+    fn branch_density_plausible(bench in any_benchmark(), seed in 1u64..100) {
+        let mut w = bench.build(seed);
+        let mut cond = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            if w.next_instr().class.is_conditional_branch() {
+                cond += 1;
+            }
+        }
+        let frac = cond as f64 / n as f64;
+        prop_assert!((0.02..0.30).contains(&frac), "conditional fraction {frac}");
+    }
+}

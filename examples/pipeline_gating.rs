@@ -1,0 +1,93 @@
+//! Pipeline gating on the full simulated machine: compare an ungated run,
+//! conventional counter gating, and PaCo probability gating on one
+//! benchmark (paper §5.1 in miniature).
+//!
+//! Run with: `cargo run --release -p paco-bench --example pipeline_gating`
+
+use paco::{PacoConfig, ThresholdCountConfig};
+use paco_sim::{EstimatorKind, GatingPolicy, MachineBuilder, SimConfig};
+use paco_types::Probability;
+use paco_workloads::BenchmarkId;
+
+fn run(label: &str, estimator: EstimatorKind, gating: GatingPolicy, baseline: Option<(f64, u64)>) {
+    let instrs = 300_000;
+    let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
+        .thread(Box::new(BenchmarkId::Twolf.build(1)), estimator)
+        .gating(gating)
+        .seed(9)
+        .build();
+    // Fast-forward past initialization (predictors and PaCo's first MRT
+    // refresh), as the paper does.
+    machine.run(400_000);
+    machine.reset_stats();
+    let stats = machine.run(instrs);
+    let ipc = stats.ipc(0);
+    let bad = stats.total_badpath_fetched();
+    match baseline {
+        None => println!(
+            "{label:<24} IPC {ipc:.3}   badpath fetched {bad:>8}   (baseline)"
+        ),
+        Some((base_ipc, base_bad)) => {
+            println!(
+                "{label:<24} IPC {ipc:.3} ({:+.2}%)   badpath fetched {bad:>8} ({:+.1}%)   gated cycles {}",
+                100.0 * (ipc - base_ipc) / base_ipc,
+                100.0 * (bad as f64 - base_bad as f64) / base_bad as f64,
+                stats.threads[0].gated_cycles,
+            );
+        }
+    }
+}
+
+fn main() {
+    println!("pipeline gating on twolf (300k instructions)\n");
+
+    // Baseline, no gating.
+    let instrs = 300_000;
+    let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
+        .thread(
+            Box::new(BenchmarkId::Twolf.build(1)),
+            EstimatorKind::Paco(PacoConfig::paper()),
+        )
+        .seed(9)
+        .build();
+    machine.run(400_000);
+    machine.reset_stats();
+    let base = machine.run(instrs);
+    let baseline = (base.ipc(0), base.total_badpath_fetched());
+    println!(
+        "{:<24} IPC {:.3}   badpath fetched {:>8}   (baseline)",
+        "no gating", baseline.0, baseline.1
+    );
+
+    run(
+        "JRS-t3, gate-count 2",
+        EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+        GatingPolicy::CountGate { gate_count: 2 },
+        Some(baseline),
+    );
+    // Our simulated machine keeps more branches unresolved than the
+    // paper's, so useful PaCo gating probabilities sit higher than the
+    // paper's 10-20% (see EXPERIMENTS.md, Figure 10 notes).
+    run(
+        "PaCo, gate below 62%",
+        EstimatorKind::Paco(PacoConfig::paper()),
+        GatingPolicy::paco_gate(Probability::new(0.62).unwrap()),
+        Some(baseline),
+    );
+    run(
+        "PaCo, throttle 85..40%",
+        EstimatorKind::Paco(PacoConfig::paper()),
+        GatingPolicy::paco_throttle(
+            Probability::new(0.85).unwrap(),
+            Probability::new(0.40).unwrap(),
+        ),
+        Some(baseline),
+    );
+
+    println!(
+        "\nGating suppresses wrong-path *fetch* directly (the paper's energy\n\
+         story); PaCo achieves its reduction at a lower IPC cost per squashed\n\
+         instruction than the counter scheme (paper Figure 10; see\n\
+         EXPERIMENTS.md for the full 40-configuration sweep)."
+    );
+}

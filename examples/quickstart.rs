@@ -1,0 +1,79 @@
+//! Quickstart: build a PaCo predictor, drive it with a synthetic branch
+//! stream, and watch the goodpath probability move.
+//!
+//! Run with: `cargo run --release -p paco-bench --example quickstart`
+
+use paco::{BranchFetchInfo, PacoConfig, PacoPredictor, PathConfidenceEstimator};
+use paco_branch::{ConfidenceConfig, DirectionPredictor, MdcTable, TournamentPredictor};
+use paco_types::{GlobalHistory, Pc, SplitMix64};
+
+fn main() {
+    // The three pieces of the paper's front end that matter here:
+    // a direction predictor, the JRS MDC table, and PaCo itself.
+    let mut predictor = TournamentPredictor::paper_default();
+    let mut mdc = MdcTable::new(ConfidenceConfig::paper());
+    let mut paco = PacoPredictor::new(PacoConfig::paper().with_refresh_period(10_000));
+    let mut hist = GlobalHistory::new(8);
+    let mut rng = SplitMix64::new(7);
+
+    // A toy program: 32 branch sites, a few of them hard to predict.
+    let sites: Vec<(Pc, f64)> = (0..32)
+        .map(|i| {
+            let p_taken = if i % 8 == 0 { 0.6 } else { 0.97 };
+            (Pc::new(0x40_0000 + i * 64), p_taken)
+        })
+        .collect();
+
+    println!("warming up the predictor and the MRT...");
+    let mut in_flight: Vec<(paco::BranchToken, bool)> = Vec::new();
+    for step in 0..200_000u64 {
+        let (pc, p_taken) = sites[(step % sites.len() as u64) as usize];
+        let taken = rng.chance_f64(p_taken);
+        let h = hist.bits();
+        let predicted = predictor.predict(pc, h);
+        let idx = mdc.index(pc, h, predicted);
+
+        // Fetch: the branch joins PaCo's confidence register.
+        let token = paco.on_fetch(BranchFetchInfo::conditional(mdc.read(idx)));
+        in_flight.push((token, predicted != taken));
+
+        // Pretend branches resolve 8 fetches later (a tiny "pipeline").
+        if in_flight.len() > 8 {
+            let (t, mispredicted) = in_flight.remove(0);
+            paco.on_resolve(t, mispredicted);
+        }
+
+        predictor.update(pc, h, taken, predicted);
+        mdc.update(idx, predicted == taken);
+        hist.push(taken);
+        paco.tick(1);
+
+        if step % 40_000 == 0 && step > 0 {
+            let p = paco.goodpath_probability().unwrap();
+            println!(
+                "  step {:>7}: {} unresolved branches, goodpath probability {:.3}",
+                step,
+                paco.outstanding_branches(),
+                p.value()
+            );
+        }
+    }
+
+    // Show the MRT's learned encodings: low MDC buckets (recently
+    // mispredicted branches) should carry much larger encodings.
+    println!("\nlearned encoded probabilities per MDC bucket:");
+    for v in [0u8, 1, 2, 3, 7, 15] {
+        let enc = paco.mrt().encoded(paco_branch::Mdc::new(v));
+        println!(
+            "  MDC {:>2}: encoded {:>4}  (correct-prediction probability ~{:.3})",
+            v,
+            enc.raw(),
+            enc.to_probability().value()
+        );
+    }
+    println!("\nA gating threshold of 10% goodpath probability would be encoded once");
+    println!(
+        "as {} and compared against the register with a single integer compare.",
+        paco::EncodedProb::from_probability(paco_types::Probability::new(0.1).unwrap())
+    );
+}

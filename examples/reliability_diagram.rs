@@ -1,0 +1,43 @@
+//! Build and render a reliability diagram for PaCo on one benchmark —
+//! the paper's §4 methodology end to end on a small run.
+//!
+//! Run with: `cargo run --release -p paco-bench --example reliability_diagram`
+
+use paco::PacoConfig;
+use paco_analysis::{render_diagram_ascii, ReliabilityDiagram};
+use paco_sim::{EstimatorKind, MachineBuilder, SimConfig};
+use paco_workloads::BenchmarkId;
+
+fn main() {
+    let bench = BenchmarkId::Parser;
+    let instrs = 400_000;
+    println!("reliability diagram: PaCo on {bench} ({instrs} instructions)\n");
+
+    let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
+        .thread(
+            Box::new(bench.build(5)),
+            EstimatorKind::Paco(PacoConfig::paper()),
+        )
+        .seed(21)
+        .build();
+    let stats = machine.run(instrs);
+    let diagram = ReliabilityDiagram::from_bins(&stats.threads[0].prob_instances);
+
+    println!("{}", render_diagram_ascii(&diagram, 64, 24));
+    println!(
+        "instances: {}   RMS error: {:.4}  (paper reports 0.0415 for parser)",
+        diagram.total_instances(),
+        diagram.rms_error()
+    );
+
+    // Show the occupancy histogram the paper overlays on the diagram.
+    println!("\npredicted-probability occupancy (top bins):");
+    let mut points: Vec<_> = diagram.points().to_vec();
+    points.sort_by_key(|p| std::cmp::Reverse(p.instances));
+    for p in points.iter().take(8) {
+        println!(
+            "  predicted {:>5.1}%  observed {:>5.1}%  {:>10} instances",
+            p.predicted_pct, p.observed_pct, p.instances
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! SMT fetch prioritization: run one benchmark pair under ICOUNT and
+//! under confidence-based prioritization with PaCo (paper §5.2 in
+//! miniature).
+//!
+//! Run with: `cargo run --release -p paco-bench --example smt_prioritization`
+
+use paco::{PacoConfig, ThresholdCountConfig};
+use paco_analysis::hmwipc;
+use paco_sim::{EstimatorKind, FetchPolicy, MachineBuilder, SimConfig};
+use paco_workloads::BenchmarkId;
+
+fn single_ipc(bench: BenchmarkId, instrs: u64) -> f64 {
+    let mut m = MachineBuilder::new(SimConfig::paper_smt_8wide().with_threads(1))
+        .thread(Box::new(bench.build(1)), EstimatorKind::None)
+        .seed(3)
+        .build();
+    m.run(instrs).ipc(0)
+}
+
+fn main() {
+    let instrs = 150_000;
+    let (a, b) = (BenchmarkId::Vortex, BenchmarkId::VprRoute);
+    println!("SMT pair: {} + {} ({} instructions/thread)\n", a, b, instrs);
+
+    let sa = single_ipc(a, instrs);
+    let sb = single_ipc(b, instrs);
+    println!("standalone IPC: {a} {sa:.3}, {b} {sb:.3}\n");
+
+    let configs: [(&str, EstimatorKind, FetchPolicy); 3] = [
+        ("ICount", EstimatorKind::None, FetchPolicy::ICount),
+        (
+            "JRS-t3 confidence",
+            EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+            FetchPolicy::Confidence,
+        ),
+        (
+            "PaCo confidence",
+            EstimatorKind::Paco(PacoConfig::paper()),
+            FetchPolicy::Confidence,
+        ),
+    ];
+
+    for (name, est, policy) in configs {
+        let mut m = MachineBuilder::new(SimConfig::paper_smt_8wide())
+            .thread(Box::new(a.build(1)), est)
+            .thread(Box::new(b.build(2)), est)
+            .fetch_policy(policy)
+            .seed(3)
+            .build();
+        let stats = m.run(instrs);
+        let (ia, ib) = (stats.ipc(0), stats.ipc(1));
+        println!(
+            "{name:<20} IPC {ia:.3}/{ib:.3}   HMWIPC {:.3}",
+            hmwipc(&[(sa, ia), (sb, ib)])
+        );
+    }
+
+    println!(
+        "\nvortex is almost never on a wrong path while vprRoute mispredicts\n\
+         constantly; a confidence-aware policy steers fetch bandwidth to the\n\
+         thread more likely on its goodpath, and PaCo's probability estimate\n\
+         makes that comparison sharper than a low-confidence branch count."
+    );
+}

@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: machine-level invariants that exercise
+//! workloads + predictors + estimators + the timing model together.
+
+use paco::{PacoConfig, ThresholdCountConfig};
+use paco_sim::{EstimatorKind, GatingPolicy, MachineBuilder, SimConfig};
+use paco_workloads::{BenchmarkId, ALL_BENCHMARKS};
+
+fn machine(bench: BenchmarkId, est: EstimatorKind, seed: u64) -> paco_sim::Machine {
+    MachineBuilder::new(SimConfig::paper_4wide())
+        .thread(Box::new(bench.build(seed)), est)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn every_benchmark_simulates_and_makes_progress() {
+    for bench in ALL_BENCHMARKS {
+        let mut m = machine(bench, EstimatorKind::Paco(PacoConfig::paper()), 3);
+        let stats = m.run(40_000);
+        let ipc = stats.ipc(0);
+        assert!(
+            ipc > 0.15 && ipc <= 4.0,
+            "{}: IPC {ipc} out of range",
+            bench.name()
+        );
+        assert!(stats.threads[0].fetched >= stats.threads[0].retired);
+        assert!(stats.threads[0].executed >= stats.threads[0].retired);
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_processes_and_estimators() {
+    for est in [
+        EstimatorKind::None,
+        EstimatorKind::Paco(PacoConfig::paper()),
+        EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+    ] {
+        let a = machine(BenchmarkId::Gap, est, 7).run(30_000);
+        let b = machine(BenchmarkId::Gap, est, 7).run(30_000);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.threads[0].fetched, b.threads[0].fetched);
+        assert_eq!(a.threads[0].executed_badpath, b.threads[0].executed_badpath);
+    }
+}
+
+#[test]
+fn estimator_choice_does_not_change_timing_without_gating() {
+    // Estimators only observe; with no gating the timing must be identical.
+    let a = machine(BenchmarkId::Crafty, EstimatorKind::None, 5).run(30_000);
+    let b = machine(
+        BenchmarkId::Crafty,
+        EstimatorKind::Paco(PacoConfig::paper()),
+        5,
+    )
+    .run(30_000);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.threads[0].cond_mispredicted, b.threads[0].cond_mispredicted);
+}
+
+#[test]
+fn mispredicts_produce_wrong_path_work_proportionally() {
+    // twolf mispredicts ~5x more often than vortex; its wrong-path traffic
+    // must be correspondingly larger.
+    let hard = machine(BenchmarkId::Twolf, EstimatorKind::None, 9).run(60_000);
+    let easy = machine(BenchmarkId::Vortex, EstimatorKind::None, 9).run(60_000);
+    let hard_frac =
+        hard.threads[0].fetched_badpath as f64 / hard.threads[0].fetched as f64;
+    let easy_frac =
+        easy.threads[0].fetched_badpath as f64 / easy.threads[0].fetched as f64;
+    assert!(
+        hard_frac > 2.0 * easy_frac,
+        "twolf badpath fraction {hard_frac:.3} vs vortex {easy_frac:.3}"
+    );
+}
+
+#[test]
+fn oracle_never_retires_wrong_path_instructions() {
+    // retired == fetched_goodpath − still-in-flight; every retired
+    // instruction must have been fetched on the goodpath.
+    let stats = machine(BenchmarkId::VprRoute, EstimatorKind::None, 11).run(50_000);
+    let t = &stats.threads[0];
+    let goodpath_fetched = t.fetched - t.fetched_badpath;
+    assert!(
+        t.retired <= goodpath_fetched,
+        "retired {} > goodpath fetched {}",
+        t.retired,
+        goodpath_fetched
+    );
+}
+
+#[test]
+fn full_gating_starves_fetch_completely() {
+    let mut m = MachineBuilder::new(SimConfig::paper_4wide())
+        .thread(
+            Box::new(BenchmarkId::Gzip.build(1)),
+            EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+        )
+        .gating(GatingPolicy::CountGate { gate_count: 0 })
+        .seed(1)
+        .build();
+    let stats = m.run_cycles(5_000);
+    assert_eq!(stats.threads[0].fetched, 0, "gate-count 0 blocks all fetch");
+    assert!(stats.threads[0].gated_cycles > 4_000);
+}
+
+#[test]
+fn mdc_bucket_rates_decrease_with_confidence() {
+    // Figure 2's shape: MDC-0 branches mispredict far more often than
+    // MDC-15 branches.
+    let stats = machine(BenchmarkId::Bzip2, EstimatorKind::None, 13).run(300_000);
+    let t = &stats.threads[0];
+    let low = t.mdc_bucket_mispredict_pct(0).expect("bucket 0 populated");
+    let high = t.mdc_bucket_mispredict_pct(15).expect("bucket 15 populated");
+    assert!(
+        low > 4.0 * high.max(0.5),
+        "MDC0 {low:.1}% should dwarf MDC15 {high:.1}%"
+    );
+}
+
+#[test]
+fn smt_shares_capacity_between_threads() {
+    let mut m = MachineBuilder::new(SimConfig::paper_smt_8wide())
+        .thread(Box::new(BenchmarkId::Gcc.build(1)), EstimatorKind::None)
+        .thread(Box::new(BenchmarkId::Mcf.build(2)), EstimatorKind::None)
+        .seed(17)
+        .build();
+    let stats = m.run(30_000);
+    // Both threads make progress; combined throughput exceeds either alone.
+    assert!(stats.ipc(0) > 0.1);
+    assert!(stats.ipc(1) > 0.1);
+}

@@ -1,0 +1,80 @@
+//! SMT fetch-prioritization integration tests (paper §5.2 at reduced
+//! scale).
+
+use paco::{PacoConfig, ThresholdCountConfig};
+use paco_bench::{single_thread_ipc_smt, smt_run};
+use paco_sim::{EstimatorKind, FetchPolicy};
+use paco_workloads::BenchmarkId;
+
+const INSTRS: u64 = 120_000;
+
+#[test]
+fn hmwipc_is_sane_under_every_policy() {
+    let pair = (BenchmarkId::Gzip, BenchmarkId::Twolf);
+    let sa = single_thread_ipc_smt(pair.0, INSTRS, 7);
+    let sb = single_thread_ipc_smt(pair.1, INSTRS, 7);
+    for (est, pol) in [
+        (EstimatorKind::None, FetchPolicy::RoundRobin),
+        (EstimatorKind::None, FetchPolicy::ICount),
+        (
+            EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+            FetchPolicy::Confidence,
+        ),
+        (
+            EstimatorKind::Paco(PacoConfig::paper()),
+            FetchPolicy::Confidence,
+        ),
+    ] {
+        let r = smt_run(pair, est, pol, (sa, sb), INSTRS, 7);
+        assert!(
+            r.hmwipc > 0.05 && r.hmwipc <= 1.3,
+            "HMWIPC {:.3} out of range for {est:?}/{pol:?}",
+            r.hmwipc
+        );
+        assert!(r.ipc[0] > 0.0 && r.ipc[1] > 0.0);
+    }
+}
+
+#[test]
+fn confidence_prioritization_helps_on_asymmetric_pairs() {
+    // vortex almost never leaves its goodpath; vprRoute mispredicts
+    // constantly. Confidence-based prioritization (with PaCo) should not
+    // lose to plain ICOUNT here — this is the paper's headline scenario.
+    let pair = (BenchmarkId::Vortex, BenchmarkId::VprRoute);
+    let sa = single_thread_ipc_smt(pair.0, INSTRS, 3);
+    let sb = single_thread_ipc_smt(pair.1, INSTRS, 3);
+    let icount = smt_run(pair, EstimatorKind::None, FetchPolicy::ICount, (sa, sb), INSTRS, 3);
+    let paco = smt_run(
+        pair,
+        EstimatorKind::Paco(PacoConfig::paper()),
+        FetchPolicy::Confidence,
+        (sa, sb),
+        INSTRS,
+        3,
+    );
+    assert!(
+        paco.hmwipc > icount.hmwipc * 0.95,
+        "PaCo HMWIPC {:.3} should be competitive with ICount {:.3}",
+        paco.hmwipc,
+        icount.hmwipc
+    );
+}
+
+#[test]
+fn smt_ipc_degrades_gracefully_vs_standalone() {
+    // In SMT mode each thread gets at most its standalone IPC.
+    let pair = (BenchmarkId::Crafty, BenchmarkId::Gap);
+    let sa = single_thread_ipc_smt(pair.0, INSTRS, 5);
+    let sb = single_thread_ipc_smt(pair.1, INSTRS, 5);
+    let r = smt_run(pair, EstimatorKind::None, FetchPolicy::ICount, (sa, sb), INSTRS, 5);
+    assert!(r.ipc[0] <= sa * 1.1, "thread 0: {} vs standalone {}", r.ipc[0], sa);
+    assert!(r.ipc[1] <= sb * 1.1, "thread 1: {} vs standalone {}", r.ipc[1], sb);
+}
+
+#[test]
+fn deterministic_smt_runs() {
+    let pair = (BenchmarkId::Gcc, BenchmarkId::Mcf);
+    let a = smt_run(pair, EstimatorKind::None, FetchPolicy::ICount, (1.0, 1.0), 50_000, 9);
+    let b = smt_run(pair, EstimatorKind::None, FetchPolicy::ICount, (1.0, 1.0), 50_000, 9);
+    assert_eq!(a.ipc, b.ipc);
+}
