@@ -1,9 +1,7 @@
 //! Reliability diagrams and RMS error for probabilistic forecasts.
 
-use serde::Serialize;
-
 /// One bin of a reliability diagram.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReliabilityPoint {
     /// Predicted goodpath probability for this bin, in percent (0–100).
     pub predicted_pct: f64,
@@ -15,7 +13,7 @@ pub struct ReliabilityPoint {
 
 /// A reliability diagram: predicted probability vs observed frequency,
 /// with per-bin occupancy (the paper's Figures 8–9).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ReliabilityDiagram {
     points: Vec<ReliabilityPoint>,
     total_instances: u64,

@@ -32,7 +32,8 @@ impl Table {
 
     /// Appends a row; missing cells render empty, extra cells are kept.
     pub fn row(&mut self, cells: &[&str]) -> &mut Self {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -72,7 +73,7 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1).max(0)));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -90,15 +91,15 @@ pub fn render_diagram_ascii(diagram: &ReliabilityDiagram, width: usize, height: 
     let height = height.max(10);
     let mut grid = vec![vec![' '; width]; height];
     // Diagonal reference.
+    // Index math on both axes: a range loop reads clearer than iterators.
+    #[allow(clippy::needless_range_loop)]
     for x in 0..width {
         let y = height - 1 - (x * (height - 1)) / (width - 1);
         grid[y][x] = '.';
     }
     for p in diagram.points() {
         let x = ((p.predicted_pct / 100.0) * (width - 1) as f64).round() as usize;
-        let y = height
-            - 1
-            - ((p.observed_pct / 100.0) * (height - 1) as f64).round() as usize;
+        let y = height - 1 - ((p.observed_pct / 100.0) * (height - 1) as f64).round() as usize;
         grid[y.min(height - 1)][x.min(width - 1)] = '*';
     }
     let mut out = String::new();

@@ -1,0 +1,112 @@
+//! Trace-subsystem benchmarks: raw encode/decode throughput of the
+//! binary format, and end-to-end simulator throughput with live
+//! generation vs. trace replay (streaming and preloaded).
+
+use std::io::Cursor;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use paco_sim::{EstimatorKind, MachineBuilder, SimConfig};
+use paco_trace::{workload_from_bytes, TraceMeta, TraceReader, TraceWriter};
+use paco_types::DynInstr;
+use paco_workloads::{BenchmarkId, BufferSource, TraceWorkload, Workload};
+
+const RECORDS: u64 = 200_000;
+const SIM_INSTRS: u64 = 20_000;
+const BENCH: BenchmarkId = BenchmarkId::Gzip;
+const SEED: u64 = 11;
+
+fn recorded_stream() -> (TraceMeta, Vec<DynInstr>) {
+    let mut w = BENCH.build(SEED);
+    let meta = TraceMeta::for_workload(&w);
+    let records = (0..RECORDS).map(|_| w.next_instr()).collect();
+    (meta, records)
+}
+
+fn encoded_trace() -> Vec<u8> {
+    let (meta, records) = recorded_stream();
+    let mut writer = TraceWriter::new(Cursor::new(Vec::new()), &meta).unwrap();
+    for r in &records {
+        writer.push_instr(r).unwrap();
+    }
+    writer.finish().unwrap().1.into_inner()
+}
+
+fn bench_codec_throughput(c: &mut Criterion) {
+    let (meta, records) = recorded_stream();
+    let bytes = encoded_trace();
+
+    let mut group = c.benchmark_group("trace_codec_200k");
+    group.throughput(Throughput::Elements(RECORDS));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut writer = TraceWriter::new(Cursor::new(Vec::new()), &meta).unwrap();
+            for r in &records {
+                writer.push_instr(r).unwrap();
+            }
+            writer.finish().unwrap().0.records
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut reader = TraceReader::new(Cursor::new(bytes.as_slice())).unwrap();
+            let mut n = 0u64;
+            while reader.next_record().unwrap().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn run_machine(workload: Box<dyn Workload>) -> u64 {
+    let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
+        .thread(workload, EstimatorKind::None)
+        .seed(SEED)
+        .build();
+    machine.run(SIM_INSTRS).threads[0].retired
+}
+
+fn bench_simulator_live_vs_replay(c: &mut Criterion) {
+    let bytes = encoded_trace();
+    let (meta, records) = recorded_stream();
+
+    let mut group = c.benchmark_group("simulate_20k_instructions");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(SIM_INSTRS));
+    group.bench_function("live_generation", |b| {
+        b.iter_batched(
+            || Box::new(BENCH.build(SEED)),
+            |w| run_machine(w),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("replay_streaming", |b| {
+        b.iter_batched(
+            || Box::new(workload_from_bytes(bytes.clone()).unwrap()),
+            |w| run_machine(w),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("replay_preloaded", |b| {
+        b.iter_batched(
+            || {
+                Box::new(TraceWorkload::new(
+                    meta.name.clone(),
+                    meta.params,
+                    Box::new(BufferSource::new(records.clone())),
+                ))
+            },
+            |w| run_machine(w),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec_throughput,
+    bench_simulator_live_vs_replay
+);
+criterion_main!(benches);

@@ -25,14 +25,20 @@ fn main() {
     let instrs = default_instrs(400_000);
     let seed = default_seed();
     println!("== Ablations ==");
-    println!("   ({} instructions/benchmark/config, seed {})\n", instrs, seed);
+    println!(
+        "   ({} instructions/benchmark/config, seed {})\n",
+        instrs, seed
+    );
 
     // 1. Refresh period sweep.
     println!("-- MRT refresh period (mean RMS across benchmarks) --");
     let mut t = Table::new(&["period (cycles)", "mean RMS"]);
     for period in [25_000u64, 50_000, 100_000, 200_000, 400_000, 800_000] {
         let est = EstimatorKind::Paco(PacoConfig::paper().with_refresh_period(period));
-        t.row_owned(vec![period.to_string(), format!("{:.4}", mean_rms(est, instrs, seed))]);
+        t.row_owned(vec![
+            period.to_string(),
+            format!("{:.4}", mean_rms(est, instrs, seed)),
+        ]);
     }
     println!("{}", t.render());
     println!("Paper claim: accuracy is not very sensitive to this period.\n");
@@ -42,7 +48,10 @@ fn main() {
     let mut t = Table::new(&["log mode", "mean RMS"]);
     for (name, mode) in [("Mitchell", LogMode::Mitchell), ("Exact", LogMode::Exact)] {
         let est = EstimatorKind::Paco(PacoConfig::paper().with_log_mode(mode));
-        t.row_owned(vec![name.to_string(), format!("{:.4}", mean_rms(est, instrs, seed))]);
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{:.4}", mean_rms(est, instrs, seed)),
+        ]);
     }
     println!("{}", t.render());
     println!("Expected: near-identical — the ratio subtraction cancels most error.\n");

@@ -63,10 +63,8 @@ fn main() {
                 base.total_badpath_executed(),
                 gated.total_badpath_executed(),
             );
-            fetch_red += badpath_reduction_pct(
-                base.total_badpath_fetched(),
-                gated.total_badpath_fetched(),
-            );
+            fetch_red +=
+                badpath_reduction_pct(base.total_badpath_fetched(), gated.total_badpath_fetched());
         }
         let n = ALL_BENCHMARKS.len() as f64;
         (loss / n, exec_red / n, fetch_red / n)

@@ -36,7 +36,10 @@ fn main() {
     let instrs = default_instrs(200_000);
     let seed = default_seed();
     println!("== Figure 12: SMT fetch prioritization (HMWIPC) ==");
-    println!("   ({} instructions/thread/config, seed {})\n", instrs, seed);
+    println!(
+        "   ({} instructions/thread/config, seed {})\n",
+        instrs, seed
+    );
 
     // Standalone IPCs on the 8-wide machine (the SingleIPC terms).
     let mut single = std::collections::BTreeMap::new();

@@ -23,7 +23,10 @@ fn main() {
     let seed = default_seed();
 
     println!("== Figure 3(a): observed goodpath probability at counter = {COUNTER} ==");
-    println!("   (JRS threshold 3, {} instructions/benchmark, seed {})\n", instrs, seed);
+    println!(
+        "   (JRS threshold 3, {} instructions/benchmark, seed {})\n",
+        instrs, seed
+    );
     let mut t = Table::new(&["bench", "P(goodpath | count=5)", "instances"]);
     for bench in [
         BenchmarkId::Crafty,
@@ -48,7 +51,13 @@ fn main() {
     println!("== Figure 3(b): same, across phases of mcf and gcc ==\n");
     let mut t = Table::new(&["phase", "P(goodpath | count=5)", "instances"]);
     // mcf: two phases of 400k instructions each.
-    let mcf = phase_bins(BenchmarkId::Mcf, 400_000, 2, 1_600_000.min(instrs * 3), seed);
+    let mcf = phase_bins(
+        BenchmarkId::Mcf,
+        400_000,
+        2,
+        1_600_000.min(instrs * 3),
+        seed,
+    );
     for (i, bins) in mcf.iter().enumerate() {
         let (n, good) = bins[COUNTER];
         t.row_owned(vec![

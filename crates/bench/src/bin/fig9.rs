@@ -48,17 +48,16 @@ fn main() {
         }
     }
 
-    let cumulative = ReliabilityDiagram::from_bins(
-        &all_bins
-            .iter()
-            .fold(vec![(0u64, 0u64); 101], |mut acc, bins| {
-                for (a, b) in acc.iter_mut().zip(bins) {
-                    a.0 += b.0;
-                    a.1 += b.1;
-                }
-                acc
-            }),
-    );
+    let cumulative = ReliabilityDiagram::from_bins(&all_bins.iter().fold(
+        vec![(0u64, 0u64); 101],
+        |mut acc, bins| {
+            for (a, b) in acc.iter_mut().zip(bins) {
+                a.0 += b.0;
+                a.1 += b.1;
+            }
+            acc
+        },
+    ));
     println!("---- cumulative (all benchmarks, Figure 9(f)) ----");
     println!("{}", render_diagram_ascii(&cumulative, 60, 22));
     println!("cumulative RMS: {:.4}\n", cumulative.rms_error());

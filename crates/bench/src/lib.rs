@@ -21,6 +21,6 @@
 pub mod runner;
 
 pub use runner::{
-    accuracy_run, default_instrs, default_seed, default_warmup, gating_run,
-    single_thread_ipc_smt, smt_run, AccuracyResult, GatingResult, SmtResult,
+    accuracy_run, default_instrs, default_seed, default_warmup, gating_run, single_thread_ipc_smt,
+    smt_run, AccuracyResult, GatingResult, SmtResult,
 };

@@ -2,9 +2,7 @@
 
 use paco::PacoConfig;
 use paco_analysis::ReliabilityDiagram;
-use paco_sim::{
-    EstimatorKind, FetchPolicy, GatingPolicy, MachineBuilder, MachineStats, SimConfig,
-};
+use paco_sim::{EstimatorKind, FetchPolicy, GatingPolicy, MachineBuilder, MachineStats, SimConfig};
 use paco_workloads::BenchmarkId;
 
 /// Default per-run instruction budget; override with `PACO_INSTRS`.

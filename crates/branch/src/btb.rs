@@ -14,7 +14,10 @@ pub struct BtbConfig {
 impl BtbConfig {
     /// A typical 4K-entry, 4-way BTB.
     pub const fn paper() -> Self {
-        BtbConfig { sets: 1024, ways: 4 }
+        BtbConfig {
+            sets: 1024,
+            ways: 4,
+        }
     }
 
     /// A tiny configuration for unit tests.

@@ -30,7 +30,10 @@ impl SaturatingCounter {
         assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
         let max = ((1u16 << bits) - 1) as u8;
         assert!(initial <= max, "initial value {initial} exceeds max {max}");
-        SaturatingCounter { value: initial, max }
+        SaturatingCounter {
+            value: initial,
+            max,
+        }
     }
 
     /// Current counter value.

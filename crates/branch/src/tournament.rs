@@ -185,7 +185,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 60, "tournament should track gshare: {correct}/64");
+        assert!(
+            correct >= 60,
+            "tournament should track gshare: {correct}/64"
+        );
     }
 
     #[test]

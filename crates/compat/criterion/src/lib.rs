@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! registry, so this local crate implements the subset of the criterion
+//! API the workspace's benches use — and actually measures: each bench
+//! runs a warmup iteration, then iterates until both a minimum iteration
+//! count and a wall-clock target are met, and reports mean time per
+//! iteration (plus element throughput when configured).
+//!
+//! Not implemented: statistical analysis, outlier detection, HTML reports,
+//! baselines, and CLI filtering. `cargo bench` output is plain text.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// stand-in times each routine invocation individually, which is closest
+/// to `PerIteration`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (records, instructions, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Measurement {
+    fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+/// Per-invocation timing driver handed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    min_iters: u64,
+    target: Duration,
+    measurement: Option<Measurement>,
+}
+
+impl Bencher {
+    fn new(min_iters: u64, target: Duration) -> Self {
+        Bencher {
+            min_iters,
+            target,
+            measurement: None,
+        }
+    }
+
+    /// Times repeated invocations of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warmup
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if iters >= self.min_iters && elapsed >= self.target {
+                break;
+            }
+            if elapsed >= self.target * 20 {
+                break; // safety valve for very slow bodies
+            }
+        }
+        self.measurement = Some(Measurement {
+            iters,
+            elapsed: start.elapsed(),
+        });
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warmup
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0u64;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+            if (iters >= self.min_iters && elapsed >= self.target) || elapsed >= self.target * 20 {
+                break;
+            }
+        }
+        self.measurement = Some(Measurement { iters, elapsed });
+    }
+}
+
+/// The benchmark driver (one per `criterion_group!`).
+#[derive(Debug)]
+pub struct Criterion {
+    min_iters: u64,
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            min_iters: 10,
+            target: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(id, None, self.min_iters, self.target, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            min_iters: 10,
+            target: Duration::from_millis(60),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample/throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    min_iters: u64,
+    target: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.min_iters = n.max(1) as u64;
+        self
+    }
+
+    /// Declares per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs and reports one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.throughput, self.min_iters, self.target, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    id: &str,
+    throughput: Option<Throughput>,
+    min_iters: u64,
+    target: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher::new(min_iters, target);
+    f(&mut bencher);
+    match bencher.measurement {
+        None => println!("{id:<44} (no measurement: bench body never called iter)"),
+        Some(m) => {
+            let ns = m.ns_per_iter();
+            let time = if ns < 1_000.0 {
+                format!("{ns:.1} ns")
+            } else if ns < 1_000_000.0 {
+                format!("{:.2} µs", ns / 1_000.0)
+            } else {
+                format!("{:.3} ms", ns / 1_000_000.0)
+            };
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: {:.2} Melem/s", n as f64 * 1_000.0 / ns)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(
+                        "  thrpt: {:.2} MiB/s",
+                        n as f64 * 1e9 / ns / (1 << 20) as f64
+                    )
+                }
+                None => String::new(),
+            };
+            println!("{id:<44} time: {time}/iter ({} iters){rate}", m.iters);
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups (`harness = false` benches).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::new(3, Duration::from_millis(1));
+        b.iter(|| std::hint::black_box(2u64 + 2));
+        let m = b.measurement.expect("measurement recorded");
+        assert!(m.iters >= 3);
+    }
+
+    #[test]
+    fn iter_batched_measures_routine_only() {
+        let mut b = Bencher::new(2, Duration::from_millis(1));
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput);
+        assert!(b.measurement.is_some());
+    }
+}

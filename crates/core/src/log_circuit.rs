@@ -109,7 +109,9 @@ impl LogCircuit {
             return EncodedProb::CERTAIN;
         }
         let total = correct + mispred;
-        let raw = self.log2_fixed(total).saturating_sub(self.log2_fixed(correct));
+        let raw = self
+            .log2_fixed(total)
+            .saturating_sub(self.log2_fixed(correct));
         EncodedProb::from_raw(raw)
     }
 }

@@ -291,7 +291,11 @@ mod tests {
         let t = p.on_fetch(cond(0)); // contributes the *old* encoding (certainty)
         p.tick(10); // refresh: bucket 0 now encodes very low probability
         p.on_resolve(t, false);
-        assert_eq!(p.score(), ConfidenceScore(0), "register must return to zero");
+        assert_eq!(
+            p.score(),
+            ConfidenceScore(0),
+            "register must return to zero"
+        );
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! The conventional threshold-and-count path confidence predictor.
 
-use crate::{
-    BranchFetchInfo, BranchToken, ConfidenceScore, PathConfidenceEstimator,
-};
+use crate::{BranchFetchInfo, BranchToken, ConfidenceScore, PathConfidenceEstimator};
 
 /// Configuration for a [`ThresholdCountPredictor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,8 +1,8 @@
 //! Appendix-A ablation variants: static MRT and per-branch MRT.
 
 use crate::{
-    BranchFetchInfo, BranchToken, ConfidenceScore, EncodedProb, LogCircuit, LogMode,
-    MrtBucket, PathConfidenceCalculator, PathConfidenceEstimator,
+    BranchFetchInfo, BranchToken, ConfidenceScore, EncodedProb, LogCircuit, LogMode, MrtBucket,
+    PathConfidenceCalculator, PathConfidenceEstimator,
 };
 use paco_branch::Mdc;
 use paco_types::Probability;
@@ -317,7 +317,10 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(StaticMrtPredictor::with_default_profile().name(), "StaticMRT");
+        assert_eq!(
+            StaticMrtPredictor::with_default_profile().name(),
+            "StaticMRT"
+        );
         assert_eq!(
             PerBranchMrtPredictor::new(PerBranchMrtConfig::paper()).name(),
             "PerBranchMRT"

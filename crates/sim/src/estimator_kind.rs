@@ -70,7 +70,10 @@ mod tests {
             EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
         ];
         let names: Vec<String> = kinds.iter().map(|k| k.build().name()).collect();
-        assert_eq!(names, ["none", "PaCo", "JRS-t3", "StaticMRT", "PerBranchMRT"]);
+        assert_eq!(
+            names,
+            ["none", "PaCo", "JRS-t3", "StaticMRT", "PerBranchMRT"]
+        );
     }
 
     #[test]

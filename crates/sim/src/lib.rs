@@ -49,6 +49,6 @@ mod stats;
 pub use cache::{Cache, CacheConfig, CacheHierarchy};
 pub use config::SimConfig;
 pub use estimator_kind::{EstimatorKind, NullEstimator};
-pub use machine::{Machine, MachineBuilder};
+pub use machine::{Machine, MachineBuilder, TraceSink};
 pub use policy::{FetchPolicy, GatingPolicy};
 pub use stats::{MachineStats, ThreadStats, PROB_BINS, SCORE_BINS};

@@ -20,8 +20,7 @@ use paco_types::{ControlKind, Cycle, DynInstr, GlobalHistory, InstrClass, Pc, Sp
 use paco_workloads::{Workload, WrongPathGen};
 
 use crate::{
-    CacheHierarchy, EstimatorKind, FetchPolicy, GatingPolicy, MachineStats, SimConfig,
-    ThreadStats,
+    CacheHierarchy, EstimatorKind, FetchPolicy, GatingPolicy, MachineStats, SimConfig, ThreadStats,
 };
 
 /// Size of the completion event wheel; must exceed the largest possible
@@ -64,6 +63,28 @@ enum PathState {
     Bad { gen: WrongPathGen },
 }
 
+/// Observer of a thread's goodpath instruction stream, for trace
+/// recording (the `paco-trace` crate's `TraceRecorder` implements this
+/// via the blanket closure impl).
+///
+/// The sink sees every goodpath instruction the thread pulls from its
+/// workload, in program order. Because wrong-path instructions are
+/// synthesized separately (never pulled from the workload) and goodpath
+/// instructions are never squashed, this pull order **is** the retired
+/// instruction order; the stream additionally includes the handful of
+/// instructions still in flight (or peeked for an I-cache probe) when the
+/// run stops — exactly the suffix a bit-exact replay of the run needs.
+pub trait TraceSink {
+    /// Called once per goodpath instruction, in program order.
+    fn record(&mut self, instr: &DynInstr);
+}
+
+impl<F: FnMut(&DynInstr)> TraceSink for F {
+    fn record(&mut self, instr: &DynInstr) {
+        self(instr)
+    }
+}
+
 struct Thread {
     workload: Box<dyn Workload>,
     estimator: Box<dyn PathConfidenceEstimator>,
@@ -79,6 +100,7 @@ struct Thread {
     in_flight: usize,
     wp_seeds: SplitMix64,
     stats: ThreadStats,
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl std::fmt::Debug for Thread {
@@ -92,6 +114,16 @@ impl std::fmt::Debug for Thread {
 }
 
 impl Thread {
+    /// Pulls the next goodpath instruction from the workload, teeing it
+    /// into the trace sink when one is attached.
+    fn pull_instr(&mut self) -> DynInstr {
+        let instr = self.workload.next_instr();
+        if let Some(sink) = &mut self.sink {
+            sink.record(&instr);
+        }
+        instr
+    }
+
     fn slot_by_seq(&self, seq: u64) -> Option<&Slot> {
         if seq < self.rob_front_seq {
             return None;
@@ -125,7 +157,7 @@ impl Thread {
         match &self.path {
             PathState::Good => {
                 if self.pending.is_none() {
-                    self.pending = Some(self.workload.next_instr());
+                    self.pending = Some(self.pull_instr());
                 }
                 self.pending.as_ref().unwrap().pc
             }
@@ -184,10 +216,14 @@ impl std::fmt::Debug for Machine {
     }
 }
 
+/// A thread specification accumulated by the builder: workload,
+/// estimator, and optional trace sink.
+type ThreadSpec = (Box<dyn Workload>, EstimatorKind, Option<Box<dyn TraceSink>>);
+
 /// Builder for [`Machine`].
 pub struct MachineBuilder {
     config: SimConfig,
-    threads: Vec<(Box<dyn Workload>, EstimatorKind)>,
+    threads: Vec<ThreadSpec>,
     gating: GatingPolicy,
     fetch_policy: FetchPolicy,
     seed: u64,
@@ -219,7 +255,24 @@ impl MachineBuilder {
 
     /// Adds a hardware thread running `workload` with the given estimator.
     pub fn thread(mut self, workload: Box<dyn Workload>, estimator: EstimatorKind) -> Self {
-        self.threads.push((workload, estimator));
+        self.threads.push((workload, estimator, None));
+        self
+    }
+
+    /// Attaches a trace sink to the most recently added thread; the sink
+    /// observes that thread's goodpath instruction stream (see
+    /// [`TraceSink`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no thread has been added yet.
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        let slot = &mut self
+            .threads
+            .last_mut()
+            .expect("trace_sink requires a preceding .thread(..) call")
+            .2;
+        *slot = Some(sink);
         self
     }
 
@@ -248,7 +301,10 @@ impl MachineBuilder {
     /// Panics if no threads were added or more threads than
     /// `config.threads` were added.
     pub fn build(self) -> Machine {
-        assert!(!self.threads.is_empty(), "machine needs at least one thread");
+        assert!(
+            !self.threads.is_empty(),
+            "machine needs at least one thread"
+        );
         assert!(
             self.threads.len() <= self.config.threads,
             "more workloads than configured hardware threads"
@@ -257,7 +313,7 @@ impl MachineBuilder {
         let threads = self
             .threads
             .into_iter()
-            .map(|(workload, est)| Thread {
+            .map(|(workload, est, sink)| Thread {
                 workload,
                 estimator: est.build(),
                 hist: GlobalHistory::new(self.config.tournament.history_bits.max(8)),
@@ -272,6 +328,7 @@ impl MachineBuilder {
                 in_flight: 0,
                 wp_seeds: seeder.fork(),
                 stats: ThreadStats::new(),
+                sink,
             })
             .collect();
         Machine {
@@ -300,10 +357,7 @@ impl Machine {
     /// goodpath instructions (or the configured cycle cap is hit).
     /// Returns the accumulated statistics.
     pub fn run(&mut self, instructions: u64) -> MachineStats {
-        while self
-            .threads
-            .iter()
-            .any(|t| t.stats.retired < instructions)
+        while self.threads.iter().any(|t| t.stats.retired < instructions)
             && self.cycle < self.config.max_cycles
         {
             self.step();
@@ -344,6 +398,17 @@ impl Machine {
     /// The current cycle.
     pub fn cycle(&self) -> Cycle {
         self.cycle
+    }
+
+    /// Detaches and returns thread `tid`'s trace sink, if one was
+    /// attached, so the caller can finalize it (flush buffered chunks,
+    /// patch the trace header) after a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn take_trace_sink(&mut self, tid: usize) -> Option<Box<dyn TraceSink>> {
+        self.threads[tid].sink.take()
     }
 
     /// Advances the machine by one cycle.
@@ -678,7 +743,7 @@ impl Machine {
                 if on_goodpath {
                     match t.pending.take() {
                         Some(i) => i,
-                        None => t.workload.next_instr(),
+                        None => t.pull_instr(),
                     }
                 } else {
                     match &mut t.path {
@@ -732,7 +797,6 @@ impl Machine {
         fetched
     }
 
-
     /// Handles prediction, confidence allocation and path bookkeeping for a
     /// fetched control instruction. Returns the control state, the
     /// confidence token, and whether fetch was redirected (ends the group).
@@ -752,10 +816,8 @@ impl Machine {
                     let predicted = self.predictor.predict(pc, hist_before);
                     let idx = self.mdc.index(pc, hist_before, predicted);
                     let mdc = self.mdc.read(idx);
-                    let info = BranchFetchInfo::conditional_keyed(
-                        mdc,
-                        pc.table_hash() ^ hist_before,
-                    );
+                    let info =
+                        BranchFetchInfo::conditional_keyed(mdc, pc.table_hash() ^ hist_before);
                     let mispred = on_goodpath && predicted != instr.taken;
                     let wrong = if predicted { instr.target } else { pc.next() };
                     (predicted, mispred, wrong, Some(idx), Some(mdc), info)
@@ -770,8 +832,7 @@ impl Machine {
                 ),
                 ControlKind::Return => {
                     let predicted_target = self.threads[tid].ras.pop();
-                    let mispred =
-                        on_goodpath && predicted_target != Some(instr.target);
+                    let mispred = on_goodpath && predicted_target != Some(instr.target);
                     (
                         true,
                         mispred,
@@ -783,8 +844,7 @@ impl Machine {
                 }
                 ControlKind::Indirect => {
                     let predicted_target = self.indirect.predict(pc);
-                    let mispred =
-                        on_goodpath && predicted_target != Some(instr.target);
+                    let mispred = on_goodpath && predicted_target != Some(instr.target);
                     (
                         true,
                         mispred,
@@ -812,9 +872,7 @@ impl Machine {
         if on_goodpath {
             if mispredicted {
                 let seed = self.threads[tid].wp_seeds.next_u64();
-                let gen = self.threads[tid]
-                    .workload
-                    .wrong_path(wrong_target, seed);
+                let gen = self.threads[tid].workload.wrong_path(wrong_target, seed);
                 self.threads[tid].path = PathState::Bad { gen };
             }
             // On the goodpath the trace itself continues at the actual
@@ -876,8 +934,14 @@ mod tests {
         let mut m = small_machine(EstimatorKind::None);
         let stats = m.run(30_000);
         let t = &stats.threads[0];
-        assert!(t.fetched_badpath > 0, "mispredicts must cause wrong-path fetch");
-        assert!(t.executed_badpath > 0, "some wrong-path instrs must execute");
+        assert!(
+            t.fetched_badpath > 0,
+            "mispredicts must cause wrong-path fetch"
+        );
+        assert!(
+            t.executed_badpath > 0,
+            "some wrong-path instrs must execute"
+        );
         assert!(t.fetched > t.retired);
         // Badpath never retires: retired == goodpath instruction count.
         assert!(t.fetched - t.fetched_badpath >= t.retired);
@@ -1058,6 +1122,9 @@ mod tests {
         let s2 = small_machine(EstimatorKind::Paco(PacoConfig::paper())).run(30_000);
         assert_eq!(s1.cycles, s2.cycles);
         assert_eq!(s1.threads[0].retired, s2.threads[0].retired);
-        assert_eq!(s1.threads[0].cond_mispredicted, s2.threads[0].cond_mispredicted);
+        assert_eq!(
+            s1.threads[0].cond_mispredicted,
+            s2.threads[0].cond_mispredicted
+        );
     }
 }

@@ -7,9 +7,10 @@ use paco_types::Probability;
 /// throttling extension of Aragón et al. discussed in §6).
 ///
 /// The policy maps the current confidence score to an allowed fetch width.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum GatingPolicy {
     /// Never gate.
+    #[default]
     None,
     /// Conventional gating: stop fetch while the number of unresolved
     /// low-confidence branches is at least `gate_count` (Manne et al.).
@@ -100,12 +101,6 @@ impl GatingPolicy {
                 }
             }
         }
-    }
-}
-
-impl Default for GatingPolicy {
-    fn default() -> Self {
-        GatingPolicy::None
     }
 }
 

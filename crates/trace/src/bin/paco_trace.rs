@@ -1,0 +1,332 @@
+//! `paco-trace`: record, replay, inspect and compare branch traces.
+//!
+//! ```text
+//! paco-trace record --bench <name> --out <file> [--instrs N] [--seed S] [--sim]
+//! paco-trace replay --trace <file> [--instrs N] [--seed S] [--estimator paco|count|none]
+//! paco-trace info   --trace <file>
+//! paco-trace diff   <a> <b>
+//! ```
+//!
+//! `record` captures a synthetic benchmark's goodpath stream directly
+//! (fast path), or — with `--sim` — by running the cycle-level simulator
+//! with a `TraceRecorder` attached to its trace-sink hook, which also
+//! captures the in-flight tail needed for bit-exact replay of that run.
+//! `replay` streams a trace back through the simulator.
+
+use std::process::ExitCode;
+
+use paco::{PacoConfig, ThresholdCountConfig};
+use paco_sim::{EstimatorKind, MachineBuilder, SimConfig};
+use paco_trace::{open_workload, TraceError, TraceMeta, TraceReader, TraceRecorder, TraceWriter};
+use paco_types::InstrClass;
+use paco_workloads::{BenchmarkId, Workload, ALL_BENCHMARKS};
+
+const USAGE: &str = "\
+usage:
+  paco-trace record --bench <name> --out <file> [--instrs N] [--seed S] [--sim]
+  paco-trace replay --trace <file> [--instrs N] [--seed S] [--estimator paco|count|none]
+  paco-trace info   --trace <file>
+  paco-trace diff   <a> <b>
+
+benchmarks: bzip2 crafty gcc gap gzip mcf parser perlbmk twolf vortex
+            vprPlace vprRoute
+defaults:   --instrs 1000000, --seed 1, --estimator paco";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        Some("info") => info(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("paco-trace: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus positionals.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    positional: Vec<String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], keys: &[&str], switches: &[&str]) -> Result<Self, String> {
+        let mut flags = Flags {
+            pairs: Vec::new(),
+            positional: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if switches.contains(&name) {
+                    flags.switches.push(name.to_string());
+                } else if keys.contains(&name) {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    flags.pairs.push((name.to_string(), value.clone()));
+                    i += 1;
+                } else {
+                    let mut known: Vec<&str> = keys.iter().chain(switches).copied().collect();
+                    known.sort_unstable();
+                    return Err(format!(
+                        "unknown flag `--{name}` (known: --{})",
+                        known.join(" --")
+                    ));
+                }
+            } else {
+                flags.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(flags)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects an integer, got `{v}`")),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn parse_bench(name: &str) -> Result<BenchmarkId, String> {
+    BenchmarkId::from_name(name).ok_or_else(|| {
+        let known: Vec<&str> = ALL_BENCHMARKS.iter().map(|b| b.name()).collect();
+        format!("unknown benchmark `{name}` (known: {})", known.join(" "))
+    })
+}
+
+fn parse_estimator(name: &str) -> Result<EstimatorKind, String> {
+    match name {
+        "paco" => Ok(EstimatorKind::Paco(PacoConfig::paper())),
+        "count" => Ok(EstimatorKind::ThresholdCount(
+            ThresholdCountConfig::paper_default(),
+        )),
+        "none" => Ok(EstimatorKind::None),
+        other => Err(format!("unknown estimator `{other}` (paco|count|none)")),
+    }
+}
+
+fn trace_err(e: TraceError) -> String {
+    e.to_string()
+}
+
+fn record(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["bench", "out", "instrs", "seed"], &["sim"])?;
+    let bench = parse_bench(flags.get("bench").ok_or("record needs --bench")?)?;
+    let out = flags.get("out").ok_or("record needs --out")?.to_string();
+    let instrs = flags.get_u64("instrs", 1_000_000)?;
+    let seed = flags.get_u64("seed", 1)?;
+
+    let summary = if flags.has("sim") {
+        let workload = bench.build(seed);
+        let recorder =
+            TraceRecorder::create(&out, &TraceMeta::for_workload(&workload)).map_err(trace_err)?;
+        let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
+            .thread(Box::new(workload), EstimatorKind::Paco(PacoConfig::paper()))
+            .trace_sink(recorder.sink())
+            .seed(seed)
+            .build();
+        let stats = machine.run(instrs);
+        let summary = recorder.finish().map_err(trace_err)?;
+        println!(
+            "simulated {} cycles, retired {} instructions",
+            stats.cycles, stats.threads[0].retired
+        );
+        summary
+    } else {
+        let mut workload = bench.build(seed);
+        let mut writer =
+            TraceWriter::create(&out, &TraceMeta::for_workload(&workload)).map_err(trace_err)?;
+        for _ in 0..instrs {
+            writer
+                .push_instr(&workload.next_instr())
+                .map_err(trace_err)?;
+        }
+        let (summary, _) = writer.finish().map_err(trace_err)?;
+        summary
+    };
+    println!(
+        "recorded {} -> {out}: {} records, {} chunks, {:.2} payload bytes/record",
+        bench.name(),
+        summary.records,
+        summary.chunks,
+        summary.payload_bytes as f64 / summary.records.max(1) as f64,
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn replay(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["trace", "instrs", "seed", "estimator"], &[])?;
+    let path = flags.get("trace").ok_or("replay needs --trace")?;
+    let instrs = flags.get_u64("instrs", 1_000_000)?;
+    let seed = flags.get_u64("seed", 1)?;
+    let estimator = parse_estimator(flags.get("estimator").unwrap_or("paco"))?;
+
+    let workload = open_workload(path).map_err(trace_err)?;
+    let name = workload.name().to_string();
+    let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
+        .thread(Box::new(workload), estimator)
+        .seed(seed)
+        .build();
+    let stats = machine.run(instrs);
+    let t = &stats.threads[0];
+    println!("replayed {name} from {path}");
+    println!("  cycles               {}", stats.cycles);
+    println!("  retired              {}", t.retired);
+    println!("  ipc                  {:.3}", stats.ipc(0));
+    println!(
+        "  cond mispredict      {} ({:.2}%)",
+        t.cond_mispredicted,
+        t.cond_mispredict_pct().unwrap_or(0.0)
+    );
+    println!(
+        "  overall mispredict   {} ({:.2}%)",
+        t.control_mispredicted,
+        t.overall_mispredict_pct().unwrap_or(0.0)
+    );
+    println!("  wrong-path fetched   {}", t.fetched_badpath);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn info(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &["trace"], &[])?;
+    let path = flags.get("trace").ok_or("info needs --trace")?;
+    let mut reader = TraceReader::open(path).map_err(trace_err)?;
+    let meta = reader.meta().clone();
+    let declared = reader.declared_records();
+
+    let mut per_class = [0u64; 10];
+    let mut taken = 0u64;
+    let mut control = 0u64;
+    let mut records = 0u64;
+    for r in reader.records() {
+        let r = r.map_err(trace_err)?;
+        per_class[r.class.code() as usize] += 1;
+        records += 1;
+        if r.class.is_control() {
+            control += 1;
+            taken += r.taken as u64;
+        }
+    }
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+
+    println!("{path}");
+    println!("  workload        {}", meta.name);
+    println!(
+        "  code footprint  {:#x} + {} bytes",
+        meta.params.code_base, meta.params.code_bytes
+    );
+    println!(
+        "  data footprint  {:#x} + {} bytes ({} streams, locality {:.2})",
+        meta.params.data.base,
+        meta.params.data.footprint,
+        meta.params.data.streams,
+        meta.params.data.locality
+    );
+    match declared {
+        Some(d) => println!("  records         {records} (header declares {d})"),
+        None => println!("  records         {records} (header not finalized)"),
+    }
+    println!(
+        "  file size       {bytes} bytes ({:.2} bytes/record)",
+        bytes as f64 / records.max(1) as f64
+    );
+    let class_names = [
+        "alu", "muldiv", "load", "store", "nop", "cond", "jump", "call", "indirect", "return",
+    ];
+    for (name, &n) in class_names.iter().zip(&per_class) {
+        if n > 0 {
+            println!(
+                "  {name:<8}        {n} ({:.2}%)",
+                100.0 * n as f64 / records as f64
+            );
+        }
+    }
+    if control > 0 {
+        println!(
+            "  taken rate      {:.2}% of {control} control instructions",
+            100.0 * taken as f64 / control as f64
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn diff(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &[], &[])?;
+    let [a_path, b_path] = flags.positional.as_slice() else {
+        return Err("diff needs exactly two trace paths".into());
+    };
+    let mut a = TraceReader::open(a_path).map_err(trace_err)?;
+    let mut b = TraceReader::open(b_path).map_err(trace_err)?;
+    if a.meta() != b.meta() {
+        println!("headers differ:");
+        println!("  a: {:?}", a.meta());
+        println!("  b: {:?}", b.meta());
+        return Ok(ExitCode::FAILURE);
+    }
+    let mut index = 0u64;
+    loop {
+        let ra = a.next_record().map_err(|e| format!("{a_path}: {e}"))?;
+        let rb = b.next_record().map_err(|e| format!("{b_path}: {e}"))?;
+        match (ra, rb) {
+            (None, None) => {
+                println!("identical ({index} records)");
+                return Ok(ExitCode::SUCCESS);
+            }
+            (Some(_), None) => {
+                println!("{b_path} ends at record {index}; {a_path} continues");
+                return Ok(ExitCode::FAILURE);
+            }
+            (None, Some(_)) => {
+                println!("{a_path} ends at record {index}; {b_path} continues");
+                return Ok(ExitCode::FAILURE);
+            }
+            (Some(ra), Some(rb)) if ra != rb => {
+                println!("first divergence at record {index}:");
+                println!("  a: {ra:?}");
+                println!("  b: {rb:?}");
+                return Ok(ExitCode::FAILURE);
+            }
+            _ => index += 1,
+        }
+    }
+}
+
+/// Classes are indexed by `InstrClass::code()`, which `info` relies on
+/// staying dense; keep this assertion in sync with the types crate.
+#[allow(dead_code)]
+const _: () = {
+    assert!(InstrClass::Alu.code() == 0);
+    assert!(InstrClass::from_code(9).is_some());
+    assert!(InstrClass::from_code(10).is_none());
+};

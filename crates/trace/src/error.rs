@@ -1,0 +1,65 @@
+//! Error type for trace encoding, decoding and I/O.
+
+use std::fmt;
+
+/// Everything that can go wrong reading or writing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// The file's format version is not supported by this reader.
+    UnsupportedVersion(u32),
+    /// The header is structurally invalid.
+    BadHeader(String),
+    /// The file ends in the middle of a chunk header or payload.
+    Truncated {
+        /// Index of the chunk being read when the file ended.
+        chunk: u64,
+    },
+    /// A chunk failed checksum or record-level validation.
+    CorruptChunk {
+        /// Index of the offending chunk.
+        chunk: u64,
+        /// What failed.
+        detail: String,
+    },
+    /// The trace contains no records (cannot back a replay workload).
+    Empty,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a paco trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceError::BadHeader(detail) => write!(f, "invalid trace header: {detail}"),
+            TraceError::Truncated { chunk } => {
+                write!(f, "trace truncated in chunk {chunk}")
+            }
+            TraceError::CorruptChunk { chunk, detail } => {
+                write!(f, "corrupt trace chunk {chunk}: {detail}")
+            }
+            TraceError::Empty => write!(f, "trace contains no records"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}

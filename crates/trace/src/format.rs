@@ -1,0 +1,296 @@
+//! On-disk format primitives: magic/version constants, LEB128 varints,
+//! ZigZag signed mapping, CRC-32 checksums and the header metadata block.
+//!
+//! See the crate-level docs for the full format specification.
+
+use crate::error::TraceError;
+use paco_workloads::{DataParams, Workload, WrongPathParams};
+
+/// File magic: the first eight bytes of every trace.
+pub const MAGIC: [u8; 8] = *b"PACOTRAC";
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Records per chunk (the writer's flush threshold).
+pub const CHUNK_RECORDS: u32 = 4096;
+
+/// Upper bound accepted for a chunk payload, guarding decoders against
+/// corrupt length fields. Generous: a worst-case record is < 40 bytes.
+pub const MAX_CHUNK_PAYLOAD: u32 = 1 << 22;
+
+/// Sentinel stored in the header's record-count field until
+/// `TraceWriter::finish` patches in the real count.
+pub const COUNT_UNKNOWN: u64 = u64::MAX;
+
+/// Fixed-size header prefix length (up to and excluding the name bytes).
+pub const HEADER_FIXED_LEN: usize = 72;
+
+/// Maximum workload-name length, enforced symmetrically by writer and
+/// reader.
+pub const MAX_NAME_LEN: usize = 4096;
+
+/// Workload identity recorded in a trace header.
+///
+/// Carries everything replay needs beyond the instruction stream itself:
+/// the display name and the wrong-path synthesis parameters that make a
+/// replayed run reproduce the live run's wrong-path excursions exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Workload display name (e.g. the benchmark the model imitates).
+    pub name: String,
+    /// Wrong-path synthesis parameters of the recorded workload.
+    pub params: WrongPathParams,
+}
+
+impl TraceMeta {
+    /// Captures the metadata of a live workload.
+    pub fn for_workload(workload: &dyn Workload) -> Self {
+        TraceMeta {
+            name: workload.name().to_string(),
+            params: workload.wrong_path_params(),
+        }
+    }
+
+    /// Serializes the header (fixed prefix + name), with the record count
+    /// field set to `count`.
+    pub(crate) fn encode_header(&self, count: u64) -> Vec<u8> {
+        let name = self.name.as_bytes();
+        let mut out = Vec::with_capacity(HEADER_FIXED_LEN + name.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&((HEADER_FIXED_LEN + name.len()) as u32).to_le_bytes());
+        out.extend_from_slice(&count.to_le_bytes());
+        out.extend_from_slice(&self.params.code_base.to_le_bytes());
+        out.extend_from_slice(&self.params.code_bytes.to_le_bytes());
+        out.extend_from_slice(&self.params.data.base.to_le_bytes());
+        out.extend_from_slice(&self.params.data.footprint.to_le_bytes());
+        out.extend_from_slice(&self.params.data.locality.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.params.data.streams as u32).to_le_bytes());
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        debug_assert_eq!(out.len(), HEADER_FIXED_LEN + name.len());
+        out
+    }
+
+    /// Parses a header from the fixed prefix plus name bytes; returns the
+    /// metadata, the declared record count, and the total header length.
+    pub(crate) fn decode_header(
+        fixed: &[u8; HEADER_FIXED_LEN],
+        name: &[u8],
+    ) -> Result<(Self, Option<u64>), TraceError> {
+        let u32_at = |o: usize| u32::from_le_bytes(fixed[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(fixed[o..o + 8].try_into().unwrap());
+        if fixed[..8] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = u32_at(8);
+        if version != FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let header_len = u32_at(12) as usize;
+        if header_len != HEADER_FIXED_LEN + name.len() {
+            return Err(TraceError::BadHeader(format!(
+                "header_len {header_len} disagrees with fixed prefix + name ({})",
+                HEADER_FIXED_LEN + name.len()
+            )));
+        }
+        let count = u64_at(16);
+        let locality = f64::from_bits(u64_at(56));
+        if !(0.0..=1.0).contains(&locality) {
+            return Err(TraceError::BadHeader(format!(
+                "data locality {locality} outside [0, 1]"
+            )));
+        }
+        let name = String::from_utf8(name.to_vec())
+            .map_err(|_| TraceError::BadHeader("workload name is not UTF-8".into()))?;
+        let meta = TraceMeta {
+            name,
+            params: WrongPathParams {
+                code_base: u64_at(24),
+                code_bytes: u64_at(32),
+                data: DataParams {
+                    base: u64_at(40),
+                    footprint: u64_at(48),
+                    locality,
+                    streams: u32_at(64) as usize,
+                },
+            },
+        };
+        let declared = (count != COUNT_UNKNOWN).then_some(count);
+        Ok((meta, declared))
+    }
+}
+
+/// Appends `v` as a LEB128 varint.
+#[inline]
+pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from the front of `input`, advancing it.
+/// `None` on truncation or a varint longer than 10 bytes.
+#[inline]
+pub fn read_uvarint(input: &mut &[u8]) -> Option<u64> {
+    let mut v = 0u64;
+    for (i, &byte) in input.iter().take(10).enumerate() {
+        v |= ((byte & 0x7f) as u64) << (7 * i);
+        if byte & 0x80 == 0 {
+            *input = &input[i + 1..];
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Maps a signed delta onto the unsigned varint domain (small magnitudes
+/// of either sign encode in one byte).
+#[inline]
+pub const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub const fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3) of `data`, used as the per-chunk checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips() {
+        let mut buf = Vec::new();
+        let values = [
+            0,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        for &v in &values {
+            buf.clear();
+            write_uvarint(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_uvarint(&mut s), Some(v));
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_values() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 8); // a sequential +4 PC delta, zigzagged
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut s: &[u8] = &[0x80, 0x80];
+        assert_eq!(read_uvarint(&mut s), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, 4, i64::MAX, i64::MIN, -123_456] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let meta = TraceMeta {
+            name: "gzip".into(),
+            params: WrongPathParams {
+                code_base: 0x40_0000,
+                code_bytes: 1 << 16,
+                data: DataParams::friendly(),
+            },
+        };
+        let bytes = meta.encode_header(12345);
+        let fixed: [u8; HEADER_FIXED_LEN] = bytes[..HEADER_FIXED_LEN].try_into().unwrap();
+        let (back, declared) =
+            TraceMeta::decode_header(&fixed, &bytes[HEADER_FIXED_LEN..]).unwrap();
+        assert_eq!(back, meta);
+        assert_eq!(declared, Some(12345));
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_and_version() {
+        let meta = TraceMeta {
+            name: "x".into(),
+            params: WrongPathParams {
+                code_base: 0,
+                code_bytes: 64,
+                data: DataParams::friendly(),
+            },
+        };
+        let bytes = meta.encode_header(COUNT_UNKNOWN);
+        let mut fixed: [u8; HEADER_FIXED_LEN] = bytes[..HEADER_FIXED_LEN].try_into().unwrap();
+        fixed[0] ^= 0xff;
+        assert!(matches!(
+            TraceMeta::decode_header(&fixed, b"x"),
+            Err(TraceError::BadMagic)
+        ));
+        let mut fixed: [u8; HEADER_FIXED_LEN] = bytes[..HEADER_FIXED_LEN].try_into().unwrap();
+        fixed[8] = 99;
+        assert!(matches!(
+            TraceMeta::decode_header(&fixed, b"x"),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+}

@@ -1,0 +1,253 @@
+//! Streaming, checksum-verifying trace reading.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::error::TraceError;
+use crate::format::{crc32, TraceMeta, HEADER_FIXED_LEN, MAX_CHUNK_PAYLOAD, MAX_NAME_LEN};
+use crate::record::{decode_record, DeltaState, TraceRecord};
+
+/// Reads a trace chunk by chunk; memory use is bounded by the largest
+/// chunk, not the trace length.
+///
+/// Each chunk's CRC-32 is verified before any of its records are
+/// surfaced, so a decoded record is always trustworthy. Use
+/// [`records`](Self::records) for iteration, [`rewind`](Self::rewind) to
+/// restart (replay looping), and [`meta`](Self::meta) for the recorded
+/// workload identity.
+pub struct TraceReader<R: Read + Seek> {
+    src: R,
+    meta: TraceMeta,
+    declared: Option<u64>,
+    data_start: u64,
+    payload: Vec<u8>,
+    pos: usize,
+    chunk_left: u32,
+    delta: DeltaState,
+    chunk_index: u64,
+    records_seen: u64,
+}
+
+impl<R: Read + Seek> std::fmt::Debug for TraceReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceReader")
+            .field("meta", &self.meta)
+            .field("records_seen", &self.records_seen)
+            .field("chunk_index", &self.chunk_index)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens a trace file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+/// Reads until `buf` is full or EOF; returns the bytes read. The caller
+/// maps a short count to clean-EOF (0 at an item boundary) or truncation.
+fn fill(src: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = src.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    Ok(filled)
+}
+
+impl<R: Read + Seek> TraceReader<R> {
+    /// Starts reading a trace from `src`, validating the header.
+    pub fn new(mut src: R) -> Result<Self, TraceError> {
+        let mut fixed = [0u8; HEADER_FIXED_LEN];
+        src.read_exact(&mut fixed)
+            .map_err(|_| TraceError::BadHeader("file shorter than the fixed header".into()))?;
+        let name_len = u32::from_le_bytes(fixed[68..72].try_into().unwrap());
+        if name_len as usize > MAX_NAME_LEN {
+            return Err(TraceError::BadHeader(format!(
+                "implausible workload name length {name_len}"
+            )));
+        }
+        let mut name = vec![0u8; name_len as usize];
+        src.read_exact(&mut name)
+            .map_err(|_| TraceError::BadHeader("file ends inside the workload name".into()))?;
+        let (meta, declared) = TraceMeta::decode_header(&fixed, &name)?;
+        let data_start = (HEADER_FIXED_LEN + name.len()) as u64;
+        Ok(TraceReader {
+            src,
+            meta,
+            declared,
+            data_start,
+            payload: Vec::new(),
+            pos: 0,
+            chunk_left: 0,
+            delta: DeltaState::default(),
+            chunk_index: 0,
+            records_seen: 0,
+        })
+    }
+
+    /// The recorded workload identity.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// The record count declared in the header, if the trace was
+    /// finalized.
+    pub fn declared_records(&self) -> Option<u64> {
+        self.declared
+    }
+
+    /// Records surfaced since construction or the last rewind.
+    pub fn records_seen(&self) -> u64 {
+        self.records_seen
+    }
+
+    /// Restarts the stream at the first record.
+    pub fn rewind(&mut self) -> Result<(), TraceError> {
+        self.src.seek(SeekFrom::Start(self.data_start))?;
+        self.payload.clear();
+        self.pos = 0;
+        self.chunk_left = 0;
+        self.delta.reset();
+        self.chunk_index = 0;
+        self.records_seen = 0;
+        Ok(())
+    }
+
+    fn load_next_chunk(&mut self) -> Result<bool, TraceError> {
+        let truncated = |chunk| TraceError::Truncated { chunk };
+        let mut header = [0u8; 12];
+        let got = fill(&mut self.src, &mut header)?;
+        if got != header.len() {
+            if got > 0 {
+                return Err(truncated(self.chunk_index));
+            }
+            // Clean end of file: every declared record must have been
+            // surfaced, otherwise the file lost whole chunks.
+            if let Some(declared) = self.declared {
+                if self.records_seen < declared {
+                    return Err(TraceError::Truncated {
+                        chunk: self.chunk_index,
+                    });
+                }
+            }
+            return Ok(false);
+        }
+        let record_count = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let checksum = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if record_count == 0 || payload_len == 0 || payload_len > MAX_CHUNK_PAYLOAD {
+            return Err(TraceError::CorruptChunk {
+                chunk: self.chunk_index,
+                detail: format!(
+                    "implausible chunk framing ({record_count} records, {payload_len} bytes)"
+                ),
+            });
+        }
+        self.payload.resize(payload_len as usize, 0);
+        if fill(&mut self.src, &mut self.payload)? != payload_len as usize {
+            return Err(truncated(self.chunk_index));
+        }
+        if crc32(&self.payload) != checksum {
+            return Err(TraceError::CorruptChunk {
+                chunk: self.chunk_index,
+                detail: "checksum mismatch".into(),
+            });
+        }
+        self.pos = 0;
+        self.chunk_left = record_count;
+        self.delta.reset();
+        Ok(true)
+    }
+
+    /// The next record, or `Ok(None)` at a clean end of trace.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if self.chunk_left == 0 {
+            if self.pos < self.payload.len() {
+                return Err(TraceError::CorruptChunk {
+                    chunk: self.chunk_index,
+                    detail: format!(
+                        "{} trailing payload bytes after the last record",
+                        self.payload.len() - self.pos
+                    ),
+                });
+            }
+            if !self.payload.is_empty() {
+                self.chunk_index += 1;
+                self.payload.clear();
+            }
+            if !self.load_next_chunk()? {
+                return Ok(None);
+            }
+        }
+        let mut slice = &self.payload[self.pos..];
+        let before = slice.len();
+        let record = decode_record(&mut slice, &mut self.delta).map_err(|detail| {
+            TraceError::CorruptChunk {
+                chunk: self.chunk_index,
+                detail: detail.into(),
+            }
+        })?;
+        self.pos += before - slice.len();
+        self.chunk_left -= 1;
+        if self.chunk_left == 0 && self.pos != self.payload.len() {
+            return Err(TraceError::CorruptChunk {
+                chunk: self.chunk_index,
+                detail: format!(
+                    "{} trailing payload bytes after the last record",
+                    self.payload.len() - self.pos
+                ),
+            });
+        }
+        self.records_seen += 1;
+        Ok(Some(record))
+    }
+
+    /// Iterator over the remaining records.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::io::Cursor;
+    /// use paco_trace::{TraceMeta, TraceReader, TraceWriter};
+    /// use paco_workloads::{BenchmarkId, Workload};
+    ///
+    /// let mut w = BenchmarkId::Twolf.build(9);
+    /// let mut writer =
+    ///     TraceWriter::new(Cursor::new(Vec::new()), &TraceMeta::for_workload(&w)).unwrap();
+    /// let recorded: Vec<_> = (0..50).map(|_| w.next_instr()).collect();
+    /// for i in &recorded {
+    ///     writer.push_instr(i).unwrap();
+    /// }
+    /// let (_, cursor) = writer.finish().unwrap();
+    ///
+    /// let mut reader = TraceReader::new(Cursor::new(cursor.into_inner())).unwrap();
+    /// let replayed: Vec<_> = reader
+    ///     .records()
+    ///     .map(|r| paco_types::DynInstr::from(r.unwrap()))
+    ///     .collect();
+    /// assert_eq!(replayed, recorded);
+    /// ```
+    pub fn records(&mut self) -> Records<'_, R> {
+        Records { reader: self }
+    }
+}
+
+/// Iterator returned by [`TraceReader::records`].
+#[derive(Debug)]
+pub struct Records<'a, R: Read + Seek> {
+    reader: &'a mut TraceReader<R>,
+}
+
+impl<R: Read + Seek> Iterator for Records<'_, R> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.reader.next_record().transpose()
+    }
+}

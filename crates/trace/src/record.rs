@@ -1,0 +1,259 @@
+//! The logical trace record and its delta+varint wire encoding.
+
+use crate::format::{read_uvarint, unzigzag, write_uvarint, zigzag};
+use paco_types::{DynInstr, InstrClass, MemAccess, Pc};
+
+/// Flag bit: the control instruction's architectural outcome was taken.
+const FLAG_TAKEN: u8 = 0x10;
+/// Flag bit: a memory address follows.
+const FLAG_MEM: u8 = 0x20;
+/// Flag bit: two dependency distances follow.
+const FLAG_DEPS: u8 = 0x40;
+/// Mask of the class-code nibble.
+const CLASS_MASK: u8 = 0x0f;
+
+/// One retired-instruction record: the serializable form of a
+/// [`DynInstr`].
+///
+/// Covers the program counter, the instruction kind, the branch outcome
+/// and taken-target for control flow, the effective address for memory
+/// operations, and the two dependency distances (the latter so that
+/// replayed timing — not just the branch stream — matches the live run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Program counter.
+    pub pc: u64,
+    /// Functional class (and control kind, for control flow).
+    pub class: InstrClass,
+    /// Input dependency distances (0 = unused).
+    pub deps: [u32; 2],
+    /// Effective address, for loads and stores.
+    pub mem_addr: Option<u64>,
+    /// Architectural outcome, for control flow.
+    pub taken: bool,
+    /// Taken-target address, for control flow.
+    pub target: u64,
+}
+
+impl From<&DynInstr> for TraceRecord {
+    fn from(i: &DynInstr) -> Self {
+        TraceRecord {
+            pc: i.pc.addr(),
+            class: i.class,
+            deps: i.deps,
+            mem_addr: i.mem.map(|m| m.addr),
+            taken: i.taken,
+            target: i.target.addr(),
+        }
+    }
+}
+
+impl From<TraceRecord> for DynInstr {
+    fn from(r: TraceRecord) -> Self {
+        DynInstr {
+            pc: Pc::new(r.pc),
+            class: r.class,
+            deps: r.deps,
+            mem: r.mem_addr.map(|addr| MemAccess { addr }),
+            taken: r.taken,
+            target: Pc::new(r.target),
+        }
+    }
+}
+
+/// Streaming delta state shared by the encoder and decoder.
+///
+/// PC and memory addresses are encoded as deltas against the previous
+/// record's values (ZigZag + LEB128), which makes sequential code and
+/// strided data streams encode in one or two bytes. State resets at every
+/// chunk boundary so chunks decode independently.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaState {
+    prev_pc: u64,
+    prev_mem: u64,
+}
+
+impl DeltaState {
+    /// Fresh state, as at the start of a chunk.
+    pub fn reset(&mut self) {
+        *self = DeltaState::default();
+    }
+}
+
+/// Appends the wire encoding of `record` to `out`.
+pub fn encode_record(out: &mut Vec<u8>, state: &mut DeltaState, record: &TraceRecord) {
+    let has_deps = record.deps != [0, 0];
+    let mut flags = record.class.code();
+    debug_assert_eq!(flags & CLASS_MASK, flags);
+    if record.taken {
+        flags |= FLAG_TAKEN;
+    }
+    if record.mem_addr.is_some() {
+        flags |= FLAG_MEM;
+    }
+    if has_deps {
+        flags |= FLAG_DEPS;
+    }
+    out.push(flags);
+    write_uvarint(out, zigzag(record.pc.wrapping_sub(state.prev_pc) as i64));
+    state.prev_pc = record.pc;
+    if has_deps {
+        write_uvarint(out, record.deps[0] as u64);
+        write_uvarint(out, record.deps[1] as u64);
+    }
+    if let Some(addr) = record.mem_addr {
+        write_uvarint(out, zigzag(addr.wrapping_sub(state.prev_mem) as i64));
+        state.prev_mem = addr;
+    }
+    if record.class.is_control() {
+        write_uvarint(out, zigzag(record.target.wrapping_sub(record.pc) as i64));
+    }
+}
+
+/// Decodes one record from the front of `input`, advancing it.
+///
+/// Returns `Err` with a human-readable reason on malformed input (the
+/// caller wraps it in a chunk-level error).
+pub fn decode_record(
+    input: &mut &[u8],
+    state: &mut DeltaState,
+) -> Result<TraceRecord, &'static str> {
+    let (&flags, rest) = input.split_first().ok_or("record flags missing")?;
+    *input = rest;
+    let class =
+        InstrClass::from_code(flags & CLASS_MASK).ok_or("unknown instruction class code")?;
+    let pc_delta = read_uvarint(input).ok_or("pc delta missing")?;
+    let pc = state.prev_pc.wrapping_add(unzigzag(pc_delta) as u64);
+    state.prev_pc = pc;
+    let deps = if flags & FLAG_DEPS != 0 {
+        let d0 = read_uvarint(input).ok_or("dep 0 missing")?;
+        let d1 = read_uvarint(input).ok_or("dep 1 missing")?;
+        [
+            u32::try_from(d0).map_err(|_| "dep 0 out of range")?,
+            u32::try_from(d1).map_err(|_| "dep 1 out of range")?,
+        ]
+    } else {
+        [0, 0]
+    };
+    let mem_addr = if flags & FLAG_MEM != 0 {
+        let delta = read_uvarint(input).ok_or("memory address missing")?;
+        let addr = state.prev_mem.wrapping_add(unzigzag(delta) as u64);
+        state.prev_mem = addr;
+        Some(addr)
+    } else {
+        None
+    };
+    let target = if class.is_control() {
+        let delta = read_uvarint(input).ok_or("branch target missing")?;
+        pc.wrapping_add(unzigzag(delta) as u64)
+    } else {
+        0
+    };
+    Ok(TraceRecord {
+        pc,
+        class,
+        deps,
+        mem_addr,
+        taken: flags & FLAG_TAKEN != 0,
+        target,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco_types::ControlKind;
+
+    fn round_trip(records: &[TraceRecord]) {
+        let mut buf = Vec::new();
+        let mut enc = DeltaState::default();
+        for r in records {
+            encode_record(&mut buf, &mut enc, r);
+        }
+        let mut dec = DeltaState::default();
+        let mut s = buf.as_slice();
+        for r in records {
+            assert_eq!(decode_record(&mut s, &mut dec).unwrap(), *r);
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn encodes_all_shapes() {
+        round_trip(&[
+            TraceRecord::from(&DynInstr::alu(Pc::new(0x40_0000))),
+            TraceRecord::from(&DynInstr::alu(Pc::new(0x40_0004)).with_deps(1, 3)),
+            TraceRecord::from(&DynInstr::alu(Pc::new(0x40_0008)).with_mem(0x1000_0000)),
+            TraceRecord::from(&DynInstr::branch(
+                Pc::new(0x40_000c),
+                true,
+                Pc::new(0x40_0100),
+            )),
+            TraceRecord {
+                pc: 0x40_0100,
+                class: InstrClass::Control(ControlKind::Return),
+                deps: [0, 0],
+                mem_addr: None,
+                taken: true,
+                target: 0x40_0010,
+            },
+            TraceRecord {
+                pc: 0x40_0010,
+                class: InstrClass::Store,
+                deps: [2, 0],
+                mem_addr: Some(0x1000_0008),
+                taken: false,
+                target: 0,
+            },
+        ]);
+    }
+
+    #[test]
+    fn sequential_code_is_one_byte_of_pc() {
+        let mut buf = Vec::new();
+        let mut enc = DeltaState::default();
+        encode_record(
+            &mut buf,
+            &mut enc,
+            &TraceRecord::from(&DynInstr::alu(Pc::new(0x40_0000))),
+        );
+        let first = buf.len();
+        encode_record(
+            &mut buf,
+            &mut enc,
+            &TraceRecord::from(&DynInstr::alu(Pc::new(0x40_0004))),
+        );
+        // flags + one-byte zigzag(+4) delta.
+        assert_eq!(buf.len() - first, 2);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_class() {
+        let mut s: &[u8] = &[0x0f, 0x00];
+        assert!(decode_record(&mut s, &mut DeltaState::default()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        let mut enc = DeltaState::default();
+        encode_record(
+            &mut buf,
+            &mut enc,
+            &TraceRecord::from(&DynInstr::branch(Pc::new(0x1000), true, Pc::new(0x2000))),
+        );
+        for cut in 0..buf.len() {
+            let mut s = &buf[..cut];
+            assert!(
+                decode_record(&mut s, &mut DeltaState::default()).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn dyn_instr_conversion_round_trips() {
+        let i = DynInstr::branch(Pc::new(0x8000), false, Pc::new(0x9000)).with_deps(4, 0);
+        assert_eq!(DynInstr::from(TraceRecord::from(&i)), i);
+    }
+}

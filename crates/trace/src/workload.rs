@@ -1,0 +1,123 @@
+//! Glue between the on-disk trace format and the simulator's
+//! [`Workload`](paco_workloads::Workload) abstraction.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek};
+use std::path::Path;
+
+use paco_types::DynInstr;
+use paco_workloads::{BufferSource, ReplaySource, TraceWorkload};
+
+use crate::error::TraceError;
+use crate::reader::TraceReader;
+
+/// A streaming [`ReplaySource`] over a validated trace.
+///
+/// Construction via [`open_workload`] validates the entire file once
+/// (checksums, record well-formedness, declared count); a subsequent
+/// mid-replay failure can then only come from the file changing under the
+/// reader, which panics — a replayed simulation cannot continue on a
+/// diverged stream (see the [`ReplaySource`] contract).
+pub struct TraceReplaySource<R: Read + Seek> {
+    reader: TraceReader<R>,
+    len: u64,
+}
+
+impl<R: Read + Seek> std::fmt::Debug for TraceReplaySource<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceReplaySource")
+            .field("reader", &self.reader)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl<R: Read + Seek> TraceReplaySource<R> {
+    /// Validates every chunk of `reader`, rewinds, and wraps it.
+    pub fn new(mut reader: TraceReader<R>) -> Result<Self, TraceError> {
+        let mut len = 0u64;
+        while reader.next_record()?.is_some() {
+            len += 1;
+        }
+        if len == 0 {
+            return Err(TraceError::Empty);
+        }
+        reader.rewind()?;
+        Ok(TraceReplaySource { reader, len })
+    }
+}
+
+impl<R: Read + Seek> ReplaySource for TraceReplaySource<R> {
+    fn next_record(&mut self) -> Option<DynInstr> {
+        self.reader
+            .next_record()
+            .unwrap_or_else(|e| panic!("validated trace failed mid-replay: {e}"))
+            .map(DynInstr::from)
+    }
+
+    fn rewind(&mut self) {
+        self.reader
+            .rewind()
+            .unwrap_or_else(|e| panic!("validated trace failed to rewind: {e}"));
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.len)
+    }
+}
+
+/// Opens a trace file as a streaming replay [`TraceWorkload`].
+///
+/// The file is fully validated up front but **not** held in memory:
+/// replay re-reads it chunk by chunk (and seeks back to the start when
+/// the simulated run outlives the trace). Use [`load_workload`] to trade
+/// memory for decode-free replay.
+pub fn open_workload(path: impl AsRef<Path>) -> Result<TraceWorkload, TraceError> {
+    let reader = TraceReader::open(path)?;
+    let meta = reader.meta().clone();
+    let source = TraceReplaySource::new(reader)?;
+    Ok(TraceWorkload::new(meta.name, meta.params, Box::new(source)))
+}
+
+/// Loads a trace file fully into memory as a replay [`TraceWorkload`].
+///
+/// Decoding happens once at load time; replay (and looping) then serves
+/// records straight from a vector, which is the fastest option for
+/// benchmarking and for traces that fit in memory comfortably.
+pub fn load_workload(path: impl AsRef<Path>) -> Result<TraceWorkload, TraceError> {
+    let mut reader = TraceReader::open(path)?;
+    let meta = reader.meta().clone();
+    let records = collect_records(&mut reader)?;
+    Ok(TraceWorkload::new(
+        meta.name,
+        meta.params,
+        Box::new(BufferSource::new(records)),
+    ))
+}
+
+/// Decodes all remaining records of `reader` into memory.
+pub fn collect_records<R: Read + Seek>(
+    reader: &mut TraceReader<R>,
+) -> Result<Vec<DynInstr>, TraceError> {
+    let mut records = Vec::new();
+    while let Some(r) = reader.next_record()? {
+        records.push(DynInstr::from(r));
+    }
+    if records.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    Ok(records)
+}
+
+/// Opens an in-memory trace image as a streaming replay workload
+/// (convenience for benches and tests).
+pub fn workload_from_bytes(bytes: Vec<u8>) -> Result<TraceWorkload, TraceError> {
+    let reader = TraceReader::new(std::io::Cursor::new(bytes))?;
+    let meta = reader.meta().clone();
+    let source = TraceReplaySource::new(reader)?;
+    Ok(TraceWorkload::new(meta.name, meta.params, Box::new(source)))
+}
+
+// Keep the concrete file-backed type nameable for callers that want it.
+/// Streaming source type produced by [`open_workload`].
+pub type FileReplaySource = TraceReplaySource<BufReader<File>>;

@@ -1,0 +1,261 @@
+//! Buffered, chunked trace writing, plus the machine-attachable recorder.
+
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use paco_sim::TraceSink;
+use paco_types::DynInstr;
+
+use crate::error::TraceError;
+use crate::format::{crc32, TraceMeta, CHUNK_RECORDS, COUNT_UNKNOWN, MAX_NAME_LEN};
+use crate::record::{encode_record, DeltaState, TraceRecord};
+
+/// Totals reported when a trace is finalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Records written.
+    pub records: u64,
+    /// Chunks written.
+    pub chunks: u64,
+    /// Payload bytes written (excluding header and chunk framing).
+    pub payload_bytes: u64,
+}
+
+/// Writes a trace: header up front, then checksummed chunks of
+/// delta-encoded records.
+///
+/// Records accumulate in an in-memory chunk buffer and are flushed every
+/// [`CHUNK_RECORDS`] records, so memory use is bounded regardless of
+/// trace length. [`finish`](Self::finish) must be called to flush the
+/// final partial chunk and patch the header's record count.
+///
+/// # Examples
+///
+/// ```
+/// use std::io::Cursor;
+/// use paco_trace::{TraceMeta, TraceReader, TraceWriter};
+/// use paco_types::{DynInstr, Pc};
+/// use paco_workloads::{BenchmarkId, Workload};
+///
+/// let mut workload = BenchmarkId::Gzip.build(1);
+/// let meta = TraceMeta::for_workload(&workload);
+/// let mut writer = TraceWriter::new(Cursor::new(Vec::new()), &meta).unwrap();
+/// for _ in 0..100 {
+///     writer.push_instr(&workload.next_instr()).unwrap();
+/// }
+/// let (summary, cursor) = writer.finish().unwrap();
+/// assert_eq!(summary.records, 100);
+///
+/// let mut reader = TraceReader::new(Cursor::new(cursor.into_inner())).unwrap();
+/// assert_eq!(reader.records().map(Result::unwrap).count(), 100);
+/// ```
+pub struct TraceWriter<W: Write + Seek> {
+    sink: W,
+    chunk: Vec<u8>,
+    chunk_records: u32,
+    delta: DeltaState,
+    records: u64,
+    chunks: u64,
+    payload_bytes: u64,
+}
+
+impl<W: Write + Seek> std::fmt::Debug for TraceWriter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("records", &self.records)
+            .field("chunks", &self.chunks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates a trace file at `path` (truncating any existing file).
+    pub fn create(path: impl AsRef<Path>, meta: &TraceMeta) -> Result<Self, TraceError> {
+        Self::new(BufWriter::new(File::create(path)?), meta)
+    }
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Starts a trace on `sink`, writing the header immediately (with a
+    /// record-count placeholder that [`finish`](Self::finish) patches).
+    ///
+    /// Rejects workload names longer than [`MAX_NAME_LEN`] bytes — the
+    /// reader enforces the same bound, and the writer must never produce
+    /// a file its own reader rejects.
+    pub fn new(mut sink: W, meta: &TraceMeta) -> Result<Self, TraceError> {
+        if meta.name.len() > MAX_NAME_LEN {
+            return Err(TraceError::BadHeader(format!(
+                "workload name is {} bytes (max {MAX_NAME_LEN})",
+                meta.name.len()
+            )));
+        }
+        sink.write_all(&meta.encode_header(COUNT_UNKNOWN))?;
+        Ok(TraceWriter {
+            sink,
+            chunk: Vec::with_capacity(CHUNK_RECORDS as usize * 8),
+            chunk_records: 0,
+            delta: DeltaState::default(),
+            records: 0,
+            chunks: 0,
+            payload_bytes: 0,
+        })
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: &TraceRecord) -> Result<(), TraceError> {
+        encode_record(&mut self.chunk, &mut self.delta, record);
+        self.chunk_records += 1;
+        self.records += 1;
+        if self.chunk_records >= CHUNK_RECORDS {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Appends one dynamic instruction (convenience for recording).
+    pub fn push_instr(&mut self, instr: &DynInstr) -> Result<(), TraceError> {
+        self.push(&TraceRecord::from(instr))
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceError> {
+        if self.chunk_records == 0 {
+            return Ok(());
+        }
+        self.sink.write_all(&self.chunk_records.to_le_bytes())?;
+        self.sink
+            .write_all(&(self.chunk.len() as u32).to_le_bytes())?;
+        self.sink.write_all(&crc32(&self.chunk).to_le_bytes())?;
+        self.sink.write_all(&self.chunk)?;
+        self.payload_bytes += self.chunk.len() as u64;
+        self.chunks += 1;
+        self.chunk.clear();
+        self.chunk_records = 0;
+        self.delta.reset();
+        Ok(())
+    }
+
+    /// Flushes the final chunk, patches the header's record count, and
+    /// returns the summary plus the underlying sink.
+    pub fn finish(mut self) -> Result<(TraceSummary, W), TraceError> {
+        self.flush_chunk()?;
+        let end = self.sink.stream_position()?;
+        self.sink.seek(SeekFrom::Start(16))?;
+        self.sink.write_all(&self.records.to_le_bytes())?;
+        self.sink.seek(SeekFrom::Start(end))?;
+        self.sink.flush()?;
+        Ok((
+            TraceSummary {
+                records: self.records,
+                chunks: self.chunks,
+                payload_bytes: self.payload_bytes,
+            },
+            self.sink,
+        ))
+    }
+}
+
+/// A cloneable recorder that plugs into the simulator's
+/// [`TraceSink`] hook and writes a trace file.
+///
+/// Ownership works around the machine owning its sinks: the recorder is a
+/// shared handle, [`sink`](Self::sink) hands a clone to
+/// `MachineBuilder::trace_sink`, and after the run
+/// [`finish`](Self::finish) finalizes the file from the handle kept by
+/// the caller. I/O errors during recording are stashed and reported by
+/// `finish` (the hot path stays infallible for the simulator).
+///
+/// # Examples
+///
+/// ```no_run
+/// use paco::PacoConfig;
+/// use paco_sim::{EstimatorKind, MachineBuilder, SimConfig};
+/// use paco_trace::{TraceMeta, TraceRecorder};
+/// use paco_workloads::BenchmarkId;
+///
+/// let workload = BenchmarkId::Gzip.build(1);
+/// let recorder =
+///     TraceRecorder::create("gzip.paco-trace", &TraceMeta::for_workload(&workload)).unwrap();
+/// let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
+///     .thread(Box::new(workload), EstimatorKind::Paco(PacoConfig::paper()))
+///     .trace_sink(recorder.sink())
+///     .build();
+/// machine.run(100_000);
+/// let summary = recorder.finish().unwrap();
+/// assert!(summary.records >= 100_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    inner: Rc<RefCell<RecorderInner>>,
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    writer: Option<TraceWriter<BufWriter<File>>>,
+    error: Option<TraceError>,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder writing to `path`.
+    pub fn create(path: impl AsRef<Path>, meta: &TraceMeta) -> Result<Self, TraceError> {
+        let writer = TraceWriter::create(path, meta)?;
+        Ok(TraceRecorder {
+            inner: Rc::new(RefCell::new(RecorderInner {
+                writer: Some(writer),
+                error: None,
+            })),
+        })
+    }
+
+    /// A boxed sink for `MachineBuilder::trace_sink`, sharing this
+    /// recorder's underlying writer.
+    pub fn sink(&self) -> Box<dyn TraceSink> {
+        let handle = self.clone();
+        Box::new(move |instr: &DynInstr| handle.record(instr))
+    }
+
+    fn record(&self, instr: &DynInstr) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.error.is_some() {
+            return;
+        }
+        if let Some(writer) = &mut inner.writer {
+            if let Err(e) = writer.push_instr(instr) {
+                inner.error = Some(e);
+            }
+        }
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> u64 {
+        self.inner
+            .borrow()
+            .writer
+            .as_ref()
+            .map_or(0, TraceWriter::records)
+    }
+
+    /// Finalizes the trace file.
+    ///
+    /// Reports any I/O error stashed during recording. Call after the
+    /// simulation completes (other clones of the recorder, e.g. the one
+    /// inside the machine, become inert no-ops).
+    pub fn finish(self) -> Result<TraceSummary, TraceError> {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(e) = inner.error.take() {
+            return Err(e);
+        }
+        let writer = inner
+            .writer
+            .take()
+            .ok_or_else(|| TraceError::BadHeader("recorder already finished".into()))?;
+        writer.finish().map(|(summary, _)| summary)
+    }
+}

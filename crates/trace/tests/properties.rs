@@ -1,0 +1,242 @@
+//! Property and adversarial tests for the trace format: encode→decode is
+//! the identity over arbitrary well-formed instruction streams, and
+//! malformed files fail loudly with the right error.
+
+use std::io::Cursor;
+
+use paco_trace::{
+    workload_from_bytes, TraceError, TraceMeta, TraceReader, TraceRecord, TraceWriter,
+    CHUNK_RECORDS, FORMAT_VERSION, MAGIC,
+};
+use paco_types::{ControlKind, DynInstr, InstrClass, MemAccess, Pc};
+use paco_workloads::{DataParams, WrongPathParams};
+use proptest::prelude::*;
+
+fn test_meta() -> TraceMeta {
+    TraceMeta {
+        name: "proptest".into(),
+        params: WrongPathParams {
+            code_base: 0x40_0000,
+            code_bytes: 1 << 16,
+            data: DataParams::friendly(),
+        },
+    }
+}
+
+fn encode(records: &[TraceRecord]) -> Vec<u8> {
+    let mut writer = TraceWriter::new(Cursor::new(Vec::new()), &test_meta()).unwrap();
+    for r in records {
+        writer.push(r).unwrap();
+    }
+    let (summary, cursor) = writer.finish().unwrap();
+    assert_eq!(summary.records, records.len() as u64);
+    cursor.into_inner()
+}
+
+fn decode(bytes: Vec<u8>) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut reader = TraceReader::new(Cursor::new(bytes))?;
+    reader.records().collect()
+}
+
+/// An arbitrary well-formed record: control flow carries a target,
+/// memory operations carry an address, everything else carries neither.
+fn record_strategy() -> impl Strategy<Value = TraceRecord> {
+    let pc = any::<u64>();
+    let dep = 0u64..40;
+    prop_oneof![
+        // Plain ALU-side instructions.
+        (pc, 0u8..5, dep.clone(), 0u64..40).prop_map(|(pc, kind, d0, d1)| {
+            let class = match kind {
+                0 => InstrClass::Alu,
+                1 => InstrClass::MulDiv,
+                _ => InstrClass::Nop,
+            };
+            TraceRecord {
+                pc,
+                class,
+                deps: [d0 as u32, d1 as u32],
+                mem_addr: None,
+                taken: false,
+                target: 0,
+            }
+        }),
+        // Memory operations.
+        (pc, any::<bool>(), any::<u64>(), dep).prop_map(|(pc, load, addr, d0)| TraceRecord {
+            pc,
+            class: if load {
+                InstrClass::Load
+            } else {
+                InstrClass::Store
+            },
+            deps: [d0 as u32, 0],
+            mem_addr: Some(addr),
+            taken: false,
+            target: 0,
+        }),
+        // Control flow of every kind.
+        (pc, 0u8..5, any::<bool>(), any::<u64>()).prop_map(|(pc, kind, taken, target)| {
+            let kind = match kind {
+                0 => ControlKind::Conditional,
+                1 => ControlKind::Jump,
+                2 => ControlKind::Call,
+                3 => ControlKind::Indirect,
+                _ => ControlKind::Return,
+            };
+            TraceRecord {
+                pc,
+                class: InstrClass::Control(kind),
+                deps: [0, 0],
+                mem_addr: None,
+                // Non-conditional control is architecturally always taken.
+                taken: taken || kind != ControlKind::Conditional,
+                target,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// encode → decode == identity, for streams spanning chunk
+    /// boundaries and arbitrary record shapes.
+    #[test]
+    fn round_trip_is_identity(
+        records in proptest::collection::vec(record_strategy(), 0..2000),
+    ) {
+        let decoded = decode(encode(&records)).unwrap();
+        prop_assert_eq!(decoded, records);
+    }
+
+    /// Flipping any single payload byte is caught by the chunk checksum
+    /// before any record from that chunk is surfaced.
+    #[test]
+    fn corrupted_payload_is_detected(
+        records in proptest::collection::vec(record_strategy(), 1..300),
+        victim in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let clean = encode(&records);
+        let header_len = 72 + "proptest".len();
+        // Payload starts after the header and the 12-byte chunk frame.
+        let lo = header_len + 12;
+        let mut bytes = clean.clone();
+        let idx = lo + (victim as usize % (bytes.len() - lo));
+        bytes[idx] ^= 1 << bit;
+        let result = decode(bytes);
+        prop_assert!(
+            matches!(result, Err(TraceError::CorruptChunk { .. })),
+            "flipping byte {idx} must be caught, got {result:?}"
+        );
+    }
+
+    /// Cutting the file anywhere strictly inside the chunked region
+    /// fails with Truncated or CorruptChunk — never a silent short read.
+    #[test]
+    fn truncation_is_detected(
+        records in proptest::collection::vec(record_strategy(), 1..300),
+        cut_seed in any::<u64>(),
+    ) {
+        let clean = encode(&records);
+        let header_len = 72 + "proptest".len();
+        let cut = header_len + (cut_seed as usize % (clean.len() - header_len - 1));
+        let result = decode(clean[..cut].to_vec());
+        prop_assert!(
+            matches!(
+                result,
+                Err(TraceError::Truncated { .. } | TraceError::CorruptChunk { .. })
+            ),
+            "cut at {cut} of {} must fail, got {result:?}",
+            clean.len()
+        );
+    }
+}
+
+#[test]
+fn multi_chunk_traces_round_trip() {
+    // Deterministic cover for the chunk-boundary path (delta state must
+    // reset): three full chunks plus a partial one.
+    let n = CHUNK_RECORDS as u64 * 3 + 17;
+    let records: Vec<TraceRecord> = (0..n)
+        .map(|i| {
+            TraceRecord::from(&DynInstr {
+                pc: Pc::new(0x40_0000 + i * 4),
+                class: InstrClass::Load,
+                deps: [1, 0],
+                mem: Some(MemAccess {
+                    addr: 0x1000_0000 + (i % 512) * 8,
+                }),
+                taken: false,
+                target: Pc::default(),
+            })
+        })
+        .collect();
+    let bytes = encode(&records);
+    let mut reader = TraceReader::new(Cursor::new(bytes)).unwrap();
+    assert_eq!(reader.declared_records(), Some(n));
+    let decoded: Vec<TraceRecord> = reader.records().map(Result::unwrap).collect();
+    assert_eq!(decoded, records);
+}
+
+#[test]
+fn rewind_replays_identically() {
+    let records: Vec<TraceRecord> = (0..5000u64)
+        .map(|i| TraceRecord::from(&DynInstr::alu(Pc::new(0x1000 + i * 4))))
+        .collect();
+    let mut reader = TraceReader::new(Cursor::new(encode(&records))).unwrap();
+    let first: Vec<_> = reader.records().map(Result::unwrap).collect();
+    reader.rewind().unwrap();
+    let second: Vec<_> = reader.records().map(Result::unwrap).collect();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = encode(&[TraceRecord::from(&DynInstr::alu(Pc::new(0)))]);
+    bytes[0] = b'X';
+    assert!(matches!(decode(bytes), Err(TraceError::BadMagic)));
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let mut bytes = encode(&[TraceRecord::from(&DynInstr::alu(Pc::new(0)))]);
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    assert!(matches!(
+        decode(bytes),
+        Err(TraceError::UnsupportedVersion(v)) if v == FORMAT_VERSION + 1
+    ));
+}
+
+#[test]
+fn short_header_is_rejected() {
+    assert!(matches!(
+        decode(MAGIC.to_vec()),
+        Err(TraceError::BadHeader(_))
+    ));
+}
+
+#[test]
+fn missing_trailing_chunk_is_detected_via_declared_count() {
+    // Cut the file exactly at a chunk boundary: framing parses cleanly,
+    // so only the header's declared count can reveal the loss.
+    let n = CHUNK_RECORDS as u64 + 100;
+    let records: Vec<TraceRecord> = (0..n)
+        .map(|i| TraceRecord::from(&DynInstr::alu(Pc::new(i * 4))))
+        .collect();
+    let bytes = encode(&records);
+    let header_len = 72 + "proptest".len();
+    // Walk the chunk framing to find the end of the first chunk.
+    let payload_len = u32::from_le_bytes(bytes[header_len + 4..header_len + 8].try_into().unwrap());
+    let first_chunk_end = header_len + 12 + payload_len as usize;
+    let result = decode(bytes[..first_chunk_end].to_vec());
+    assert!(
+        matches!(result, Err(TraceError::Truncated { .. })),
+        "dropping the trailing chunk must be caught, got {result:?}"
+    );
+}
+
+#[test]
+fn empty_trace_cannot_back_a_workload() {
+    let bytes = encode(&[]);
+    assert!(matches!(workload_from_bytes(bytes), Err(TraceError::Empty)));
+}

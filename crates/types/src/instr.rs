@@ -48,6 +48,43 @@ impl InstrClass {
     pub fn is_store(self) -> bool {
         matches!(self, InstrClass::Store)
     }
+
+    /// A stable single-byte code for this class, used by on-disk trace
+    /// formats. Inverse of [`from_code`](Self::from_code).
+    #[inline]
+    pub const fn code(self) -> u8 {
+        match self {
+            InstrClass::Alu => 0,
+            InstrClass::MulDiv => 1,
+            InstrClass::Load => 2,
+            InstrClass::Store => 3,
+            InstrClass::Nop => 4,
+            InstrClass::Control(ControlKind::Conditional) => 5,
+            InstrClass::Control(ControlKind::Jump) => 6,
+            InstrClass::Control(ControlKind::Call) => 7,
+            InstrClass::Control(ControlKind::Indirect) => 8,
+            InstrClass::Control(ControlKind::Return) => 9,
+        }
+    }
+
+    /// Decodes a class code produced by [`code`](Self::code); `None` for
+    /// codes no class maps to (corrupt or future-version trace data).
+    #[inline]
+    pub const fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => InstrClass::Alu,
+            1 => InstrClass::MulDiv,
+            2 => InstrClass::Load,
+            3 => InstrClass::Store,
+            4 => InstrClass::Nop,
+            5 => InstrClass::Control(ControlKind::Conditional),
+            6 => InstrClass::Control(ControlKind::Jump),
+            7 => InstrClass::Control(ControlKind::Call),
+            8 => InstrClass::Control(ControlKind::Indirect),
+            9 => InstrClass::Control(ControlKind::Return),
+            _ => return None,
+        })
+    }
 }
 
 /// The detailed kind of a control-flow instruction.
@@ -175,6 +212,28 @@ mod tests {
 
         let a = DynInstr::alu(Pc::new(0x1000));
         assert_eq!(a.successor(), Pc::new(0x1004));
+    }
+
+    #[test]
+    fn class_codes_round_trip() {
+        let all = [
+            InstrClass::Alu,
+            InstrClass::MulDiv,
+            InstrClass::Load,
+            InstrClass::Store,
+            InstrClass::Nop,
+            InstrClass::Control(ControlKind::Conditional),
+            InstrClass::Control(ControlKind::Jump),
+            InstrClass::Control(ControlKind::Call),
+            InstrClass::Control(ControlKind::Indirect),
+            InstrClass::Control(ControlKind::Return),
+        ];
+        for (i, class) in all.iter().enumerate() {
+            assert_eq!(class.code(), i as u8);
+            assert_eq!(InstrClass::from_code(class.code()), Some(*class));
+        }
+        assert_eq!(InstrClass::from_code(10), None);
+        assert_eq!(InstrClass::from_code(255), None);
     }
 
     #[test]

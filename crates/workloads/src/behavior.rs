@@ -98,7 +98,12 @@ impl BehaviorSpec {
     }
 
     /// Produces the next outcome for a site with state `state`.
-    pub fn outcome(&self, state: &mut BehaviorState, ctx: OutcomeCtx, rng: &mut SplitMix64) -> bool {
+    pub fn outcome(
+        &self,
+        state: &mut BehaviorState,
+        ctx: OutcomeCtx,
+        rng: &mut SplitMix64,
+    ) -> bool {
         match self {
             BehaviorSpec::Bias(p) => rng.chance_f64(*p),
             BehaviorSpec::Loop(n) => {
@@ -159,8 +164,7 @@ impl BehaviorSpec {
                     // Repurpose the flag as "phase initialized"; the phase
                     // itself lives in pattern_pos (scaled to the period).
                     state.in_burst = true;
-                    state.pattern_pos =
-                        (rng.next_f64() * (*period).max(1) as f64) as usize;
+                    state.pattern_pos = (rng.next_f64() * (*period).max(1) as f64) as usize;
                 }
                 let t = (ctx.instr_count + state.pattern_pos as u64) as f64;
                 let angle = std::f64::consts::TAU * t / (*period).max(1) as f64;
@@ -239,7 +243,10 @@ mod tests {
 
     #[test]
     fn correlated_without_noise_is_parity() {
-        let spec = BehaviorSpec::Correlated { bits: 3, noise: 0.0 };
+        let spec = BehaviorSpec::Correlated {
+            bits: 3,
+            noise: 0.0,
+        };
         let mut state = spec.new_state();
         let mut rng = SplitMix64::new(1);
         for hist in 0u64..8 {
@@ -272,11 +279,8 @@ mod tests {
             .collect();
         assert!(!nt.is_empty());
         let base_rate = nt.len() as f64 / outs.len() as f64;
-        let clustered = nt
-            .windows(2)
-            .filter(|w| w[1] - w[0] <= 5)
-            .count() as f64
-            / (nt.len() - 1) as f64;
+        let clustered =
+            nt.windows(2).filter(|w| w[1] - w[0] <= 5).count() as f64 / (nt.len() - 1) as f64;
         assert!(
             clustered > 3.0 * base_rate,
             "clustered {clustered} vs base {base_rate}"
@@ -309,7 +313,10 @@ mod tests {
         }
         let max = window_rates.iter().cloned().fold(0.0, f64::max);
         let min = window_rates.iter().cloned().fold(1.0, f64::min);
-        assert!(max - min > 0.3, "drift must move the rate: {window_rates:?}");
+        assert!(
+            max - min > 0.3,
+            "drift must move the rate: {window_rates:?}"
+        );
     }
 
     #[test]

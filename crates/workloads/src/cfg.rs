@@ -178,8 +178,7 @@ impl SyntheticCfg {
         // share lags its weight the most. This pins the *static* mix to the
         // requested proportions exactly, instead of letting sampling noise
         // skew small CFGs.
-        let behavior_weights: Vec<f64> =
-            params.behavior_mix.iter().map(|(_, w)| *w).collect();
+        let behavior_weights: Vec<f64> = params.behavior_mix.iter().map(|(_, w)| *w).collect();
         let weight_total: f64 = behavior_weights.iter().sum::<f64>().max(1e-12);
         let mut behavior_assigned = vec![0usize; params.behavior_mix.len()];
 

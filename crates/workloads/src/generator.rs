@@ -3,7 +3,7 @@
 
 use crate::behavior::{BehaviorState, OutcomeCtx};
 use crate::cfg::{ControlTerminator, SyntheticCfg};
-use crate::wrong_path::WrongPathGen;
+use crate::wrong_path::WrongPathParams;
 use crate::Workload;
 use paco_types::{ControlKind, DynInstr, InstrClass, Pc, SplitMix64};
 
@@ -211,8 +211,7 @@ impl CfgWorkload {
                     instr_count: self.produced,
                 };
                 let spec = &self.cfg.behaviors()[behavior];
-                let taken =
-                    spec.outcome(&mut self.behavior_states[behavior], ctx, &mut self.rng);
+                let taken = spec.outcome(&mut self.behavior_states[behavior], ctx, &mut self.rng);
                 self.actual_history = (self.actual_history << 1) | taken as u64;
                 self.since_conditional = 0;
                 let target_pc = self.cfg.blocks()[taken_target].start_pc;
@@ -269,10 +268,7 @@ impl CfgWorkload {
                         (ControlKind::Jump, t)
                     }
                     (None, Some(t)) => (ControlKind::Return, t),
-                    (None, None) => (
-                        ControlKind::Jump,
-                        self.rng.below(nblocks as u64) as usize,
-                    ),
+                    (None, None) => (ControlKind::Jump, self.rng.below(nblocks as u64) as usize),
                 };
                 (
                     DynInstr {
@@ -355,15 +351,12 @@ impl Workload for CfgWorkload {
         }
     }
 
-    fn wrong_path(&self, from: Pc, seed: u64) -> WrongPathGen {
-        let base = self.cfg.blocks()[0].start_pc.addr();
-        WrongPathGen::new(
-            from,
-            base,
-            self.cfg.code_bytes(),
-            self.wrong_path_data,
-            seed,
-        )
+    fn wrong_path_params(&self) -> WrongPathParams {
+        WrongPathParams {
+            code_base: self.cfg.blocks()[0].start_pc.addr(),
+            code_bytes: self.cfg.code_bytes(),
+            data: self.wrong_path_data,
+        }
     }
 
     fn instructions_produced(&self) -> u64 {

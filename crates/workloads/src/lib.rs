@@ -33,14 +33,16 @@
 mod behavior;
 mod cfg;
 mod generator;
+mod replay;
 mod spec;
 mod wrong_path;
 
 pub use behavior::{BehaviorSpec, BehaviorState};
 pub use cfg::{BasicBlock, ControlTerminator, SyntheticCfg};
 pub use generator::{CfgWorkload, DataParams};
+pub use replay::{BufferSource, ReplaySource, TraceWorkload};
 pub use spec::{drifting_stress_spec, BenchmarkId, ModelSpec, ALL_BENCHMARKS};
-pub use wrong_path::WrongPathGen;
+pub use wrong_path::{WrongPathGen, WrongPathParams};
 
 use paco_types::{DynInstr, Pc};
 
@@ -58,10 +60,22 @@ pub trait Workload {
     /// Produces the next goodpath dynamic instruction.
     fn next_instr(&mut self) -> DynInstr;
 
+    /// The parameters wrong-path synthesis derives from.
+    ///
+    /// These are recorded in trace headers so that a replayed workload
+    /// reproduces the live run's wrong-path streams exactly.
+    fn wrong_path_params(&self) -> WrongPathParams;
+
     /// Creates a wrong-path instruction generator starting at `from`.
     ///
-    /// `seed` decorrelates successive wrong-path excursions.
-    fn wrong_path(&self, from: Pc, seed: u64) -> WrongPathGen;
+    /// `seed` decorrelates successive wrong-path excursions. The default
+    /// implementation derives the generator purely from
+    /// [`wrong_path_params`](Self::wrong_path_params), which every
+    /// workload should preserve: replay fidelity depends on wrong-path
+    /// streams being a function of `(params, from, seed)` alone.
+    fn wrong_path(&self, from: Pc, seed: u64) -> WrongPathGen {
+        WrongPathGen::for_params(from, self.wrong_path_params(), seed)
+    }
 
     /// Number of goodpath instructions produced so far.
     fn instructions_produced(&self) -> u64;

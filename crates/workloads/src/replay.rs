@@ -1,0 +1,239 @@
+//! Trace replay: a [`Workload`] backed by a recorded instruction stream.
+//!
+//! Recording lives in the `paco-trace` crate (which depends on this one);
+//! replay lives here so that *every* simulator entry point — gating
+//! sweeps, SMT pairings, reliability diagrams — accepts a recorded trace
+//! wherever it accepts a synthetic workload, with no code changes. The
+//! coupling point is the [`ReplaySource`] trait: `paco-trace` implements
+//! it over its on-disk chunk format, and [`BufferSource`] implements it
+//! over an in-memory record vector.
+
+use crate::wrong_path::WrongPathParams;
+use crate::Workload;
+use paco_types::DynInstr;
+
+/// A rewindable stream of recorded goodpath instructions.
+///
+/// Implementations must be deterministic: after [`rewind`](Self::rewind),
+/// [`next_record`](Self::next_record) must reproduce the same sequence.
+/// Sources are validated at construction; an implementation that hits an
+/// unrecoverable I/O or corruption error mid-stream may panic, since a
+/// replayed simulation cannot meaningfully continue on a diverged stream.
+pub trait ReplaySource: std::fmt::Debug {
+    /// The next recorded instruction, or `None` at end of trace.
+    fn next_record(&mut self) -> Option<DynInstr>;
+
+    /// Restarts the stream from the first record.
+    fn rewind(&mut self);
+
+    /// Total records in the stream, when cheaply known.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A [`ReplaySource`] over an in-memory record vector.
+///
+/// # Examples
+///
+/// ```
+/// use paco_types::{DynInstr, Pc};
+/// use paco_workloads::{BufferSource, ReplaySource};
+///
+/// let mut src = BufferSource::new(vec![DynInstr::alu(Pc::new(0x1000))]);
+/// assert!(src.next_record().is_some());
+/// assert!(src.next_record().is_none());
+/// src.rewind();
+/// assert!(src.next_record().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BufferSource {
+    records: Vec<DynInstr>,
+    pos: usize,
+}
+
+impl BufferSource {
+    /// Wraps a record vector.
+    pub fn new(records: Vec<DynInstr>) -> Self {
+        BufferSource { records, pos: 0 }
+    }
+}
+
+impl ReplaySource for BufferSource {
+    fn next_record(&mut self) -> Option<DynInstr> {
+        let r = self.records.get(self.pos).copied();
+        self.pos += r.is_some() as usize;
+        r
+    }
+
+    fn rewind(&mut self) {
+        self.pos = 0;
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.records.len() as u64)
+    }
+}
+
+/// A workload that replays a recorded goodpath instruction stream.
+///
+/// Implements [`Workload`], so a recorded trace drops into every
+/// simulator entry point unchanged. Two semantics matter:
+///
+/// * **Looping.** When the simulated run needs more instructions than the
+///   trace holds, the stream rewinds and replays from the start
+///   (mirroring how trace-driven simulators traditionally handle short
+///   traces); [`loops`](Self::loops) counts the rewinds so harnesses can
+///   report coverage.
+/// * **Wrong paths.** The trace holds only goodpath instructions (a trace
+///   has no wrong path, cf. the paper's §3 discussion); wrong-path
+///   excursions are re-synthesized from the recorded
+///   [`WrongPathParams`], which makes them identical to the live run's.
+///
+/// # Examples
+///
+/// ```
+/// use paco_workloads::{BenchmarkId, BufferSource, TraceWorkload, Workload};
+///
+/// // "Record" 1000 instructions of gzip, then replay 2500: the stream
+/// // loops and stays identical to the original.
+/// let mut live = BenchmarkId::Gzip.build(7);
+/// let records: Vec<_> = (0..1000).map(|_| live.next_instr()).collect();
+/// let mut replay = TraceWorkload::new(
+///     "gzip",
+///     live.wrong_path_params(),
+///     Box::new(BufferSource::new(records.clone())),
+/// );
+/// for i in 0..2500 {
+///     assert_eq!(replay.next_instr(), records[i % 1000]);
+/// }
+/// assert_eq!(replay.loops(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TraceWorkload {
+    name: String,
+    params: WrongPathParams,
+    source: Box<dyn ReplaySource>,
+    produced: u64,
+    loops: u64,
+}
+
+impl TraceWorkload {
+    /// Creates a replay workload over `source`.
+    ///
+    /// `name` and `params` normally come from the trace header and must
+    /// match the recorded workload for bit-exact replay.
+    pub fn new(
+        name: impl Into<String>,
+        params: WrongPathParams,
+        source: Box<dyn ReplaySource>,
+    ) -> Self {
+        TraceWorkload {
+            name: name.into(),
+            params,
+            source,
+            produced: 0,
+            loops: 0,
+        }
+    }
+
+    /// How many times the stream has wrapped back to the start.
+    pub fn loops(&self) -> u64 {
+        self.loops
+    }
+
+    /// Total records in the underlying source, when known.
+    pub fn trace_len(&self) -> Option<u64> {
+        self.source.len_hint()
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_instr(&mut self) -> DynInstr {
+        self.produced += 1;
+        if let Some(i) = self.source.next_record() {
+            return i;
+        }
+        self.loops += 1;
+        self.source.rewind();
+        self.source
+            .next_record()
+            .expect("replay source must contain at least one record")
+    }
+
+    fn wrong_path_params(&self) -> WrongPathParams {
+        self.params
+    }
+
+    fn instructions_produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchmarkId;
+    use paco_types::Pc;
+
+    fn recorded(n: usize) -> (Vec<DynInstr>, WrongPathParams) {
+        let mut w = BenchmarkId::Twolf.build(3);
+        let records = (0..n).map(|_| w.next_instr()).collect();
+        (records, w.wrong_path_params())
+    }
+
+    #[test]
+    fn replays_the_recorded_stream_verbatim() {
+        let (records, params) = recorded(500);
+        let mut t = TraceWorkload::new(
+            "twolf",
+            params,
+            Box::new(BufferSource::new(records.clone())),
+        );
+        for r in &records {
+            assert_eq!(t.next_instr(), *r);
+        }
+        assert_eq!(t.instructions_produced(), 500);
+        assert_eq!(t.loops(), 0);
+    }
+
+    #[test]
+    fn loops_past_the_end() {
+        let (records, params) = recorded(100);
+        let mut t = TraceWorkload::new(
+            "twolf",
+            params,
+            Box::new(BufferSource::new(records.clone())),
+        );
+        for i in 0..350 {
+            assert_eq!(t.next_instr(), records[i % 100], "index {i}");
+        }
+        assert_eq!(t.loops(), 3);
+        assert_eq!(t.trace_len(), Some(100));
+    }
+
+    #[test]
+    fn wrong_path_matches_the_original_workload() {
+        let w = BenchmarkId::Gap.build(11);
+        let params = w.wrong_path_params();
+        let t = TraceWorkload::new("gap", params, Box::new(BufferSource::new(vec![])));
+        let from = Pc::new(params.code_base + 64);
+        let mut live = w.wrong_path(from, 1234);
+        let mut replayed = t.wrong_path(from, 1234);
+        for _ in 0..200 {
+            assert_eq!(live.next_instr(), replayed.next_instr());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn empty_source_panics_on_pull() {
+        let (_, params) = recorded(1);
+        let mut t = TraceWorkload::new("empty", params, Box::new(BufferSource::new(vec![])));
+        t.next_instr();
+    }
+}

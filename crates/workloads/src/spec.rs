@@ -112,7 +112,7 @@ pub struct ModelSpec {
 impl ModelSpec {
     /// Builds the workload for this spec.
     pub fn build(&self, seed: u64) -> CfgWorkload {
-        let cfg = SyntheticCfg::build(&self.cfg, seed ^ self.id as u64 as u64);
+        let cfg = SyntheticCfg::build(&self.cfg, seed ^ self.id as u64);
         CfgWorkload::new(self.id.name(), cfg, self.data, seed.wrapping_mul(0x9e37))
     }
 
@@ -180,7 +180,13 @@ impl ModelSpec {
                     (Bias(0.92), 0.40),
                     (Bias(0.80), 0.08),
                     (Bias(0.99), 0.40),
-                    (Correlated { bits: 6, noise: 0.02 }, 0.12),
+                    (
+                        Correlated {
+                            bits: 6,
+                            noise: 0.02,
+                        },
+                        0.12,
+                    ),
                 ],
                 DataParams::friendly(),
                 5.49,
@@ -234,7 +240,13 @@ impl ModelSpec {
                     (Bias(0.94), 0.35),
                     (Bias(0.99), 0.45),
                     (Loop(12), 0.10),
-                    (Correlated { bits: 4, noise: 0.005 }, 0.10),
+                    (
+                        Correlated {
+                            bits: 4,
+                            noise: 0.005,
+                        },
+                        0.10,
+                    ),
                 ],
                 DataParams {
                     base: 0x1000_0000,
@@ -267,7 +279,13 @@ impl ModelSpec {
                 vec![
                     (Bias(0.90), 0.35),
                     (Bias(0.98), 0.45),
-                    (Correlated { bits: 5, noise: 0.03 }, 0.20),
+                    (
+                        Correlated {
+                            bits: 5,
+                            noise: 0.03,
+                        },
+                        0.20,
+                    ),
                 ],
                 data_medium,
                 5.26,
@@ -281,7 +299,13 @@ impl ModelSpec {
                     600,
                     vec![
                         (Bias(0.9997), 0.90),
-                        (Correlated { bits: 2, noise: 0.001 }, 0.10),
+                        (
+                            Correlated {
+                                bits: 2,
+                                noise: 0.001,
+                            },
+                            0.10,
+                        ),
                     ],
                     DataParams::friendly(),
                     0.11,
@@ -294,11 +318,7 @@ impl ModelSpec {
             }
             BenchmarkId::Twolf => base(
                 420,
-                vec![
-                    (Bias(0.72), 0.40),
-                    (Bias(0.88), 0.25),
-                    (Bias(0.99), 0.35),
-                ],
+                vec![(Bias(0.72), 0.40), (Bias(0.88), 0.25), (Bias(0.99), 0.35)],
                 data_medium,
                 14.8,
                 11.8,
@@ -315,22 +335,14 @@ impl ModelSpec {
             ),
             BenchmarkId::VprPlace => base(
                 380,
-                vec![
-                    (Bias(0.78), 0.55),
-                    (Bias(0.90), 0.20),
-                    (Bias(0.99), 0.25),
-                ],
+                vec![(Bias(0.78), 0.55), (Bias(0.90), 0.20), (Bias(0.99), 0.25)],
                 data_medium,
                 11.7,
                 9.47,
             ),
             BenchmarkId::VprRoute => base(
                 380,
-                vec![
-                    (Bias(0.74), 0.35),
-                    (Bias(0.87), 0.22),
-                    (Bias(0.995), 0.43),
-                ],
+                vec![(Bias(0.74), 0.35), (Bias(0.87), 0.22), (Bias(0.995), 0.43)],
                 data_medium,
                 11.9,
                 8.85,
@@ -404,7 +416,10 @@ mod tests {
         for id in ALL_BENCHMARKS {
             assert_eq!(BenchmarkId::from_name(id.name()), Some(id));
         }
-        assert_eq!(BenchmarkId::from_name("VPRROUTE"), Some(BenchmarkId::VprRoute));
+        assert_eq!(
+            BenchmarkId::from_name("VPRROUTE"),
+            Some(BenchmarkId::VprRoute)
+        );
         assert_eq!(BenchmarkId::from_name("eon"), None);
     }
 
@@ -435,7 +450,10 @@ mod tests {
     fn paper_targets_recorded() {
         // Table 7 spot checks.
         assert_eq!(BenchmarkId::Twolf.spec().paper_cond_mispredict_pct, 14.8);
-        assert_eq!(BenchmarkId::Vortex.spec().paper_overall_mispredict_pct, 0.50);
+        assert_eq!(
+            BenchmarkId::Vortex.spec().paper_overall_mispredict_pct,
+            0.50
+        );
     }
 
     /// A coarse end-to-end calibration check: streaming each model through
@@ -455,7 +473,11 @@ mod tests {
             let mut miss = 0u64;
             // Warm up, then measure.
             for phase in 0..2 {
-                let (n, measure) = if phase == 0 { (60_000, false) } else { (240_000, true) };
+                let (n, measure) = if phase == 0 {
+                    (60_000, false)
+                } else {
+                    (240_000, true)
+                };
                 let mut seen = 0;
                 while seen < n {
                     let i = w.next_instr();

@@ -10,6 +10,24 @@
 use crate::generator::DataParams;
 use paco_types::{ControlKind, DynInstr, InstrClass, Pc, SplitMix64};
 
+/// Everything needed to synthesize a workload's wrong-path streams.
+///
+/// Wrong-path generation is a pure function of these parameters plus the
+/// `(from, seed)` pair of each excursion, which is what makes recorded
+/// traces replayable bit-for-bit: a
+/// [`TraceWorkload`](crate::TraceWorkload) carrying the original
+/// workload's parameters produces *identical* wrong-path streams to the
+/// live run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WrongPathParams {
+    /// Base address of the code footprint (first block's start PC).
+    pub code_base: u64,
+    /// Code footprint size in bytes.
+    pub code_bytes: u64,
+    /// Data-address stream parameters for wrong-path loads/stores.
+    pub data: DataParams,
+}
+
 /// A generator of synthetic wrong-path instructions.
 ///
 /// Created by [`Workload::wrong_path`](crate::Workload::wrong_path) when a
@@ -35,6 +53,11 @@ impl WrongPathGen {
     const LOAD_FRAC: f64 = 0.26;
     /// Fraction that are stores.
     const STORE_FRAC: f64 = 0.10;
+
+    /// Creates a wrong-path generator for `params` starting at `from`.
+    pub fn for_params(from: Pc, params: WrongPathParams, seed: u64) -> Self {
+        Self::new(from, params.code_base, params.code_bytes, params.data, seed)
+    }
 
     /// Creates a wrong-path generator starting at `from`.
     pub fn new(from: Pc, code_base: u64, code_bytes: u64, data: DataParams, seed: u64) -> Self {

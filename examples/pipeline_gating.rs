@@ -24,9 +24,7 @@ fn run(label: &str, estimator: EstimatorKind, gating: GatingPolicy, baseline: Op
     let ipc = stats.ipc(0);
     let bad = stats.total_badpath_fetched();
     match baseline {
-        None => println!(
-            "{label:<24} IPC {ipc:.3}   badpath fetched {bad:>8}   (baseline)"
-        ),
+        None => println!("{label:<24} IPC {ipc:.3}   badpath fetched {bad:>8}   (baseline)"),
         Some((base_ipc, base_bad)) => {
             println!(
                 "{label:<24} IPC {ipc:.3} ({:+.2}%)   badpath fetched {bad:>8} ({:+.1}%)   gated cycles {}",

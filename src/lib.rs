@@ -1,0 +1,19 @@
+//! Root package of the PaCo reproduction workspace.
+//!
+//! This crate exists to anchor the top-level `tests/` (whole-system
+//! integration suites) and `examples/` directories; all functionality
+//! lives in the `crates/` members:
+//!
+//! * `paco-types` — shared vocabulary types (PCs, instructions, RNG).
+//! * `paco-branch` — branch predictors + JRS confidence tables.
+//! * `paco` — the PaCo path-confidence estimator and baselines.
+//! * `paco-workloads` — synthetic SPEC2000int-like workload models and
+//!   trace replay.
+//! * `paco-sim` — the cycle-level out-of-order/SMT simulator.
+//! * `paco-trace` — binary branch-trace record/replay subsystem.
+//! * `paco-analysis` — reliability diagrams and forecast metrics.
+//! * `paco-bench` — experiment harnesses reproducing the paper's
+//!   tables and figures.
+//!
+//! See the top-level `README.md` for the crate graph and a record/replay
+//! quickstart.

@@ -144,8 +144,18 @@ fn per_branch_mrt_trails_mdc_bucketing() {
 
 #[test]
 fn cumulative_diagram_merges_consistently() {
-    let a = accuracy_run(BenchmarkId::Gzip, EstimatorKind::Paco(PacoConfig::paper()), 100_000, 1);
-    let b = accuracy_run(BenchmarkId::Mcf, EstimatorKind::Paco(PacoConfig::paper()), 100_000, 1);
+    let a = accuracy_run(
+        BenchmarkId::Gzip,
+        EstimatorKind::Paco(PacoConfig::paper()),
+        100_000,
+        1,
+    );
+    let b = accuracy_run(
+        BenchmarkId::Mcf,
+        EstimatorKind::Paco(PacoConfig::paper()),
+        100_000,
+        1,
+    );
     let bins = vec![
         a.stats.threads[0].prob_instances.clone(),
         b.stats.threads[0].prob_instances.clone(),

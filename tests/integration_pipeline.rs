@@ -54,7 +54,10 @@ fn estimator_choice_does_not_change_timing_without_gating() {
     )
     .run(30_000);
     assert_eq!(a.cycles, b.cycles);
-    assert_eq!(a.threads[0].cond_mispredicted, b.threads[0].cond_mispredicted);
+    assert_eq!(
+        a.threads[0].cond_mispredicted,
+        b.threads[0].cond_mispredicted
+    );
 }
 
 #[test]
@@ -63,10 +66,8 @@ fn mispredicts_produce_wrong_path_work_proportionally() {
     // must be correspondingly larger.
     let hard = machine(BenchmarkId::Twolf, EstimatorKind::None, 9).run(60_000);
     let easy = machine(BenchmarkId::Vortex, EstimatorKind::None, 9).run(60_000);
-    let hard_frac =
-        hard.threads[0].fetched_badpath as f64 / hard.threads[0].fetched as f64;
-    let easy_frac =
-        easy.threads[0].fetched_badpath as f64 / easy.threads[0].fetched as f64;
+    let hard_frac = hard.threads[0].fetched_badpath as f64 / hard.threads[0].fetched as f64;
+    let easy_frac = easy.threads[0].fetched_badpath as f64 / easy.threads[0].fetched as f64;
     assert!(
         hard_frac > 2.0 * easy_frac,
         "twolf badpath fraction {hard_frac:.3} vs vortex {easy_frac:.3}"
@@ -110,7 +111,9 @@ fn mdc_bucket_rates_decrease_with_confidence() {
     let stats = machine(BenchmarkId::Bzip2, EstimatorKind::None, 13).run(300_000);
     let t = &stats.threads[0];
     let low = t.mdc_bucket_mispredict_pct(0).expect("bucket 0 populated");
-    let high = t.mdc_bucket_mispredict_pct(15).expect("bucket 15 populated");
+    let high = t
+        .mdc_bucket_mispredict_pct(15)
+        .expect("bucket 15 populated");
     assert!(
         low > 4.0 * high.max(0.5),
         "MDC0 {low:.1}% should dwarf MDC15 {high:.1}%"

@@ -43,7 +43,14 @@ fn confidence_prioritization_helps_on_asymmetric_pairs() {
     let pair = (BenchmarkId::Vortex, BenchmarkId::VprRoute);
     let sa = single_thread_ipc_smt(pair.0, INSTRS, 3);
     let sb = single_thread_ipc_smt(pair.1, INSTRS, 3);
-    let icount = smt_run(pair, EstimatorKind::None, FetchPolicy::ICount, (sa, sb), INSTRS, 3);
+    let icount = smt_run(
+        pair,
+        EstimatorKind::None,
+        FetchPolicy::ICount,
+        (sa, sb),
+        INSTRS,
+        3,
+    );
     let paco = smt_run(
         pair,
         EstimatorKind::Paco(PacoConfig::paper()),
@@ -66,15 +73,46 @@ fn smt_ipc_degrades_gracefully_vs_standalone() {
     let pair = (BenchmarkId::Crafty, BenchmarkId::Gap);
     let sa = single_thread_ipc_smt(pair.0, INSTRS, 5);
     let sb = single_thread_ipc_smt(pair.1, INSTRS, 5);
-    let r = smt_run(pair, EstimatorKind::None, FetchPolicy::ICount, (sa, sb), INSTRS, 5);
-    assert!(r.ipc[0] <= sa * 1.1, "thread 0: {} vs standalone {}", r.ipc[0], sa);
-    assert!(r.ipc[1] <= sb * 1.1, "thread 1: {} vs standalone {}", r.ipc[1], sb);
+    let r = smt_run(
+        pair,
+        EstimatorKind::None,
+        FetchPolicy::ICount,
+        (sa, sb),
+        INSTRS,
+        5,
+    );
+    assert!(
+        r.ipc[0] <= sa * 1.1,
+        "thread 0: {} vs standalone {}",
+        r.ipc[0],
+        sa
+    );
+    assert!(
+        r.ipc[1] <= sb * 1.1,
+        "thread 1: {} vs standalone {}",
+        r.ipc[1],
+        sb
+    );
 }
 
 #[test]
 fn deterministic_smt_runs() {
     let pair = (BenchmarkId::Gcc, BenchmarkId::Mcf);
-    let a = smt_run(pair, EstimatorKind::None, FetchPolicy::ICount, (1.0, 1.0), 50_000, 9);
-    let b = smt_run(pair, EstimatorKind::None, FetchPolicy::ICount, (1.0, 1.0), 50_000, 9);
+    let a = smt_run(
+        pair,
+        EstimatorKind::None,
+        FetchPolicy::ICount,
+        (1.0, 1.0),
+        50_000,
+        9,
+    );
+    let b = smt_run(
+        pair,
+        EstimatorKind::None,
+        FetchPolicy::ICount,
+        (1.0, 1.0),
+        50_000,
+        9,
+    );
     assert_eq!(a.ipc, b.ipc);
 }

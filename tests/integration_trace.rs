@@ -1,0 +1,158 @@
+//! Trace record/replay integration: a trace recorded from a live
+//! simulation, replayed through `TraceWorkload`, reproduces the live
+//! run's per-thread retired-instruction and mispredict counts exactly.
+
+use std::path::PathBuf;
+
+use paco::PacoConfig;
+use paco_sim::{EstimatorKind, MachineBuilder, MachineStats, SimConfig};
+use paco_trace::{
+    load_workload, open_workload, TraceMeta, TraceReader, TraceRecorder, TraceWriter,
+};
+use paco_workloads::{BenchmarkId, Workload};
+
+const INSTRS: u64 = 60_000;
+const SEED: u64 = 7;
+
+/// A temp trace path removed on drop, so failed asserts don't leak files.
+struct TempTrace(PathBuf);
+
+impl TempTrace {
+    fn new(tag: &str) -> Self {
+        TempTrace(std::env::temp_dir().join(format!(
+            "paco-integration-{}-{tag}.trace",
+            std::process::id()
+        )))
+    }
+}
+
+impl Drop for TempTrace {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn machine_with(
+    workload: Box<dyn Workload>,
+    sink: Option<Box<dyn paco_sim::TraceSink>>,
+) -> paco_sim::Machine {
+    let mut builder = MachineBuilder::new(SimConfig::paper_4wide())
+        .thread(workload, EstimatorKind::Paco(PacoConfig::paper()))
+        .seed(SEED);
+    if let Some(sink) = sink {
+        builder = builder.trace_sink(sink);
+    }
+    builder.build()
+}
+
+fn assert_identical_runs(live: &MachineStats, replayed: &MachineStats) {
+    assert_eq!(live.cycles, replayed.cycles, "cycle counts diverge");
+    for (l, r) in live.threads.iter().zip(&replayed.threads) {
+        assert_eq!(l.retired, r.retired, "retired counts diverge");
+        assert_eq!(
+            l.cond_mispredicted, r.cond_mispredicted,
+            "conditional mispredict counts diverge"
+        );
+        assert_eq!(
+            l.control_mispredicted, r.control_mispredicted,
+            "overall mispredict counts diverge"
+        );
+        assert_eq!(l.fetched, r.fetched, "fetch counts diverge");
+        assert_eq!(
+            l.fetched_badpath, r.fetched_badpath,
+            "wrong-path fetch counts diverge"
+        );
+        assert_eq!(l.executed, r.executed, "execute counts diverge");
+    }
+}
+
+/// The headline acceptance test: record a gzip run through the
+/// simulator's trace-sink hook, replay the file through `TraceWorkload`,
+/// and require the *exact* same counts — not just statistically similar.
+#[test]
+fn recorded_gzip_replay_reproduces_live_counts_exactly() {
+    let path = TempTrace::new("gzip-exact");
+    let workload = BenchmarkId::Gzip.build(SEED);
+    let recorder =
+        TraceRecorder::create(&path.0, &TraceMeta::for_workload(&workload)).expect("create trace");
+
+    let mut live = machine_with(Box::new(workload), Some(recorder.sink()));
+    let live_stats = live.run(INSTRS);
+    let summary = recorder.finish().expect("finalize trace");
+    assert!(
+        summary.records >= INSTRS,
+        "trace must cover the run: {} records",
+        summary.records
+    );
+    assert!(
+        live_stats.threads[0].cond_mispredicted > 0,
+        "run must mispredict"
+    );
+
+    // Streaming replay.
+    let replay = open_workload(&path.0).expect("open trace");
+    let mut replayed = machine_with(Box::new(replay), None);
+    let replay_stats = replayed.run(INSTRS);
+    assert_identical_runs(&live_stats, &replay_stats);
+
+    // Preloaded replay takes the same path through the simulator.
+    let replay = load_workload(&path.0).expect("load trace");
+    let mut replayed = machine_with(Box::new(replay), None);
+    assert_identical_runs(&live_stats, &replayed.run(INSTRS));
+}
+
+/// Direct workload capture (the CLI's fast path) records the same stream
+/// the simulator pulls: the simulator-recorded trace is the direct trace
+/// plus the in-flight tail.
+#[test]
+fn direct_capture_is_a_prefix_of_simulated_capture() {
+    let direct_path = TempTrace::new("direct");
+    let sim_path = TempTrace::new("sim");
+
+    let mut workload = BenchmarkId::Twolf.build(SEED);
+    let mut writer =
+        TraceWriter::create(&direct_path.0, &TraceMeta::for_workload(&workload)).unwrap();
+    for _ in 0..20_000 {
+        writer.push_instr(&workload.next_instr()).unwrap();
+    }
+    let (direct_summary, _) = writer.finish().unwrap();
+    assert_eq!(direct_summary.records, 20_000);
+
+    let workload = BenchmarkId::Twolf.build(SEED);
+    let recorder = TraceRecorder::create(&sim_path.0, &TraceMeta::for_workload(&workload)).unwrap();
+    let mut machine = machine_with(Box::new(workload), Some(recorder.sink()));
+    machine.run(20_000);
+    let sim_summary = recorder.finish().unwrap();
+    assert!(sim_summary.records >= 20_000);
+
+    let mut direct = TraceReader::open(&direct_path.0).unwrap();
+    let mut sim = TraceReader::open(&sim_path.0).unwrap();
+    assert_eq!(direct.meta(), sim.meta(), "headers must agree");
+    for i in 0..20_000u64 {
+        let d = direct.next_record().unwrap().expect("direct record");
+        let s = sim.next_record().unwrap().expect("sim record");
+        assert_eq!(d, s, "streams diverge at record {i}");
+    }
+}
+
+/// Replay loops (rewinds) when the simulated run outlives the trace, and
+/// the simulation keeps running meaningfully on the looped stream.
+#[test]
+fn short_trace_loops_through_longer_run() {
+    let path = TempTrace::new("loop");
+    let mut workload = BenchmarkId::Gzip.build(SEED);
+    let mut writer = TraceWriter::create(&path.0, &TraceMeta::for_workload(&workload)).unwrap();
+    for _ in 0..15_000 {
+        writer.push_instr(&workload.next_instr()).unwrap();
+    }
+    writer.finish().unwrap();
+
+    let replay = open_workload(&path.0).unwrap();
+    assert_eq!(replay.trace_len(), Some(15_000));
+    let mut machine = machine_with(Box::new(replay), None);
+    let stats = machine.run(50_000);
+    let t = &stats.threads[0];
+    assert!(t.retired >= 50_000, "looped replay must sustain the run");
+    assert!(t.cond_retired > 0 && t.cond_mispredicted > 0);
+    assert!(t.fetched_badpath > 0, "loops must still drive wrong paths");
+}
