@@ -1,0 +1,153 @@
+//! Aggregation of per-run statistics into figure/table-level numbers.
+//!
+//! The experiment presentation layer (in `paco-bench`) is deliberately
+//! thin: it maps engine cell results into these pure functions and prints
+//! the output. Everything that *computes* — pooling reliability bins
+//! across benchmarks, averaging gating trade-off points, comparing a
+//! gated run against its baseline — lives here where it is unit-testable
+//! without running a simulator.
+
+/// Accumulates `more` into `acc`, element-wise over `(instances, good)`
+/// pairs — the pooling step behind cumulative reliability diagrams
+/// (paper Figure 9(f)).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn merge_bin_pairs(acc: &mut [(u64, u64)], more: &[(u64, u64)]) {
+    assert_eq!(acc.len(), more.len(), "bin layouts must match");
+    for (a, b) in acc.iter_mut().zip(more) {
+        a.0 += b.0;
+        a.1 += b.1;
+    }
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// The observables of one run a gating comparison needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunPoint {
+    /// Retired IPC.
+    pub ipc: f64,
+    /// Wrong-path instructions executed.
+    pub badpath_executed: u64,
+    /// Wrong-path instructions fetched.
+    pub badpath_fetched: u64,
+}
+
+/// One point of the paper's Figure-10 trade-off space: performance loss
+/// vs wrong-path reduction, gated run against ungated baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatingTradeoff {
+    /// Performance loss in percent (negative = speedup).
+    pub perf_loss_pct: f64,
+    /// Reduction in wrong-path instructions executed, percent.
+    pub badpath_exec_reduction_pct: f64,
+    /// Reduction in wrong-path instructions fetched, percent.
+    pub badpath_fetch_reduction_pct: f64,
+}
+
+/// Compares a gated run against its ungated baseline.
+pub fn gating_tradeoff(base: RunPoint, gated: RunPoint) -> GatingTradeoff {
+    GatingTradeoff {
+        perf_loss_pct: crate::perf_delta_pct(base.ipc, gated.ipc),
+        badpath_exec_reduction_pct: crate::badpath_reduction_pct(
+            base.badpath_executed,
+            gated.badpath_executed,
+        ),
+        badpath_fetch_reduction_pct: crate::badpath_reduction_pct(
+            base.badpath_fetched,
+            gated.badpath_fetched,
+        ),
+    }
+}
+
+/// Component-wise mean of trade-off points — Figure 10 averages each
+/// configuration over all modeled benchmarks.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean_tradeoff(points: &[GatingTradeoff]) -> GatingTradeoff {
+    assert!(!points.is_empty(), "need at least one trade-off point");
+    let n = points.len() as f64;
+    GatingTradeoff {
+        perf_loss_pct: points.iter().map(|p| p.perf_loss_pct).sum::<f64>() / n,
+        badpath_exec_reduction_pct: points
+            .iter()
+            .map(|p| p.badpath_exec_reduction_pct)
+            .sum::<f64>()
+            / n,
+        badpath_fetch_reduction_pct: points
+            .iter()
+            .map(|p| p.badpath_fetch_reduction_pct)
+            .sum::<f64>()
+            / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_elementwise() {
+        let mut acc = vec![(1, 1), (0, 0)];
+        merge_bin_pairs(&mut acc, &[(2, 1), (5, 4)]);
+        assert_eq!(acc, vec![(3, 2), (5, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layouts")]
+    fn merge_rejects_mismatched_layouts() {
+        merge_bin_pairs(&mut [(0, 0)], &[(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tradeoff_matches_metric_definitions() {
+        let base = RunPoint {
+            ipc: 2.0,
+            badpath_executed: 1000,
+            badpath_fetched: 4000,
+        };
+        let gated = RunPoint {
+            ipc: 1.9,
+            badpath_executed: 680,
+            badpath_fetched: 1200,
+        };
+        let t = gating_tradeoff(base, gated);
+        assert!((t.perf_loss_pct - 5.0).abs() < 1e-12);
+        assert!((t.badpath_exec_reduction_pct - 32.0).abs() < 1e-12);
+        assert!((t.badpath_fetch_reduction_pct - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_tradeoff_averages_components() {
+        let a = GatingTradeoff {
+            perf_loss_pct: 2.0,
+            badpath_exec_reduction_pct: 30.0,
+            badpath_fetch_reduction_pct: 60.0,
+        };
+        let b = GatingTradeoff {
+            perf_loss_pct: 4.0,
+            badpath_exec_reduction_pct: 50.0,
+            badpath_fetch_reduction_pct: 80.0,
+        };
+        let m = mean_tradeoff(&[a, b]);
+        assert!((m.perf_loss_pct - 3.0).abs() < 1e-12);
+        assert!((m.badpath_exec_reduction_pct - 40.0).abs() < 1e-12);
+        assert!((m.badpath_fetch_reduction_pct - 70.0).abs() < 1e-12);
+    }
+}

@@ -23,10 +23,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod aggregate;
 mod metrics;
 mod reliability;
 mod render;
 
+pub use aggregate::{
+    gating_tradeoff, mean, mean_tradeoff, merge_bin_pairs, GatingTradeoff, RunPoint,
+};
 pub use metrics::{badpath_reduction_pct, hmwipc, perf_delta_pct};
 pub use reliability::{ReliabilityDiagram, ReliabilityPoint};
 pub use render::{render_diagram_ascii, Table};

@@ -1,98 +1,10 @@
-//! Ablation experiments for design choices called out in DESIGN.md:
-//!
-//! 1. **MRT refresh period** — the paper (§3.2, footnote 5) claims PaCo's
-//!    accuracy is not very sensitive to the 200k-cycle refresh period.
-//! 2. **Mitchell vs exact log** — cost of the hardware log approximation.
-//! 3. **Selective throttling vs all-or-nothing gating** (Aragón et al.,
-//!    discussed in §6 Related Work).
+//! Refresh-period / log-mode / throttling ablations — thin wrapper over the `paco-bench` experiment engine
+//! (`paco-bench run ablations`). Accepts `--jobs N`, `--no-cache` and
+//! `--json`.
 
-use paco::{LogMode, PacoConfig, ThresholdCountConfig};
-use paco_analysis::Table;
-use paco_bench::{accuracy_run, default_instrs, default_seed, gating_run};
-use paco_sim::{EstimatorKind, GatingPolicy};
-use paco_types::Probability;
-use paco_workloads::{BenchmarkId, ALL_BENCHMARKS};
-
-fn mean_rms(est: EstimatorKind, instrs: u64, seed: u64) -> f64 {
-    ALL_BENCHMARKS
-        .iter()
-        .map(|&b| accuracy_run(b, est, instrs, seed).rms())
-        .sum::<f64>()
-        / ALL_BENCHMARKS.len() as f64
-}
+use paco_bench::experiments::ExperimentId;
 
 fn main() {
-    let instrs = default_instrs(400_000);
-    let seed = default_seed();
-    println!("== Ablations ==");
-    println!(
-        "   ({} instructions/benchmark/config, seed {})\n",
-        instrs, seed
-    );
-
-    // 1. Refresh period sweep.
-    println!("-- MRT refresh period (mean RMS across benchmarks) --");
-    let mut t = Table::new(&["period (cycles)", "mean RMS"]);
-    for period in [25_000u64, 50_000, 100_000, 200_000, 400_000, 800_000] {
-        let est = EstimatorKind::Paco(PacoConfig::paper().with_refresh_period(period));
-        t.row_owned(vec![
-            period.to_string(),
-            format!("{:.4}", mean_rms(est, instrs, seed)),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("Paper claim: accuracy is not very sensitive to this period.\n");
-
-    // 2. Mitchell vs exact log.
-    println!("-- Log circuit: Mitchell approximation vs exact --");
-    let mut t = Table::new(&["log mode", "mean RMS"]);
-    for (name, mode) in [("Mitchell", LogMode::Mitchell), ("Exact", LogMode::Exact)] {
-        let est = EstimatorKind::Paco(PacoConfig::paper().with_log_mode(mode));
-        t.row_owned(vec![
-            name.to_string(),
-            format!("{:.4}", mean_rms(est, instrs, seed)),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("Expected: near-identical — the ratio subtraction cancels most error.\n");
-
-    // 3. Throttling vs gating, on a mispredict-heavy benchmark.
-    println!("-- Selective throttling vs all-or-nothing gating (twolf) --");
-    let mut t = Table::new(&["scheme", "perf loss %", "badpath exec red. %"]);
-    let bench = BenchmarkId::Twolf;
-    let configs: [(&str, EstimatorKind, GatingPolicy); 4] = [
-        (
-            "JRS-t3 gate@2",
-            EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
-            GatingPolicy::CountGate { gate_count: 2 },
-        ),
-        (
-            "JRS-t3 throttle@2",
-            EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
-            GatingPolicy::CountThrottle { start: 2 },
-        ),
-        (
-            "PaCo gate@20%",
-            EstimatorKind::Paco(PacoConfig::paper()),
-            GatingPolicy::paco_gate(Probability::new(0.20).unwrap()),
-        ),
-        (
-            "PaCo throttle 60%..10%",
-            EstimatorKind::Paco(PacoConfig::paper()),
-            GatingPolicy::paco_throttle(
-                Probability::new(0.60).unwrap(),
-                Probability::new(0.10).unwrap(),
-            ),
-        ),
-    ];
-    for (name, est, gating) in configs {
-        let r = gating_run(bench, est, gating, instrs, seed);
-        t.row_owned(vec![
-            name.to_string(),
-            format!("{:.2}", r.perf_loss_pct),
-            format!("{:.1}", r.badpath_exec_reduction_pct),
-        ]);
-    }
-    println!("{}", t.render());
-    println!("Expected: throttling trades a bit of badpath reduction for less\nperformance loss; PaCo variants dominate the counter-based ones.");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(paco_bench::cli::main_single(ExperimentId::Ablations, &args));
 }

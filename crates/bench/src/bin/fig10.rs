@@ -1,117 +1,10 @@
-//! Figure 10: pipeline gating — performance loss vs reduction in badpath
-//! instructions executed, averaged across benchmarks.
-//!
-//! Sweeps (a) the conventional threshold-and-count predictor at JRS
-//! thresholds {3, 7, 11, 15} with gate-counts 10 down to 1, and (b) PaCo
-//! with gating probabilities from 2% to 90%. Each point is the mean over
-//! all modeled benchmarks of (perf loss %, badpath-executed reduction %).
-//!
-//! Ungated baselines are computed once per benchmark (estimators are
-//! observers: without gating they cannot perturb timing — an invariant the
-//! integration suite checks).
+//! Figure 10: pipeline gating trade-off curves — thin wrapper over the `paco-bench` experiment engine
+//! (`paco-bench run fig10`). Accepts `--jobs N`, `--no-cache` and
+//! `--json`.
 
-use paco::{PacoConfig, ThresholdCountConfig};
-use paco_analysis::{badpath_reduction_pct, perf_delta_pct, Table};
-use paco_bench::{default_instrs, default_seed, default_warmup};
-use paco_sim::{EstimatorKind, GatingPolicy, MachineBuilder, MachineStats, SimConfig};
-use paco_types::Probability;
-use paco_workloads::{BenchmarkId, ALL_BENCHMARKS};
-
-fn run_one(
-    bench: BenchmarkId,
-    estimator: EstimatorKind,
-    gating: GatingPolicy,
-    instrs: u64,
-    seed: u64,
-) -> MachineStats {
-    let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
-        .thread(Box::new(bench.build(seed)), estimator)
-        .gating(gating)
-        .seed(seed ^ 0x6A7E)
-        .build();
-    machine.run(default_warmup());
-    machine.reset_stats();
-    machine.run(instrs)
-}
+use paco_bench::experiments::ExperimentId;
 
 fn main() {
-    let instrs = default_instrs(400_000);
-    let seed = default_seed();
-    println!("== Figure 10: pipeline gating trade-off ==");
-    println!(
-        "   ({} instructions/benchmark/config, seed {}; mean over {} benchmarks)\n",
-        instrs,
-        seed,
-        ALL_BENCHMARKS.len()
-    );
-
-    // Ungated baselines, one per benchmark.
-    let baselines: Vec<MachineStats> = ALL_BENCHMARKS
-        .iter()
-        .map(|&b| run_one(b, EstimatorKind::None, GatingPolicy::None, instrs, seed))
-        .collect();
-
-    let mean_point = |estimator: EstimatorKind, gating: GatingPolicy| {
-        let mut loss = 0.0;
-        let mut exec_red = 0.0;
-        let mut fetch_red = 0.0;
-        for (i, &bench) in ALL_BENCHMARKS.iter().enumerate() {
-            let gated = run_one(bench, estimator, gating, instrs, seed);
-            let base = &baselines[i];
-            loss += perf_delta_pct(base.ipc(0), gated.ipc(0));
-            exec_red += badpath_reduction_pct(
-                base.total_badpath_executed(),
-                gated.total_badpath_executed(),
-            );
-            fetch_red +=
-                badpath_reduction_pct(base.total_badpath_fetched(), gated.total_badpath_fetched());
-        }
-        let n = ALL_BENCHMARKS.len() as f64;
-        (loss / n, exec_red / n, fetch_red / n)
-    };
-
-    let mut table = Table::new(&[
-        "predictor",
-        "config",
-        "perf loss %",
-        "badpath exec red. %",
-        "badpath fetch red. %",
-    ]);
-
-    for threshold in [3u8, 7, 11, 15] {
-        let est = EstimatorKind::ThresholdCount(ThresholdCountConfig::with_threshold(threshold));
-        for gate_count in [10u64, 8, 6, 4, 3, 2, 1] {
-            let (loss, exec, fetch) = mean_point(est, GatingPolicy::CountGate { gate_count });
-            table.row_owned(vec![
-                format!("JRS-t{threshold}"),
-                format!("gate-count {gate_count}"),
-                format!("{loss:.2}"),
-                format!("{exec:.1}"),
-                format!("{fetch:.1}"),
-            ]);
-        }
-    }
-
-    let est = EstimatorKind::Paco(PacoConfig::paper());
-    for pct in [2u32, 6, 10, 14, 20, 26, 34, 42, 50, 62, 74, 90] {
-        let gating = GatingPolicy::paco_gate(Probability::new(pct as f64 / 100.0).unwrap());
-        let (loss, exec, fetch) = mean_point(est, gating);
-        table.row_owned(vec![
-            "PaCo".to_string(),
-            format!("gate below {pct}%"),
-            format!("{loss:.2}"),
-            format!("{exec:.1}"),
-            format!("{fetch:.1}"),
-        ]);
-    }
-
-    println!("{}", table.render());
-    println!(
-        "Paper's claims to verify: PaCo at a ~20% gating probability removes\n\
-         ~32% of badpath instructions executed at ~0% performance loss (badpath\n\
-         fetch reduction even higher, ~70%), while the best counter-based\n\
-         predictor (JRS-t3) only reaches ~7% at comparable loss; conservative\n\
-         PaCo gating can even *improve* performance via reduced cache/BTB\n\
-         pollution."
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(paco_bench::cli::main_single(ExperimentId::Fig10, &args));
 }

@@ -1,121 +1,10 @@
-//! Figure 12: SMT fetch prioritization — HMWIPC of 16 benchmark pairs
-//! under ICOUNT, four threshold-and-count predictors, and PaCo.
-//!
-//! The paper runs 16 pairs (without parser, which its SMT simulator could
-//! not execute; we keep the same exclusion for fidelity), with every
-//! benchmark appearing in 3 pairs except gzip (2).
+//! Figure 12: SMT fetch prioritization (HMWIPC) — thin wrapper over the `paco-bench` experiment engine
+//! (`paco-bench run fig12`). Accepts `--jobs N`, `--no-cache` and
+//! `--json`.
 
-use paco::{PacoConfig, ThresholdCountConfig};
-use paco_analysis::Table;
-use paco_bench::{default_instrs, default_seed, single_thread_ipc_smt, smt_run};
-use paco_sim::{EstimatorKind, FetchPolicy};
-use paco_workloads::BenchmarkId::{self, *};
-
-/// The 16 SMT pairs: 11 benchmarks (no parser), each in 3 pairs except
-/// gzip (2). 16 pairs × 2 slots = 32 = 10×3 + 2.
-const PAIRS: [(BenchmarkId, BenchmarkId); 16] = [
-    (Bzip2, Crafty),
-    (Gcc, Gap),
-    (Gzip, Mcf),
-    (Perlbmk, Twolf),
-    (Vortex, VprPlace),
-    (VprRoute, Bzip2),
-    (Crafty, Gcc),
-    (Gap, Mcf),
-    (Twolf, Vortex),
-    (VprPlace, VprRoute),
-    (Bzip2, Gzip),
-    (Crafty, Perlbmk),
-    (Gcc, Twolf),
-    (Gap, Vortex),
-    (Mcf, VprPlace),
-    (Perlbmk, VprRoute),
-];
+use paco_bench::experiments::ExperimentId;
 
 fn main() {
-    let instrs = default_instrs(200_000);
-    let seed = default_seed();
-    println!("== Figure 12: SMT fetch prioritization (HMWIPC) ==");
-    println!(
-        "   ({} instructions/thread/config, seed {})\n",
-        instrs, seed
-    );
-
-    // Standalone IPCs on the 8-wide machine (the SingleIPC terms).
-    let mut single = std::collections::BTreeMap::new();
-    for &(a, b) in &PAIRS {
-        for bench in [a, b] {
-            single
-                .entry(bench.name())
-                .or_insert_with(|| single_thread_ipc_smt(bench, instrs, seed));
-        }
-    }
-
-    let policies: [(&str, EstimatorKind, FetchPolicy); 6] = [
-        ("ICount", EstimatorKind::None, FetchPolicy::ICount),
-        (
-            "JRS-t3",
-            EstimatorKind::ThresholdCount(ThresholdCountConfig::with_threshold(3)),
-            FetchPolicy::Confidence,
-        ),
-        (
-            "JRS-t7",
-            EstimatorKind::ThresholdCount(ThresholdCountConfig::with_threshold(7)),
-            FetchPolicy::Confidence,
-        ),
-        (
-            "JRS-t11",
-            EstimatorKind::ThresholdCount(ThresholdCountConfig::with_threshold(11)),
-            FetchPolicy::Confidence,
-        ),
-        (
-            "JRS-t15",
-            EstimatorKind::ThresholdCount(ThresholdCountConfig::with_threshold(15)),
-            FetchPolicy::Confidence,
-        ),
-        (
-            "PaCo",
-            EstimatorKind::Paco(PacoConfig::paper()),
-            FetchPolicy::Confidence,
-        ),
-    ];
-
-    let mut table = Table::new(&[
-        "pair", "ICount", "JRS-t3", "JRS-t7", "JRS-t11", "JRS-t15", "PaCo",
-    ]);
-    let mut sums = [0.0f64; 6];
-    let mut paco_vs_best_jrs = Vec::new();
-
-    for &(a, b) in &PAIRS {
-        let sa = single[a.name()];
-        let sb = single[b.name()];
-        let mut row = vec![format!("{}-{}", a.name(), b.name())];
-        let mut vals = [0.0f64; 6];
-        for (i, (_, est, pol)) in policies.iter().enumerate() {
-            let r = smt_run((a, b), *est, *pol, (sa, sb), instrs, seed);
-            vals[i] = r.hmwipc;
-            sums[i] += r.hmwipc;
-            row.push(format!("{:.3}", r.hmwipc));
-        }
-        let best_jrs = vals[1..5].iter().cloned().fold(f64::MIN, f64::max);
-        paco_vs_best_jrs.push(100.0 * (vals[5] - best_jrs) / best_jrs);
-        table.row_owned(row);
-    }
-    let mut mean_row = vec!["mean".to_string()];
-    for s in sums {
-        mean_row.push(format!("{:.3}", s / PAIRS.len() as f64));
-    }
-    table.row_owned(mean_row);
-    println!("{}", table.render());
-
-    let wins = paco_vs_best_jrs.iter().filter(|&&d| d > 0.0).count();
-    let mean_gain = paco_vs_best_jrs.iter().sum::<f64>() / paco_vs_best_jrs.len() as f64;
-    let max_gain = paco_vs_best_jrs.iter().cloned().fold(f64::MIN, f64::max);
-    println!(
-        "PaCo vs best JRS per pair: wins {wins}/16, mean {mean_gain:+.1}%, max {max_gain:+.1}%"
-    );
-    println!(
-        "Paper's claims to verify: PaCo beats the best threshold-and-count\n\
-         predictor on 14 of 16 pairs, ~5.4-5.5% mean improvement, up to ~23%."
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(paco_bench::cli::main_single(ExperimentId::Fig12, &args));
 }

@@ -1,45 +1,10 @@
-//! Figure 2: misprediction rates of branches with different MDC values.
-//!
-//! The paper's figure shows, for several benchmarks, the mispredict rate
-//! of dynamic conditional branches bucketed by the MDC value they carried
-//! at fetch — demonstrating that "low-confidence" branches below any fixed
-//! threshold have wildly different real mispredict rates (the coarseness
-//! argument of §2.3).
+//! Figure 2: per-MDC-bucket mispredict rates — thin wrapper over the `paco-bench` experiment engine
+//! (`paco-bench run fig2`). Accepts `--jobs N`, `--no-cache` and
+//! `--json`.
 
-use paco_analysis::Table;
-use paco_bench::{accuracy_run, default_instrs, default_seed};
-use paco_sim::EstimatorKind;
-use paco_workloads::ALL_BENCHMARKS;
+use paco_bench::experiments::ExperimentId;
 
 fn main() {
-    let instrs = default_instrs(500_000);
-    let seed = default_seed();
-    println!("== Figure 2: per-MDC-bucket mispredict rates (%) ==");
-    println!("   ({} instructions/benchmark, seed {})\n", instrs, seed);
-
-    let mut header = vec!["bench".to_string()];
-    header.extend((0..16).map(|i| format!("mdc{i}")));
-    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut table = Table::new(&header_refs);
-
-    for bench in ALL_BENCHMARKS {
-        let r = accuracy_run(bench, EstimatorKind::None, instrs, seed);
-        let t = &r.stats.threads[0];
-        let mut row = vec![bench.name().to_string()];
-        for b in 0..16 {
-            row.push(match t.mdc_bucket_mispredict_pct(b) {
-                Some(pct) => format!("{pct:.1}"),
-                None => "-".to_string(),
-            });
-        }
-        table.row_owned(row);
-    }
-    println!("{}", table.render());
-
-    println!(
-        "Paper's qualitative claim to verify: rates fall steeply with MDC value;\n\
-         MDC 0 branches mispredict tens of percent while MDC 15 branches are\n\
-         nearly perfect, and the same MDC value maps to different rates across\n\
-         benchmarks (e.g. gcc vs vortex at MDC 2)."
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(paco_bench::cli::main_single(ExperimentId::Fig2, &args));
 }

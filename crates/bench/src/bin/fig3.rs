@@ -1,125 +1,10 @@
-//! Figure 3: goodpath probability when 5 low-confidence branches are
-//! outstanding — (a) across benchmarks, (b) across phases of the same
-//! benchmark.
-//!
-//! Demonstrates the paper's core motivation: the same low-confidence
-//! branch count corresponds to very different goodpath likelihoods, so a
-//! counter is not a probability.
+//! Figure 3: goodpath probability at counter = 5 — thin wrapper over the `paco-bench` experiment engine
+//! (`paco-bench run fig3`). Accepts `--jobs N`, `--no-cache` and
+//! `--json`.
 
-use paco::ThresholdCountConfig;
-use paco_analysis::Table;
-use paco_bench::{accuracy_run, default_instrs, default_seed};
-use paco_sim::{EstimatorKind, MachineBuilder, SimConfig, SCORE_BINS};
-use paco_workloads::BenchmarkId;
-
-const COUNTER: usize = 5;
-
-fn estimator() -> EstimatorKind {
-    EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default())
-}
+use paco_bench::experiments::ExperimentId;
 
 fn main() {
-    let instrs = default_instrs(600_000);
-    let seed = default_seed();
-
-    println!("== Figure 3(a): observed goodpath probability at counter = {COUNTER} ==");
-    println!(
-        "   (JRS threshold 3, {} instructions/benchmark, seed {})\n",
-        instrs, seed
-    );
-    let mut t = Table::new(&["bench", "P(goodpath | count=5)", "instances"]);
-    for bench in [
-        BenchmarkId::Crafty,
-        BenchmarkId::Gzip,
-        BenchmarkId::Bzip2,
-        BenchmarkId::VprRoute,
-    ] {
-        let r = accuracy_run(bench, estimator(), instrs, seed);
-        let (n, good) = r.stats.threads[0].score_instances[COUNTER];
-        t.row_owned(vec![
-            bench.name().to_string(),
-            if n > 0 {
-                format!("{:.3}", good as f64 / n as f64)
-            } else {
-                "-".to_string()
-            },
-            n.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-
-    println!("== Figure 3(b): same, across phases of mcf and gcc ==\n");
-    let mut t = Table::new(&["phase", "P(goodpath | count=5)", "instances"]);
-    // mcf: two phases of 400k instructions each.
-    let mcf = phase_bins(
-        BenchmarkId::Mcf,
-        400_000,
-        2,
-        1_600_000.min(instrs * 3),
-        seed,
-    );
-    for (i, bins) in mcf.iter().enumerate() {
-        let (n, good) = bins[COUNTER];
-        t.row_owned(vec![
-            format!("mcf_phase{}", i + 1),
-            if n > 0 {
-                format!("{:.3}", good as f64 / n as f64)
-            } else {
-                "-".to_string()
-            },
-            n.to_string(),
-        ]);
-    }
-    // gcc: four short phases of 25k instructions; report the first two.
-    let gcc = phase_bins(BenchmarkId::Gcc, 25_000, 4, instrs, seed);
-    for (i, bins) in gcc.iter().take(2).enumerate() {
-        let (n, good) = bins[COUNTER];
-        t.row_owned(vec![
-            format!("gcc_phase{}", i + 1),
-            if n > 0 {
-                format!("{:.3}", good as f64 / n as f64)
-            } else {
-                "-".to_string()
-            },
-            n.to_string(),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "Paper's qualitative claim: the observed probability at a fixed counter\n\
-         value differs strongly across benchmarks (10%..40% in the paper) and\n\
-         across phases of one benchmark — a fixed gate-count cannot be right\n\
-         everywhere."
-    );
-}
-
-/// Accumulates score-instance bins separately per phase window. Windows of
-/// `window` retired instructions cycle through `nphases` phases.
-fn phase_bins(
-    bench: BenchmarkId,
-    window: u64,
-    nphases: usize,
-    total: u64,
-    seed: u64,
-) -> Vec<Vec<(u64, u64)>> {
-    let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
-        .thread(Box::new(bench.build(seed)), estimator())
-        .seed(seed ^ 0xF1640)
-        .build();
-    let mut per_phase = vec![vec![(0u64, 0u64); SCORE_BINS]; nphases];
-    let mut prev = vec![(0u64, 0u64); SCORE_BINS];
-    let mut boundary = window;
-    let mut phase = 0usize;
-    while boundary <= total {
-        let stats = machine.run(boundary);
-        let cur = &stats.threads[0].score_instances;
-        for (i, acc) in per_phase[phase].iter_mut().enumerate() {
-            acc.0 += cur[i].0 - prev[i].0;
-            acc.1 += cur[i].1 - prev[i].1;
-        }
-        prev = cur.clone();
-        boundary += window;
-        phase = (phase + 1) % nphases;
-    }
-    per_phase
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(paco_bench::cli::main_single(ExperimentId::Fig3, &args));
 }

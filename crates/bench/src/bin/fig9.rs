@@ -1,65 +1,10 @@
-//! Figures 8–9: reliability diagrams for representative benchmarks plus
-//! the cumulative all-benchmarks diagram.
-//!
-//! Each diagram plots predicted goodpath probability (x) against observed
-//! goodpath frequency (y); a perfectly calibrated predictor follows the
-//! diagonal.
+//! Figures 8-9: reliability diagrams — thin wrapper over the `paco-bench` experiment engine
+//! (`paco-bench run fig9`). Accepts `--jobs N`, `--no-cache` and
+//! `--json`.
 
-use paco::PacoConfig;
-use paco_analysis::{render_diagram_ascii, ReliabilityDiagram, Table};
-use paco_bench::{accuracy_run, default_instrs, default_seed};
-use paco_sim::EstimatorKind;
-use paco_workloads::{BenchmarkId, ALL_BENCHMARKS};
+use paco_bench::experiments::ExperimentId;
 
 fn main() {
-    let instrs = default_instrs(800_000);
-    let seed = default_seed();
-    println!("== Figures 8-9: reliability diagrams ==");
-    println!("   ({} instructions/benchmark, seed {})\n", instrs, seed);
-
-    let shown = [
-        BenchmarkId::Twolf,
-        BenchmarkId::VprRoute,
-        BenchmarkId::Crafty,
-        BenchmarkId::Gcc,
-        BenchmarkId::Perlbmk,
-        BenchmarkId::Parser,
-    ];
-
-    let mut all_bins = Vec::new();
-    let mut rms_table = Table::new(&["bench", "RMS", "instances"]);
-
-    for bench in ALL_BENCHMARKS {
-        let r = accuracy_run(
-            bench,
-            EstimatorKind::Paco(PacoConfig::paper()),
-            instrs,
-            seed,
-        );
-        all_bins.push(r.stats.threads[0].prob_instances.clone());
-        rms_table.row_owned(vec![
-            bench.name().to_string(),
-            format!("{:.4}", r.rms()),
-            r.diagram.total_instances().to_string(),
-        ]);
-        if shown.contains(&bench) {
-            println!("---- {} ----", bench.name());
-            println!("{}", render_diagram_ascii(&r.diagram, 60, 22));
-        }
-    }
-
-    let cumulative = ReliabilityDiagram::from_bins(&all_bins.iter().fold(
-        vec![(0u64, 0u64); 101],
-        |mut acc, bins| {
-            for (a, b) in acc.iter_mut().zip(bins) {
-                a.0 += b.0;
-                a.1 += b.1;
-            }
-            acc
-        },
-    ));
-    println!("---- cumulative (all benchmarks, Figure 9(f)) ----");
-    println!("{}", render_diagram_ascii(&cumulative, 60, 22));
-    println!("cumulative RMS: {:.4}\n", cumulative.rms_error());
-    println!("{}", rms_table.render());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(paco_bench::cli::main_single(ExperimentId::Fig9, &args));
 }

@@ -1,0 +1,6 @@
+//! The unified experiment CLI: `paco-bench list` / `paco-bench run ...`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(paco_bench::cli::main_multi(&args));
+}

@@ -1,85 +1,10 @@
-//! Figure 7 (table): RMS error between predicted and actual goodpath
-//! probabilities, plus overall and conditional mispredict rates, for all
-//! twelve modeled SPEC2000int benchmarks.
+//! Figure 7 (table): RMS error and mispredict rates — thin wrapper over the `paco-bench` experiment engine
+//! (`paco-bench run tab7`). Accepts `--jobs N`, `--no-cache` and
+//! `--json`.
 
-use paco::PacoConfig;
-use paco_analysis::{ReliabilityDiagram, Table};
-use paco_bench::{accuracy_run, default_instrs, default_seed};
-use paco_sim::EstimatorKind;
-use paco_workloads::ALL_BENCHMARKS;
+use paco_bench::experiments::ExperimentId;
 
 fn main() {
-    let instrs = default_instrs(1_000_000);
-    let seed = default_seed();
-    println!("== Figure 7 (table): PaCo RMS error and mispredict rates ==");
-    println!("   ({} instructions/benchmark, seed {})\n", instrs, seed);
-
-    let mut table = Table::new(&[
-        "bench",
-        "PaCo RMS",
-        "paper RMS",
-        "overall MR%",
-        "paper",
-        "cond MR%",
-        "paper",
-    ]);
-    let mut all_bins: Vec<Vec<(u64, u64)>> = Vec::new();
-    let mut rms_sum = 0.0;
-
-    for bench in ALL_BENCHMARKS {
-        let r = accuracy_run(
-            bench,
-            EstimatorKind::Paco(PacoConfig::paper()),
-            instrs,
-            seed,
-        );
-        let t = &r.stats.threads[0];
-        let spec = bench.spec();
-        let rms = r.rms();
-        rms_sum += rms;
-        all_bins.push(t.prob_instances.clone());
-        table.row_owned(vec![
-            bench.name().to_string(),
-            format!("{rms:.4}"),
-            format!("{:.4}", paper_rms(bench.name())),
-            format!("{:.2}", t.overall_mispredict_pct().unwrap_or(0.0)),
-            format!("{:.2}", spec.paper_overall_mispredict_pct),
-            format!("{:.2}", t.cond_mispredict_pct().unwrap_or(0.0)),
-            format!("{:.2}", spec.paper_cond_mispredict_pct),
-        ]);
-    }
-    let cumulative = ReliabilityDiagram::from_many(&all_bins);
-    table.row_owned(vec![
-        "mean/cum".to_string(),
-        format!("{:.4}", rms_sum / ALL_BENCHMARKS.len() as f64),
-        "0.0377".to_string(),
-        String::new(),
-        "6.22".to_string(),
-        String::new(),
-        "6.32".to_string(),
-    ]);
-    println!("{}", table.render());
-    println!(
-        "cumulative (all benchmarks pooled) RMS: {:.4}",
-        cumulative.rms_error()
-    );
-}
-
-/// The paper's per-benchmark PaCo RMS errors (Figure 7).
-fn paper_rms(name: &str) -> f64 {
-    match name {
-        "bzip2" => 0.0545,
-        "crafty" => 0.0528,
-        "gcc" => 0.0874,
-        "gap" => 0.0830,
-        "gzip" => 0.0640,
-        "mcf" => 0.0447,
-        "parser" => 0.0415,
-        "perlbmk" => 0.0613,
-        "twolf" => 0.0175,
-        "vortex" => 0.0332,
-        "vprPlace" => 0.0244,
-        "vprRoute" => 0.0322,
-        _ => f64::NAN,
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(paco_bench::cli::main_single(ExperimentId::Tab7, &args));
 }

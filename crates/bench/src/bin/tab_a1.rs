@@ -1,76 +1,10 @@
-//! Appendix Table 1: RMS error of the dynamic MRT (PaCo) vs the Static
-//! MRT and Per-branch MRT ablation variants.
+//! Appendix Table 1: MRT variants ablation — thin wrapper over the `paco-bench` experiment engine
+//! (`paco-bench run tab_a1`). Accepts `--jobs N`, `--no-cache` and
+//! `--json`.
 
-use paco::{PacoConfig, PerBranchMrtConfig};
-use paco_analysis::{ReliabilityDiagram, Table};
-use paco_bench::{accuracy_run, default_instrs, default_seed, default_warmup};
-use paco_sim::{EstimatorKind, MachineBuilder, SimConfig};
-use paco_workloads::{drifting_stress_spec, ALL_BENCHMARKS};
+use paco_bench::experiments::ExperimentId;
 
 fn main() {
-    let instrs = default_instrs(600_000);
-    let seed = default_seed();
-    println!("== Appendix Table 1: MRT variants, RMS error ==");
-    println!("   ({} instructions/benchmark, seed {})\n", instrs, seed);
-
-    let variants: [(&str, EstimatorKind); 3] = [
-        ("MRT", EstimatorKind::Paco(PacoConfig::paper())),
-        ("StaticMRT", EstimatorKind::StaticMrt),
-        (
-            "PerBranchMRT",
-            EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
-        ),
-    ];
-
-    let mut table = Table::new(&["bench", "MRT", "StaticMRT", "PerBranchMRT"]);
-    let mut sums = [0.0f64; 3];
-    for bench in ALL_BENCHMARKS {
-        let mut row = vec![bench.name().to_string()];
-        for (i, (_, est)) in variants.iter().enumerate() {
-            let r = accuracy_run(bench, *est, instrs, seed);
-            let rms = r.rms();
-            sums[i] += rms;
-            row.push(format!("{rms:.4}"));
-        }
-        table.row_owned(row);
-    }
-    let mut mean = vec!["mean".to_string()];
-    for s in sums {
-        mean.push(format!("{:.4}", s / ALL_BENCHMARKS.len() as f64));
-    }
-    table.row_owned(mean);
-    println!("{}", table.render());
-    println!(
-        "Paper's claims to verify (Appendix A): the dynamic MRT is the most\n\
-         accurate (paper mean 0.0377); Static MRT roughly triples the RMS\n\
-         error (0.1038); Per-branch MRT is worst overall because lifetime\n\
-         rates ignore recency (0.8895 mean, dominated by vortex).\n"
-    );
-
-    // ---------------------------------------------------------------- //
-    // Nonstationary stress: the regime Appendix A's argument is about.  //
-    // Most of the twelve synthetic models are *stationary* (a branch's   //
-    // lifetime rate equals its instantaneous rate), which hides the      //
-    // per-branch MRT's defect; real branches drift. This section runs a  //
-    // model whose sites drift between easy and hard regimes.             //
-    // ---------------------------------------------------------------- //
-    println!("-- nonstationary stress model (drifting branch behaviour) --");
-    let mut stress = Table::new(&["estimator", "RMS"]);
-    for (name, est) in variants {
-        let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
-            .thread(Box::new(drifting_stress_spec().build(seed)), est)
-            .seed(seed ^ 0xD81F7)
-            .build();
-        machine.run(default_warmup());
-        machine.reset_stats();
-        let stats = machine.run(instrs);
-        let rms = ReliabilityDiagram::from_bins(&stats.threads[0].prob_instances).rms_error();
-        stress.row_owned(vec![name.to_string(), format!("{rms:.4}")]);
-    }
-    println!("{}", stress.render());
-    println!(
-        "Expected ordering under drift (the paper's Appendix-A mechanism):\n\
-         dynamic MRT < static MRT, per-branch MRT worst — lifetime rates\n\
-         average over regimes the branch is no longer in."
-    );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(paco_bench::cli::main_single(ExperimentId::TabA1, &args));
 }

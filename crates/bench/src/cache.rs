@@ -1,0 +1,406 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each cell result is stored in its own file named by the cell's
+//! [`content hash`](crate::spec::CellSpec::content_hash), so re-running an
+//! experiment only simulates cells whose description changed — everything
+//! else is served from disk. The file format reuses `paco-trace`'s codec
+//! primitives: LEB128 varints for the payload and a CRC-32 trailer
+//! guarding against torn or corrupted files. Any validation failure
+//! (magic, version, hash, length, CRC, decode) is treated as a cache miss,
+//! never an error: the cache is an accelerator, not a source of truth.
+//!
+//! A cell hash names a *description* of a run, not the simulator that
+//! executes it — so every file also records a fingerprint of the running
+//! executable. After a rebuild (any code change), the fingerprint
+//! changes, old entries miss, and figures are recomputed instead of
+//! silently replaying results of the previous simulator.
+//!
+//! Layout of a cell file:
+//!
+//! ```text
+//! "PACOCELL" | version: u32 LE | code fingerprint: u64 LE | cell hash: u64 LE
+//! payload len: u32 LE | payload (varint-encoded CellResult) | crc32(payload): u32 LE
+//! ```
+//!
+//! Writes go through a uniquely named temporary file renamed into place,
+//! so concurrent engine runs (or a killed run) can never leave a
+//! partially written file under a final name.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use paco_branch::Mdc;
+use paco_sim::{MachineStats, ThreadStats};
+use paco_trace::{crc32, read_uvarint, write_uvarint};
+
+use crate::engine::CellResult;
+
+/// Cell-file magic.
+pub const CELL_MAGIC: [u8; 8] = *b"PACOCELL";
+
+/// Version of the cached result encoding. Bump whenever [`ThreadStats`]
+/// or the payload layout changes; old entries then miss (and are
+/// overwritten) instead of decoding garbage.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Environment variable overriding the default cache directory.
+pub const CACHE_DIR_ENV: &str = "PACO_BENCH_CACHE_DIR";
+
+/// A fingerprint of the code that produces results: the FNV-1a hash of
+/// the current executable's bytes, computed once per process.
+///
+/// A cell's content hash covers its *description*; this covers the
+/// *simulator*. Any rebuild — bug fix, timing change, new statistic —
+/// yields a different binary and therefore invalidates every prior cache
+/// entry, which is exactly the freshness the pre-cache binaries had by
+/// always recomputing. Falls back to a hash of the crate version if the
+/// executable cannot be read (results are then only invalidated per
+/// release, and the cache remains an accelerator, never an oracle).
+pub fn code_fingerprint() -> u64 {
+    static FINGERPRINT: OnceLock<u64> = OnceLock::new();
+    *FINGERPRINT.get_or_init(|| {
+        std::env::current_exe()
+            .ok()
+            .and_then(|exe| fs::read(exe).ok())
+            .map(|bytes| paco_types::canon::fnv1a64(&bytes))
+            .unwrap_or_else(|| {
+                paco_types::canon::fnv1a64(
+                    concat!("paco-bench/", env!("CARGO_PKG_VERSION")).as_bytes(),
+                )
+            })
+    })
+}
+
+/// A directory of content-addressed cell results.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The default cache directory: `$PACO_BENCH_CACHE_DIR` if set, else
+    /// `target/paco-bench-cache` under the current directory.
+    pub fn default_dir() -> PathBuf {
+        match std::env::var_os(CACHE_DIR_ENV) {
+            Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+            _ => PathBuf::from("target").join("paco-bench-cache"),
+        }
+    }
+
+    /// Opens the default cache location.
+    pub fn open_default() -> io::Result<Self> {
+        ResultCache::new(Self::default_dir())
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path for a cell hash.
+    fn path_for(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}.cell"))
+    }
+
+    /// Loads the result for `hash`, or `None` on miss or any validation
+    /// failure.
+    pub fn load(&self, hash: u64) -> Option<CellResult> {
+        let bytes = fs::read(self.path_for(hash)).ok()?;
+        decode_cell_file(&bytes, hash)
+    }
+
+    /// Stores a result under `hash` (atomic rename into place).
+    pub fn store(&self, hash: u64, result: &CellResult) -> io::Result<()> {
+        // pid + per-process counter: two engines in one process (or two
+        // processes) storing the same cell can never share a temp file.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let bytes = encode_cell_file(hash, result);
+        let tmp = self.dir.join(format!(
+            ".{hash:016x}.cell.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, bytes)?;
+        let renamed = fs::rename(&tmp, self.path_for(hash));
+        if renamed.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        renamed
+    }
+}
+
+fn encode_cell_file(hash: u64, result: &CellResult) -> Vec<u8> {
+    let mut payload = Vec::new();
+    encode_result(&mut payload, result);
+    let mut out = Vec::with_capacity(payload.len() + 36);
+    out.extend_from_slice(&CELL_MAGIC);
+    out.extend_from_slice(&CACHE_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&code_fingerprint().to_le_bytes());
+    out.extend_from_slice(&hash.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out
+}
+
+fn decode_cell_file(bytes: &[u8], expect_hash: u64) -> Option<CellResult> {
+    let fixed = 8 + 4 + 8 + 8 + 4;
+    if bytes.len() < fixed + 4 || bytes[..8] != CELL_MAGIC {
+        return None;
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+    if u32_at(8) != CACHE_FORMAT_VERSION {
+        return None;
+    }
+    if u64_at(12) != code_fingerprint() {
+        return None; // produced by a different build of the simulator
+    }
+    if u64_at(20) != expect_hash {
+        return None;
+    }
+    let len = u32_at(28) as usize;
+    if bytes.len() != fixed + len + 4 {
+        return None;
+    }
+    let payload = &bytes[fixed..fixed + len];
+    if crc32(payload) != u32_at(fixed + len) {
+        return None;
+    }
+    let mut input = payload;
+    let result = decode_result(&mut input)?;
+    input.is_empty().then_some(result)
+}
+
+fn encode_result(out: &mut Vec<u8>, result: &CellResult) {
+    write_uvarint(out, result.stats.cycles);
+    write_uvarint(out, result.stats.threads.len() as u64);
+    for t in &result.stats.threads {
+        encode_thread(out, t);
+    }
+    write_uvarint(out, result.phases.len() as u64);
+    for phase in &result.phases {
+        encode_bins(out, phase);
+    }
+}
+
+fn decode_result(input: &mut &[u8]) -> Option<CellResult> {
+    let cycles = read_uvarint(input)?;
+    let nthreads = read_uvarint(input)?;
+    let mut threads = Vec::with_capacity(nthreads.min(64) as usize);
+    for _ in 0..nthreads {
+        threads.push(decode_thread(input)?);
+    }
+    let nphases = read_uvarint(input)?;
+    let mut phases = Vec::with_capacity(nphases.min(64) as usize);
+    for _ in 0..nphases {
+        phases.push(decode_bins(input)?);
+    }
+    Some(CellResult {
+        stats: MachineStats { cycles, threads },
+        phases,
+    })
+}
+
+fn encode_thread(out: &mut Vec<u8>, t: &ThreadStats) {
+    for v in [
+        t.retired,
+        t.fetched,
+        t.fetched_badpath,
+        t.executed,
+        t.executed_badpath,
+        t.cond_retired,
+        t.cond_mispredicted,
+        t.control_retired,
+        t.control_mispredicted,
+        t.gated_cycles,
+    ] {
+        write_uvarint(out, v);
+    }
+    encode_u64s(out, &t.mdc_retired);
+    encode_u64s(out, &t.mdc_mispredicted);
+    encode_bins(out, &t.prob_instances);
+    encode_bins(out, &t.score_instances);
+}
+
+fn decode_thread(input: &mut &[u8]) -> Option<ThreadStats> {
+    let mut t = ThreadStats::new();
+    for field in [
+        &mut t.retired,
+        &mut t.fetched,
+        &mut t.fetched_badpath,
+        &mut t.executed,
+        &mut t.executed_badpath,
+        &mut t.cond_retired,
+        &mut t.cond_mispredicted,
+        &mut t.control_retired,
+        &mut t.control_mispredicted,
+        &mut t.gated_cycles,
+    ] {
+        *field = read_uvarint(input)?;
+    }
+    t.mdc_retired = decode_u64s(input)?;
+    t.mdc_mispredicted = decode_u64s(input)?;
+    t.prob_instances = decode_bins(input)?;
+    t.score_instances = decode_bins(input)?;
+    Some(t)
+}
+
+fn encode_u64s(out: &mut Vec<u8>, values: &[u64]) {
+    write_uvarint(out, values.len() as u64);
+    for &v in values {
+        write_uvarint(out, v);
+    }
+}
+
+fn decode_u64s(input: &mut &[u8]) -> Option<[u64; Mdc::BUCKETS]> {
+    if read_uvarint(input)? != Mdc::BUCKETS as u64 {
+        return None;
+    }
+    let mut out = [0u64; Mdc::BUCKETS];
+    for v in &mut out {
+        *v = read_uvarint(input)?;
+    }
+    Some(out)
+}
+
+fn encode_bins(out: &mut Vec<u8>, bins: &[(u64, u64)]) {
+    write_uvarint(out, bins.len() as u64);
+    for &(n, good) in bins {
+        write_uvarint(out, n);
+        write_uvarint(out, good);
+    }
+}
+
+fn decode_bins(input: &mut &[u8]) -> Option<Vec<(u64, u64)>> {
+    let len = read_uvarint(input)?;
+    // Bin vectors are bounded (PROB_BINS / SCORE_BINS sized); reject
+    // absurd lengths before allocating.
+    if len > 4096 {
+        return None;
+    }
+    let mut bins = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        let n = read_uvarint(input)?;
+        let good = read_uvarint(input)?;
+        bins.push((n, good));
+    }
+    Some(bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::execute_cell;
+    use crate::spec::{CellSpec, RunParams};
+    use paco_sim::EstimatorKind;
+    use paco_workloads::BenchmarkId;
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!(
+            "paco-bench-cache-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        ResultCache::new(dir).expect("create temp cache")
+    }
+
+    fn sample_result() -> (u64, CellResult) {
+        let p = RunParams {
+            instrs: 3_000,
+            seed: 9,
+            warmup: 1_000,
+        };
+        let cell = CellSpec::accuracy(BenchmarkId::Gzip, EstimatorKind::None, &p);
+        (cell.content_hash(), execute_cell(&cell))
+    }
+
+    #[test]
+    fn round_trips_results_exactly() {
+        let cache = temp_cache("roundtrip");
+        let (hash, result) = sample_result();
+        assert!(cache.load(hash).is_none(), "cold cache must miss");
+        cache.store(hash, &result).expect("store");
+        let back = cache.load(hash).expect("hit after store");
+        assert_eq!(back, result);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corruption_is_a_miss_not_an_error() {
+        let cache = temp_cache("corrupt");
+        let (hash, result) = sample_result();
+        cache.store(hash, &result).expect("store");
+        let path = cache.path_for(hash);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte: CRC must catch it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load(hash).is_none());
+        // Truncation too.
+        fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(cache.load(hash).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn wrong_hash_and_version_miss() {
+        let cache = temp_cache("keying");
+        let (hash, result) = sample_result();
+        cache.store(hash, &result).expect("store");
+        assert!(
+            cache.load(hash ^ 1).is_none(),
+            "a different hash must not alias"
+        );
+        // Rewrite with a bumped version field.
+        let path = cache.path_for(hash);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load(hash).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn foreign_code_fingerprint_misses() {
+        // An entry written by a different build of the simulator must not
+        // be served as a hit.
+        let cache = temp_cache("fingerprint");
+        let (hash, result) = sample_result();
+        cache.store(hash, &result).expect("store");
+        let path = cache.path_for(hash);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[13] ^= 0x01; // inside the code-fingerprint field
+        fs::write(&path, &bytes).unwrap();
+        assert!(cache.load(hash).is_none());
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn phased_results_round_trip() {
+        let p = RunParams {
+            instrs: 4_000,
+            seed: 2,
+            warmup: 0,
+        };
+        let cell = CellSpec::phased(BenchmarkId::Gzip, EstimatorKind::None, 1_000, 2, 4_000, &p);
+        let result = execute_cell(&cell);
+        assert!(!result.phases.is_empty());
+        let cache = temp_cache("phased");
+        let hash = cell.content_hash();
+        cache.store(hash, &result).expect("store");
+        assert_eq!(cache.load(hash).expect("hit"), result);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

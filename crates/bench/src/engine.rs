@@ -1,0 +1,336 @@
+//! The sharded experiment engine: executes every cell of an
+//! [`ExperimentSpec`], in parallel, with optional result caching.
+//!
+//! # Determinism
+//!
+//! Each cell is *self-contained*: its machine, workload and every derived
+//! RNG seed are functions of the [`CellSpec`] alone, never of ambient or
+//! shared state. Workers therefore produce the same [`CellResult`] for a
+//! cell no matter which thread runs it or in which order, and results are
+//! written into a slot vector indexed by cell position — so `--jobs 8`
+//! output is byte-identical to `--jobs 1` output (the integration suite
+//! asserts this on serialized JSON).
+//!
+//! # Scheduling
+//!
+//! Cells are claimed from a shared atomic cursor by `jobs` scoped worker
+//! threads — a degenerate but effective form of work stealing: long cells
+//! never block short ones behind a static partition, and the wall-clock
+//! cost of a grid approaches `total_work / cores` for grids with at least
+//! a few times more cells than workers (every paper artifact qualifies).
+//!
+//! # Seed derivation
+//!
+//! Per-kind machine seeds reproduce the pre-engine binaries exactly
+//! (`seed ^ 0xACC0` for accuracy runs, `^ 0x6A7E` for gating, `^ 0x517` /
+//! `^ 0x53B` / workload `^ 0xF00` for SMT, `^ 0xF1640` for phase windows,
+//! `^ 0xD81F7` for the drifting stress model), so every figure and table
+//! is bit-compatible with its hand-rolled predecessor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use paco_sim::{MachineBuilder, MachineStats, SCORE_BINS};
+use paco_workloads::drifting_stress_spec;
+
+use crate::cache::ResultCache;
+use crate::spec::{CellKind, CellSpec, ExperimentSpec};
+
+/// The outcome of one cell: full machine statistics, plus per-phase
+/// score-instance bins for [`CellKind::Phased`] cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Statistics of the measured (post-warmup) run.
+    pub stats: MachineStats,
+    /// Per-phase score-instance bins (`phases × SCORE_BINS` of
+    /// `(instances, instances-on-goodpath)`); empty for non-phased cells.
+    pub phases: Vec<Vec<(u64, u64)>>,
+}
+
+/// The outcome of an engine run over a spec.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// Per-cell results, indexed like [`ExperimentSpec::cells`].
+    pub results: Vec<CellResult>,
+    /// Number of results served from the cache.
+    pub cached: usize,
+    /// Number of cells actually simulated.
+    pub executed: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+/// The experiment engine: a job count plus an optional result cache.
+#[derive(Debug, Default)]
+pub struct Engine {
+    jobs: Option<usize>,
+    cache: Option<ResultCache>,
+}
+
+impl Engine {
+    /// An engine with default parallelism (all available cores) and no
+    /// cache.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Attaches a result cache.
+    pub fn cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The effective worker count.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+
+    /// Runs every cell of `spec` and returns the results in cell order.
+    pub fn run(&self, spec: &ExperimentSpec) -> EngineRun {
+        let cells = spec.cells();
+        let jobs = self.effective_jobs().min(cells.len()).max(1);
+        let slots: Vec<OnceLock<CellResult>> = cells.iter().map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        let cached = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let hash = cell.content_hash();
+                    let result = match self.cache.as_ref().and_then(|c| c.load(hash)) {
+                        Some(hit) => {
+                            cached.fetch_add(1, Ordering::Relaxed);
+                            hit
+                        }
+                        None => {
+                            let fresh = execute_cell(cell);
+                            if let Some(cache) = &self.cache {
+                                // Failing to persist is not failing to
+                                // compute; the result is still returned.
+                                let _ = cache.store(hash, &fresh);
+                            }
+                            fresh
+                        }
+                    };
+                    slots[i]
+                        .set(result)
+                        .expect("each cell slot is written exactly once");
+                });
+            }
+        });
+
+        let results: Vec<CellResult> = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("worker loop covered every cell"))
+            .collect();
+        let cached = cached.into_inner();
+        EngineRun {
+            executed: results.len() - cached,
+            cached,
+            results,
+            jobs,
+        }
+    }
+}
+
+/// Executes one cell synchronously on the calling thread.
+///
+/// This is the single definition of every experiment's execution recipe;
+/// the legacy helpers in [`crate::runner`] and the parallel engine both
+/// route through it.
+pub fn execute_cell(cell: &CellSpec) -> CellResult {
+    let seed = cell.seed;
+    // One derivation of the machine configuration, shared with the cache
+    // key (`CellSpec::canon` hashes the same value): changing a kind's
+    // machine automatically invalidates its cached results.
+    let config = cell.kind.sim_config();
+    match cell.kind {
+        CellKind::Accuracy { bench, estimator } => {
+            let mut machine = MachineBuilder::new(config)
+                .thread(Box::new(bench.build(seed)), estimator)
+                .seed(seed ^ 0xACC0)
+                .build();
+            machine.run(config.warmup_for(cell.warmup));
+            machine.reset_stats();
+            let stats = machine.run(cell.instrs);
+            CellResult {
+                stats,
+                phases: Vec::new(),
+            }
+        }
+        CellKind::Gating {
+            bench,
+            estimator,
+            gating,
+        } => {
+            let mut machine = MachineBuilder::new(config)
+                .thread(Box::new(bench.build(seed)), estimator)
+                .gating(gating)
+                .seed(seed ^ 0x6A7E)
+                .build();
+            machine.run(config.warmup_for(cell.warmup));
+            machine.reset_stats();
+            let stats = machine.run(cell.instrs);
+            CellResult {
+                stats,
+                phases: Vec::new(),
+            }
+        }
+        CellKind::SmtSingle { bench } => {
+            let mut machine = MachineBuilder::new(config)
+                .thread(Box::new(bench.build(seed)), paco_sim::EstimatorKind::None)
+                .seed(seed ^ 0x517)
+                .build();
+            machine.run(config.warmup_for(cell.warmup));
+            machine.reset_stats();
+            let stats = machine.run(cell.instrs);
+            CellResult {
+                stats,
+                phases: Vec::new(),
+            }
+        }
+        CellKind::SmtPair {
+            pair,
+            estimator,
+            policy,
+        } => {
+            let mut machine = MachineBuilder::new(config)
+                .thread(Box::new(pair.0.build(seed)), estimator)
+                .thread(Box::new(pair.1.build(seed ^ 0xF00)), estimator)
+                .fetch_policy(policy)
+                .seed(seed ^ 0x53B)
+                .build();
+            machine.run(config.warmup_for(cell.warmup));
+            machine.reset_stats();
+            let stats = machine.run(cell.instrs);
+            CellResult {
+                stats,
+                phases: Vec::new(),
+            }
+        }
+        CellKind::Phased {
+            bench,
+            estimator,
+            window,
+            phases,
+        } => {
+            let mut machine = MachineBuilder::new(config)
+                .thread(Box::new(bench.build(seed)), estimator)
+                .seed(seed ^ 0xF1640)
+                .build();
+            let nphases = phases as usize;
+            let total = cell.instrs;
+            let mut per_phase = vec![vec![(0u64, 0u64); SCORE_BINS]; nphases];
+            let mut prev = vec![(0u64, 0u64); SCORE_BINS];
+            let mut boundary = window;
+            let mut phase = 0usize;
+            let mut stats = machine.stats();
+            while boundary <= total {
+                stats = machine.run(boundary);
+                let cur = &stats.threads[0].score_instances;
+                for (i, acc) in per_phase[phase].iter_mut().enumerate() {
+                    acc.0 += cur[i].0 - prev[i].0;
+                    acc.1 += cur[i].1 - prev[i].1;
+                }
+                prev.clone_from_slice(cur);
+                boundary += window;
+                phase = (phase + 1) % nphases;
+            }
+            CellResult {
+                stats,
+                phases: per_phase,
+            }
+        }
+        CellKind::Stress { estimator } => {
+            let mut machine = MachineBuilder::new(config)
+                .thread(Box::new(drifting_stress_spec().build(seed)), estimator)
+                .seed(seed ^ 0xD81F7)
+                .build();
+            machine.run(config.warmup_for(cell.warmup));
+            machine.reset_stats();
+            let stats = machine.run(cell.instrs);
+            CellResult {
+                stats,
+                phases: Vec::new(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RunParams;
+    use paco_sim::EstimatorKind;
+    use paco_workloads::BenchmarkId;
+
+    fn params() -> RunParams {
+        RunParams {
+            instrs: 5_000,
+            seed: 1,
+            warmup: 2_000,
+        }
+    }
+
+    fn small_spec() -> ExperimentSpec {
+        let p = params();
+        let mut spec = ExperimentSpec::new("unit", p);
+        for bench in [BenchmarkId::Gzip, BenchmarkId::Twolf, BenchmarkId::Mcf] {
+            spec.push(CellSpec::accuracy(bench, EstimatorKind::None, &p));
+        }
+        spec
+    }
+
+    #[test]
+    fn parallel_results_match_sequential() {
+        let spec = small_spec();
+        let seq = Engine::new().jobs(1).run(&spec);
+        let par = Engine::new().jobs(3).run(&spec);
+        assert_eq!(seq.results, par.results);
+        assert_eq!(par.jobs, 3);
+        assert_eq!(seq.cached, 0);
+        assert_eq!(seq.executed, 3);
+    }
+
+    #[test]
+    fn execute_cell_is_deterministic() {
+        let p = params();
+        let cell = CellSpec::smt_pair(
+            (BenchmarkId::Gzip, BenchmarkId::Twolf),
+            EstimatorKind::None,
+            paco_sim::FetchPolicy::ICount,
+            &p,
+        );
+        assert_eq!(execute_cell(&cell), execute_cell(&cell));
+    }
+
+    #[test]
+    fn phased_cell_accumulates_per_phase() {
+        let p = params();
+        let cell = CellSpec::phased(BenchmarkId::Gzip, EstimatorKind::None, 2_000, 2, 8_000, &p);
+        let r = execute_cell(&cell);
+        assert_eq!(r.phases.len(), 2);
+        let total: u64 = r.phases.iter().flatten().map(|b| b.0).sum();
+        assert!(total > 0, "phase windows must capture instances");
+    }
+
+    #[test]
+    fn jobs_clamp_to_cell_count() {
+        let spec = small_spec();
+        let run = Engine::new().jobs(64).run(&spec);
+        assert_eq!(run.jobs, 3);
+        assert_eq!(run.results.len(), 3);
+    }
+}

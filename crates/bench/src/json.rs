@@ -1,0 +1,171 @@
+//! Deterministic JSON rendering of engine results.
+//!
+//! Hand-rolled on purpose: the workspace has no serde, and the engine's
+//! determinism guarantee ("`--jobs 8` output is byte-identical to
+//! `--jobs 1`") is easiest to audit when the serializer is a page of
+//! code with a fixed key order and integer-only values (every statistic
+//! the simulator produces is a counter; derived floats are left to
+//! consumers).
+
+use crate::engine::{CellResult, EngineRun};
+use crate::spec::{ExperimentSpec, SPEC_FORMAT_VERSION};
+
+/// Renders an engine run as a compact JSON document.
+///
+/// Key order, array order and number formatting are all fully determined
+/// by the spec and results, so equal results render to equal bytes.
+pub fn run_json(spec: &ExperimentSpec, run: &EngineRun) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"experiment\":");
+    push_str_lit(&mut out, &spec.name);
+    out.push_str(&format!(
+        ",\"spec_version\":{SPEC_FORMAT_VERSION},\"spec_hash\":\"{:016x}\"",
+        spec.content_hash()
+    ));
+    out.push_str(&format!(
+        ",\"params\":{{\"instrs\":{},\"seed\":{},\"warmup\":{}}}",
+        spec.params.instrs, spec.params.seed, spec.params.warmup
+    ));
+    out.push_str(",\"cells\":[");
+    for (i, (cell, result)) in spec.cells().iter().zip(&run.results).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"hash\":\"{:016x}\"", cell.content_hash()));
+        out.push_str(",\"label\":");
+        push_str_lit(&mut out, &cell.kind.label());
+        out.push_str(&format!(
+            ",\"instrs\":{},\"warmup\":{},\"seed\":{},\"result\":",
+            cell.instrs, cell.warmup, cell.seed
+        ));
+        push_result(&mut out, result);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_result(out: &mut String, result: &CellResult) {
+    out.push_str(&format!(
+        "{{\"cycles\":{},\"threads\":[",
+        result.stats.cycles
+    ));
+    for (i, t) in result.stats.threads.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"retired\":{},\"fetched\":{},\"fetched_badpath\":{},\"executed\":{},\
+             \"executed_badpath\":{},\"cond_retired\":{},\"cond_mispredicted\":{},\
+             \"control_retired\":{},\"control_mispredicted\":{},\"gated_cycles\":{}",
+            t.retired,
+            t.fetched,
+            t.fetched_badpath,
+            t.executed,
+            t.executed_badpath,
+            t.cond_retired,
+            t.cond_mispredicted,
+            t.control_retired,
+            t.control_mispredicted,
+            t.gated_cycles
+        ));
+        out.push_str(",\"mdc_retired\":");
+        push_u64s(out, &t.mdc_retired);
+        out.push_str(",\"mdc_mispredicted\":");
+        push_u64s(out, &t.mdc_mispredicted);
+        out.push_str(",\"prob_instances\":");
+        push_bins(out, &t.prob_instances);
+        out.push_str(",\"score_instances\":");
+        push_bins(out, &t.score_instances);
+        out.push('}');
+    }
+    out.push_str("],\"phases\":[");
+    for (i, phase) in result.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_bins(out, phase);
+    }
+    out.push_str("]}");
+}
+
+fn push_u64s(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn push_bins(out: &mut String, bins: &[(u64, u64)]) {
+    out.push('[');
+    for (i, (n, good)) in bins.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{n},{good}]"));
+    }
+    out.push(']');
+}
+
+fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::spec::{CellSpec, RunParams};
+    use paco_sim::EstimatorKind;
+    use paco_workloads::BenchmarkId;
+
+    #[test]
+    fn renders_valid_looking_deterministic_json() {
+        let p = RunParams {
+            instrs: 2_000,
+            seed: 3,
+            warmup: 500,
+        };
+        let mut spec = ExperimentSpec::new("unit", p);
+        spec.push(CellSpec::accuracy(
+            BenchmarkId::Gzip,
+            EstimatorKind::None,
+            &p,
+        ));
+        let run = Engine::new().jobs(1).run(&spec);
+        let a = run_json(&spec, &run);
+        let b = run_json(&spec, &Engine::new().jobs(1).run(&spec));
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"experiment\":\"unit\""));
+        assert!(a.contains("\"cells\":[{"));
+        assert!(a.ends_with("]}"));
+        // Balanced braces/brackets (cheap well-formedness check; no
+        // strings in this output contain structural characters).
+        let opens = a.matches('{').count() + a.matches('[').count();
+        let closes = a.matches('}').count() + a.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut s = String::new();
+        push_str_lit(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

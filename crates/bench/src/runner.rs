@@ -1,35 +1,92 @@
-//! Shared machinery for the experiment binaries.
+//! Shared machinery for the experiment harnesses.
+//!
+//! The run helpers (`accuracy_run`, `gating_run`, …) are the stable,
+//! call-it-from-anywhere API used by the integration suites and benches.
+//! Since the engine refactor they are thin adapters over
+//! [`engine::execute_cell`](crate::engine::execute_cell) — one execution
+//! recipe, shared with the parallel engine — so a helper result and the
+//! corresponding engine cell result are always bit-identical.
 
-use paco::PacoConfig;
-use paco_analysis::ReliabilityDiagram;
-use paco_sim::{EstimatorKind, FetchPolicy, GatingPolicy, MachineBuilder, MachineStats, SimConfig};
+use paco_analysis::{gating_tradeoff, hmwipc, ReliabilityDiagram};
+use paco_sim::{EstimatorKind, FetchPolicy, GatingPolicy, MachineStats, SimConfig};
 use paco_workloads::BenchmarkId;
+
+use crate::engine::execute_cell;
+use crate::spec::{CellSpec, RunParams};
+
+/// Reads an optional `u64` environment override, warning (once per call)
+/// on values that are present but unparseable instead of silently falling
+/// back.
+///
+/// Each variable warns at most once per process: the defaults helpers run
+/// once per experiment, and `paco-bench run all` must not repeat the same
+/// complaint eight times (with eight different per-experiment fallbacks).
+fn env_u64(var: &'static str, fallback: u64) -> u64 {
+    use std::sync::Mutex;
+    static WARNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let warn_once = |msg: String| {
+        let mut warned = WARNED.lock().expect("env warning registry poisoned");
+        if !warned.contains(&var) {
+            warned.push(var);
+            eprintln!("{msg}");
+        }
+    };
+    match std::env::var(var) {
+        Ok(raw) => match raw.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                warn_once(format!(
+                    "paco-bench: warning: ignoring unparseable {var}={raw:?}; using the default"
+                ));
+                fallback
+            }
+        },
+        Err(std::env::VarError::NotPresent) => fallback,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            warn_once(format!(
+                "paco-bench: warning: ignoring non-UTF-8 {var}; using the default"
+            ));
+            fallback
+        }
+    }
+}
 
 /// Default per-run instruction budget; override with `PACO_INSTRS`.
 pub fn default_instrs(fallback: u64) -> u64 {
-    std::env::var("PACO_INSTRS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(fallback)
+    env_u64("PACO_INSTRS", fallback)
 }
 
-/// Default warmup instruction count (fast-forward analogue); override
-/// with `PACO_WARMUP`. The warmup must cover at least one MRT refresh
-/// period (200k cycles) so PaCo's encodings are live when measurement
-/// starts, mirroring the paper's fast-forward methodology.
+/// Default base warmup instruction count (fast-forward analogue);
+/// override with `PACO_WARMUP`.
+///
+/// The default and its machine-width scaling live in
+/// [`SimConfig::DEFAULT_WARMUP_INSTRS`] and [`SimConfig::warmup_for`] —
+/// one definition shared by specs, helpers and binaries.
 pub fn default_warmup() -> u64 {
-    std::env::var("PACO_WARMUP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(400_000)
+    env_u64("PACO_WARMUP", SimConfig::DEFAULT_WARMUP_INSTRS)
 }
 
 /// Default experiment seed; override with `PACO_SEED`.
 pub fn default_seed() -> u64 {
-    std::env::var("PACO_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42)
+    env_u64("PACO_SEED", 42)
+}
+
+/// The env-derived [`RunParams`] for an experiment with the given default
+/// instruction budget.
+pub fn env_params(default_instrs_value: u64) -> RunParams {
+    RunParams {
+        instrs: default_instrs(default_instrs_value),
+        seed: default_seed(),
+        warmup: default_warmup(),
+    }
+}
+
+fn params_for(instrs: u64, seed: u64) -> RunParams {
+    RunParams {
+        instrs,
+        seed,
+        warmup: default_warmup(),
+    }
 }
 
 /// Outcome of a single-thread accuracy run.
@@ -59,17 +116,12 @@ pub fn accuracy_run(
     instrs: u64,
     seed: u64,
 ) -> AccuracyResult {
-    let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
-        .thread(Box::new(bench.build(seed)), estimator)
-        .seed(seed ^ 0xACC0)
-        .build();
-    machine.run(default_warmup());
-    machine.reset_stats();
-    let stats = machine.run(instrs);
-    let diagram = ReliabilityDiagram::from_bins(&stats.threads[0].prob_instances);
+    let cell = CellSpec::accuracy(bench, estimator, &params_for(instrs, seed));
+    let result = execute_cell(&cell);
+    let diagram = ReliabilityDiagram::from_bins(&result.stats.threads[0].prob_instances);
     AccuracyResult {
         bench,
-        stats,
+        stats: result.stats,
         diagram,
     }
 }
@@ -94,41 +146,28 @@ pub fn gating_run(
     instrs: u64,
     seed: u64,
 ) -> GatingResult {
-    let run = |policy: GatingPolicy| {
-        let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
-            .thread(Box::new(bench.build(seed)), estimator)
-            .gating(policy)
-            .seed(seed ^ 0x6A7E)
-            .build();
-        machine.run(default_warmup());
-        machine.reset_stats();
-        machine.run(instrs)
+    let p = params_for(instrs, seed);
+    let point = |policy: GatingPolicy| {
+        let stats = execute_cell(&CellSpec::gating(bench, estimator, policy, &p)).stats;
+        paco_analysis::RunPoint {
+            ipc: stats.ipc(0),
+            badpath_executed: stats.total_badpath_executed(),
+            badpath_fetched: stats.total_badpath_fetched(),
+        }
     };
-    let base = run(GatingPolicy::None);
-    let gated = run(gating);
+    let t = gating_tradeoff(point(GatingPolicy::None), point(gating));
     GatingResult {
-        perf_loss_pct: paco_analysis::perf_delta_pct(base.ipc(0), gated.ipc(0)),
-        badpath_exec_reduction_pct: paco_analysis::badpath_reduction_pct(
-            base.total_badpath_executed(),
-            gated.total_badpath_executed(),
-        ),
-        badpath_fetch_reduction_pct: paco_analysis::badpath_reduction_pct(
-            base.total_badpath_fetched(),
-            gated.total_badpath_fetched(),
-        ),
+        perf_loss_pct: t.perf_loss_pct,
+        badpath_exec_reduction_pct: t.badpath_exec_reduction_pct,
+        badpath_fetch_reduction_pct: t.badpath_fetch_reduction_pct,
     }
 }
 
 /// Standalone IPC of a benchmark on the 8-wide SMT machine (the
 /// `SingleIPC` term of HMWIPC).
 pub fn single_thread_ipc_smt(bench: BenchmarkId, instrs: u64, seed: u64) -> f64 {
-    let mut machine = MachineBuilder::new(SimConfig::paper_smt_8wide().with_threads(1))
-        .thread(Box::new(bench.build(seed)), EstimatorKind::None)
-        .seed(seed ^ 0x517)
-        .build();
-    machine.run(default_warmup() / 2);
-    machine.reset_stats();
-    machine.run(instrs).ipc(0)
+    let cell = CellSpec::smt_single(bench, &params_for(instrs, seed));
+    execute_cell(&cell).stats.ipc(0)
 }
 
 /// Outcome of one SMT pair under one fetch policy.
@@ -150,25 +189,18 @@ pub fn smt_run(
     instrs: u64,
     seed: u64,
 ) -> SmtResult {
-    let mut machine = MachineBuilder::new(SimConfig::paper_smt_8wide())
-        .thread(Box::new(pair.0.build(seed)), estimator)
-        .thread(Box::new(pair.1.build(seed ^ 0xF00)), estimator)
-        .fetch_policy(policy)
-        .seed(seed ^ 0x53B)
-        .build();
-    machine.run(default_warmup() / 2);
-    machine.reset_stats();
-    let stats = machine.run(instrs);
+    let cell = CellSpec::smt_pair(pair, estimator, policy, &params_for(instrs, seed));
+    let stats = execute_cell(&cell).stats;
     let ipc = [stats.ipc(0), stats.ipc(1)];
     SmtResult {
         ipc,
-        hmwipc: paco_analysis::hmwipc(&[(single_ipc.0, ipc[0]), (single_ipc.1, ipc[1])]),
+        hmwipc: hmwipc(&[(single_ipc.0, ipc[0]), (single_ipc.1, ipc[1])]),
     }
 }
 
 /// The standard PaCo estimator used across experiments.
 pub fn paco_estimator() -> EstimatorKind {
-    EstimatorKind::Paco(PacoConfig::paper())
+    EstimatorKind::Paco(paco::PacoConfig::paper())
 }
 
 #[cfg(test)]
@@ -216,5 +248,6 @@ mod tests {
     fn env_overrides_parse() {
         assert_eq!(default_instrs(123), 123);
         assert!(default_seed() > 0);
+        assert_eq!(default_warmup(), SimConfig::DEFAULT_WARMUP_INSTRS);
     }
 }

@@ -1,0 +1,530 @@
+//! Declarative experiment specifications.
+//!
+//! An [`ExperimentSpec`] is a named list of [`CellSpec`]s, each describing
+//! one *self-contained* simulation: which benchmark(s), which estimator,
+//! which gating/fetch policy, how many instructions, which seed. Cells
+//! carry everything needed to run them — no ambient state — which is what
+//! makes the engine's parallel execution bit-identical to sequential
+//! execution, and what makes results cacheable: a cell's
+//! [`content_hash`](CellSpec::content_hash) covers the full machine
+//! configuration via the [`Canon`] encodings, so a hash names a result
+//! forever.
+//!
+//! The eight paper artifacts (`fig2` … `ablations`) are just named specs
+//! over these cell kinds (see [`crate::experiments`]); a new scenario is a
+//! new spec, not a new binary.
+//!
+//! # Examples
+//!
+//! ```
+//! use paco_bench::spec::{CellKind, CellSpec, ExperimentSpec, RunParams};
+//! use paco_sim::EstimatorKind;
+//! use paco_workloads::BenchmarkId;
+//!
+//! let params = RunParams { instrs: 50_000, seed: 1, warmup: 400_000 };
+//! let mut spec = ExperimentSpec::new("demo", params);
+//! let cell = CellSpec::accuracy(BenchmarkId::Gzip, EstimatorKind::None, &params);
+//! let a = spec.push(cell);
+//! let b = spec.push(cell); // identical cells dedupe
+//! assert_eq!(a, b);
+//! assert_eq!(spec.cells().len(), 1);
+//! ```
+
+use paco_sim::{EstimatorKind, FetchPolicy, GatingPolicy, SimConfig};
+use paco_types::canon::{fnv1a64, Canon};
+use paco_workloads::BenchmarkId;
+
+/// Version of the cell description format. Participates in every cell
+/// hash: bump it when cell semantics change (execution seeds, warmup
+/// interpretation, statistics layout) so stale cache entries can never be
+/// mistaken for current results.
+pub const SPEC_FORMAT_VERSION: u32 = 1;
+
+/// What kind of simulation a cell runs.
+///
+/// Each kind maps to one machine configuration and one execution recipe in
+/// the engine (including the per-kind seed derivation the original
+/// experiment binaries used, so results are bit-compatible with them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellKind {
+    /// Accuracy methodology (paper §4): one thread on the 4-wide machine,
+    /// no gating; every fetch and execute event is a confidence instance.
+    Accuracy {
+        /// Benchmark model to run.
+        bench: BenchmarkId,
+        /// Estimator under evaluation.
+        estimator: EstimatorKind,
+    },
+    /// Pipeline-gating methodology (paper §5.1): one thread on the 4-wide
+    /// machine under a gating/throttling policy. `GatingPolicy::None`
+    /// cells are the ungated baselines.
+    Gating {
+        /// Benchmark model to run.
+        bench: BenchmarkId,
+        /// Estimator driving the gating decision.
+        estimator: EstimatorKind,
+        /// The gating policy (or `None` for a baseline run).
+        gating: GatingPolicy,
+    },
+    /// Standalone IPC on the 8-wide SMT machine with a single thread — the
+    /// `SingleIPC` term of HMWIPC (paper §5.2).
+    SmtSingle {
+        /// Benchmark model to run.
+        bench: BenchmarkId,
+    },
+    /// Two-thread SMT run under a fetch prioritization policy (paper
+    /// §5.2).
+    SmtPair {
+        /// The benchmark pair (thread 0, thread 1).
+        pair: (BenchmarkId, BenchmarkId),
+        /// Per-thread estimator (used by the `Confidence` policy).
+        estimator: EstimatorKind,
+        /// SMT fetch prioritization policy.
+        policy: FetchPolicy,
+    },
+    /// Phase-windowed accuracy run (Figure 3(b)): score-instance bins are
+    /// accumulated separately per phase window. The cell's `instrs` is the
+    /// total run length; windows of `window` retired instructions cycle
+    /// through `phases` phases. No warmup (phases are measured from cold
+    /// start, as the paper's phase argument requires).
+    Phased {
+        /// Benchmark model to run.
+        bench: BenchmarkId,
+        /// Estimator under evaluation.
+        estimator: EstimatorKind,
+        /// Phase window length in retired instructions.
+        window: u64,
+        /// Number of phases the windows cycle through.
+        phases: u32,
+    },
+    /// The nonstationary drifting-stress model (Appendix A stress section
+    /// of `tab_a1`), accuracy methodology on the 4-wide machine.
+    Stress {
+        /// Estimator under evaluation.
+        estimator: EstimatorKind,
+    },
+}
+
+impl CellKind {
+    /// The machine configuration this kind runs on.
+    pub fn sim_config(&self) -> SimConfig {
+        match self {
+            CellKind::Accuracy { .. } | CellKind::Gating { .. } => SimConfig::paper_4wide(),
+            CellKind::Phased { .. } | CellKind::Stress { .. } => SimConfig::paper_4wide(),
+            CellKind::SmtSingle { .. } => SimConfig::paper_smt_8wide().with_threads(1),
+            CellKind::SmtPair { .. } => SimConfig::paper_smt_8wide(),
+        }
+    }
+
+    /// A short human-readable label for progress output and JSON.
+    pub fn label(&self) -> String {
+        match self {
+            CellKind::Accuracy { bench, estimator } => {
+                format!("accuracy/{}/{}", bench.name(), estimator.build().name())
+            }
+            CellKind::Gating {
+                bench,
+                estimator,
+                gating,
+            } => format!(
+                "gating/{}/{}/{:?}",
+                bench.name(),
+                estimator.build().name(),
+                gating
+            ),
+            CellKind::SmtSingle { bench } => format!("smt-single/{}", bench.name()),
+            CellKind::SmtPair {
+                pair,
+                estimator,
+                policy,
+            } => format!(
+                "smt/{}-{}/{}/{:?}",
+                pair.0.name(),
+                pair.1.name(),
+                estimator.build().name(),
+                policy
+            ),
+            CellKind::Phased {
+                bench,
+                estimator,
+                window,
+                phases,
+            } => format!(
+                "phased/{}/{}/w{window}x{phases}",
+                bench.name(),
+                estimator.build().name()
+            ),
+            CellKind::Stress { estimator } => {
+                format!("stress/{}", estimator.build().name())
+            }
+        }
+    }
+}
+
+impl Canon for CellKind {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x40); // type tag
+        match self {
+            CellKind::Accuracy { bench, estimator } => {
+                out.push(0);
+                bench.canon(out);
+                estimator.canon(out);
+            }
+            CellKind::Gating {
+                bench,
+                estimator,
+                gating,
+            } => {
+                out.push(1);
+                bench.canon(out);
+                estimator.canon(out);
+                gating.canon(out);
+            }
+            CellKind::SmtSingle { bench } => {
+                out.push(2);
+                bench.canon(out);
+            }
+            CellKind::SmtPair {
+                pair,
+                estimator,
+                policy,
+            } => {
+                out.push(3);
+                pair.0.canon(out);
+                pair.1.canon(out);
+                estimator.canon(out);
+                policy.canon(out);
+            }
+            CellKind::Phased {
+                bench,
+                estimator,
+                window,
+                phases,
+            } => {
+                out.push(4);
+                bench.canon(out);
+                estimator.canon(out);
+                window.canon(out);
+                phases.canon(out);
+            }
+            CellKind::Stress { estimator } => {
+                out.push(5);
+                estimator.canon(out);
+            }
+        }
+    }
+}
+
+/// Run-length parameters shared by every cell an experiment creates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunParams {
+    /// Measured instructions per run (the per-experiment default or a
+    /// `PACO_INSTRS` override).
+    pub instrs: u64,
+    /// Experiment seed (default 42 or a `PACO_SEED` override).
+    pub seed: u64,
+    /// Base warmup instruction count before width scaling (see
+    /// [`SimConfig::warmup_for`]).
+    pub warmup: u64,
+}
+
+/// One fully-described simulation: the atomic unit of scheduling,
+/// execution and caching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// What to simulate.
+    pub kind: CellKind,
+    /// Measured instructions (after warmup). For [`CellKind::Phased`],
+    /// the *total* run length covered by phase windows.
+    pub instrs: u64,
+    /// Base warmup instruction count; the engine scales it per machine
+    /// via [`SimConfig::warmup_for`]. Ignored (held at 0) by
+    /// [`CellKind::Phased`].
+    pub warmup: u64,
+    /// The cell's base seed. The engine derives the machine and workload
+    /// seeds from it exactly like the pre-engine binaries did.
+    pub seed: u64,
+}
+
+impl CellSpec {
+    /// An accuracy cell.
+    pub fn accuracy(bench: BenchmarkId, estimator: EstimatorKind, p: &RunParams) -> Self {
+        CellSpec {
+            kind: CellKind::Accuracy { bench, estimator },
+            instrs: p.instrs,
+            warmup: p.warmup,
+            seed: p.seed,
+        }
+    }
+
+    /// A gating cell (`GatingPolicy::None` for the ungated baseline).
+    pub fn gating(
+        bench: BenchmarkId,
+        estimator: EstimatorKind,
+        gating: GatingPolicy,
+        p: &RunParams,
+    ) -> Self {
+        CellSpec {
+            kind: CellKind::Gating {
+                bench,
+                estimator,
+                gating,
+            },
+            instrs: p.instrs,
+            warmup: p.warmup,
+            seed: p.seed,
+        }
+    }
+
+    /// A standalone-IPC cell on the SMT machine.
+    pub fn smt_single(bench: BenchmarkId, p: &RunParams) -> Self {
+        CellSpec {
+            kind: CellKind::SmtSingle { bench },
+            instrs: p.instrs,
+            warmup: p.warmup,
+            seed: p.seed,
+        }
+    }
+
+    /// A two-thread SMT cell.
+    pub fn smt_pair(
+        pair: (BenchmarkId, BenchmarkId),
+        estimator: EstimatorKind,
+        policy: FetchPolicy,
+        p: &RunParams,
+    ) -> Self {
+        CellSpec {
+            kind: CellKind::SmtPair {
+                pair,
+                estimator,
+                policy,
+            },
+            instrs: p.instrs,
+            warmup: p.warmup,
+            seed: p.seed,
+        }
+    }
+
+    /// A phase-windowed cell covering `total` instructions.
+    pub fn phased(
+        bench: BenchmarkId,
+        estimator: EstimatorKind,
+        window: u64,
+        phases: u32,
+        total: u64,
+        p: &RunParams,
+    ) -> Self {
+        CellSpec {
+            kind: CellKind::Phased {
+                bench,
+                estimator,
+                window,
+                phases,
+            },
+            instrs: total,
+            warmup: 0,
+            seed: p.seed,
+        }
+    }
+
+    /// A drifting-stress cell.
+    pub fn stress(estimator: EstimatorKind, p: &RunParams) -> Self {
+        CellSpec {
+            kind: CellKind::Stress { estimator },
+            instrs: p.instrs,
+            warmup: p.warmup,
+            seed: p.seed,
+        }
+    }
+
+    /// The cell's stable content hash.
+    ///
+    /// Covers the format version, the implied machine configuration and
+    /// every cell field through their canonical encodings, so the hash is
+    /// a function of the cell's meaning alone — stable across field
+    /// declaration order, platforms and process runs. Used as the result
+    /// cache key.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(&self.canon_bytes())
+    }
+}
+
+impl Canon for CellSpec {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x41); // type tag
+        SPEC_FORMAT_VERSION.canon(out);
+        self.kind.sim_config().canon(out);
+        self.kind.canon(out);
+        self.instrs.canon(out);
+        self.warmup.canon(out);
+        self.seed.canon(out);
+    }
+}
+
+/// A named grid of cells: the declarative description of one experiment.
+///
+/// Cells are deduplicated on insertion, so shared runs (e.g. the ungated
+/// baselines every Figure-10 configuration compares against, or the
+/// standalone IPCs shared by every Figure-12 pairing) execute — and cache —
+/// exactly once per spec.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Experiment name (e.g. `fig9`).
+    pub name: String,
+    /// The run-length parameters the spec was built with.
+    pub params: RunParams,
+    cells: Vec<CellSpec>,
+}
+
+impl ExperimentSpec {
+    /// Creates an empty spec.
+    pub fn new(name: impl Into<String>, params: RunParams) -> Self {
+        ExperimentSpec {
+            name: name.into(),
+            params,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Adds a cell, deduplicating against existing cells; returns its
+    /// index (stable for the lifetime of the spec).
+    pub fn push(&mut self, cell: CellSpec) -> usize {
+        if let Some(i) = self.index_of(&cell) {
+            return i;
+        }
+        self.cells.push(cell);
+        self.cells.len() - 1
+    }
+
+    /// The cells in insertion order.
+    pub fn cells(&self) -> &[CellSpec] {
+        &self.cells
+    }
+
+    /// The index of an identical cell, if present.
+    pub fn index_of(&self, cell: &CellSpec) -> Option<usize> {
+        self.cells.iter().position(|c| c == cell)
+    }
+
+    /// An order-independent content hash of the whole spec: the sorted
+    /// list of cell hashes, hashed. Two specs describing the same set of
+    /// cells — regardless of insertion order — hash identically.
+    pub fn content_hash(&self) -> u64 {
+        let mut hashes: Vec<u64> = self.cells.iter().map(CellSpec::content_hash).collect();
+        hashes.sort_unstable();
+        let mut bytes = Vec::with_capacity(8 * hashes.len());
+        for h in hashes {
+            h.canon(&mut bytes);
+        }
+        fnv1a64(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco::PacoConfig;
+
+    fn params() -> RunParams {
+        RunParams {
+            instrs: 10_000,
+            seed: 42,
+            warmup: 400_000,
+        }
+    }
+
+    #[test]
+    fn distinct_cells_hash_distinctly() {
+        let p = params();
+        let cells = [
+            CellSpec::accuracy(BenchmarkId::Gzip, EstimatorKind::None, &p),
+            CellSpec::accuracy(BenchmarkId::Twolf, EstimatorKind::None, &p),
+            CellSpec::accuracy(
+                BenchmarkId::Gzip,
+                EstimatorKind::Paco(PacoConfig::paper()),
+                &p,
+            ),
+            CellSpec::gating(
+                BenchmarkId::Gzip,
+                EstimatorKind::None,
+                GatingPolicy::None,
+                &p,
+            ),
+            CellSpec::smt_single(BenchmarkId::Gzip, &p),
+            CellSpec::stress(EstimatorKind::None, &p),
+        ];
+        let mut hashes: Vec<u64> = cells.iter().map(CellSpec::content_hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), cells.len(), "hash collision among {cells:?}");
+    }
+
+    #[test]
+    fn accuracy_and_gating_baseline_differ() {
+        // Same machine, same workload, same timing — but different kinds
+        // (different machine seeds at execution), so they must not share a
+        // cache slot.
+        let p = params();
+        let a = CellSpec::accuracy(BenchmarkId::Gzip, EstimatorKind::None, &p);
+        let g = CellSpec::gating(
+            BenchmarkId::Gzip,
+            EstimatorKind::None,
+            GatingPolicy::None,
+            &p,
+        );
+        assert_ne!(a.content_hash(), g.content_hash());
+    }
+
+    #[test]
+    fn hash_is_stable_across_processes() {
+        // A pinned golden hash: canonical encodings are platform- and
+        // process-independent, so this exact value must reproduce
+        // everywhere. If this assertion fails, the canonical encoding or
+        // the cell semantics changed — bump SPEC_FORMAT_VERSION (which
+        // changes the value again, deliberately) and re-pin.
+        let p = params();
+        let cell = CellSpec::accuracy(BenchmarkId::Gzip, EstimatorKind::None, &p);
+        assert_eq!(cell.content_hash(), 0x5aa8_7ed8_5218_96f0);
+        let again = CellSpec {
+            seed: 42,
+            warmup: 400_000,
+            instrs: 10_000,
+            kind: CellKind::Accuracy {
+                estimator: EstimatorKind::None,
+                bench: BenchmarkId::Gzip,
+            },
+        };
+        assert_eq!(cell.content_hash(), again.content_hash());
+    }
+
+    #[test]
+    fn spec_dedupes_and_hashes_order_independently() {
+        let p = params();
+        let a = CellSpec::accuracy(BenchmarkId::Gzip, EstimatorKind::None, &p);
+        let b = CellSpec::accuracy(BenchmarkId::Twolf, EstimatorKind::None, &p);
+
+        let mut s1 = ExperimentSpec::new("x", p);
+        assert_eq!(s1.push(a), 0);
+        assert_eq!(s1.push(b), 1);
+        assert_eq!(s1.push(a), 0, "duplicate must return the first index");
+        assert_eq!(s1.cells().len(), 2);
+
+        let mut s2 = ExperimentSpec::new("x", p);
+        s2.push(b);
+        s2.push(a);
+        assert_eq!(s1.content_hash(), s2.content_hash());
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let p = params();
+        let c = CellSpec::smt_pair(
+            (BenchmarkId::Gzip, BenchmarkId::Mcf),
+            EstimatorKind::None,
+            FetchPolicy::ICount,
+            &p,
+        );
+        let l = c.kind.label();
+        assert!(l.contains("gzip") && l.contains("mcf"), "{l}");
+    }
+}

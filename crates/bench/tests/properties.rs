@@ -1,0 +1,150 @@
+//! Property tests for experiment-cell content hashing: equal cells hash
+//! equally regardless of how they were assembled, and distinct cells
+//! never collide (within generated samples).
+
+use paco::{PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
+use paco_bench::spec::{CellKind, CellSpec, ExperimentSpec, RunParams};
+use paco_sim::{EstimatorKind, FetchPolicy, GatingPolicy};
+use paco_workloads::{BenchmarkId, ALL_BENCHMARKS};
+use proptest::prelude::*;
+
+fn bench_strategy() -> impl Strategy<Value = BenchmarkId> {
+    (0usize..ALL_BENCHMARKS.len()).prop_map(|i| ALL_BENCHMARKS[i])
+}
+
+fn estimator_strategy() -> impl Strategy<Value = EstimatorKind> {
+    prop_oneof![
+        Just(EstimatorKind::None),
+        Just(EstimatorKind::StaticMrt),
+        (1_000u64..1_000_000, any::<bool>()).prop_map(|(period, exact)| {
+            let cfg = PacoConfig::paper().with_refresh_period(period);
+            EstimatorKind::Paco(if exact {
+                cfg.with_log_mode(paco::LogMode::Exact)
+            } else {
+                cfg
+            })
+        }),
+        (0u64..16).prop_map(|t| {
+            EstimatorKind::ThresholdCount(ThresholdCountConfig::with_threshold(t as u8))
+        }),
+        Just(EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper())),
+    ]
+}
+
+fn gating_strategy() -> impl Strategy<Value = GatingPolicy> {
+    prop_oneof![
+        Just(GatingPolicy::None),
+        (1u64..12).prop_map(|gate_count| GatingPolicy::CountGate { gate_count }),
+        (1u64..5000).prop_map(|encoded_threshold| GatingPolicy::PacoGate { encoded_threshold }),
+        (1u64..8).prop_map(|start| GatingPolicy::CountThrottle { start }),
+        (1u64..2000, 2000u64..5000)
+            .prop_map(|(full, zero)| GatingPolicy::PacoThrottle { full, zero }),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = CellKind> {
+    prop_oneof![
+        (bench_strategy(), estimator_strategy())
+            .prop_map(|(bench, estimator)| CellKind::Accuracy { bench, estimator }),
+        (bench_strategy(), estimator_strategy(), gating_strategy()).prop_map(
+            |(bench, estimator, gating)| CellKind::Gating {
+                bench,
+                estimator,
+                gating,
+            }
+        ),
+        bench_strategy().prop_map(|bench| CellKind::SmtSingle { bench }),
+        (
+            bench_strategy(),
+            bench_strategy(),
+            estimator_strategy(),
+            0u64..3
+        )
+            .prop_map(|(a, b, estimator, pol)| CellKind::SmtPair {
+                pair: (a, b),
+                estimator,
+                policy: match pol {
+                    0 => FetchPolicy::RoundRobin,
+                    1 => FetchPolicy::ICount,
+                    _ => FetchPolicy::Confidence,
+                },
+            }),
+        (
+            bench_strategy(),
+            estimator_strategy(),
+            1u64..500_000,
+            1u64..8
+        )
+            .prop_map(|(bench, estimator, window, phases)| CellKind::Phased {
+                bench,
+                estimator,
+                window,
+                phases: phases as u32,
+            }),
+        estimator_strategy().prop_map(|estimator| CellKind::Stress { estimator }),
+    ]
+}
+
+fn cell_strategy() -> impl Strategy<Value = CellSpec> {
+    (
+        kind_strategy(),
+        1u64..10_000_000,
+        0u64..1_000_000,
+        any::<u64>(),
+    )
+        .prop_map(|(kind, instrs, warmup, seed)| CellSpec {
+            kind,
+            instrs,
+            warmup,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Structurally distinct cells never collide on content hash;
+    /// structurally equal cells always agree.
+    #[test]
+    fn distinct_cells_never_collide(a in cell_strategy(), b in cell_strategy()) {
+        if a == b {
+            prop_assert_eq!(a.content_hash(), b.content_hash());
+        } else {
+            prop_assert_ne!(a.content_hash(), b.content_hash());
+        }
+    }
+
+    /// The hash is a pure function of the cell value: recomputing agrees,
+    /// and a field-by-field reconstruction (fields "reordered" at the
+    /// construction site) agrees too.
+    #[test]
+    fn hash_is_stable_across_reconstruction(cell in cell_strategy()) {
+        prop_assert_eq!(cell.content_hash(), cell.content_hash());
+        let rebuilt = CellSpec {
+            seed: cell.seed,
+            warmup: cell.warmup,
+            instrs: cell.instrs,
+            kind: cell.kind,
+        };
+        prop_assert_eq!(rebuilt.content_hash(), cell.content_hash());
+    }
+
+    /// Spec-level hashing is insensitive to cell insertion order.
+    #[test]
+    fn spec_hash_is_order_independent(
+        cells in proptest::collection::vec(cell_strategy(), 1..8),
+        rotate in 0usize..8,
+    ) {
+        let p = RunParams { instrs: 1, seed: 1, warmup: 0 };
+        let mut fwd = ExperimentSpec::new("p", p);
+        for c in &cells {
+            fwd.push(*c);
+        }
+        let mut rot = ExperimentSpec::new("p", p);
+        let n = cells.len();
+        for i in 0..n {
+            rot.push(cells[(i + rotate) % n]);
+        }
+        prop_assert_eq!(fwd.content_hash(), rot.content_hash());
+    }
+}

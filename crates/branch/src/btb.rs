@@ -1,5 +1,6 @@
 //! Branch target buffer.
 
+use paco_types::canon::Canon;
 use paco_types::Pc;
 
 /// Configuration for a [`Btb`].
@@ -23,6 +24,14 @@ impl BtbConfig {
     /// A tiny configuration for unit tests.
     pub const fn tiny() -> Self {
         BtbConfig { sets: 16, ways: 2 }
+    }
+}
+
+impl Canon for BtbConfig {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x03); // type tag
+        self.sets.canon(out);
+        self.ways.canon(out);
     }
 }
 

@@ -13,6 +13,7 @@
 //! probability is measured per bucket.
 
 use crate::SaturatingCounter;
+use paco_types::canon::Canon;
 use paco_types::Pc;
 
 /// An MDC (miss-distance counter) value, `0..=15` for the paper's 4-bit
@@ -130,6 +131,16 @@ impl ConfidenceConfig {
 impl Default for ConfidenceConfig {
     fn default() -> Self {
         ConfidenceConfig::paper()
+    }
+}
+
+impl Canon for ConfidenceConfig {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x02); // type tag
+        self.entries.canon(out);
+        self.counter_bits.canon(out);
+        self.history_bits.canon(out);
+        self.enhanced.canon(out);
     }
 }
 

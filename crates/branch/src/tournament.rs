@@ -1,6 +1,7 @@
 //! The paper's tournament (hybrid) predictor: gshare + bimodal + selector.
 
 use crate::{BimodalPredictor, DirectionPredictor, GsharePredictor, SaturatingCounter};
+use paco_types::canon::Canon;
 use paco_types::Pc;
 
 /// Configuration for a [`TournamentPredictor`].
@@ -44,6 +45,16 @@ impl TournamentConfig {
 impl Default for TournamentConfig {
     fn default() -> Self {
         TournamentConfig::paper()
+    }
+}
+
+impl Canon for TournamentConfig {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x01); // type tag
+        self.gshare_entries.canon(out);
+        self.bimodal_entries.canon(out);
+        self.selector_entries.canon(out);
+        self.history_bits.canon(out);
     }
 }
 

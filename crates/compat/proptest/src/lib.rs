@@ -6,8 +6,8 @@
 //!
 //! * the [`proptest!`] macro with `arg in strategy` bindings and an
 //!   optional `#![proptest_config(ProptestConfig::with_cases(n))]` header,
-//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
-//!   [`prop_oneof!`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`],
 //! * strategies: unsigned-integer and `f64` ranges (half-open and
 //!   inclusive), [`arbitrary::any`], [`strategy::Just`],
 //!   [`collection::vec`], [`Strategy::prop_map`] and unions.
@@ -350,7 +350,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
@@ -454,6 +456,33 @@ macro_rules! prop_assert_eq {
                 $crate::test_runner::TestCaseError::fail(format!(
                     "{}\n  left: {:?}\n right: {:?}",
                     format!($($fmt)+), __l, __r,
+                )),
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = ($left, $right);
+        if !(__l != __r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), __l,
+                )),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = ($left, $right);
+        if !(__l != __r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "{}\n  both: {:?}",
+                    format!($($fmt)+), __l,
                 )),
             );
         }

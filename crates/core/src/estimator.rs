@@ -119,7 +119,11 @@ impl std::fmt::Display for ConfidenceScore {
 ///
 /// Every token returned by `on_fetch` must be surrendered by exactly one
 /// call to `on_resolve` or `on_squash`.
-pub trait PathConfidenceEstimator {
+///
+/// Estimators are `Send`: the experiment engine builds and runs machines
+/// on worker threads, so every estimator (like every workload) must be
+/// movable across threads.
+pub trait PathConfidenceEstimator: Send {
     /// Registers a fetched control instruction.
     fn on_fetch(&mut self, info: BranchFetchInfo) -> BranchToken;
 

@@ -8,6 +8,7 @@
 //! by the bits below the leading one.
 
 use crate::EncodedProb;
+use paco_types::canon::Canon;
 
 /// Which logarithm implementation the MRT refresh uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -17,6 +18,16 @@ pub enum LogMode {
     Mitchell,
     /// An exact floating-point log, for ablating the approximation cost.
     Exact,
+}
+
+impl Canon for LogMode {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x10); // type tag
+        out.push(match self {
+            LogMode::Mitchell => 0,
+            LogMode::Exact => 1,
+        });
+    }
 }
 
 /// The logarithmizing-and-scaling circuit.

@@ -5,6 +5,7 @@ use crate::{
     MispredictRateTable, PathConfidenceCalculator, PathConfidenceEstimator,
 };
 use paco_branch::Mdc;
+use paco_types::canon::Canon;
 use paco_types::Probability;
 
 /// Configuration for a [`PacoPredictor`].
@@ -36,6 +37,14 @@ impl PacoConfig {
     pub const fn with_log_mode(mut self, mode: LogMode) -> Self {
         self.log_mode = mode;
         self
+    }
+}
+
+impl Canon for PacoConfig {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x11); // type tag
+        self.refresh_period.canon(out);
+        self.log_mode.canon(out);
     }
 }
 

@@ -1,6 +1,7 @@
 //! The conventional threshold-and-count path confidence predictor.
 
 use crate::{BranchFetchInfo, BranchToken, ConfidenceScore, PathConfidenceEstimator};
+use paco_types::canon::Canon;
 
 /// Configuration for a [`ThresholdCountPredictor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +28,13 @@ impl ThresholdCountConfig {
 impl Default for ThresholdCountConfig {
     fn default() -> Self {
         ThresholdCountConfig::paper_default()
+    }
+}
+
+impl Canon for ThresholdCountConfig {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x12); // type tag
+        self.threshold.canon(out);
     }
 }
 

@@ -5,6 +5,7 @@ use crate::{
     PathConfidenceCalculator, PathConfidenceEstimator,
 };
 use paco_branch::Mdc;
+use paco_types::canon::Canon;
 use paco_types::Probability;
 
 /// The *Static MRT* variant (paper Appendix A): fixed, profile-derived
@@ -145,6 +146,14 @@ impl PerBranchMrtConfig {
 impl Default for PerBranchMrtConfig {
     fn default() -> Self {
         PerBranchMrtConfig::paper()
+    }
+}
+
+impl Canon for PerBranchMrtConfig {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x13); // type tag
+        self.entries.canon(out);
+        self.log_mode.canon(out);
     }
 }
 

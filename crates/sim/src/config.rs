@@ -1,6 +1,7 @@
 //! Machine configurations (paper Tables 6 and 11).
 
 use paco_branch::{BtbConfig, ConfidenceConfig, TournamentConfig};
+use paco_types::canon::Canon;
 
 /// Full machine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +101,62 @@ impl SimConfig {
     pub const fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Default warmup instruction count (fast-forward analogue) for the
+    /// 4-wide machine, mirroring the paper's methodology of
+    /// fast-forwarding through initialization before measuring.
+    ///
+    /// Chosen as 2× PaCo's MRT refresh period so that even the halved SMT
+    /// warmup of [`warmup_for`](Self::warmup_for) still spans at least one
+    /// full 200k-cycle refresh — PaCo's encodings must be live (measured,
+    /// not the cold-start defaults) when measurement starts. A
+    /// compile-time assertion below ties this to the actual refresh
+    /// period.
+    pub const DEFAULT_WARMUP_INSTRS: u64 = 400_000;
+
+    /// The effective warmup instruction count for this machine, given a
+    /// requested base warmup (usually [`Self::DEFAULT_WARMUP_INSTRS`] or a
+    /// `PACO_WARMUP` override).
+    ///
+    /// This is the single definition of the warmup scaling rule that used
+    /// to be duplicated as ad-hoc `/ 2` magic across the experiment
+    /// binaries: the wide SMT front end retires work roughly twice as fast
+    /// as the 4-wide machine, so half the instructions cover the same
+    /// number of refresh periods.
+    pub const fn warmup_for(&self, base: u64) -> u64 {
+        if self.width > 4 {
+            base / 2
+        } else {
+            base
+        }
+    }
+}
+
+// The halved SMT warmup must still cover at least one MRT refresh period
+// (the 8-wide machine sustains IPC > 1, so instructions bound cycles from
+// above here).
+const _: () = assert!(
+    SimConfig::DEFAULT_WARMUP_INSTRS / 2 >= paco::PacoConfig::paper().refresh_period,
+    "default warmup must span an MRT refresh period on every machine"
+);
+
+impl Canon for SimConfig {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x20); // type tag
+        self.width.canon(out);
+        self.rob_entries.canon(out);
+        self.scheduler_entries.canon(out);
+        self.fu_count.canon(out);
+        self.frontend_depth.canon(out);
+        self.redirect_penalty.canon(out);
+        self.threads.canon(out);
+        self.tournament.canon(out);
+        self.confidence.canon(out);
+        self.btb.canon(out);
+        self.ras_depth.canon(out);
+        self.muldiv_latency.canon(out);
+        self.max_cycles.canon(out);
     }
 }
 

@@ -5,6 +5,7 @@ use paco::{
     PathConfidenceEstimator, PerBranchMrtConfig, PerBranchMrtPredictor, StaticMrtPredictor,
     ThresholdCountConfig, ThresholdCountPredictor,
 };
+use paco_types::canon::Canon;
 
 /// Which path confidence estimator a simulated thread uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +31,28 @@ impl EstimatorKind {
             EstimatorKind::ThresholdCount(cfg) => Box::new(ThresholdCountPredictor::new(cfg)),
             EstimatorKind::StaticMrt => Box::new(StaticMrtPredictor::with_default_profile()),
             EstimatorKind::PerBranchMrt(cfg) => Box::new(PerBranchMrtPredictor::new(cfg)),
+        }
+    }
+}
+
+impl Canon for EstimatorKind {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x21); // type tag
+        match self {
+            EstimatorKind::None => out.push(0),
+            EstimatorKind::Paco(cfg) => {
+                out.push(1);
+                cfg.canon(out);
+            }
+            EstimatorKind::ThresholdCount(cfg) => {
+                out.push(2);
+                cfg.canon(out);
+            }
+            EstimatorKind::StaticMrt => out.push(3),
+            EstimatorKind::PerBranchMrt(cfg) => {
+                out.push(4);
+                cfg.canon(out);
+            }
         }
     }
 }

@@ -74,12 +74,16 @@ enum PathState {
 /// instruction order; the stream additionally includes the handful of
 /// instructions still in flight (or peeked for an I-cache probe) when the
 /// run stops — exactly the suffix a bit-exact replay of the run needs.
-pub trait TraceSink {
+///
+/// Sinks are `Send` (like workloads and estimators) so that a machine with
+/// a recording sink attached can run on an experiment-engine worker
+/// thread.
+pub trait TraceSink: Send {
     /// Called once per goodpath instruction, in program order.
     fn record(&mut self, instr: &DynInstr);
 }
 
-impl<F: FnMut(&DynInstr)> TraceSink for F {
+impl<F: FnMut(&DynInstr) + Send> TraceSink for F {
     fn record(&mut self, instr: &DynInstr) {
         self(instr)
     }
@@ -905,6 +909,16 @@ impl Machine {
         (ctrl, token, redirects)
     }
 }
+
+// The experiment engine fans simulations out across threads; every trait
+// object a machine holds (workload, estimator, trace sink) carries a
+// `Send` supertrait, so the machine as a whole must stay `Send`. This
+// fails to compile if a non-`Send` field is ever introduced.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+    assert_send::<MachineBuilder>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,7 @@
 //! Pipeline gating and SMT fetch-prioritization policies.
 
 use paco::{ConfidenceScore, EncodedProb};
+use paco_types::canon::Canon;
 use paco_types::Probability;
 
 /// Pipeline gating / throttling policy (paper §5.1 and the selective
@@ -104,6 +105,32 @@ impl GatingPolicy {
     }
 }
 
+impl Canon for GatingPolicy {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x22); // type tag
+        match *self {
+            GatingPolicy::None => out.push(0),
+            GatingPolicy::CountGate { gate_count } => {
+                out.push(1);
+                gate_count.canon(out);
+            }
+            GatingPolicy::PacoGate { encoded_threshold } => {
+                out.push(2);
+                encoded_threshold.canon(out);
+            }
+            GatingPolicy::CountThrottle { start } => {
+                out.push(3);
+                start.canon(out);
+            }
+            GatingPolicy::PacoThrottle { full, zero } => {
+                out.push(4);
+                full.canon(out);
+                zero.canon(out);
+            }
+        }
+    }
+}
+
 /// SMT fetch prioritization policy: which thread fetches this cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FetchPolicy {
@@ -116,6 +143,17 @@ pub enum FetchPolicy {
     /// confidence estimator reports the *lower* score (more likely on the
     /// goodpath) fetches; ties fall back to ICOUNT.
     Confidence,
+}
+
+impl Canon for FetchPolicy {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x23); // type tag
+        out.push(match self {
+            FetchPolicy::RoundRobin => 0,
+            FetchPolicy::ICount => 1,
+            FetchPolicy::Confidence => 2,
+        });
+    }
 }
 
 impl FetchPolicy {

@@ -11,7 +11,7 @@ pub const PROB_BINS: usize = 101;
 pub const SCORE_BINS: usize = 64;
 
 /// Per-thread statistics for one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadStats {
     /// Instructions retired (architectural work).
     pub retired: u64,
@@ -117,7 +117,7 @@ impl Default for ThreadStats {
 }
 
 /// Whole-machine statistics for one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineStats {
     /// Simulated cycles.
     pub cycles: u64,

@@ -96,7 +96,10 @@ mod workload;
 mod writer;
 
 pub use error::TraceError;
-pub use format::{TraceMeta, CHUNK_RECORDS, COUNT_UNKNOWN, FORMAT_VERSION, MAGIC};
+pub use format::{
+    crc32, read_uvarint, write_uvarint, TraceMeta, CHUNK_RECORDS, COUNT_UNKNOWN, FORMAT_VERSION,
+    MAGIC,
+};
 pub use reader::{Records, TraceReader};
 pub use record::TraceRecord;
 pub use workload::{

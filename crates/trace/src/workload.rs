@@ -47,7 +47,7 @@ impl<R: Read + Seek> TraceReplaySource<R> {
     }
 }
 
-impl<R: Read + Seek> ReplaySource for TraceReplaySource<R> {
+impl<R: Read + Seek + Send> ReplaySource for TraceReplaySource<R> {
     fn next_record(&mut self) -> Option<DynInstr> {
         self.reader
             .next_record()

@@ -1,10 +1,9 @@
 //! Buffered, chunked trace writing, plus the machine-attachable recorder.
 
-use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use paco_sim::TraceSink;
 use paco_types::DynInstr;
@@ -193,7 +192,11 @@ impl<W: Write + Seek> TraceWriter<W> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TraceRecorder {
-    inner: Rc<RefCell<RecorderInner>>,
+    // Shared via Arc<Mutex<..>> (not Rc<RefCell<..>>) so the sink handle
+    // is `Send` and a recording machine can run on an experiment-engine
+    // worker thread. Recording is single-threaded per machine, so the
+    // mutex is uncontended.
+    inner: Arc<Mutex<RecorderInner>>,
 }
 
 #[derive(Debug)]
@@ -207,7 +210,7 @@ impl TraceRecorder {
     pub fn create(path: impl AsRef<Path>, meta: &TraceMeta) -> Result<Self, TraceError> {
         let writer = TraceWriter::create(path, meta)?;
         Ok(TraceRecorder {
-            inner: Rc::new(RefCell::new(RecorderInner {
+            inner: Arc::new(Mutex::new(RecorderInner {
                 writer: Some(writer),
                 error: None,
             })),
@@ -222,7 +225,7 @@ impl TraceRecorder {
     }
 
     fn record(&self, instr: &DynInstr) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("recorder mutex poisoned");
         if inner.error.is_some() {
             return;
         }
@@ -236,7 +239,8 @@ impl TraceRecorder {
     /// Records written so far.
     pub fn records(&self) -> u64 {
         self.inner
-            .borrow()
+            .lock()
+            .expect("recorder mutex poisoned")
             .writer
             .as_ref()
             .map_or(0, TraceWriter::records)
@@ -248,7 +252,7 @@ impl TraceRecorder {
     /// simulation completes (other clones of the recorder, e.g. the one
     /// inside the machine, become inert no-ops).
     pub fn finish(self) -> Result<TraceSummary, TraceError> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.inner.lock().expect("recorder mutex poisoned");
         if let Some(e) = inner.error.take() {
             return Err(e);
         }

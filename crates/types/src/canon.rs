@@ -1,0 +1,173 @@
+//! Canonical byte serialization for configuration values.
+//!
+//! The experiment engine identifies each simulation cell by a stable
+//! content hash of its full configuration. That requires a serialization
+//! that is *canonical*: the byte stream is a function of the value alone —
+//! independent of struct field declaration order, platform endianness or
+//! pointer width — so equal configurations always hash equally and the
+//! hash can be used as an on-disk cache key.
+//!
+//! The encoding rules are deliberately boring:
+//!
+//! * every struct/enum impl writes a leading tag byte (guarding against
+//!   two different types producing the same payload bytes), then its
+//!   fields in a **fixed, documented order** — never via reflection;
+//! * integers are little-endian fixed width (`usize` widens to `u64`);
+//! * floats serialize as their IEEE-754 bit pattern;
+//! * enums write a stable discriminant byte before any payload.
+//!
+//! # Examples
+//!
+//! ```
+//! use paco_types::canon::{fnv1a64, Canon};
+//!
+//! let mut a = Vec::new();
+//! 42u64.canon(&mut a);
+//! let mut b = Vec::new();
+//! 42u64.canon(&mut b);
+//! assert_eq!(a, b);
+//! assert_eq!(fnv1a64(&a), fnv1a64(&b));
+//! ```
+
+/// A value with a canonical byte serialization (see module docs).
+pub trait Canon {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn canon(&self, out: &mut Vec<u8>);
+
+    /// The canonical encoding as a fresh vector.
+    fn canon_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.canon(&mut out);
+        out
+    }
+
+    /// The FNV-1a 64-bit hash of the canonical encoding.
+    fn canon_hash(&self) -> u64 {
+        fnv1a64(&self.canon_bytes())
+    }
+}
+
+impl Canon for bool {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl Canon for u8 {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl Canon for u32 {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Canon for u64 {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Canon for usize {
+    fn canon(&self, out: &mut Vec<u8>) {
+        (*self as u64).canon(out);
+    }
+}
+
+impl Canon for f64 {
+    fn canon(&self, out: &mut Vec<u8>) {
+        self.to_bits().canon(out);
+    }
+}
+
+impl Canon for str {
+    fn canon(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).canon(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl<T: Canon> Canon for Option<T> {
+    fn canon(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.canon(out);
+            }
+        }
+    }
+}
+
+impl<T: Canon> Canon for [T] {
+    fn canon(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).canon(out);
+        for v in self {
+            v.canon(out);
+        }
+    }
+}
+
+impl<A: Canon, B: Canon> Canon for (A, B) {
+    fn canon(&self, out: &mut Vec<u8>) {
+        self.0.canon(out);
+        self.1.canon(out);
+    }
+}
+
+/// FNV-1a 64-bit hash, the engine's content-hash primitive: simple,
+/// dependency-free and stable across platforms and releases.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Reference values for the 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn primitives_encode_fixed_width_le() {
+        let mut out = Vec::new();
+        0x0102_0304u32.canon(&mut out);
+        assert_eq!(out, [4, 3, 2, 1]);
+        out.clear();
+        7usize.canon(&mut out);
+        assert_eq!(out.len(), 8, "usize widens to u64");
+    }
+
+    #[test]
+    fn option_disambiguates_none_from_zero() {
+        let none: Option<u8> = None;
+        let some = Some(0u8);
+        assert_ne!(none.canon_bytes(), some.canon_bytes());
+    }
+
+    #[test]
+    fn slices_are_length_prefixed() {
+        // [1u8] vs [1u8, 0u8] must not collide via concatenation.
+        let a = [1u8];
+        let b = [1u8, 0u8];
+        assert_ne!(a[..].canon_bytes(), b[..].canon_bytes());
+    }
+
+    #[test]
+    fn floats_hash_by_bit_pattern() {
+        assert_ne!(0.0f64.canon_bytes(), (-0.0f64).canon_bytes());
+        assert_eq!(0.65f64.canon_bytes(), 0.65f64.canon_bytes());
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod canon;
 mod history;
 mod instr;
 mod pc;

@@ -53,7 +53,10 @@ use paco_types::{DynInstr, Pc};
 /// [`next_instr`](Self::next_instr); when a branch mispredicts it asks for
 /// a [`WrongPathGen`] starting at the bogus fetch target and consumes that
 /// until the mispredicted branch resolves.
-pub trait Workload {
+///
+/// Workloads are `Send`: the experiment engine runs one machine per
+/// worker thread, and every workload must be movable onto its worker.
+pub trait Workload: Send {
     /// The model's name (benchmark it imitates).
     fn name(&self) -> &str;
 

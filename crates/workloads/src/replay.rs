@@ -19,7 +19,10 @@ use paco_types::DynInstr;
 /// Sources are validated at construction; an implementation that hits an
 /// unrecoverable I/O or corruption error mid-stream may panic, since a
 /// replayed simulation cannot meaningfully continue on a diverged stream.
-pub trait ReplaySource: std::fmt::Debug {
+///
+/// Sources are `Send` so that replay workloads (and the machines built on
+/// them) can run on experiment-engine worker threads.
+pub trait ReplaySource: std::fmt::Debug + Send {
     /// The next recorded instruction, or `None` at end of trace.
     fn next_record(&mut self) -> Option<DynInstr>;
 

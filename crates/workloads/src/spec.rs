@@ -15,6 +15,7 @@
 use crate::behavior::BehaviorSpec;
 use crate::cfg::{CfgParams, SyntheticCfg};
 use crate::generator::{CfgWorkload, DataParams};
+use paco_types::canon::Canon;
 
 /// Identifies one of the twelve modeled benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -91,6 +92,18 @@ impl BenchmarkId {
 impl std::fmt::Display for BenchmarkId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl Canon for BenchmarkId {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x30); // type tag
+                        // Discriminant = position in the paper's table order, which is
+                        // stable; the name is included so renames/reorders cannot silently
+                        // alias cache keys.
+        let idx = ALL_BENCHMARKS.iter().position(|b| b == self).unwrap() as u8;
+        idx.canon(out);
+        self.name().canon(out);
     }
 }
 
