@@ -30,6 +30,91 @@ pub fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
+/// The `p`-th percentile of `values` (`0.0 ..= 100.0`), with linear
+/// interpolation between adjacent order statistics (the "linear" method
+/// shared by numpy and R type 7).
+///
+/// The load harness reports tail latency with this: `percentile(lat, 50.0)`
+/// / `90.0` / `99.0` are the p50/p90/p99 round-trip times.
+///
+/// # Examples
+///
+/// ```
+/// use paco_analysis::percentile;
+/// let v = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile(&v, 0.0), 1.0);
+/// assert_eq!(percentile(&v, 50.0), 2.5);
+/// assert_eq!(percentile(&v, 100.0), 4.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `values` is empty, `p` is outside `[0, 100]`, or any value
+/// is NaN.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of an empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile sample"));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// [`percentile`] over an already ascending-sorted sample (callers that
+/// need several percentiles sort once and use this).
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile {p} outside [0, 100]"
+    );
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Summary statistics of a latency sample: count, mean and the
+/// p50/p90/p99 percentiles the serving harness reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample (sorting once for all four percentiles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    pub fn from_samples(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "latency summary of an empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in latency sample"));
+        LatencySummary {
+            count: sorted.len(),
+            mean: mean(&sorted),
+            p50: percentile_of_sorted(&sorted, 50.0),
+            p90: percentile_of_sorted(&sorted, 90.0),
+            p99: percentile_of_sorted(&sorted, 99.0),
+            max: percentile_of_sorted(&sorted, 100.0),
+        }
+    }
+}
+
 /// The observables of one run a gating comparison needs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunPoint {
@@ -113,6 +198,59 @@ mod tests {
     fn mean_handles_empty() {
         assert_eq!(mean(&[]), 0.0);
         assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 25.0), 20.0);
+        assert_eq!(percentile(&v, 50.0), 30.0);
+        assert_eq!(percentile(&v, 100.0), 50.0);
+        // Between order statistics: 90% of the way from index 3 to 4.
+        assert!((percentile(&v, 90.0) - 46.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        let shuffled = [3.0, 1.0, 4.0, 2.0];
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(percentile(&sorted, p), percentile(&shuffled, p));
+        }
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample() {
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[7.5], p), 7.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn latency_summary_reports_tails() {
+        // 1..=100: p50 = 50.5, p90 = 90.1, p99 = 99.01 under linear
+        // interpolation over 100 samples.
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&v);
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.p50 - 50.5).abs() < 1e-12);
+        assert!((s.p90 - 90.1).abs() < 1e-9);
+        assert!((s.p99 - 99.01).abs() < 1e-9);
+        assert_eq!(s.max, 100.0);
     }
 
     #[test]

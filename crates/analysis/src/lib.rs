@@ -29,7 +29,8 @@ mod reliability;
 mod render;
 
 pub use aggregate::{
-    gating_tradeoff, mean, mean_tradeoff, merge_bin_pairs, GatingTradeoff, RunPoint,
+    gating_tradeoff, mean, mean_tradeoff, merge_bin_pairs, percentile, GatingTradeoff,
+    LatencySummary, RunPoint,
 };
 pub use metrics::{badpath_reduction_pct, hmwipc, perf_delta_pct};
 pub use reliability::{ReliabilityDiagram, ReliabilityPoint};

@@ -30,11 +30,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
 
 use paco_branch::Mdc;
 use paco_sim::{MachineStats, ThreadStats};
-use paco_trace::{crc32, read_uvarint, write_uvarint};
+use paco_types::wire::{crc32, read_uvarint, write_uvarint};
 
 use crate::engine::CellResult;
 
@@ -49,29 +48,17 @@ pub const CACHE_FORMAT_VERSION: u32 = 1;
 /// Environment variable overriding the default cache directory.
 pub const CACHE_DIR_ENV: &str = "PACO_BENCH_CACHE_DIR";
 
-/// A fingerprint of the code that produces results: the FNV-1a hash of
-/// the current executable's bytes, computed once per process.
+/// A fingerprint of the code that produces results.
 ///
 /// A cell's content hash covers its *description*; this covers the
 /// *simulator*. Any rebuild — bug fix, timing change, new statistic —
 /// yields a different binary and therefore invalidates every prior cache
 /// entry, which is exactly the freshness the pre-cache binaries had by
-/// always recomputing. Falls back to a hash of the crate version if the
-/// executable cannot be read (results are then only invalidated per
-/// release, and the cache remains an accelerator, never an oracle).
+/// always recomputing. The hash itself is the workspace-wide
+/// [`paco_types::fingerprint::code_fingerprint`] (also surfaced by the
+/// `paco-bench version` subcommand for cache-invalidation debugging).
 pub fn code_fingerprint() -> u64 {
-    static FINGERPRINT: OnceLock<u64> = OnceLock::new();
-    *FINGERPRINT.get_or_init(|| {
-        std::env::current_exe()
-            .ok()
-            .and_then(|exe| fs::read(exe).ok())
-            .map(|bytes| paco_types::canon::fnv1a64(&bytes))
-            .unwrap_or_else(|| {
-                paco_types::canon::fnv1a64(
-                    concat!("paco-bench/", env!("CARGO_PKG_VERSION")).as_bytes(),
-                )
-            })
-    })
+    paco_types::fingerprint::code_fingerprint()
 }
 
 /// A directory of content-addressed cell results.

@@ -35,11 +35,13 @@ struct RunOptions {
 const USAGE: &str = "usage:
   paco-bench list
   paco-bench run <experiment>... [--jobs N] [--no-cache] [--json]
+  paco-bench version
 
 Run `paco-bench list` for the available experiments; `all` runs every
 one. PACO_INSTRS / PACO_SEED / PACO_WARMUP adjust run lengths, and
 PACO_BENCH_CACHE_DIR relocates the result cache
-(default: target/paco-bench-cache).";
+(default: target/paco-bench-cache). `version` prints the executable
+fingerprint that keys the result cache.";
 
 /// Entry point for the `paco-bench` binary. Returns the process exit
 /// code.
@@ -57,10 +59,13 @@ pub fn main_multi(args: &[String]) -> i32 {
                 0
             }
             Ok((ids, opts)) if !ids.is_empty() => {
+                let mut code = 0;
                 for id in ids {
-                    run_experiment(id, opts);
+                    if !run_experiment(id, opts) {
+                        code = 1;
+                    }
                 }
-                0
+                code
             }
             Ok(_) => {
                 eprintln!("paco-bench: run requires at least one experiment name\n{USAGE}");
@@ -71,6 +76,14 @@ pub fn main_multi(args: &[String]) -> i32 {
                 2
             }
         },
+        Some("version") | Some("--version") | Some("-V") => {
+            println!(
+                "paco-bench {} fingerprint {:016x}",
+                env!("CARGO_PKG_VERSION"),
+                crate::cache::code_fingerprint()
+            );
+            0
+        }
         Some("--help") | Some("-h") | Some("help") => {
             println!("{USAGE}");
             0
@@ -109,8 +122,11 @@ pub fn main_single(id: ExperimentId, args: &[String]) -> i32 {
             2
         }
         Ok((_, opts)) => {
-            run_experiment(id, opts);
-            0
+            if run_experiment(id, opts) {
+                0
+            } else {
+                1
+            }
         }
         Err(e) => {
             eprintln!("paco-bench({}): {e}\n{usage}", id.name());
@@ -160,7 +176,35 @@ fn parse_run(args: &[String]) -> Result<(Vec<ExperimentId>, RunOptions), String>
     Ok((ids, opts))
 }
 
-fn run_experiment(id: ExperimentId, opts: RunOptions) {
+/// Runs one experiment; `false` on failure (a parity break or server
+/// error in `serve_throughput` must fail the process, not just print).
+fn run_experiment(id: ExperimentId, opts: RunOptions) -> bool {
+    // The service experiment measures wall-clock behavior of a real
+    // loopback server; it bypasses the engine and is never cached.
+    if id == ExperimentId::ServeThroughput {
+        let started = Instant::now();
+        return match crate::serve_bench::run_serve_throughput() {
+            Ok(report) => {
+                if opts.json {
+                    println!("{}", report.render_json());
+                } else {
+                    print!("{}", crate::serve_bench::render_text(&report));
+                }
+                eprintln!(
+                    "paco-bench: serve_throughput: events={} sessions={} secs={:.2}",
+                    report.events,
+                    report.sessions.len(),
+                    started.elapsed().as_secs_f64()
+                );
+                true
+            }
+            Err(e) => {
+                eprintln!("paco-bench: serve_throughput failed: {e}");
+                false
+            }
+        };
+    }
+
     let params = env_params(id.default_instrs());
     let spec = id.spec(params);
 
@@ -199,6 +243,7 @@ fn run_experiment(id: ExperimentId, opts: RunOptions) {
         run.executed,
         run.jobs
     );
+    true
 }
 
 #[cfg(test)]

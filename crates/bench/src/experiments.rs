@@ -27,7 +27,8 @@ use crate::engine::CellResult;
 use crate::runner::paco_estimator;
 use crate::spec::{CellSpec, ExperimentSpec, RunParams};
 
-/// Identifies one of the eight named paper experiments.
+/// Identifies a named experiment: the eight paper artifacts plus the
+/// service-level `serve_throughput` measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum ExperimentId {
@@ -39,10 +40,14 @@ pub enum ExperimentId {
     Fig12,
     TabA1,
     Ablations,
+    /// End-to-end throughput/latency of the streaming prediction service
+    /// (`crate::serve_bench`). Runs a real loopback server — not an
+    /// engine cell grid, and never cached.
+    ServeThroughput,
 }
 
-/// All experiments, in paper order.
-pub const ALL_EXPERIMENTS: [ExperimentId; 8] = [
+/// All experiments, in paper order (service measurements last).
+pub const ALL_EXPERIMENTS: [ExperimentId; 9] = [
     ExperimentId::Fig2,
     ExperimentId::Fig3,
     ExperimentId::Tab7,
@@ -51,6 +56,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 8] = [
     ExperimentId::Fig12,
     ExperimentId::TabA1,
     ExperimentId::Ablations,
+    ExperimentId::ServeThroughput,
 ];
 
 impl ExperimentId {
@@ -65,6 +71,7 @@ impl ExperimentId {
             ExperimentId::Fig12 => "fig12",
             ExperimentId::TabA1 => "tab_a1",
             ExperimentId::Ablations => "ablations",
+            ExperimentId::ServeThroughput => "serve_throughput",
         }
     }
 
@@ -79,6 +86,9 @@ impl ExperimentId {
             ExperimentId::Fig12 => "Fig. 12 — SMT fetch prioritization (HMWIPC)",
             ExperimentId::TabA1 => "Appendix Table 1 — MRT variants ablation",
             ExperimentId::Ablations => "refresh-period / log-mode / throttling ablations",
+            ExperimentId::ServeThroughput => {
+                "streaming service throughput + latency percentiles (loopback, uncached)"
+            }
         }
     }
 
@@ -102,6 +112,7 @@ impl ExperimentId {
             ExperimentId::Fig12 => 200_000,
             ExperimentId::TabA1 => 600_000,
             ExperimentId::Ablations => 400_000,
+            ExperimentId::ServeThroughput => crate::serve_bench::DEFAULT_INSTRS,
         }
     }
 
@@ -163,6 +174,10 @@ impl ExperimentId {
                     spec.push(CellSpec::stress(est, p));
                 }
             }
+            // Not an engine experiment: the CLI routes it to
+            // `serve_bench::run_serve_throughput` before building a
+            // spec; the empty grid here keeps `spec()` total.
+            ExperimentId::ServeThroughput => {}
             ExperimentId::Ablations => {
                 for period in ABLATION_PERIODS {
                     let est = EstimatorKind::Paco(PacoConfig::paper().with_refresh_period(period));
@@ -196,6 +211,10 @@ impl ExperimentId {
             ExperimentId::Fig12 => render_fig12(set),
             ExperimentId::TabA1 => render_tab_a1(set),
             ExperimentId::Ablations => render_ablations(set),
+            ExperimentId::ServeThroughput => {
+                "serve_throughput runs outside the engine; see `paco-bench run serve_throughput`\n"
+                    .to_string()
+            }
         }
     }
 }
@@ -883,6 +902,12 @@ mod tests {
         let p = tiny_params();
         for id in ALL_EXPERIMENTS {
             let spec = id.spec(p);
+            // serve_throughput runs outside the engine: its grid is
+            // intentionally empty and the CLI never builds it.
+            if id == ExperimentId::ServeThroughput {
+                assert!(spec.cells().is_empty());
+                continue;
+            }
             assert!(!spec.cells().is_empty(), "{} spec is empty", id.name());
             // Dedup holds: no two cells equal.
             for (i, a) in spec.cells().iter().enumerate() {

@@ -44,6 +44,7 @@ pub mod engine;
 pub mod experiments;
 pub mod json;
 pub mod runner;
+pub mod serve_bench;
 pub mod spec;
 
 pub use runner::{

@@ -259,6 +259,9 @@ fn all_experiments_render_through_the_engine() {
         if matches!(id, ExperimentId::Fig10 | ExperimentId::Fig12) && cfg!(debug_assertions) {
             continue; // debug builds: covered by the release CI run
         }
+        if id == ExperimentId::ServeThroughput {
+            continue; // not an engine experiment (serve_bench has its own test)
+        }
         let spec = id.spec(p);
         let run = Engine::new().run(&spec);
         let set = paco_bench::experiments::ResultSet {

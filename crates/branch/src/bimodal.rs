@@ -56,6 +56,17 @@ impl BimodalPredictor {
     fn index(&self, pc: Pc) -> usize {
         (pc.table_hash() & self.mask) as usize
     }
+
+    /// Appends the predictor's table state (for session snapshots).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        crate::counter::save_counters(&self.table, out);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into a
+    /// predictor of the same configuration; `false` on any mismatch.
+    pub fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        crate::counter::load_counters(&mut self.table, input)
+    }
 }
 
 impl DirectionPredictor for BimodalPredictor {

@@ -231,6 +231,17 @@ impl MdcTable {
         self.counters.len()
     }
 
+    /// Appends the table's counter state (for session snapshots).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        crate::counter::save_counters(&self.counters, out);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into a
+    /// table of the same configuration; `false` on any mismatch.
+    pub fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        crate::counter::load_counters(&mut self.counters, input)
+    }
+
     /// Storage footprint in bytes (for hardware-budget reporting).
     pub fn storage_bytes(&self) -> usize {
         // All counters share one width.

@@ -83,6 +83,46 @@ impl SaturatingCounter {
     pub const fn is_max(self) -> bool {
         self.value == self.max
     }
+
+    /// Overwrites the counter value (state restore); `false` if `value`
+    /// exceeds the counter's maximum, leaving it unchanged.
+    #[inline]
+    pub fn set_value(&mut self, value: u8) -> bool {
+        if value > self.max {
+            return false;
+        }
+        self.value = value;
+        true
+    }
+}
+
+/// Appends the raw values of a counter table (length prefix + one byte
+/// per counter) — the shared snapshot encoding for every table-based
+/// predictor in this crate.
+pub(crate) fn save_counters(counters: &[SaturatingCounter], out: &mut Vec<u8>) {
+    paco_types::wire::write_uvarint(out, counters.len() as u64);
+    out.extend(counters.iter().map(|c| c.value()));
+}
+
+/// Restores a counter table saved by [`save_counters`], advancing
+/// `input`. `false` (table untouched or partially written — callers treat
+/// any failure as fatal for the whole restore) on a length mismatch,
+/// truncation, or an out-of-range counter value.
+pub(crate) fn load_counters(counters: &mut [SaturatingCounter], input: &mut &[u8]) -> bool {
+    let Some(len) = paco_types::wire::read_uvarint(input) else {
+        return false;
+    };
+    if len != counters.len() as u64 || input.len() < counters.len() {
+        return false;
+    }
+    let (bytes, rest) = input.split_at(counters.len());
+    for (c, &v) in counters.iter_mut().zip(bytes) {
+        if !c.set_value(v) {
+            return false;
+        }
+    }
+    *input = rest;
+    true
 }
 
 #[cfg(test)]

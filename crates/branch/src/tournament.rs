@@ -131,6 +131,23 @@ impl TournamentPredictor {
             self.bimodal.predict(pc, history),
         )
     }
+
+    /// Appends the full predictor state — all three component tables —
+    /// (for session snapshots).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.gshare.save_state(out);
+        self.bimodal.save_state(out);
+        crate::counter::save_counters(&self.selector, out);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into a
+    /// predictor of the same configuration; `false` on any mismatch (the
+    /// predictor may then be partially restored and must be discarded).
+    pub fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        self.gshare.load_state(input)
+            && self.bimodal.load_state(input)
+            && crate::counter::load_counters(&mut self.selector, input)
+    }
 }
 
 impl DirectionPredictor for TournamentPredictor {
@@ -210,6 +227,44 @@ mod tests {
         assert_eq!(c.bimodal_entries * 2 / 8, 32 * 1024);
         assert_eq!(c.selector_entries * 2 / 8, 32 * 1024);
         assert_eq!(c.history_bits, 8);
+    }
+
+    #[test]
+    fn state_snapshot_round_trips() {
+        let mut trained = TournamentPredictor::new(TournamentConfig::tiny());
+        for i in 0..256u64 {
+            let pc = Pc::new(0x4000 + (i % 13) * 4);
+            let h = i & 0xff;
+            let taken = (i * 7) % 3 == 0;
+            let pred = trained.predict(pc, h);
+            trained.update(pc, h, taken, pred);
+        }
+        let mut blob = Vec::new();
+        trained.save_state(&mut blob);
+
+        let mut fresh = TournamentPredictor::new(TournamentConfig::tiny());
+        let mut input = blob.as_slice();
+        assert!(fresh.load_state(&mut input));
+        assert!(input.is_empty());
+        for i in 0..64u64 {
+            let pc = Pc::new(0x4000 + (i % 13) * 4);
+            assert_eq!(fresh.predict(pc, i & 0xff), trained.predict(pc, i & 0xff));
+        }
+    }
+
+    #[test]
+    fn state_rejects_mismatched_configuration() {
+        let trained = TournamentPredictor::new(TournamentConfig::tiny());
+        let mut blob = Vec::new();
+        trained.save_state(&mut blob);
+        let mut bigger = TournamentPredictor::new(TournamentConfig {
+            gshare_entries: 1 << 11,
+            ..TournamentConfig::tiny()
+        });
+        assert!(!bigger.load_state(&mut blob.as_slice()));
+        // Truncation fails too.
+        let mut small = TournamentPredictor::new(TournamentConfig::tiny());
+        assert!(!small.load_state(&mut &blob[..blob.len() / 2]));
     }
 
     #[test]

@@ -74,6 +74,33 @@ impl PathConfidenceCalculator {
     pub fn goodpath_probability(&self) -> Probability {
         Probability::clamped((-(self.sum as f64) / EncodedProb::SCALE as f64).exp2())
     }
+
+    /// Appends the register state (for session snapshots).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        paco_types::wire::write_uvarint(out, self.sum);
+        paco_types::wire::write_uvarint(out, self.outstanding as u64);
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state); `false`
+    /// on truncated or inconsistent input.
+    pub fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        let Some(sum) = paco_types::wire::read_uvarint(input) else {
+            return false;
+        };
+        let Some(outstanding) =
+            paco_types::wire::read_uvarint(input).and_then(|v| v.try_into().ok())
+        else {
+            return false;
+        };
+        // A non-empty register with no outstanding branches can never be
+        // produced by the add/remove discipline.
+        if sum > 0 && outstanding == 0 {
+            return false;
+        }
+        self.sum = sum;
+        self.outstanding = outstanding;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -86,6 +86,45 @@ impl BranchToken {
     pub fn is_low_confidence(&self) -> bool {
         self.low_conf
     }
+
+    /// Appends the token's state (for session snapshots: an in-flight
+    /// branch's token must survive a snapshot/restore cycle so it can
+    /// still be surrendered afterwards).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        use paco_types::wire::write_uvarint;
+        write_uvarint(out, self.encoded as u64);
+        out.push(self.low_conf as u8);
+        match self.mdc {
+            None => out.push(0xff),
+            Some(mdc) => out.push(mdc.value()),
+        }
+        write_uvarint(out, self.table_key);
+    }
+
+    /// Reads a token saved by [`save_state`](Self::save_state), advancing
+    /// `input`; `None` on truncation or malformed fields.
+    pub fn load_state(input: &mut &[u8]) -> Option<Self> {
+        use paco_types::wire::read_uvarint;
+        let encoded = u32::try_from(read_uvarint(input)?).ok()?;
+        let (&low, rest) = input.split_first()?;
+        let (&mdc_byte, rest) = rest.split_first()?;
+        *input = rest;
+        let mdc = match mdc_byte {
+            0xff => None,
+            v if (v as usize) < Mdc::BUCKETS => Some(Mdc::new(v)),
+            _ => return None,
+        };
+        if low > 1 {
+            return None;
+        }
+        let table_key = read_uvarint(input)?;
+        Some(BranchToken {
+            encoded,
+            low_conf: low == 1,
+            mdc,
+            table_key,
+        })
+    }
 }
 
 /// A comparable confidence score: **lower is more confident** (more likely
@@ -148,6 +187,27 @@ pub trait PathConfidenceEstimator: Send {
     /// probability.
     fn goodpath_probability(&self) -> Option<Probability> {
         None
+    }
+
+    /// Appends the estimator's full mutable state to `out` (counters,
+    /// latched encodings, refresh timers — everything needed to resume
+    /// bit-identically). The blob is only meaningful to an estimator
+    /// built from the same configuration.
+    ///
+    /// The streaming confidence service snapshots sessions with this so a
+    /// reconnecting client resumes exactly where it left off. Stateless
+    /// estimators (the default) save nothing.
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) by an
+    /// identically configured estimator, advancing `input` past the blob.
+    /// Returns `false` on truncated or inconsistent input, after which
+    /// the estimator must be discarded (it may be partially restored).
+    fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        let _ = input;
+        true
     }
 
     /// A short human-readable name used in experiment output.

@@ -69,6 +69,30 @@ impl MrtBucket {
         self.correct = 0;
         self.mispred = 0;
     }
+
+    /// Appends the bucket's counters (for session snapshots).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        paco_types::wire::write_uvarint(out, self.correct as u64);
+        paco_types::wire::write_uvarint(out, self.mispred as u64);
+    }
+
+    /// Restores counters saved by [`save_state`](Self::save_state);
+    /// `false` on truncation or values beyond the hardware counter
+    /// capacities.
+    pub fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        let Some(correct) = paco_types::wire::read_uvarint(input) else {
+            return false;
+        };
+        let Some(mispred) = paco_types::wire::read_uvarint(input) else {
+            return false;
+        };
+        if correct > Self::CORRECT_MAX as u64 || mispred > Self::MISPRED_MAX as u64 {
+            return false;
+        }
+        self.correct = correct as u32;
+        self.mispred = mispred as u32;
+        true
+    }
 }
 
 /// The full Mispredict Rate Table: one [`MrtBucket`] per MDC value plus the
@@ -153,6 +177,37 @@ impl MispredictRateTable {
     /// plus 16 × 12 bits of encodings — the paper's "less than 60 bytes".
     pub fn storage_bytes() -> usize {
         (Mdc::BUCKETS * (10 + 6) + Mdc::BUCKETS * 12) / 8
+    }
+
+    /// Appends the full table state — counters and latched encodings —
+    /// (for session snapshots).
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        for bucket in &self.buckets {
+            bucket.save_state(out);
+        }
+        for enc in &self.encodings {
+            paco_types::wire::write_uvarint(out, enc.raw() as u64);
+        }
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state); `false`
+    /// on truncation or out-of-range values.
+    pub fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        for bucket in &mut self.buckets {
+            if !bucket.load_state(input) {
+                return false;
+            }
+        }
+        for enc in &mut self.encodings {
+            let Some(raw) = paco_types::wire::read_uvarint(input) else {
+                return false;
+            };
+            if raw > EncodedProb::SATURATION as u64 {
+                return false;
+            }
+            *enc = EncodedProb::from_raw(raw as u32);
+        }
+        true
     }
 }
 

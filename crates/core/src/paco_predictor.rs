@@ -204,6 +204,31 @@ impl PathConfidenceEstimator for PacoPredictor {
         Some(self.calculator.goodpath_probability())
     }
 
+    fn save_state(&self, out: &mut Vec<u8>) {
+        self.mrt.save_state(out);
+        self.calculator.save_state(out);
+        paco_types::wire::write_uvarint(out, self.cycles_since_refresh);
+        paco_types::wire::write_uvarint(out, self.refreshes);
+    }
+
+    fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        if !self.mrt.load_state(input) || !self.calculator.load_state(input) {
+            return false;
+        }
+        let Some(cycles) = paco_types::wire::read_uvarint(input) else {
+            return false;
+        };
+        let Some(refreshes) = paco_types::wire::read_uvarint(input) else {
+            return false;
+        };
+        if cycles >= self.refresh_period {
+            return false; // tick() never leaves a full period pending
+        }
+        self.cycles_since_refresh = cycles;
+        self.refreshes = refreshes;
+        true
+    }
+
     fn name(&self) -> String {
         match self.circuit.mode() {
             LogMode::Mitchell => "PaCo".to_string(),
@@ -326,6 +351,58 @@ mod tests {
         for t in tokens {
             p.on_squash(t);
         }
+    }
+
+    #[test]
+    fn snapshot_resumes_bit_identically() {
+        let mut p = PacoPredictor::new(PacoConfig::paper().with_refresh_period(500));
+        for i in 0..300u64 {
+            let t = p.on_fetch(cond((i % 16) as u8));
+            p.tick(3);
+            p.on_resolve(t, i % 5 == 0);
+        }
+        let in_flight = p.on_fetch(cond(2));
+
+        let mut blob = Vec::new();
+        p.save_state(&mut blob);
+        let mut q = PacoPredictor::new(PacoConfig::paper().with_refresh_period(500));
+        let mut input = blob.as_slice();
+        assert!(q.load_state(&mut input));
+        assert!(input.is_empty(), "restore must consume the whole blob");
+
+        assert_eq!(q.score(), p.score());
+        assert_eq!(q.refresh_count(), p.refresh_count());
+        // Drive both through the same future: resolve, then cross a
+        // refresh boundary. Every observable must stay in lockstep.
+        for est in [&mut p, &mut q] {
+            est.on_resolve(in_flight, true);
+            est.tick(600);
+        }
+        assert_eq!(q.refresh_count(), p.refresh_count());
+        assert_eq!(q.mrt().encodings(), p.mrt().encodings());
+        let t1 = p.on_fetch(cond(7));
+        let t2 = q.on_fetch(cond(7));
+        assert_eq!(p.score(), q.score());
+        p.on_squash(t1);
+        q.on_squash(t2);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_garbage() {
+        let p = PacoPredictor::new(PacoConfig::paper());
+        let mut blob = Vec::new();
+        p.save_state(&mut blob);
+        // Truncation.
+        let mut q = PacoPredictor::new(PacoConfig::paper());
+        assert!(!q.load_state(&mut &blob[..blob.len() - 1]));
+        // A pending-cycles value at or past the refresh period is
+        // inconsistent with tick()'s invariant.
+        let mut bad = Vec::new();
+        let mut short = PacoPredictor::new(PacoConfig::paper().with_refresh_period(2));
+        short.tick(1);
+        short.save_state(&mut bad);
+        let mut q = PacoPredictor::new(PacoConfig::paper().with_refresh_period(1));
+        assert!(!q.load_state(&mut bad.as_slice()));
     }
 
     #[test]

@@ -132,6 +132,20 @@ impl PathConfidenceEstimator for ThresholdCountPredictor {
         ConfidenceScore(self.low_conf_outstanding as u64)
     }
 
+    fn save_state(&self, out: &mut Vec<u8>) {
+        paco_types::wire::write_uvarint(out, self.low_conf_outstanding as u64);
+    }
+
+    fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        match paco_types::wire::read_uvarint(input).and_then(|v| v.try_into().ok()) {
+            Some(count) => {
+                self.low_conf_outstanding = count;
+                true
+            }
+            None => false,
+        }
+    }
+
     fn name(&self) -> String {
         format!("JRS-t{}", self.threshold)
     }

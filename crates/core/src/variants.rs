@@ -113,6 +113,15 @@ impl PathConfidenceEstimator for StaticMrtPredictor {
         Some(self.calculator.goodpath_probability())
     }
 
+    fn save_state(&self, out: &mut Vec<u8>) {
+        // The encodings are profile constants; only the register mutates.
+        self.calculator.save_state(out);
+    }
+
+    fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        self.calculator.load_state(input)
+    }
+
     fn name(&self) -> String {
         "StaticMRT".to_string()
     }
@@ -245,6 +254,26 @@ impl PathConfidenceEstimator for PerBranchMrtPredictor {
 
     fn goodpath_probability(&self) -> Option<Probability> {
         Some(self.calculator.goodpath_probability())
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        paco_types::wire::write_uvarint(out, self.table.len() as u64);
+        for bucket in &self.table {
+            bucket.save_state(out);
+        }
+        self.calculator.save_state(out);
+    }
+
+    fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        if paco_types::wire::read_uvarint(input) != Some(self.table.len() as u64) {
+            return false;
+        }
+        for bucket in &mut self.table {
+            if !bucket.load_state(input) {
+                return false;
+            }
+        }
+        self.calculator.load_state(input)
     }
 
     fn name(&self) -> String {

@@ -1,0 +1,159 @@
+//! `paco-load`: trace-replay load generator for `paco-served`.
+//!
+//! ```text
+//! paco-load run --addr HOST:PORT --trace FILE [--threads M] [--batch N]
+//!               [--rate EVENTS_PER_SEC] [--events N] [--estimator KIND]
+//!               [--profile paper|tiny] [--lag K] [--json] [--no-parity]
+//! paco-load version
+//! ```
+//!
+//! Replays the control-flow events of a recorded `.paco` trace across M
+//! concurrent sessions and reports events/s plus p50/p90/p99 batch
+//! round-trip latency. Unless `--no-parity` is given, every session's
+//! prediction digest is checked against an offline `OnlinePipeline`
+//! replay — a non-zero exit means the service broke byte-parity.
+
+use std::process::ExitCode;
+
+use paco::{PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
+use paco_serve::{control_events, run_load, LoadOptions};
+use paco_sim::{EstimatorKind, OnlineConfig};
+use paco_types::fingerprint::code_fingerprint;
+
+const USAGE: &str = "\
+usage:
+  paco-load run --addr HOST:PORT --trace FILE [--threads M] [--batch N]
+                [--rate EVENTS_PER_SEC] [--events N] [--estimator KIND]
+                [--profile paper|tiny] [--lag K] [--json] [--no-parity]
+  paco-load version
+
+estimators: paco count static perbranch none   (default: paco)
+defaults:   --threads 1, --batch 512, --profile paper";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("version") | Some("--version") | Some("-V") => {
+            println!(
+                "paco-load {} protocol {} fingerprint {:016x}",
+                env!("CARGO_PKG_VERSION"),
+                paco_serve::PROTOCOL_VERSION,
+                code_fingerprint()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("paco-load: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_estimator(name: &str) -> Result<EstimatorKind, String> {
+    Ok(match name {
+        "paco" => EstimatorKind::Paco(PacoConfig::paper()),
+        "count" => EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+        "static" => EstimatorKind::StaticMrt,
+        "perbranch" => EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
+        "none" => EstimatorKind::None,
+        other => {
+            return Err(format!(
+                "unknown estimator `{other}` (paco|count|static|perbranch|none)"
+            ))
+        }
+    })
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = None;
+    let mut trace = None;
+    let mut estimator = "paco".to_string();
+    let mut profile = "paper".to_string();
+    let mut lag = None;
+    let mut json = false;
+    let mut options = LoadOptions::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--trace" => trace = Some(value("--trace")?),
+            "--threads" => options.threads = parse_num(&value("--threads")?, "--threads")?,
+            "--batch" => options.batch = parse_num(&value("--batch")?, "--batch")?,
+            "--events" => {
+                options.events_per_thread = Some(parse_num::<u64>(&value("--events")?, "--events")?)
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                let rate: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--rate expects a number, got `{v}`"))?;
+                if rate <= 0.0 || !rate.is_finite() {
+                    return Err("--rate must be positive".into());
+                }
+                options.target_rate = Some(rate);
+            }
+            "--estimator" => estimator = value("--estimator")?,
+            "--profile" => profile = value("--profile")?,
+            "--lag" => lag = Some(parse_num::<usize>(&value("--lag")?, "--lag")?),
+            "--json" => json = true,
+            "--no-parity" => options.parity_check = false,
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let addr = addr.ok_or("run needs --addr")?;
+    let trace = trace.ok_or("run needs --trace")?;
+    if options.threads == 0 || options.batch == 0 {
+        return Err("--threads and --batch must be at least 1".into());
+    }
+    if options.events_per_thread == Some(0) {
+        return Err("--events must be at least 1".into());
+    }
+
+    let kind = parse_estimator(&estimator)?;
+    let mut config = match profile.as_str() {
+        "paper" => OnlineConfig::paper(kind),
+        "tiny" => OnlineConfig::tiny(kind),
+        other => return Err(format!("unknown profile `{other}` (paper|tiny)")),
+    };
+    if let Some(lag) = lag {
+        config.resolve_lag = lag;
+    }
+    config.validate()?;
+    options.config = config;
+
+    let events = control_events(&trace).map_err(|e| e.to_string())?;
+    let report = run_load(addr.as_str(), &events, &options).map_err(|e| e.to_string())?;
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.parity_ok == Some(false) {
+        eprintln!(
+            "paco-load: PARITY FAILURE: online predictions diverged from the offline pipeline"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("{flag} expects an integer, got `{v}`"))
+}

@@ -1,0 +1,83 @@
+//! `paco-served`: the streaming path-confidence prediction server.
+//!
+//! ```text
+//! paco-served serve [--addr 127.0.0.1:7421] [--shards N]
+//! paco-served version
+//! ```
+//!
+//! Sessions are negotiated per connection (the client brings its own
+//! `OnlineConfig`); see `docs/PROTOCOL.md`. `version` prints the
+//! executable fingerprint exchanged in the handshake, so client/server
+//! build mismatches are debuggable.
+
+use std::process::ExitCode;
+
+use paco_serve::RunningServer;
+use paco_types::fingerprint::code_fingerprint;
+
+const USAGE: &str = "\
+usage:
+  paco-served serve [--addr 127.0.0.1:7421] [--shards N]
+  paco-served version
+
+defaults: --addr 127.0.0.1:7421, --shards 8";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("version") | Some("--version") | Some("-V") => {
+            println!(
+                "paco-served {} protocol {} fingerprint {:016x}",
+                env!("CARGO_PKG_VERSION"),
+                paco_serve::PROTOCOL_VERSION,
+                code_fingerprint()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("paco-served: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = "127.0.0.1:7421".to_string();
+    let mut shards = 8usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                shards = v
+                    .parse()
+                    .map_err(|_| format!("--shards expects an integer, got `{v}`"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let server = RunningServer::bind(addr.as_str(), shards)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "paco-served: listening on {} ({} session shards, fingerprint {:016x})",
+        server.addr(),
+        shards,
+        code_fingerprint()
+    );
+    // Foreground until killed; every connection gets its own thread.
+    server.join();
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,201 @@
+//! Blocking client for the `paco-serve` protocol, used by `paco-load`,
+//! the integration suite, and anything else that wants online
+//! predictions from a `paco-served` instance.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use paco_sim::{OnlineConfig, OnlineOutcome};
+use paco_types::fingerprint::code_fingerprint;
+use paco_types::DynInstr;
+
+use crate::proto::{
+    decode_error, decode_outcomes, decode_snapshot, decode_welcome, encode_events, encode_hello,
+    encode_outcomes, read_frame, write_frame, Digest, ErrorCode, Frame, FrameKind, Hello,
+    ProtoError, Resume, Snapshot, PROTOCOL_VERSION,
+};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Proto(ProtoError),
+    /// The server refused with an ERROR frame.
+    Server(ErrorCode, String),
+    /// The server closed or answered with an unexpected frame.
+    Unexpected(String),
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Server(code, msg) => write!(f, "server refused ({code:?}): {msg}"),
+            ClientError::Unexpected(msg) => write!(f, "unexpected server behavior: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A connected session.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    session_id: u64,
+    server_fingerprint: u64,
+    resumed_events: u64,
+    digest: Digest,
+}
+
+impl Client {
+    /// Opens a fresh session.
+    pub fn connect(addr: impl ToSocketAddrs, config: &OnlineConfig) -> Result<Self, ClientError> {
+        Self::handshake(addr, config, Resume::Fresh)
+    }
+
+    /// Reclaims a session the server parked when a previous connection
+    /// dropped; streaming resumes exactly where it stopped.
+    pub fn resume_by_id(
+        addr: impl ToSocketAddrs,
+        config: &OnlineConfig,
+        session_id: u64,
+    ) -> Result<Self, ClientError> {
+        Self::handshake(addr, config, Resume::SessionId(session_id))
+    }
+
+    /// Opens a session restored from a snapshot blob the client carried
+    /// across the disconnect (survives even a server restart).
+    pub fn resume_with_state(
+        addr: impl ToSocketAddrs,
+        config: &OnlineConfig,
+        state: Vec<u8>,
+    ) -> Result<Self, ClientError> {
+        Self::handshake(addr, config, Resume::State(state))
+    }
+
+    fn handshake(
+        addr: impl ToSocketAddrs,
+        config: &OnlineConfig,
+        resume: Resume,
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = Client {
+            reader,
+            writer: BufWriter::new(stream),
+            session_id: 0,
+            server_fingerprint: 0,
+            resumed_events: 0,
+            digest: Digest::new(),
+        };
+        let hello = Hello {
+            protocol_version: PROTOCOL_VERSION,
+            fingerprint: code_fingerprint(),
+            config: *config,
+            config_hash: crate::proto::config_hash(config),
+            resume,
+        };
+        write_frame(&mut client.writer, FrameKind::Hello, &encode_hello(&hello))
+            .map_err(ProtoError::Io)?;
+        let frame = client.expect_frame(FrameKind::Welcome)?;
+        let welcome = decode_welcome(&frame.payload)?;
+        client.session_id = welcome.session_id;
+        client.server_fingerprint = welcome.fingerprint;
+        client.resumed_events = welcome.events;
+        Ok(client)
+    }
+
+    /// Reads one frame, translating ERROR frames and surprises.
+    fn expect_frame(&mut self, kind: FrameKind) -> Result<Frame, ClientError> {
+        match read_frame(&mut self.reader)? {
+            Some(frame) if frame.kind == kind => Ok(frame),
+            Some(frame) if frame.kind == FrameKind::Error => {
+                let (code, msg) = decode_error(&frame.payload)?;
+                Err(ClientError::Server(code, msg))
+            }
+            Some(frame) => Err(ClientError::Unexpected(format!(
+                "wanted {kind:?}, got {:?}",
+                frame.kind
+            ))),
+            None => Err(ClientError::Unexpected(
+                "connection closed mid-exchange".into(),
+            )),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// The server executable's fingerprint (compare with your own
+    /// `code_fingerprint()` to detect build mismatches).
+    pub fn server_fingerprint(&self) -> u64 {
+        self.server_fingerprint
+    }
+
+    /// Events the session had already processed when this connection
+    /// opened (0 for a fresh session).
+    pub fn resumed_events(&self) -> u64 {
+        self.resumed_events
+    }
+
+    /// Running FNV-1a digest over every PREDICTIONS payload received on
+    /// this connection — the session's result fingerprint.
+    pub fn digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    /// Streams a batch of events; blocks for and returns the
+    /// predictions (one per control instruction in the batch).
+    pub fn send_events(&mut self, instrs: &[DynInstr]) -> Result<Vec<OnlineOutcome>, ClientError> {
+        write_frame(&mut self.writer, FrameKind::Events, &encode_events(instrs))
+            .map_err(ProtoError::Io)?;
+        let frame = self.expect_frame(FrameKind::Predictions)?;
+        self.digest.update(&frame.payload);
+        Ok(decode_outcomes(&frame.payload)?)
+    }
+
+    /// Requests a snapshot of the session's full pipeline state.
+    pub fn snapshot(&mut self) -> Result<Snapshot, ClientError> {
+        write_frame(&mut self.writer, FrameKind::SnapshotReq, &[]).map_err(ProtoError::Io)?;
+        let frame = self.expect_frame(FrameKind::Snapshot)?;
+        Ok(decode_snapshot(&frame.payload)?)
+    }
+
+    /// Closes the session cleanly; the server discards it (it will not
+    /// be resumable). Dropping a `Client` without `bye` leaves the
+    /// session parked server-side for [`Client::resume_by_id`].
+    pub fn bye(mut self) -> Result<(), ClientError> {
+        write_frame(&mut self.writer, FrameKind::Bye, &[]).map_err(ProtoError::Io)?;
+        Ok(())
+    }
+}
+
+/// Feeds the same events through a local [`OnlinePipeline`]
+/// (`paco-sim`'s offline semantics) and digests the outcome encodings
+/// exactly as the server would — the reference value for parity checks.
+pub fn offline_digest(config: &OnlineConfig, instrs: &[DynInstr], batch: usize) -> u64 {
+    let mut pipeline = paco_sim::OnlinePipeline::new(config);
+    let mut digest = Digest::new();
+    for chunk in instrs.chunks(batch.max(1)) {
+        let outcomes: Vec<_> = chunk.iter().filter_map(|i| pipeline.on_instr(i)).collect();
+        digest.update(&encode_outcomes(&outcomes));
+    }
+    digest.value()
+}

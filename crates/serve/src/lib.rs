@@ -1,0 +1,53 @@
+//! `paco-serve`: the PaCo estimator as an online streaming service.
+//!
+//! Everything else in this workspace runs offline inside one simulator
+//! process; this crate gives the paper's *online, per-event, fetch-time*
+//! confidence estimation its natural deployment shape — a long-running
+//! service under throughput pressure:
+//!
+//! * **`paco-served`** ([`server`]): a multi-threaded TCP server
+//!   (`std::net` + scoped threads, no async runtime) exposing every
+//!   [`EstimatorKind`](paco_sim::EstimatorKind) as a session-oriented
+//!   prediction service. Each connection owns a private
+//!   [`OnlinePipeline`](paco_sim::OnlinePipeline); detached sessions
+//!   park in a sharded table for bit-identical resume, and clients can
+//!   carry opaque state snapshots across reconnects (even across server
+//!   restarts).
+//! * **`paco-load`** ([`load`]): a trace-replay load generator that
+//!   hammers a server with the control-flow events of a recorded
+//!   `.paco` trace from M concurrent sessions and reports throughput
+//!   plus p50/p90/p99 batch round-trip latency via `paco_analysis`.
+//! * **the protocol** ([`proto`]): length-prefixed CRC-32-guarded binary
+//!   frames built from the same [`paco_types::wire`] codec as the trace
+//!   format and the bench cache; event batches reuse the `paco-trace`
+//!   record codec; config negotiation compares
+//!   [`Canon`](paco_types::canon::Canon) hashes. `docs/PROTOCOL.md` has
+//!   the full specification.
+//!
+//! The keystone correctness property, enforced by the integration suite
+//! and `paco-load`'s built-in parity check: predictions streamed back
+//! online are **byte-identical** to an offline
+//! [`OnlinePipeline`](paco_sim::OnlinePipeline) replay of the same
+//! trace.
+//!
+//! # Quick start
+//!
+//! ```sh
+//! paco-trace record --bench gzip --out gzip.paco --instrs 200000
+//! paco-served serve --addr 127.0.0.1:7421 &
+//! paco-load run --addr 127.0.0.1:7421 --trace gzip.paco --threads 4
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod load;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::{offline_digest, Client, ClientError};
+pub use load::{control_events, run_load, LoadError, LoadOptions, LoadReport, SessionReport};
+pub use proto::{Digest, ErrorCode, FrameKind, ProtoError, PROTOCOL_VERSION};
+pub use server::RunningServer;
+pub use session::{Session, SessionTable};

@@ -1,0 +1,323 @@
+//! `paco-load`: trace-replay load generation against a `paco-served`
+//! instance.
+//!
+//! Replays the control-flow events of a recorded `.paco` trace across M
+//! concurrent client threads (each with its own session), optionally
+//! paced to a target aggregate event rate, and reports throughput plus
+//! round-trip latency percentiles through `paco_analysis`. With the
+//! parity check enabled (the default) every session's prediction digest
+//! is compared against an offline [`OnlinePipeline`](paco_sim::OnlinePipeline)
+//! replay of the same events — the keystone guarantee that the service
+//! returns byte-identical predictions to the offline simulator.
+
+use std::net::ToSocketAddrs;
+use std::path::Path;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use paco_analysis::LatencySummary;
+use paco_sim::OnlineConfig;
+use paco_types::DynInstr;
+
+use crate::client::{offline_digest, Client, ClientError};
+
+/// Load-run options.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Pipeline configuration for every session.
+    pub config: OnlineConfig,
+    /// Concurrent client threads (each gets its own session).
+    pub threads: usize,
+    /// Events per EVENTS frame.
+    pub batch: usize,
+    /// Cap on events each thread replays (`None` = the whole trace).
+    pub events_per_thread: Option<u64>,
+    /// Target aggregate event rate in events/second (`None` = as fast
+    /// as the server answers).
+    pub target_rate: Option<f64>,
+    /// Compare each session's digest against the offline pipeline.
+    pub parity_check: bool,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            config: OnlineConfig::default(),
+            threads: 1,
+            batch: 512,
+            events_per_thread: None,
+            target_rate: None,
+            parity_check: true,
+        }
+    }
+}
+
+/// Per-session results.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The server-assigned session id.
+    pub session_id: u64,
+    /// Events streamed.
+    pub events: u64,
+    /// EVENTS/PREDICTIONS round trips performed.
+    pub batches: u64,
+    /// FNV-1a digest of every PREDICTIONS payload, in order.
+    pub digest: u64,
+    /// Round-trip time of each batch, microseconds.
+    pub latencies_us: Vec<f64>,
+}
+
+/// Aggregate results of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Total events streamed across all sessions.
+    pub events: u64,
+    /// Wall-clock duration of the streaming phase.
+    pub elapsed: Duration,
+    /// Aggregate throughput, events/second.
+    pub events_per_sec: f64,
+    /// Batch round-trip latency summary (microseconds), pooled across
+    /// sessions.
+    pub latency_us: LatencySummary,
+    /// Per-session details.
+    pub sessions: Vec<SessionReport>,
+    /// Parity verdict: `Some(true)` when every session's digest matched
+    /// the offline pipeline, `None` when the check was disabled.
+    pub parity_ok: Option<bool>,
+}
+
+/// A load-run failure.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The trace could not be read.
+    Trace(paco_trace::TraceError),
+    /// A client failed.
+    Client(ClientError),
+    /// The trace contains no control-flow events.
+    EmptyTrace,
+    /// The options selected zero events, so there is nothing to measure.
+    NoEvents,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Trace(e) => write!(f, "trace: {e}"),
+            LoadError::Client(e) => write!(f, "client: {e}"),
+            LoadError::EmptyTrace => write!(f, "trace contains no control-flow events"),
+            LoadError::NoEvents => write!(f, "no events selected (is --events 0?)"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<paco_trace::TraceError> for LoadError {
+    fn from(e: paco_trace::TraceError) -> Self {
+        LoadError::Trace(e)
+    }
+}
+
+impl From<ClientError> for LoadError {
+    fn from(e: ClientError) -> Self {
+        LoadError::Client(e)
+    }
+}
+
+/// Loads the branch events (control-flow instructions) of a trace.
+pub fn control_events(trace: impl AsRef<Path>) -> Result<Vec<DynInstr>, LoadError> {
+    let mut reader = paco_trace::TraceReader::open(trace)?;
+    let mut events = Vec::new();
+    for record in reader.records() {
+        let instr = DynInstr::from(record?);
+        if instr.class.is_control() {
+            events.push(instr);
+        }
+    }
+    if events.is_empty() {
+        return Err(LoadError::EmptyTrace);
+    }
+    Ok(events)
+}
+
+/// Runs one load session: streams `events` in batches, measuring each
+/// round trip.
+fn run_session(
+    addr: &std::net::SocketAddr,
+    options: &LoadOptions,
+    events: &[DynInstr],
+    started: Instant,
+) -> Result<SessionReport, LoadError> {
+    let take = options
+        .events_per_thread
+        .map(|n| (n as usize).min(events.len()))
+        .unwrap_or(events.len());
+    let events = &events[..take];
+    let per_thread_rate = options
+        .target_rate
+        .map(|r| (r / options.threads.max(1) as f64).max(1.0));
+
+    let mut client = Client::connect(addr, &options.config)?;
+    let mut latencies = Vec::with_capacity(events.len() / options.batch.max(1) + 1);
+    let mut sent = 0u64;
+    for chunk in events.chunks(options.batch.max(1)) {
+        if let Some(rate) = per_thread_rate {
+            // Pace against the shared epoch: sleep until this batch's
+            // scheduled send time.
+            let due = started + Duration::from_secs_f64(sent as f64 / rate);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                thread::sleep(wait);
+            }
+        }
+        let t0 = Instant::now();
+        let outcomes = client.send_events(chunk)?;
+        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+        debug_assert_eq!(outcomes.len(), chunk.len(), "control-only batches");
+        sent += chunk.len() as u64;
+    }
+    let report = SessionReport {
+        session_id: client.session_id(),
+        events: sent,
+        batches: latencies.len() as u64,
+        digest: client.digest(),
+        latencies_us: latencies,
+    };
+    client.bye()?;
+    Ok(report)
+}
+
+/// Runs the load harness: `options.threads` concurrent sessions all
+/// replaying `events`.
+pub fn run_load(
+    addr: impl ToSocketAddrs,
+    events: &[DynInstr],
+    options: &LoadOptions,
+) -> Result<LoadReport, LoadError> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| LoadError::Client(ClientError::from(e)))?
+        .next()
+        .ok_or_else(|| {
+            LoadError::Client(ClientError::Unexpected(
+                "address resolves to nothing".into(),
+            ))
+        })?;
+    if events.is_empty() || options.events_per_thread == Some(0) {
+        return Err(LoadError::NoEvents);
+    }
+
+    let started = Instant::now();
+    let sessions: Vec<Result<SessionReport, LoadError>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..options.threads.max(1))
+            .map(|_| scope.spawn(|| run_session(&addr, options, events, started)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut reports = Vec::with_capacity(sessions.len());
+    for session in sessions {
+        reports.push(session?);
+    }
+
+    let parity_ok = if options.parity_check {
+        let take = options
+            .events_per_thread
+            .map(|n| (n as usize).min(events.len()))
+            .unwrap_or(events.len());
+        let expect = offline_digest(&options.config, &events[..take], options.batch);
+        Some(reports.iter().all(|r| r.digest == expect))
+    } else {
+        None
+    };
+
+    let total_events: u64 = reports.iter().map(|r| r.events).sum();
+    let all_latencies: Vec<f64> = reports
+        .iter()
+        .flat_map(|r| r.latencies_us.iter().copied())
+        .collect();
+    Ok(LoadReport {
+        events: total_events,
+        elapsed,
+        events_per_sec: total_events as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency_us: LatencySummary::from_samples(&all_latencies),
+        sessions: reports,
+        parity_ok,
+    })
+}
+
+impl LoadReport {
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "events               {}\nelapsed              {:.3} s\nthroughput           {:.0} events/s\n",
+            self.events,
+            self.elapsed.as_secs_f64(),
+            self.events_per_sec
+        ));
+        out.push_str(&format!(
+            "latency (batch RTT)  p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, max {:.1} us\n",
+            self.latency_us.p50, self.latency_us.p90, self.latency_us.p99, self.latency_us.max
+        ));
+        for s in &self.sessions {
+            out.push_str(&format!(
+                "session {:<6} events {:<8} batches {:<6} digest {:016x}\n",
+                s.session_id, s.events, s.batches, s.digest
+            ));
+        }
+        match self.parity_ok {
+            Some(true) => {
+                out.push_str("parity               ok (online == offline, byte-identical)\n")
+            }
+            Some(false) => out.push_str("parity               FAILED\n"),
+            None => out.push_str("parity               skipped\n"),
+        }
+        out
+    }
+
+    /// Renders the report as deterministic-key-order JSON (values are
+    /// measurements, so numbers vary run to run).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"events\":{},\"elapsed_s\":{:.6},\"events_per_sec\":{:.1},",
+            self.events,
+            self.elapsed.as_secs_f64(),
+            self.events_per_sec
+        ));
+        out.push_str(&format!(
+            "\"latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{:.1},\"p90\":{:.1},\"p99\":{:.1},\"max\":{:.1}}},",
+            self.latency_us.count,
+            self.latency_us.mean,
+            self.latency_us.p50,
+            self.latency_us.p90,
+            self.latency_us.p99,
+            self.latency_us.max
+        ));
+        out.push_str("\"sessions\":[");
+        for (i, s) in self.sessions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"events\":{},\"batches\":{},\"digest\":\"{:016x}\"}}",
+                s.session_id, s.events, s.batches, s.digest
+            ));
+        }
+        out.push_str("],");
+        out.push_str(&format!(
+            "\"parity\":{}",
+            match self.parity_ok {
+                Some(true) => "true",
+                Some(false) => "false",
+                None => "null",
+            }
+        ));
+        out.push('}');
+        out
+    }
+}

@@ -1,0 +1,834 @@
+//! The `paco-serve` wire protocol: length-prefixed, CRC-guarded binary
+//! frames carrying batched branch events and their predictions.
+//!
+//! Layered on the workspace codec vocabulary: frames use
+//! [`paco_types::wire`] varints and CRC-32 (the same primitives as the
+//! trace format and the bench result cache), event batches reuse the
+//! `paco-trace` record codec verbatim, and config negotiation compares
+//! [`Canon`](paco_types::canon::Canon) hashes of [`OnlineConfig`]. See
+//! `docs/PROTOCOL.md` for the normative description.
+//!
+//! ```text
+//! frame := kind u8 | payload_len u32 LE | payload | crc32 u32 LE
+//! ```
+//!
+//! The CRC covers the kind byte and the payload, so neither can be
+//! corrupted undetected; payloads are capped at [`MAX_FRAME_PAYLOAD`].
+
+use std::io::{self, Read, Write};
+
+use paco_sim::OnlineConfig;
+use paco_sim::OnlineOutcome;
+use paco_trace::{decode_record, encode_record, DeltaState, TraceRecord};
+use paco_types::canon::Canon;
+use paco_types::wire::{crc32_update, read_uvarint, write_uvarint};
+use paco_types::DynInstr;
+
+/// Protocol version; bumped on any incompatible frame or payload change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound accepted for a frame payload.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 22;
+
+/// Frame type tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: protocol version, config, resume request.
+    Hello = 0x01,
+    /// Server → client: session granted.
+    Welcome = 0x02,
+    /// Client → server: a batch of branch events.
+    Events = 0x03,
+    /// Server → client: one prediction per control event in the batch.
+    Predictions = 0x04,
+    /// Client → server: request a state snapshot.
+    SnapshotReq = 0x05,
+    /// Server → client: opaque session state blob.
+    Snapshot = 0x06,
+    /// Client → server: clean close; the session is discarded.
+    Bye = 0x07,
+    /// Server → client: terminal error (code + message); the connection
+    /// closes after this frame.
+    Error = 0x7f,
+}
+
+impl FrameKind {
+    fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0x01 => FrameKind::Hello,
+            0x02 => FrameKind::Welcome,
+            0x03 => FrameKind::Events,
+            0x04 => FrameKind::Predictions,
+            0x05 => FrameKind::SnapshotReq,
+            0x06 => FrameKind::Snapshot,
+            0x07 => FrameKind::Bye,
+            0x7f => FrameKind::Error,
+            _ => return None,
+        })
+    }
+}
+
+/// Error codes carried by [`FrameKind::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The client's protocol version is not supported.
+    ProtocolMismatch = 1,
+    /// The configuration failed validation.
+    ConfigInvalid = 2,
+    /// The decoded configuration does not canon-hash to the client's
+    /// claimed hash — the two builds disagree on the canonical encoding.
+    ConfigHashMismatch = 3,
+    /// Resume-by-id named a session the server does not hold.
+    UnknownSession = 4,
+    /// A resume state blob failed to restore.
+    BadState = 5,
+    /// A frame or payload could not be decoded.
+    Malformed = 6,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => ErrorCode::ProtocolMismatch,
+            2 => ErrorCode::ConfigInvalid,
+            3 => ErrorCode::ConfigHashMismatch,
+            4 => ErrorCode::UnknownSession,
+            5 => ErrorCode::BadState,
+            6 => ErrorCode::Malformed,
+            _ => return None,
+        })
+    }
+}
+
+/// A protocol-level failure while reading or decoding.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// A frame or payload violated the protocol.
+    Malformed(String),
+}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn malformed(msg: impl Into<String>) -> ProtoError {
+    ProtoError::Malformed(msg.into())
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type.
+    pub kind: FrameKind,
+    /// The raw payload (decode with the matching `decode_*` function).
+    pub payload: Vec<u8>,
+}
+
+/// Serializes a frame to a byte vector (header + payload + CRC).
+pub fn frame_bytes(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 9);
+    out.push(kind as u8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32_update(crc32_update(!0u32, &[kind as u8]), payload) ^ !0u32;
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&frame_bytes(kind, payload))?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, ProtoError> {
+    let mut header = [0u8; 5];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..])? {
+            0 if got == 0 => return Ok(None),
+            0 => return Err(malformed("eof inside a frame header")),
+            n => got += n,
+        }
+    }
+    let kind = FrameKind::from_byte(header[0])
+        .ok_or_else(|| malformed(format!("unknown frame kind {:#04x}", header[0])))?;
+    let len = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(malformed(format!("frame payload {len} exceeds the cap")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|_| malformed("eof inside a frame payload"))?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)
+        .map_err(|_| malformed("eof inside a frame checksum"))?;
+    let expect = crc32_update(crc32_update(!0u32, &[header[0]]), &payload) ^ !0u32;
+    if u32::from_le_bytes(crc_bytes) != expect {
+        return Err(malformed("frame checksum mismatch"));
+    }
+    Ok(Some(Frame { kind, payload }))
+}
+
+// ------------------------------------------------------------------ //
+//  HELLO                                                             //
+// ------------------------------------------------------------------ //
+
+/// How a client wants its session established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resume {
+    /// A brand-new session.
+    Fresh,
+    /// Reclaim a session the server parked when the previous connection
+    /// dropped.
+    SessionId(u64),
+    /// Rebuild a session from a [`FrameKind::Snapshot`] state blob the
+    /// client carried across the disconnect.
+    State(Vec<u8>),
+}
+
+/// The handshake message opening every connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hello {
+    /// The client's protocol version.
+    pub protocol_version: u32,
+    /// The client executable's fingerprint (informational; surfaced for
+    /// mismatch debugging).
+    pub fingerprint: u64,
+    /// The session's pipeline configuration.
+    pub config: OnlineConfig,
+    /// The client's canonical hash of `config`; the server re-canons the
+    /// decoded config and refuses on disagreement, catching canonical
+    /// encoding skew between builds.
+    pub config_hash: u64,
+    /// Session establishment mode.
+    pub resume: Resume,
+}
+
+/// Encodes a [`Hello`] payload.
+pub fn encode_hello(hello: &Hello) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, hello.protocol_version as u64);
+    out.extend_from_slice(&hello.fingerprint.to_le_bytes());
+    out.extend_from_slice(&hello.config_hash.to_le_bytes());
+    encode_config(&mut out, &hello.config);
+    match &hello.resume {
+        Resume::Fresh => out.push(0),
+        Resume::SessionId(id) => {
+            out.push(1);
+            write_uvarint(&mut out, *id);
+        }
+        Resume::State(blob) => {
+            out.push(2);
+            write_uvarint(&mut out, blob.len() as u64);
+            out.extend_from_slice(blob);
+        }
+    }
+    out
+}
+
+/// Decodes a [`Hello`] payload.
+pub fn decode_hello(mut input: &[u8]) -> Result<Hello, ProtoError> {
+    let input = &mut input;
+    let protocol_version = read_uvarint(input)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| malformed("hello: protocol version"))?;
+    let fingerprint = take_u64_le(input).ok_or_else(|| malformed("hello: fingerprint"))?;
+    let config_hash = take_u64_le(input).ok_or_else(|| malformed("hello: config hash"))?;
+    let config = decode_config(input)?;
+    let (&tag, rest) = input
+        .split_first()
+        .ok_or_else(|| malformed("hello: resume tag"))?;
+    *input = rest;
+    let resume = match tag {
+        0 => Resume::Fresh,
+        1 => Resume::SessionId(read_uvarint(input).ok_or_else(|| malformed("hello: session id"))?),
+        2 => {
+            let len = read_uvarint(input)
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| malformed("hello: state length"))?;
+            if len > MAX_FRAME_PAYLOAD || input.len() < len {
+                return Err(malformed("hello: state blob truncated"));
+            }
+            let (blob, rest) = input.split_at(len);
+            *input = rest;
+            Resume::State(blob.to_vec())
+        }
+        other => return Err(malformed(format!("hello: unknown resume tag {other}"))),
+    };
+    if !input.is_empty() {
+        return Err(malformed("hello: trailing bytes"));
+    }
+    Ok(Hello {
+        protocol_version,
+        fingerprint,
+        config,
+        config_hash,
+        resume,
+    })
+}
+
+fn take_u64_le(input: &mut &[u8]) -> Option<u64> {
+    if input.len() < 8 {
+        return None;
+    }
+    let (bytes, rest) = input.split_at(8);
+    *input = rest;
+    Some(u64::from_le_bytes(bytes.try_into().unwrap()))
+}
+
+// ------------------------------------------------------------------ //
+//  OnlineConfig wire codec                                           //
+// ------------------------------------------------------------------ //
+//
+// Canon is serialize-only (it exists to hash); the protocol needs a
+// decoder too, so the config travels in this explicit field encoding
+// and the Canon hash rides along as the cross-build agreement check.
+
+fn encode_config(out: &mut Vec<u8>, c: &OnlineConfig) {
+    write_uvarint(out, c.tournament.gshare_entries as u64);
+    write_uvarint(out, c.tournament.bimodal_entries as u64);
+    write_uvarint(out, c.tournament.selector_entries as u64);
+    write_uvarint(out, c.tournament.history_bits as u64);
+    write_uvarint(out, c.confidence.entries as u64);
+    write_uvarint(out, c.confidence.counter_bits as u64);
+    write_uvarint(out, c.confidence.history_bits as u64);
+    out.push(c.confidence.enhanced as u8);
+    encode_estimator(out, &c.estimator);
+    write_uvarint(out, c.resolve_lag as u64);
+    write_uvarint(out, c.ticks_per_event);
+}
+
+fn encode_estimator(out: &mut Vec<u8>, e: &paco_sim::EstimatorKind) {
+    use paco_sim::EstimatorKind as E;
+    match e {
+        E::None => out.push(0),
+        E::Paco(cfg) => {
+            out.push(1);
+            write_uvarint(out, cfg.refresh_period);
+            out.push(log_mode_byte(cfg.log_mode));
+        }
+        E::ThresholdCount(cfg) => {
+            out.push(2);
+            out.push(cfg.threshold);
+        }
+        E::StaticMrt => out.push(3),
+        E::PerBranchMrt(cfg) => {
+            out.push(4);
+            write_uvarint(out, cfg.entries as u64);
+            out.push(log_mode_byte(cfg.log_mode));
+        }
+    }
+}
+
+fn log_mode_byte(mode: paco::LogMode) -> u8 {
+    match mode {
+        paco::LogMode::Mitchell => 0,
+        paco::LogMode::Exact => 1,
+    }
+}
+
+fn log_mode_from(b: u8) -> Result<paco::LogMode, ProtoError> {
+    match b {
+        0 => Ok(paco::LogMode::Mitchell),
+        1 => Ok(paco::LogMode::Exact),
+        other => Err(malformed(format!("unknown log mode {other}"))),
+    }
+}
+
+fn take_usize(input: &mut &[u8], what: &str) -> Result<usize, ProtoError> {
+    read_uvarint(input)
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| malformed(format!("config: {what}")))
+}
+
+fn decode_config(input: &mut &[u8]) -> Result<OnlineConfig, ProtoError> {
+    let gshare_entries = take_usize(input, "gshare entries")?;
+    let bimodal_entries = take_usize(input, "bimodal entries")?;
+    let selector_entries = take_usize(input, "selector entries")?;
+    let t_history = take_usize(input, "tournament history bits")?;
+    let conf_entries = take_usize(input, "confidence entries")?;
+    let counter_bits = take_usize(input, "counter bits")?;
+    let c_history = take_usize(input, "confidence history bits")?;
+    let (&enhanced, rest) = input
+        .split_first()
+        .ok_or_else(|| malformed("config: enhanced flag"))?;
+    *input = rest;
+    if enhanced > 1 {
+        return Err(malformed("config: enhanced flag out of range"));
+    }
+    let estimator = decode_estimator(input)?;
+    let resolve_lag = take_usize(input, "resolve lag")?;
+    let ticks_per_event = read_uvarint(input).ok_or_else(|| malformed("config: ticks"))?;
+    let u32_of = |v: usize, what: &str| {
+        u32::try_from(v).map_err(|_| malformed(format!("config: {what} out of range")))
+    };
+    Ok(OnlineConfig {
+        tournament: paco_branch::TournamentConfig {
+            gshare_entries,
+            bimodal_entries,
+            selector_entries,
+            history_bits: u32_of(t_history, "tournament history bits")?,
+        },
+        confidence: paco_branch::ConfidenceConfig {
+            entries: conf_entries,
+            counter_bits: u32_of(counter_bits, "counter bits")?,
+            history_bits: u32_of(c_history, "confidence history bits")?,
+            enhanced: enhanced == 1,
+        },
+        estimator,
+        resolve_lag,
+        ticks_per_event,
+    })
+}
+
+fn decode_estimator(input: &mut &[u8]) -> Result<paco_sim::EstimatorKind, ProtoError> {
+    use paco_sim::EstimatorKind as E;
+    let (&tag, rest) = input
+        .split_first()
+        .ok_or_else(|| malformed("config: estimator tag"))?;
+    *input = rest;
+    Ok(match tag {
+        0 => E::None,
+        1 => {
+            let refresh_period =
+                read_uvarint(input).ok_or_else(|| malformed("config: refresh period"))?;
+            let (&mode, rest) = input
+                .split_first()
+                .ok_or_else(|| malformed("config: log mode"))?;
+            *input = rest;
+            E::Paco(paco::PacoConfig {
+                refresh_period,
+                log_mode: log_mode_from(mode)?,
+            })
+        }
+        2 => {
+            let (&threshold, rest) = input
+                .split_first()
+                .ok_or_else(|| malformed("config: threshold"))?;
+            *input = rest;
+            E::ThresholdCount(paco::ThresholdCountConfig { threshold })
+        }
+        3 => E::StaticMrt,
+        4 => {
+            let entries = take_usize(input, "per-branch entries")?;
+            let (&mode, rest) = input
+                .split_first()
+                .ok_or_else(|| malformed("config: log mode"))?;
+            *input = rest;
+            E::PerBranchMrt(paco::PerBranchMrtConfig {
+                entries,
+                log_mode: log_mode_from(mode)?,
+            })
+        }
+        other => return Err(malformed(format!("config: unknown estimator tag {other}"))),
+    })
+}
+
+// ------------------------------------------------------------------ //
+//  WELCOME / SNAPSHOT                                                //
+// ------------------------------------------------------------------ //
+
+/// The server's handshake answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Welcome {
+    /// The granted session id (use it for reconnect-by-id).
+    pub session_id: u64,
+    /// The server executable's fingerprint.
+    pub fingerprint: u64,
+    /// Events the session has already processed (0 for a fresh session;
+    /// the resume point otherwise).
+    pub events: u64,
+}
+
+/// Encodes a [`Welcome`] payload.
+pub fn encode_welcome(w: &Welcome) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, w.session_id);
+    out.extend_from_slice(&w.fingerprint.to_le_bytes());
+    write_uvarint(&mut out, w.events);
+    out
+}
+
+/// Decodes a [`Welcome`] payload.
+pub fn decode_welcome(mut input: &[u8]) -> Result<Welcome, ProtoError> {
+    let input = &mut input;
+    let session_id = read_uvarint(input).ok_or_else(|| malformed("welcome: session id"))?;
+    let fingerprint = take_u64_le(input).ok_or_else(|| malformed("welcome: fingerprint"))?;
+    let events = read_uvarint(input).ok_or_else(|| malformed("welcome: events"))?;
+    if !input.is_empty() {
+        return Err(malformed("welcome: trailing bytes"));
+    }
+    Ok(Welcome {
+        session_id,
+        fingerprint,
+        events,
+    })
+}
+
+/// A session snapshot: the opaque state blob plus its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The session the blob was taken from.
+    pub session_id: u64,
+    /// Events processed at snapshot time.
+    pub events: u64,
+    /// The opaque pipeline state (restore via [`Resume::State`]).
+    pub state: Vec<u8>,
+}
+
+/// Encodes a [`Snapshot`] payload.
+pub fn encode_snapshot(s: &Snapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, s.session_id);
+    write_uvarint(&mut out, s.events);
+    write_uvarint(&mut out, s.state.len() as u64);
+    out.extend_from_slice(&s.state);
+    out
+}
+
+/// Decodes a [`Snapshot`] payload.
+pub fn decode_snapshot(mut input: &[u8]) -> Result<Snapshot, ProtoError> {
+    let input = &mut input;
+    let session_id = read_uvarint(input).ok_or_else(|| malformed("snapshot: session id"))?;
+    let events = read_uvarint(input).ok_or_else(|| malformed("snapshot: events"))?;
+    let len = read_uvarint(input)
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| malformed("snapshot: state length"))?;
+    if input.len() != len {
+        return Err(malformed("snapshot: state length disagrees with payload"));
+    }
+    Ok(Snapshot {
+        session_id,
+        events,
+        state: input.to_vec(),
+    })
+}
+
+// ------------------------------------------------------------------ //
+//  EVENTS / PREDICTIONS                                              //
+// ------------------------------------------------------------------ //
+
+/// Encodes a batch of branch events (reusing the `paco-trace` record
+/// codec; the delta state resets per frame so frames decode
+/// independently).
+pub fn encode_events(instrs: &[DynInstr]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, instrs.len() as u64);
+    let mut delta = DeltaState::default();
+    for instr in instrs {
+        encode_record(&mut out, &mut delta, &TraceRecord::from(instr));
+    }
+    out
+}
+
+/// Decodes a batch of branch events.
+pub fn decode_events(mut input: &[u8]) -> Result<Vec<DynInstr>, ProtoError> {
+    let input = &mut input;
+    let count = read_uvarint(input).ok_or_else(|| malformed("events: count"))?;
+    // Every record costs at least two bytes; reject counts the payload
+    // cannot possibly hold before allocating.
+    if count > (input.len() as u64 / 2) + 1 {
+        return Err(malformed("events: implausible count"));
+    }
+    let mut delta = DeltaState::default();
+    let mut instrs = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let record = decode_record(input, &mut delta)
+            .map_err(|detail| malformed(format!("events: {detail}")))?;
+        instrs.push(DynInstr::from(record));
+    }
+    if !input.is_empty() {
+        return Err(malformed("events: trailing bytes"));
+    }
+    Ok(instrs)
+}
+
+const OUTCOME_PREDICTED: u8 = 0x01;
+const OUTCOME_MISPREDICTED: u8 = 0x02;
+const OUTCOME_HAS_PROB: u8 = 0x04;
+
+/// Encodes a batch of prediction outcomes. This encoding is the parity
+/// surface: the integration suite requires the bytes streamed by
+/// `paco-served` to equal the bytes produced by an offline
+/// [`OnlinePipeline`](paco_sim::OnlinePipeline) run bit for bit.
+pub fn encode_outcomes(outcomes: &[OnlineOutcome]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, outcomes.len() as u64);
+    for o in outcomes {
+        let mut flags = 0u8;
+        if o.predicted_taken {
+            flags |= OUTCOME_PREDICTED;
+        }
+        if o.mispredicted {
+            flags |= OUTCOME_MISPREDICTED;
+        }
+        if o.prob_bits.is_some() {
+            flags |= OUTCOME_HAS_PROB;
+        }
+        out.push(flags);
+        write_uvarint(&mut out, o.score);
+        if let Some(bits) = o.prob_bits {
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a batch of prediction outcomes.
+pub fn decode_outcomes(mut input: &[u8]) -> Result<Vec<OnlineOutcome>, ProtoError> {
+    let input = &mut input;
+    let count = read_uvarint(input).ok_or_else(|| malformed("predictions: count"))?;
+    if count > (input.len() as u64 / 2) + 1 {
+        return Err(malformed("predictions: implausible count"));
+    }
+    let mut outcomes = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let (&flags, rest) = input
+            .split_first()
+            .ok_or_else(|| malformed("predictions: flags"))?;
+        *input = rest;
+        if flags & !(OUTCOME_PREDICTED | OUTCOME_MISPREDICTED | OUTCOME_HAS_PROB) != 0 {
+            return Err(malformed("predictions: unknown flag bits"));
+        }
+        let score = read_uvarint(input).ok_or_else(|| malformed("predictions: score"))?;
+        let prob_bits = if flags & OUTCOME_HAS_PROB != 0 {
+            Some(take_u64_le(input).ok_or_else(|| malformed("predictions: probability"))?)
+        } else {
+            None
+        };
+        outcomes.push(OnlineOutcome {
+            score,
+            prob_bits,
+            predicted_taken: flags & OUTCOME_PREDICTED != 0,
+            mispredicted: flags & OUTCOME_MISPREDICTED != 0,
+        });
+    }
+    if !input.is_empty() {
+        return Err(malformed("predictions: trailing bytes"));
+    }
+    Ok(outcomes)
+}
+
+/// Encodes an [`FrameKind::Error`] payload.
+pub fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut out = vec![code as u8];
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Decodes an [`FrameKind::Error`] payload into `(code, message)`.
+pub fn decode_error(input: &[u8]) -> Result<(ErrorCode, String), ProtoError> {
+    let (&code, rest) = input
+        .split_first()
+        .ok_or_else(|| malformed("error frame: code"))?;
+    let code = ErrorCode::from_byte(code)
+        .ok_or_else(|| malformed(format!("error frame: unknown code {code}")))?;
+    let message = String::from_utf8_lossy(rest).into_owned();
+    Ok((code, message))
+}
+
+/// A running FNV-1a 64-bit digest over prediction bytes — the
+/// per-session result fingerprint reported by the load harness and
+/// compared by the concurrency tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest(u64);
+
+impl Digest {
+    /// A fresh digest (the FNV-1a offset basis).
+    pub fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feeds bytes into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current digest value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+/// Convenience: the canonical hash of a config, as exchanged in HELLO.
+pub fn config_hash(config: &OnlineConfig) -> u64 {
+    config.canon_hash()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco::PacoConfig;
+    use paco_sim::EstimatorKind;
+    use paco_types::Pc;
+
+    fn sample_config() -> OnlineConfig {
+        OnlineConfig::tiny(EstimatorKind::Paco(PacoConfig::paper()))
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = b"hello frames".to_vec();
+        let bytes = frame_bytes(FrameKind::Events, &payload);
+        let frame = read_frame(&mut bytes.as_slice()).unwrap().unwrap();
+        assert_eq!(frame.kind, FrameKind::Events);
+        assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_is_error() {
+        assert!(read_frame(&mut &b""[..]).unwrap().is_none());
+        let bytes = frame_bytes(FrameKind::Bye, &[]);
+        for cut in 1..bytes.len() {
+            assert!(
+                read_frame(&mut &bytes[..cut]).is_err(),
+                "cut at {cut} must be an error, not silence"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected() {
+        let bytes = frame_bytes(FrameKind::Events, b"payload-bytes");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                read_frame(&mut bad.as_slice()).is_err(),
+                "flip at {i} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_all_resume_modes() {
+        for resume in [
+            Resume::Fresh,
+            Resume::SessionId(42),
+            Resume::State(vec![1, 2, 3, 4]),
+        ] {
+            let hello = Hello {
+                protocol_version: PROTOCOL_VERSION,
+                fingerprint: 0xdead_beef,
+                config: sample_config(),
+                config_hash: config_hash(&sample_config()),
+                resume,
+            };
+            let bytes = encode_hello(&hello);
+            assert_eq!(decode_hello(&bytes).unwrap(), hello);
+        }
+    }
+
+    #[test]
+    fn config_codec_round_trips_every_estimator() {
+        use paco_sim::EstimatorKind as E;
+        let kinds = [
+            E::None,
+            E::Paco(PacoConfig::paper()),
+            E::ThresholdCount(paco::ThresholdCountConfig::paper_default()),
+            E::StaticMrt,
+            E::PerBranchMrt(paco::PerBranchMrtConfig::paper()),
+        ];
+        for kind in kinds {
+            let config = OnlineConfig::paper(kind);
+            let mut buf = Vec::new();
+            encode_config(&mut buf, &config);
+            let mut input = buf.as_slice();
+            let back = decode_config(&mut input).unwrap();
+            assert!(input.is_empty());
+            assert_eq!(back, config);
+            // The round-tripped config canon-hashes identically — the
+            // property the HELLO hash check relies on.
+            assert_eq!(config_hash(&back), config_hash(&config));
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let instrs = vec![
+            DynInstr::branch(Pc::new(0x1000), true, Pc::new(0x2000)),
+            DynInstr::branch(Pc::new(0x2000), false, Pc::new(0x1000)),
+            DynInstr::alu(Pc::new(0x2004)),
+        ];
+        let payload = encode_events(&instrs);
+        assert_eq!(decode_events(&payload).unwrap(), instrs);
+    }
+
+    #[test]
+    fn outcomes_round_trip() {
+        let outcomes = vec![
+            OnlineOutcome {
+                score: 0,
+                prob_bits: None,
+                predicted_taken: true,
+                mispredicted: false,
+            },
+            OnlineOutcome {
+                score: 4096,
+                prob_bits: Some(0.25f64.to_bits()),
+                predicted_taken: false,
+                mispredicted: true,
+            },
+        ];
+        let payload = encode_outcomes(&outcomes);
+        assert_eq!(decode_outcomes(&payload).unwrap(), outcomes);
+    }
+
+    #[test]
+    fn welcome_snapshot_error_round_trip() {
+        let w = Welcome {
+            session_id: 7,
+            fingerprint: 9,
+            events: 1234,
+        };
+        assert_eq!(decode_welcome(&encode_welcome(&w)).unwrap(), w);
+
+        let s = Snapshot {
+            session_id: 7,
+            events: 1234,
+            state: vec![5; 100],
+        };
+        assert_eq!(decode_snapshot(&encode_snapshot(&s)).unwrap(), s);
+
+        let (code, msg) = decode_error(&encode_error(ErrorCode::BadState, "nope")).unwrap();
+        assert_eq!(code, ErrorCode::BadState);
+        assert_eq!(msg, "nope");
+    }
+
+    #[test]
+    fn digest_matches_one_shot_fnv() {
+        let mut d = Digest::new();
+        d.update(b"12345");
+        d.update(b"6789");
+        assert_eq!(d.value(), paco_types::canon::fnv1a64(b"123456789"));
+    }
+}

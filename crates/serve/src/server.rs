@@ -1,0 +1,354 @@
+//! `paco-served`: the multi-threaded streaming prediction server.
+//!
+//! Plain `std::net` blocking I/O with scoped threads — one accept loop,
+//! one handler thread per connection, no async runtime. Each connection
+//! negotiates a session (fresh, reclaimed by id, or restored from a
+//! client-held snapshot), then streams EVENTS frames and receives one
+//! PREDICTIONS frame per batch. Sessions left behind by a dropped
+//! connection are parked in the sharded [`SessionTable`] for resume.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use paco_sim::OnlinePipeline;
+use paco_types::fingerprint::code_fingerprint;
+
+use crate::proto::{
+    decode_events, decode_hello, encode_error, encode_outcomes, encode_snapshot, encode_welcome,
+    write_frame, ErrorCode, FrameKind, Hello, ProtoError, Resume, Snapshot, Welcome,
+    PROTOCOL_VERSION,
+};
+use crate::session::{Session, SessionTable};
+
+/// Shared server control state: the shutdown flag plus handles to every
+/// live connection (so shutdown can unblock handler reads).
+#[derive(Debug, Default)]
+struct ServerShared {
+    shutdown: AtomicBool,
+    next_conn: std::sync::atomic::AtomicU64,
+    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+}
+
+impl ServerShared {
+    /// Registers a live connection; the returned id must be passed to
+    /// [`unregister`](Self::unregister) when the handler finishes, or
+    /// the duplicated fd would outlive the connection. `None` (the
+    /// connection must be dropped, not served) when the stream cannot be
+    /// tracked — an untracked connection would be unkillable at
+    /// shutdown, and its handler could block a scoped join forever.
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let id = self
+            .next_conn
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let clone = stream.try_clone().ok()?;
+        self.conns
+            .lock()
+            .expect("conn registry poisoned")
+            .insert(id, clone);
+        // Close the race with shutdown_all(): if the flag was set while
+        // we were inserting, our entry may have missed the drain — sever
+        // the stream ourselves so the handler sees EOF immediately.
+        if self.shutdown.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        Some(id)
+    }
+
+    fn unregister(&self, id: u64) {
+        self.conns
+            .lock()
+            .expect("conn registry poisoned")
+            .remove(&id);
+    }
+
+    fn shutdown_all(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for (_, conn) in self.conns.lock().expect("conn registry poisoned").drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Runs the accept loop until `shared` is shut down. Connection handlers
+/// run on scoped threads, so this function returns only after every
+/// handler has finished.
+fn serve(listener: TcpListener, table: &SessionTable, shared: &ServerShared) {
+    thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else {
+                // Transient accept errors (aborted handshakes etc.);
+                // keep serving.
+                continue;
+            };
+            let Some(conn_id) = shared.register(&stream) else {
+                continue; // untrackable connection: refuse, don't serve
+            };
+            scope.spawn(move || {
+                handle_conn(stream, table);
+                shared.unregister(conn_id);
+            });
+        }
+    });
+}
+
+/// A server running on a background thread. Dropping it (or calling
+/// [`stop`](Self::stop)) shuts the listener and every connection down and
+/// joins all threads.
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    table: Arc<SessionTable>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral test port) and
+    /// starts serving with a session table of `shards` shards.
+    pub fn bind(addr: impl ToSocketAddrs, shards: usize) -> std::io::Result<RunningServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared::default());
+        let table = Arc::new(SessionTable::new(shards));
+        let accept_shared = Arc::clone(&shared);
+        let accept_table = Arc::clone(&table);
+        let accept_thread = thread::Builder::new()
+            .name("paco-served-accept".into())
+            .spawn(move || serve(listener, &accept_table, &accept_shared))?;
+        Ok(RunningServer {
+            addr,
+            shared,
+            table,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions currently parked (detached, resumable).
+    pub fn parked_sessions(&self) -> usize {
+        self.table.parked()
+    }
+
+    /// Shuts down: stops accepting, severs live connections, joins all
+    /// threads.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        let Some(handle) = self.accept_thread.take() else {
+            return;
+        };
+        self.shared.shutdown_all();
+        // Unblock the accept loop: it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+
+    /// Blocks until the accept loop exits (for the foreground binary);
+    /// the loop only exits via [`stop`](Self::stop) or process signals.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+type Refusal = (ErrorCode, String);
+
+/// Validates a HELLO and produces the session it asks for.
+fn establish(hello: &Hello, table: &SessionTable) -> Result<Session, Refusal> {
+    if hello.protocol_version != PROTOCOL_VERSION {
+        return Err((
+            ErrorCode::ProtocolMismatch,
+            format!(
+                "server speaks protocol {PROTOCOL_VERSION}, client sent {}",
+                hello.protocol_version
+            ),
+        ));
+    }
+    if let Err(reason) = hello.config.validate() {
+        return Err((ErrorCode::ConfigInvalid, reason));
+    }
+    let server_hash = crate::proto::config_hash(&hello.config);
+    if server_hash != hello.config_hash {
+        return Err((
+            ErrorCode::ConfigHashMismatch,
+            format!(
+                "decoded config canon-hashes to {server_hash:016x}, client claims {:016x} \
+                 (incompatible builds?)",
+                hello.config_hash
+            ),
+        ));
+    }
+    match &hello.resume {
+        Resume::Fresh => Ok(Session {
+            id: table.allocate_id(),
+            pipeline: OnlinePipeline::new(&hello.config),
+        }),
+        Resume::SessionId(id) => {
+            let session = table.claim(*id).ok_or_else(|| {
+                (
+                    ErrorCode::UnknownSession,
+                    format!("session {id} is unknown, expired or already claimed"),
+                )
+            })?;
+            if session.pipeline.config_hash() != server_hash {
+                // Hand the session back before refusing: the rightful
+                // owner may still reclaim it with the right config.
+                table.park(session);
+                return Err((
+                    ErrorCode::ConfigHashMismatch,
+                    format!("session {id} was created under a different configuration"),
+                ));
+            }
+            Ok(session)
+        }
+        Resume::State(blob) => {
+            let mut pipeline = OnlinePipeline::new(&hello.config);
+            let mut input = blob.as_slice();
+            if !pipeline.load_state(&mut input) || !input.is_empty() {
+                return Err((
+                    ErrorCode::BadState,
+                    "state blob failed to restore (wrong config or corrupt)".into(),
+                ));
+            }
+            Ok(Session {
+                id: table.allocate_id(),
+                pipeline,
+            })
+        }
+    }
+}
+
+/// Serves one connection to completion. Never panics on client input;
+/// protocol violations answer with an ERROR frame and close.
+fn handle_conn(stream: TcpStream, table: &SessionTable) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    let refuse = |writer: &mut BufWriter<TcpStream>, code: ErrorCode, msg: &str| {
+        let _ = write_frame(writer, FrameKind::Error, &encode_error(code, msg));
+    };
+
+    // --- Handshake ---------------------------------------------------
+    let hello = match crate::proto::read_frame(&mut reader) {
+        Ok(Some(frame)) if frame.kind == FrameKind::Hello => match decode_hello(&frame.payload) {
+            Ok(hello) => hello,
+            Err(e) => return refuse(&mut writer, ErrorCode::Malformed, &e.to_string()),
+        },
+        Ok(Some(_)) => {
+            return refuse(
+                &mut writer,
+                ErrorCode::Malformed,
+                "expected HELLO as the first frame",
+            )
+        }
+        Ok(None) => return,
+        Err(ProtoError::Malformed(m)) => return refuse(&mut writer, ErrorCode::Malformed, &m),
+        Err(ProtoError::Io(_)) => return,
+    };
+    let mut session = match establish(&hello, table) {
+        Ok(session) => session,
+        Err((code, msg)) => return refuse(&mut writer, code, &msg),
+    };
+    let welcome = Welcome {
+        session_id: session.id,
+        fingerprint: code_fingerprint(),
+        events: session.pipeline.events(),
+    };
+    if write_frame(&mut writer, FrameKind::Welcome, &encode_welcome(&welcome)).is_err() {
+        // The connection died before the handshake completed. The
+        // session (possibly a just-claimed resume with accumulated
+        // state) must survive the transient failure like any post-
+        // handshake disconnect does.
+        table.park(session);
+        return;
+    }
+
+    // --- Event stream ------------------------------------------------
+    // Sessions are parked (kept resumable) on any non-BYE exit; a clean
+    // BYE discards the session.
+    loop {
+        let frame = match crate::proto::read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(ProtoError::Io(_)) => break,
+            Err(ProtoError::Malformed(m)) => {
+                refuse(&mut writer, ErrorCode::Malformed, &m);
+                break;
+            }
+        };
+        match frame.kind {
+            FrameKind::Events => {
+                let instrs = match decode_events(&frame.payload) {
+                    Ok(instrs) => instrs,
+                    Err(e) => {
+                        refuse(&mut writer, ErrorCode::Malformed, &e.to_string());
+                        break;
+                    }
+                };
+                let outcomes: Vec<_> = instrs
+                    .iter()
+                    .filter_map(|i| session.pipeline.on_instr(i))
+                    .collect();
+                if write_frame(
+                    &mut writer,
+                    FrameKind::Predictions,
+                    &encode_outcomes(&outcomes),
+                )
+                .is_err()
+                {
+                    break;
+                }
+            }
+            FrameKind::SnapshotReq => {
+                let mut state = Vec::new();
+                session.pipeline.save_state(&mut state);
+                let snapshot = Snapshot {
+                    session_id: session.id,
+                    events: session.pipeline.events(),
+                    state,
+                };
+                if write_frame(
+                    &mut writer,
+                    FrameKind::Snapshot,
+                    &encode_snapshot(&snapshot),
+                )
+                .is_err()
+                {
+                    break;
+                }
+            }
+            FrameKind::Bye => return, // clean close: session discarded
+            _ => {
+                refuse(
+                    &mut writer,
+                    ErrorCode::Malformed,
+                    "unexpected frame kind from client",
+                );
+                break;
+            }
+        }
+    }
+    table.park(session);
+}

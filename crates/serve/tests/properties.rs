@@ -1,0 +1,214 @@
+//! Property and adversarial tests for the `paco-serve` wire protocol:
+//! frame encode→decode is the identity over arbitrary payloads, and any
+//! truncation or corruption is rejected cleanly (mirroring the
+//! `paco-trace` corruption suite for the on-disk format).
+
+use paco_serve::proto::{
+    decode_events, decode_hello, decode_outcomes, encode_events, encode_hello, encode_outcomes,
+    frame_bytes, read_frame, Frame, FrameKind, Hello, ProtoError, Resume, PROTOCOL_VERSION,
+};
+use paco_sim::{EstimatorKind, OnlineConfig, OnlineOutcome};
+use paco_types::{ControlKind, DynInstr, InstrClass, Pc};
+use proptest::prelude::*;
+
+fn kind_from(seed: u8) -> FrameKind {
+    match seed % 8 {
+        0 => FrameKind::Hello,
+        1 => FrameKind::Welcome,
+        2 => FrameKind::Events,
+        3 => FrameKind::Predictions,
+        4 => FrameKind::SnapshotReq,
+        5 => FrameKind::Snapshot,
+        6 => FrameKind::Bye,
+        _ => FrameKind::Error,
+    }
+}
+
+/// An arbitrary branch event (the shapes `paco-load` actually streams).
+fn event_strategy() -> impl Strategy<Value = DynInstr> {
+    (any::<u64>(), 0u8..5, any::<bool>(), any::<u64>()).prop_map(|(pc, kind, taken, target)| {
+        let kind = match kind {
+            0 => ControlKind::Conditional,
+            1 => ControlKind::Jump,
+            2 => ControlKind::Call,
+            3 => ControlKind::Indirect,
+            _ => ControlKind::Return,
+        };
+        DynInstr {
+            pc: Pc::new(pc),
+            class: InstrClass::Control(kind),
+            deps: [0, 0],
+            mem: None,
+            taken: taken || kind != ControlKind::Conditional,
+            target: Pc::new(target),
+        }
+    })
+}
+
+fn outcome_strategy() -> impl Strategy<Value = OnlineOutcome> {
+    (
+        0u64..1 << 40,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0.0f64..=1.0,
+    )
+        .prop_map(
+            |(score, has_prob, predicted_taken, mispredicted, prob)| OnlineOutcome {
+                score,
+                prob_bits: has_prob.then(|| prob.to_bits()),
+                predicted_taken,
+                mispredicted,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Frame round trip: any kind, any payload.
+    #[test]
+    fn frame_round_trip(
+        kind_seed in any::<u8>(),
+        payload in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..4096),
+    ) {
+        let kind = kind_from(kind_seed);
+        let bytes = frame_bytes(kind, &payload);
+        let frame = read_frame(&mut bytes.as_slice()).unwrap().unwrap();
+        prop_assert_eq!(frame, Frame { kind, payload });
+    }
+
+    /// Truncating a frame anywhere strictly inside it is an error —
+    /// never a silent partial read, never a hang.
+    #[test]
+    fn frame_truncation_is_rejected(
+        kind_seed in any::<u8>(),
+        payload in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..512),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = frame_bytes(kind_from(kind_seed), &payload);
+        let cut = 1 + (cut_seed as usize % (bytes.len() - 1));
+        prop_assert!(
+            read_frame(&mut &bytes[..cut]).is_err(),
+            "cut at {cut} of {} must fail",
+            bytes.len()
+        );
+    }
+
+    /// Flipping any single bit of a frame is caught (by the CRC, the
+    /// kind check, or the length bound).
+    #[test]
+    fn frame_corruption_is_rejected(
+        kind_seed in any::<u8>(),
+        payload in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 1..512),
+        victim in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let clean = frame_bytes(kind_from(kind_seed), &payload);
+        let idx = victim as usize % clean.len();
+        let mut bytes = clean.clone();
+        bytes[idx] ^= 1 << bit;
+        let result = read_frame(&mut bytes.as_slice());
+        // A flip in the length field can make the frame claim more
+        // bytes than the buffer holds (Malformed), claim fewer (CRC
+        // trailer misaligns: Malformed), or exceed the cap. A payload
+        // or kind flip is a CRC mismatch. All are errors; none decode.
+        prop_assert!(
+            result.is_err(),
+            "flipping bit {bit} of byte {idx} must not decode cleanly"
+        );
+    }
+
+    /// Event batches round trip through the record codec.
+    #[test]
+    fn event_batches_round_trip(
+        events in proptest::collection::vec(event_strategy(), 0..600),
+    ) {
+        let payload = encode_events(&events);
+        prop_assert_eq!(decode_events(&payload).unwrap(), events);
+    }
+
+    /// Truncated event payloads are rejected.
+    #[test]
+    fn event_batch_truncation_is_rejected(
+        events in proptest::collection::vec(event_strategy(), 1..200),
+        cut_seed in any::<u64>(),
+    ) {
+        let payload = encode_events(&events);
+        let cut = cut_seed as usize % payload.len();
+        prop_assert!(decode_events(&payload[..cut]).is_err());
+    }
+
+    /// Prediction batches round trip, preserving probability bits
+    /// exactly (the parity surface).
+    #[test]
+    fn outcome_batches_round_trip(
+        outcomes in proptest::collection::vec(outcome_strategy(), 0..600),
+    ) {
+        let payload = encode_outcomes(&outcomes);
+        prop_assert_eq!(decode_outcomes(&payload).unwrap(), outcomes);
+    }
+
+    /// HELLO round-trips for arbitrary fingerprints/hashes and resume
+    /// blobs.
+    #[test]
+    fn hello_round_trips(
+        fingerprint in any::<u64>(),
+        config_hash in any::<u64>(),
+        blob in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..256),
+        mode in 0u8..3,
+    ) {
+        let resume = match mode {
+            0 => Resume::Fresh,
+            1 => Resume::SessionId(fingerprint ^ 0x55),
+            _ => Resume::State(blob),
+        };
+        let hello = Hello {
+            protocol_version: PROTOCOL_VERSION,
+            fingerprint,
+            config: OnlineConfig::tiny(EstimatorKind::StaticMrt),
+            config_hash,
+            resume,
+        };
+        prop_assert_eq!(decode_hello(&encode_hello(&hello)).unwrap(), hello);
+    }
+}
+
+/// Every config `OnlineConfig::validate` accepts must produce
+/// snapshots that fit in one frame — otherwise the advertised
+/// snapshot/resume feature would fail exactly for large (but valid)
+/// configs. Conservative byte bounds per component, all at their caps.
+#[test]
+fn worst_case_snapshot_fits_one_frame() {
+    let n = OnlineConfig::MAX_TABLE_ENTRIES;
+    let counter_table = n + 10; // 1 byte/counter + varint length prefix
+    let per_branch_mrt = n * 4 + 10; // two varints per bucket (<= 2B + 1B)
+    let pending = OnlineConfig::MAX_RESOLVE_LAG * 64; // ~25B each; 64 is generous
+
+    // gshare + bimodal + selector + MDC tables, the largest estimator,
+    // estimator/calculator/MRT scalars, header + hash + counters:
+    let worst = 4 * counter_table + per_branch_mrt + pending + 1024;
+    assert!(
+        worst < paco_serve::proto::MAX_FRAME_PAYLOAD,
+        "worst-case snapshot ({worst} B) must fit the frame cap"
+    );
+}
+
+#[test]
+fn oversized_frame_is_rejected_without_allocating() {
+    // Hand-build a header that claims a payload beyond the cap.
+    let mut bytes = vec![FrameKind::Events as u8];
+    bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 64]);
+    match read_frame(&mut bytes.as_slice()) {
+        Err(ProtoError::Malformed(msg)) => assert!(msg.contains("cap"), "{msg}"),
+        other => panic!("oversized frame must be malformed, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_frame_kind_is_rejected() {
+    let mut bytes = frame_bytes(FrameKind::Bye, &[]);
+    bytes[0] = 0x6e; // no such kind
+    assert!(read_frame(&mut bytes.as_slice()).is_err());
+}

@@ -43,6 +43,7 @@ mod cache;
 mod config;
 mod estimator_kind;
 mod machine;
+mod online;
 mod policy;
 mod stats;
 
@@ -50,5 +51,6 @@ pub use cache::{Cache, CacheConfig, CacheHierarchy};
 pub use config::SimConfig;
 pub use estimator_kind::{EstimatorKind, NullEstimator};
 pub use machine::{Machine, MachineBuilder, TraceSink};
+pub use online::{OnlineConfig, OnlineOutcome, OnlinePipeline};
 pub use policy::{FetchPolicy, GatingPolicy};
 pub use stats::{MachineStats, ThreadStats, PROB_BINS, SCORE_BINS};

@@ -1,0 +1,618 @@
+//! The online confidence pipeline: fetch-time path confidence as a
+//! deterministic, timing-free service semantics.
+//!
+//! The cycle-level [`Machine`](crate::Machine) interleaves estimator
+//! events with out-of-order timing, wrong-path excursions and squashes —
+//! its confidence stream is a function of the whole microarchitecture.
+//! A *streaming service* needs the opposite: a semantics defined purely
+//! by the branch-event stream, so that any two executions of the same
+//! stream — in-process, across a socket, before or after a
+//! snapshot/restore — produce **byte-identical** predictions.
+//!
+//! [`OnlinePipeline`] is that semantics. It owns the same hardware the
+//! simulator front end uses per thread — tournament predictor, JRS MDC
+//! table, global history, and any [`EstimatorKind`] — and processes
+//! resolved branch events in order. Each event is predicted and fetched
+//! immediately; its *resolution* (estimator training, MDC update,
+//! predictor update) is deferred by [`OnlineConfig::resolve_lag`] events,
+//! modeling the paper's window of unresolved in-flight branches: the
+//! confidence score at any point sums the contributions of the last
+//! `resolve_lag` branches, exactly like the hardware register sums the
+//! in-flight window.
+//!
+//! `paco-served` runs one pipeline per session; the parity tests replay
+//! the same trace through a pipeline offline and require equality to the
+//! last bit.
+
+use std::collections::VecDeque;
+
+use paco::{BranchFetchInfo, BranchToken, PathConfidenceEstimator};
+use paco_branch::DirectionPredictor;
+use paco_branch::{ConfidenceConfig, MdcTable, TournamentConfig, TournamentPredictor};
+use paco_types::canon::Canon;
+use paco_types::wire::{read_uvarint, write_uvarint};
+use paco_types::{ControlKind, DynInstr, GlobalHistory, InstrClass, Pc};
+
+use crate::EstimatorKind;
+
+/// Configuration of an [`OnlinePipeline`] — the unit of client/server
+/// config negotiation in `paco-serve` (compared by canonical hash).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Direction predictor configuration.
+    pub tournament: TournamentConfig,
+    /// JRS confidence table configuration.
+    pub confidence: ConfidenceConfig,
+    /// The path confidence estimator every event feeds.
+    pub estimator: EstimatorKind,
+    /// How many subsequent events a branch stays "in flight" before its
+    /// resolution trains the tables. 0 resolves immediately (each score
+    /// covers only the current branch); the paper-like default keeps a
+    /// ROB's worth of branches unresolved.
+    pub resolve_lag: usize,
+    /// Estimator cycles ticked per event (drives PaCo's periodic MRT
+    /// refresh; an event stands in for a fixed slice of simulated time).
+    pub ticks_per_event: u64,
+}
+
+impl OnlineConfig {
+    /// Upper bound accepted for any table size (guards servers against
+    /// resource-exhaustion configs). Sized so that a full pipeline
+    /// snapshot — every table at the cap, a full in-flight window —
+    /// stays well under the serve protocol's 4 MiB frame cap, keeping
+    /// snapshot/restore transportable for *every* config `validate`
+    /// accepts (2^18 is still 2x the paper's largest table).
+    pub const MAX_TABLE_ENTRIES: usize = 1 << 18;
+
+    /// Upper bound accepted for [`resolve_lag`](Self::resolve_lag)
+    /// (bounds the in-flight window a snapshot must carry).
+    pub const MAX_RESOLVE_LAG: usize = 1 << 12;
+
+    /// The paper-shaped configuration: full-size tables, a 32-branch
+    /// in-flight window, one cycle per event.
+    pub fn paper(estimator: EstimatorKind) -> Self {
+        OnlineConfig {
+            tournament: TournamentConfig::paper(),
+            confidence: ConfidenceConfig::paper(),
+            estimator,
+            resolve_lag: 32,
+            ticks_per_event: 1,
+        }
+    }
+
+    /// A small configuration for fast tests.
+    pub fn tiny(estimator: EstimatorKind) -> Self {
+        OnlineConfig {
+            tournament: TournamentConfig::tiny(),
+            confidence: ConfidenceConfig::tiny(),
+            estimator,
+            resolve_lag: 8,
+            ticks_per_event: 1,
+        }
+    }
+
+    /// Checks every invariant the component constructors would otherwise
+    /// panic on, plus service-level resource bounds — so a server can
+    /// reject a hostile or corrupt config instead of crashing.
+    pub fn validate(&self) -> Result<(), String> {
+        let table = |name: &str, entries: usize| {
+            if !entries.is_power_of_two() {
+                Err(format!("{name} entries {entries} not a power of two"))
+            } else if entries > Self::MAX_TABLE_ENTRIES {
+                Err(format!("{name} entries {entries} exceed the service cap"))
+            } else {
+                Ok(())
+            }
+        };
+        table("gshare", self.tournament.gshare_entries)?;
+        table("bimodal", self.tournament.bimodal_entries)?;
+        table("selector", self.tournament.selector_entries)?;
+        table("confidence", self.confidence.entries)?;
+        if self.tournament.history_bits > 64 {
+            return Err("tournament history bits exceed 64".into());
+        }
+        if self.confidence.history_bits > 64 {
+            return Err("confidence history bits exceed 64".into());
+        }
+        if !(1..=8).contains(&self.confidence.counter_bits) {
+            return Err("confidence counter bits outside 1..=8".into());
+        }
+        if let EstimatorKind::PerBranchMrt(cfg) = self.estimator {
+            table("per-branch MRT", cfg.entries)?;
+        }
+        if self.resolve_lag > Self::MAX_RESOLVE_LAG {
+            return Err("resolve lag exceeds the service cap".into());
+        }
+        if self.ticks_per_event > 1 << 20 {
+            return Err("ticks per event exceed the service cap".into());
+        }
+        Ok(())
+    }
+}
+
+impl Canon for OnlineConfig {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x24); // type tag (sim-crate 0x2x block; 0x30 is BenchmarkId)
+        self.tournament.canon(out);
+        self.confidence.canon(out);
+        self.estimator.canon(out);
+        self.resolve_lag.canon(out);
+        self.ticks_per_event.canon(out);
+    }
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig::paper(EstimatorKind::Paco(paco::PacoConfig::paper()))
+    }
+}
+
+/// The pipeline's answer for one branch event: the fetch-time confidence
+/// estimate *with this branch in flight*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineOutcome {
+    /// Confidence score after fetching this branch (lower = more
+    /// confident); comparable across a session.
+    pub score: u64,
+    /// IEEE-754 bits of the estimated goodpath probability, for
+    /// estimators that produce one. Bits, not a float, because this field
+    /// is part of the byte-exact parity surface.
+    pub prob_bits: Option<u64>,
+    /// The direction the pipeline's predictor chose.
+    pub predicted_taken: bool,
+    /// Whether that prediction missed the architectural outcome.
+    pub mispredicted: bool,
+}
+
+impl OnlineOutcome {
+    /// The estimated goodpath probability as a float, if present.
+    pub fn probability(&self) -> Option<f64> {
+        self.prob_bits.map(f64::from_bits)
+    }
+}
+
+/// A fetched-but-unresolved branch in the pipeline's in-flight window.
+#[derive(Debug, Clone, Copy)]
+struct PendingBranch {
+    token: BranchToken,
+    pc: u64,
+    hist_before: u64,
+    taken: bool,
+    predicted: bool,
+    conditional: bool,
+}
+
+const STATE_VERSION: u8 = 1;
+
+/// The streaming confidence pipeline (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use paco_sim::{OnlineConfig, OnlinePipeline, EstimatorKind};
+/// use paco::PacoConfig;
+/// use paco_types::{DynInstr, Pc};
+///
+/// let config = OnlineConfig::tiny(EstimatorKind::Paco(PacoConfig::paper()));
+/// let mut pipe = OnlinePipeline::new(&config);
+/// let outcome = pipe
+///     .on_instr(&DynInstr::branch(Pc::new(0x1000), true, Pc::new(0x2000)))
+///     .expect("control instructions produce outcomes");
+/// assert!(outcome.prob_bits.is_some()); // PaCo estimates a probability
+/// ```
+pub struct OnlinePipeline {
+    config_hash: u64,
+    resolve_lag: usize,
+    ticks_per_event: u64,
+    tournament: TournamentPredictor,
+    mdc: MdcTable,
+    hist: GlobalHistory,
+    estimator: Box<dyn PathConfidenceEstimator>,
+    pending: VecDeque<PendingBranch>,
+    events: u64,
+}
+
+impl std::fmt::Debug for OnlinePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlinePipeline")
+            .field("estimator", &self.estimator.name())
+            .field("events", &self.events)
+            .field("in_flight", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl OnlinePipeline {
+    /// Builds a pipeline for a (valid) configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configurations [`OnlineConfig::validate`] rejects.
+    pub fn new(config: &OnlineConfig) -> Self {
+        OnlinePipeline {
+            config_hash: config.canon_hash(),
+            resolve_lag: config.resolve_lag,
+            ticks_per_event: config.ticks_per_event,
+            tournament: TournamentPredictor::new(config.tournament),
+            mdc: MdcTable::new(config.confidence),
+            hist: GlobalHistory::new(config.tournament.history_bits.max(8)),
+            estimator: config.estimator.build(),
+            pending: VecDeque::new(),
+            events: 0,
+        }
+    }
+
+    /// Canonical hash of the configuration this pipeline was built from;
+    /// snapshots are only restorable across equal hashes.
+    pub fn config_hash(&self) -> u64 {
+        self.config_hash
+    }
+
+    /// Branch events processed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Branches currently in the unresolved window.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The estimator's display name.
+    pub fn estimator_name(&self) -> String {
+        self.estimator.name()
+    }
+
+    /// Processes one instruction. Control instructions produce an
+    /// [`OnlineOutcome`]; anything else is ignored (`None`) — the service
+    /// event stream carries only branches.
+    pub fn on_instr(&mut self, instr: &DynInstr) -> Option<OnlineOutcome> {
+        let InstrClass::Control(kind) = instr.class else {
+            return None;
+        };
+        let pc = instr.pc;
+        let hist_before = self.hist.bits();
+
+        let (info, predicted, mispredicted, conditional) = match kind {
+            ControlKind::Conditional => {
+                let predicted = self.tournament.predict(pc, hist_before);
+                let mdc = self.mdc.read(self.mdc.index(pc, hist_before, predicted));
+                let info = BranchFetchInfo::conditional_keyed(mdc, pc.table_hash() ^ hist_before);
+                (info, predicted, predicted != instr.taken, true)
+            }
+            // The online pipeline has no BTB/RAS/indirect model: service
+            // clients stream *resolved* events, and non-conditional
+            // control contributes no confidence state under JRS coverage
+            // (the paper's perlbmk blind spot, faithfully). Report them
+            // as predicted-taken hits.
+            _ => (BranchFetchInfo::non_conditional(), true, false, false),
+        };
+
+        if conditional {
+            // The architectural outcome is known at event time, so the
+            // history register tracks truth — the same state the machine
+            // reaches after resolving (and, on a miss, repairing) the
+            // branch.
+            self.hist.push(instr.taken);
+        }
+
+        let token = self.estimator.on_fetch(info);
+        let outcome = OnlineOutcome {
+            score: self.estimator.score().0,
+            prob_bits: self
+                .estimator
+                .goodpath_probability()
+                .map(|p| p.value().to_bits()),
+            predicted_taken: predicted,
+            mispredicted,
+        };
+
+        self.pending.push_back(PendingBranch {
+            token,
+            pc: pc.addr(),
+            hist_before,
+            taken: instr.taken,
+            predicted,
+            conditional,
+        });
+        while self.pending.len() > self.resolve_lag {
+            self.resolve_oldest();
+        }
+        self.estimator.tick(self.ticks_per_event);
+        self.events += 1;
+        Some(outcome)
+    }
+
+    /// Resolves the oldest in-flight branch: estimator training, MDC
+    /// update, predictor update — the deferred back half of the event.
+    fn resolve_oldest(&mut self) {
+        let Some(b) = self.pending.pop_front() else {
+            return;
+        };
+        if b.conditional {
+            let pc = Pc::new(b.pc);
+            let mispredicted = b.predicted != b.taken;
+            self.estimator.on_resolve(b.token, mispredicted);
+            let idx = self.mdc.index(pc, b.hist_before, b.predicted);
+            self.mdc.update(idx, !mispredicted);
+            self.tournament
+                .update(pc, b.hist_before, b.taken, b.predicted);
+        } else {
+            self.estimator.on_resolve(b.token, false);
+        }
+    }
+
+    /// Serializes the pipeline's complete state — tables, history,
+    /// estimator, in-flight window — prefixed with a version byte and the
+    /// configuration hash, so a blob can only restore into an identically
+    /// configured pipeline.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        out.push(STATE_VERSION);
+        out.extend_from_slice(&self.config_hash.to_le_bytes());
+        write_uvarint(out, self.events);
+        write_uvarint(out, self.hist.bits());
+        self.tournament.save_state(out);
+        self.mdc.save_state(out);
+        self.estimator.save_state(out);
+        write_uvarint(out, self.pending.len() as u64);
+        for b in &self.pending {
+            b.token.save_state(out);
+            write_uvarint(out, b.pc);
+            write_uvarint(out, b.hist_before);
+            out.push(b.taken as u8 | (b.predicted as u8) << 1 | (b.conditional as u8) << 2);
+        }
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state),
+    /// advancing `input` past the blob. `false` on version/config
+    /// mismatch, truncation, or malformed fields; the pipeline must then
+    /// be discarded (it may be partially restored).
+    pub fn load_state(&mut self, input: &mut &[u8]) -> bool {
+        let Some((&version, rest)) = input.split_first() else {
+            return false;
+        };
+        if version != STATE_VERSION || rest.len() < 8 {
+            return false;
+        }
+        let (hash_bytes, rest) = rest.split_at(8);
+        if u64::from_le_bytes(hash_bytes.try_into().unwrap()) != self.config_hash {
+            return false;
+        }
+        *input = rest;
+        let Some(events) = read_uvarint(input) else {
+            return false;
+        };
+        let Some(hist_bits) = read_uvarint(input) else {
+            return false;
+        };
+        if !self.tournament.load_state(input)
+            || !self.mdc.load_state(input)
+            || !self.estimator.load_state(input)
+        {
+            return false;
+        }
+        let Some(pending_len) = read_uvarint(input) else {
+            return false;
+        };
+        if pending_len > self.resolve_lag as u64 + 1 {
+            return false;
+        }
+        let mut pending = VecDeque::with_capacity(pending_len as usize);
+        for _ in 0..pending_len {
+            let Some(token) = BranchToken::load_state(input) else {
+                return false;
+            };
+            let Some(pc) = read_uvarint(input) else {
+                return false;
+            };
+            let Some(hist_before) = read_uvarint(input) else {
+                return false;
+            };
+            let Some((&flags, rest)) = input.split_first() else {
+                return false;
+            };
+            if flags > 0b111 {
+                return false;
+            }
+            *input = rest;
+            pending.push_back(PendingBranch {
+                token,
+                pc,
+                hist_before,
+                taken: flags & 1 != 0,
+                predicted: flags & 2 != 0,
+                conditional: flags & 4 != 0,
+            });
+        }
+        self.events = events;
+        self.hist.restore(hist_bits);
+        self.pending = pending;
+        true
+    }
+}
+
+// Sessions move across server worker threads; the pipeline must stay
+// `Send` like everything else the engine fans out.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<OnlinePipeline>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco::{PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
+    use paco_workloads::{BenchmarkId, Workload};
+
+    fn paco_tiny() -> OnlineConfig {
+        // A short refresh period so tests cross MRT refresh boundaries.
+        OnlineConfig::tiny(EstimatorKind::Paco(
+            PacoConfig::paper().with_refresh_period(500),
+        ))
+    }
+
+    fn stream(n: usize, seed: u64) -> Vec<DynInstr> {
+        let mut w = BenchmarkId::Gzip.build(seed);
+        (0..n).map(|_| w.next_instr()).collect()
+    }
+
+    fn outcomes(config: &OnlineConfig, instrs: &[DynInstr]) -> Vec<OnlineOutcome> {
+        let mut pipe = OnlinePipeline::new(config);
+        instrs.iter().filter_map(|i| pipe.on_instr(i)).collect()
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let instrs = stream(20_000, 3);
+        assert_eq!(
+            outcomes(&paco_tiny(), &instrs),
+            outcomes(&paco_tiny(), &instrs)
+        );
+    }
+
+    #[test]
+    fn non_control_instructions_are_ignored() {
+        let mut pipe = OnlinePipeline::new(&paco_tiny());
+        assert!(pipe.on_instr(&DynInstr::alu(Pc::new(0x100))).is_none());
+        assert_eq!(pipe.events(), 0);
+    }
+
+    #[test]
+    fn every_estimator_kind_serves() {
+        let kinds = [
+            EstimatorKind::None,
+            EstimatorKind::Paco(PacoConfig::paper()),
+            EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+            EstimatorKind::StaticMrt,
+            EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
+        ];
+        let instrs = stream(5_000, 9);
+        for kind in kinds {
+            let config = OnlineConfig::tiny(kind);
+            let out = outcomes(&config, &instrs);
+            assert!(!out.is_empty());
+            assert_eq!(out, outcomes(&config, &instrs));
+        }
+    }
+
+    #[test]
+    fn window_holds_resolve_lag_branches() {
+        let config = paco_tiny();
+        let mut pipe = OnlinePipeline::new(&config);
+        let out: Vec<_> = stream(20_000, 5)
+            .iter()
+            .filter_map(|i| pipe.on_instr(i))
+            .collect();
+        assert_eq!(pipe.in_flight(), config.resolve_lag);
+        // Scores reflect a whole window, not a single branch: with PaCo
+        // warmed past an MRT refresh, unresolved branches carry measured
+        // encodings and the register rises above zero regularly. Windowed
+        // sums can also exceed any single branch's 4096 saturation.
+        let nonzero = out.iter().filter(|o| o.score > 0).count();
+        assert!(
+            nonzero * 10 > out.len(),
+            "windowed scores should often be nonzero: {nonzero}/{}",
+            out.len()
+        );
+    }
+
+    #[test]
+    fn predictions_beat_coin_flips() {
+        let instrs = stream(50_000, 7);
+        let out = outcomes(&paco_tiny(), &instrs);
+        let cond: Vec<_> = instrs
+            .iter()
+            .filter(|i| i.class.is_conditional_branch())
+            .collect();
+        let miss = out.iter().filter(|o| o.mispredicted).count();
+        assert!(!cond.is_empty());
+        assert!(
+            miss * 4 < cond.len(),
+            "online mispredict rate implausibly high: {miss}/{}",
+            cond.len()
+        );
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical() {
+        let config = paco_tiny();
+        let instrs = stream(30_000, 11);
+        let full = outcomes(&config, &instrs);
+
+        // Run half, snapshot, restore into a fresh pipeline, run the rest.
+        let mut first = OnlinePipeline::new(&config);
+        let mut produced = Vec::new();
+        let split = instrs.len() / 2;
+        for i in &instrs[..split] {
+            if let Some(o) = first.on_instr(i) {
+                produced.push(o);
+            }
+        }
+        let mut blob = Vec::new();
+        first.save_state(&mut blob);
+        drop(first);
+
+        let mut resumed = OnlinePipeline::new(&config);
+        let mut input = blob.as_slice();
+        assert!(resumed.load_state(&mut input));
+        assert!(input.is_empty(), "restore must consume the whole blob");
+        for i in &instrs[split..] {
+            if let Some(o) = resumed.on_instr(i) {
+                produced.push(o);
+            }
+        }
+        assert_eq!(produced, full);
+    }
+
+    #[test]
+    fn snapshot_rejects_foreign_config_and_corruption() {
+        let mut pipe = OnlinePipeline::new(&paco_tiny());
+        for i in &stream(2_000, 2) {
+            pipe.on_instr(i);
+        }
+        let mut blob = Vec::new();
+        pipe.save_state(&mut blob);
+
+        // A differently configured pipeline must refuse the blob.
+        let other = OnlineConfig::tiny(EstimatorKind::ThresholdCount(
+            ThresholdCountConfig::paper_default(),
+        ));
+        assert!(!OnlinePipeline::new(&other).load_state(&mut blob.as_slice()));
+
+        // Truncations at every boundary fail cleanly.
+        for cut in [0, 1, 8, blob.len() / 2, blob.len() - 1] {
+            assert!(
+                !OnlinePipeline::new(&paco_tiny()).load_state(&mut &blob[..cut]),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_hostile_configs() {
+        let mut c = OnlineConfig::tiny(EstimatorKind::None);
+        c.tournament.gshare_entries = 3;
+        assert!(c.validate().is_err());
+
+        let mut c = OnlineConfig::tiny(EstimatorKind::None);
+        c.confidence.entries = OnlineConfig::MAX_TABLE_ENTRIES * 2;
+        assert!(c.validate().is_err());
+
+        let mut c = OnlineConfig::tiny(EstimatorKind::None);
+        c.resolve_lag = usize::MAX;
+        assert!(c.validate().is_err());
+
+        assert!(OnlineConfig::paper(EstimatorKind::None).validate().is_ok());
+        assert!(paco_tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn config_hash_distinguishes_configurations() {
+        let a = paco_tiny().canon_hash();
+        let b = OnlineConfig::paper(EstimatorKind::Paco(PacoConfig::paper())).canon_hash();
+        let c = OnlineConfig::tiny(EstimatorKind::None).canon_hash();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, paco_tiny().canon_hash());
+    }
+}

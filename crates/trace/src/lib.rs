@@ -97,11 +97,11 @@ mod writer;
 
 pub use error::TraceError;
 pub use format::{
-    crc32, read_uvarint, write_uvarint, TraceMeta, CHUNK_RECORDS, COUNT_UNKNOWN, FORMAT_VERSION,
-    MAGIC,
+    crc32, read_uvarint, unzigzag, write_uvarint, zigzag, TraceMeta, CHUNK_RECORDS, COUNT_UNKNOWN,
+    FORMAT_VERSION, MAGIC,
 };
 pub use reader::{Records, TraceReader};
-pub use record::TraceRecord;
+pub use record::{decode_record, encode_record, DeltaState, TraceRecord};
 pub use workload::{
     collect_records, load_workload, open_workload, workload_from_bytes, FileReplaySource,
     TraceReplaySource,

@@ -1,0 +1,42 @@
+//! Identity of the running executable.
+//!
+//! A content hash names a *description* of a computation; this fingerprint
+//! names the *code* performing it. The `paco-bench` result cache stores it
+//! so a rebuild invalidates prior entries, and the `paco-serve` protocol
+//! exchanges it so a client/server build mismatch is visible instead of a
+//! silent source of confusion (`paco-bench version`, `paco-served
+//! version` and `paco-load version` all print it).
+
+use std::sync::OnceLock;
+
+/// A fingerprint of the code that produces results: the FNV-1a hash of
+/// the current executable's bytes, computed once per process.
+///
+/// Any rebuild — bug fix, timing change, new statistic — yields a
+/// different binary and therefore a different fingerprint. Falls back to
+/// a hash of the crate version if the executable cannot be read (identity
+/// is then only per release, which degrades cache freshness and mismatch
+/// detection but never correctness).
+pub fn code_fingerprint() -> u64 {
+    static FINGERPRINT: OnceLock<u64> = OnceLock::new();
+    *FINGERPRINT.get_or_init(|| {
+        std::env::current_exe()
+            .ok()
+            .and_then(|exe| std::fs::read(exe).ok())
+            .map(|bytes| crate::canon::fnv1a64(&bytes))
+            .unwrap_or_else(|| {
+                crate::canon::fnv1a64(concat!("paco-types/", env!("CARGO_PKG_VERSION")).as_bytes())
+            })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_within_a_process() {
+        assert_eq!(code_fingerprint(), code_fingerprint());
+        assert_ne!(code_fingerprint(), 0);
+    }
+}

@@ -23,11 +23,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod canon;
+pub mod fingerprint;
 mod history;
 mod instr;
 mod pc;
 mod prob;
 mod rng;
+pub mod wire;
 
 pub use history::GlobalHistory;
 pub use instr::{ControlKind, DynInstr, InstrClass, MemAccess};

@@ -1,0 +1,163 @@
+//! Shared wire-codec primitives: LEB128 varints, ZigZag signed mapping
+//! and CRC-32 checksums.
+//!
+//! Three subsystems speak the same low-level byte vocabulary — the
+//! `paco-trace` on-disk format, the `paco-bench` result cache and the
+//! `paco-serve` network protocol — so the primitives live here, in the
+//! dependency-free vocabulary crate, with a single implementation and a
+//! single test suite. `paco-trace` re-exports them for compatibility.
+//!
+//! # Examples
+//!
+//! ```
+//! use paco_types::wire::{read_uvarint, write_uvarint, zigzag, unzigzag, crc32};
+//!
+//! let mut buf = Vec::new();
+//! write_uvarint(&mut buf, zigzag(-2));
+//! let mut s = buf.as_slice();
+//! assert_eq!(read_uvarint(&mut s).map(unzigzag), Some(-2));
+//! assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+//! ```
+
+/// Appends `v` as a LEB128 varint.
+#[inline]
+pub fn write_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from the front of `input`, advancing it.
+/// `None` on truncation or a varint longer than 10 bytes.
+#[inline]
+pub fn read_uvarint(input: &mut &[u8]) -> Option<u64> {
+    let mut v = 0u64;
+    for (i, &byte) in input.iter().take(10).enumerate() {
+        v |= ((byte & 0x7f) as u64) << (7 * i);
+        if byte & 0x80 == 0 {
+            *input = &input[i + 1..];
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Maps a signed delta onto the unsigned varint domain (small magnitudes
+/// of either sign encode in one byte).
+#[inline]
+pub const fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub const fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xedb8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3) of `data`, used as the payload checksum by every
+/// framed format in the workspace.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(!0u32, data) ^ !0u32
+}
+
+/// Feeds `data` into a running CRC-32 state (start from `!0u32`, finish
+/// by XORing with `!0u32`); lets framed formats checksum a header byte
+/// plus a payload without concatenating them.
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = (state >> 8) ^ CRC_TABLE[((state ^ b as u32) & 0xff) as usize];
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips() {
+        let mut buf = Vec::new();
+        let values = [
+            0,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        for &v in &values {
+            buf.clear();
+            write_uvarint(&mut buf, v);
+            let mut s = buf.as_slice();
+            assert_eq!(read_uvarint(&mut s), Some(v));
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_is_compact_for_small_values() {
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, 8); // a sequential +4 PC delta, zigzagged
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut s: &[u8] = &[0x80, 0x80];
+        assert_eq!(read_uvarint(&mut s), None);
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 2, -2, 4, i64::MAX, i64::MIN, -123_456] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_update_chains_like_concatenation() {
+        let state = crc32_update(!0u32, b"12345");
+        assert_eq!(crc32_update(state, b"6789") ^ !0u32, crc32(b"123456789"));
+    }
+}
