@@ -179,8 +179,9 @@ fn parse_run(args: &[String]) -> Result<(Vec<ExperimentId>, RunOptions), String>
 /// Runs one experiment; `false` on failure (a parity break or server
 /// error in `serve_throughput` must fail the process, not just print).
 fn run_experiment(id: ExperimentId, opts: RunOptions) -> bool {
-    // The service experiment measures wall-clock behavior of a real
-    // loopback server; it bypasses the engine and is never cached.
+    // The service experiments measure wall-clock behavior (a real
+    // loopback server / the two pipeline lanes); they bypass the engine
+    // and are never cached.
     if id == ExperimentId::ServeThroughput {
         let started = Instant::now();
         return match crate::serve_bench::run_serve_throughput() {
@@ -200,6 +201,29 @@ fn run_experiment(id: ExperimentId, opts: RunOptions) -> bool {
             }
             Err(e) => {
                 eprintln!("paco-bench: serve_throughput failed: {e}");
+                false
+            }
+        };
+    }
+    if id == ExperimentId::Hotpath {
+        let started = Instant::now();
+        return match crate::hotpath::run_hotpath() {
+            Ok(report) => {
+                if opts.json {
+                    println!("{}", crate::hotpath::render_json(&report));
+                } else {
+                    print!("{}", crate::hotpath::render_text(&report));
+                }
+                eprintln!(
+                    "paco-bench: hotpath: events={} estimators={} secs={:.2}",
+                    report.events,
+                    report.rows.len(),
+                    started.elapsed().as_secs_f64()
+                );
+                true
+            }
+            Err(e) => {
+                eprintln!("paco-bench: hotpath failed (lane divergence or setup): {e}");
                 false
             }
         };

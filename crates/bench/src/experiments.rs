@@ -44,10 +44,15 @@ pub enum ExperimentId {
     /// (`crate::serve_bench`). Runs a real loopback server — not an
     /// engine cell grid, and never cached.
     ServeThroughput,
+    /// Per-event vs batched confidence-lane microbenchmark
+    /// (`crate::hotpath`). Wall-clock measurement with a built-in
+    /// lane-parity gate — not an engine cell grid, and never cached.
+    /// Its `--json` output seeds `BENCH_baseline.json`.
+    Hotpath,
 }
 
 /// All experiments, in paper order (service measurements last).
-pub const ALL_EXPERIMENTS: [ExperimentId; 9] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 10] = [
     ExperimentId::Fig2,
     ExperimentId::Fig3,
     ExperimentId::Tab7,
@@ -57,6 +62,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 9] = [
     ExperimentId::TabA1,
     ExperimentId::Ablations,
     ExperimentId::ServeThroughput,
+    ExperimentId::Hotpath,
 ];
 
 impl ExperimentId {
@@ -72,6 +78,7 @@ impl ExperimentId {
             ExperimentId::TabA1 => "tab_a1",
             ExperimentId::Ablations => "ablations",
             ExperimentId::ServeThroughput => "serve_throughput",
+            ExperimentId::Hotpath => "hotpath",
         }
     }
 
@@ -88,6 +95,9 @@ impl ExperimentId {
             ExperimentId::Ablations => "refresh-period / log-mode / throttling ablations",
             ExperimentId::ServeThroughput => {
                 "streaming service throughput + latency percentiles (loopback, uncached)"
+            }
+            ExperimentId::Hotpath => {
+                "per-event vs batched confidence-lane throughput (parity-gated, uncached)"
             }
         }
     }
@@ -113,6 +123,7 @@ impl ExperimentId {
             ExperimentId::TabA1 => 600_000,
             ExperimentId::Ablations => 400_000,
             ExperimentId::ServeThroughput => crate::serve_bench::DEFAULT_INSTRS,
+            ExperimentId::Hotpath => crate::hotpath::DEFAULT_INSTRS,
         }
     }
 
@@ -174,10 +185,10 @@ impl ExperimentId {
                     spec.push(CellSpec::stress(est, p));
                 }
             }
-            // Not an engine experiment: the CLI routes it to
-            // `serve_bench::run_serve_throughput` before building a
-            // spec; the empty grid here keeps `spec()` total.
-            ExperimentId::ServeThroughput => {}
+            // Not engine experiments: the CLI routes these to
+            // `serve_bench::run_serve_throughput` / `hotpath::run_hotpath`
+            // before building a spec; the empty grids keep `spec()` total.
+            ExperimentId::ServeThroughput | ExperimentId::Hotpath => {}
             ExperimentId::Ablations => {
                 for period in ABLATION_PERIODS {
                     let est = EstimatorKind::Paco(PacoConfig::paper().with_refresh_period(period));
@@ -214,6 +225,9 @@ impl ExperimentId {
             ExperimentId::ServeThroughput => {
                 "serve_throughput runs outside the engine; see `paco-bench run serve_throughput`\n"
                     .to_string()
+            }
+            ExperimentId::Hotpath => {
+                "hotpath runs outside the engine; see `paco-bench run hotpath`\n".to_string()
             }
         }
     }
@@ -902,9 +916,9 @@ mod tests {
         let p = tiny_params();
         for id in ALL_EXPERIMENTS {
             let spec = id.spec(p);
-            // serve_throughput runs outside the engine: its grid is
-            // intentionally empty and the CLI never builds it.
-            if id == ExperimentId::ServeThroughput {
+            // serve_throughput and hotpath run outside the engine: their
+            // grids are intentionally empty and the CLI never builds them.
+            if matches!(id, ExperimentId::ServeThroughput | ExperimentId::Hotpath) {
                 assert!(spec.cells().is_empty());
                 continue;
             }

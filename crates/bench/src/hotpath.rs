@@ -1,0 +1,366 @@
+//! The `hotpath` experiment: the per-event vs batched confidence lanes,
+//! measured head to head.
+//!
+//! Two lane pairs are timed over the same recorded event stream, for a
+//! set of estimator kinds:
+//!
+//! * **pipeline** — events already in memory, straight through the
+//!   pipeline: `on_instr` per event (the `dyn`-dispatched PR-3 path)
+//!   vs [`OnlinePipeline::run_batch`] (the monomorphized,
+//!   allocation-free batch lane).
+//! * **wire** — the full `paco-served` frame hot path, wire bytes to
+//!   wire bytes: decode EVENTS payload → predict → encode PREDICTIONS
+//!   payload. The per-event variant is the PR-3 server loop
+//!   (`decode_events` into a fresh `Vec<DynInstr>`, collect, per-event
+//!   `encode_outcomes`); the batched variant is today's server loop
+//!   (`decode_events_into` a reused [`EventBatch`], `run_batch`,
+//!   `encode_outcomes_into` a reused buffer).
+//!
+//! Like `serve_throughput`, this is a wall-clock measurement: it
+//! bypasses the engine and the result cache. The numbers only count if
+//! the lanes agree — every run digests both lanes' prediction payloads
+//! and fails on any divergence, so the benchmark doubles as a parity
+//! check. The `--json` output of this experiment (plus
+//! `serve_throughput`) is what `BENCH_baseline.json` at the repo root
+//! records; see `docs/EXPERIMENTS.md` for how baselines are compared.
+
+use std::time::{Duration, Instant};
+
+use paco::{PacoConfig, ThresholdCountConfig};
+use paco_serve::proto::{
+    decode_events, decode_events_into, encode_events, encode_outcomes, encode_outcomes_into,
+};
+use paco_serve::Digest;
+use paco_sim::{EstimatorKind, OnlineConfig, OnlinePipeline, OutcomeBatch};
+use paco_types::{DynInstr, EventBatch};
+use paco_workloads::{BenchmarkId, Workload};
+
+use crate::runner::{default_instrs, default_seed};
+
+/// Default instruction-stream length the event trace is extracted from
+/// (`PACO_INSTRS` overrides).
+pub const DEFAULT_INSTRS: u64 = 400_000;
+
+/// Events per frame/batch, matching the serve defaults.
+const BATCH: usize = 512;
+
+/// Timed passes per lane; the best pass is reported (the lanes are
+/// deterministic, so the best pass is the least-perturbed one).
+const PASSES: u32 = 5;
+
+/// One lane pair: events/second through each lane, and the ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct LanePair {
+    /// Events/second through the per-event lane.
+    pub per_event_eps: f64,
+    /// Events/second through the batched lane.
+    pub batched_eps: f64,
+}
+
+impl LanePair {
+    /// Batched-over-per-event throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.batched_eps / self.per_event_eps.max(1e-9)
+    }
+}
+
+/// Measurements for one estimator kind.
+#[derive(Debug, Clone)]
+pub struct HotpathRow {
+    /// The estimator's display name.
+    pub estimator: String,
+    /// In-memory pipeline lanes.
+    pub pipeline: LanePair,
+    /// Wire-to-wire (decode + predict + encode) lanes.
+    pub wire: LanePair,
+}
+
+/// The full experiment result.
+#[derive(Debug, Clone)]
+pub struct HotpathReport {
+    /// Branch events per pass.
+    pub events: u64,
+    /// Events per frame/batch.
+    pub batch: usize,
+    /// Timed passes per lane.
+    pub passes: u32,
+    /// Per-estimator measurements.
+    pub rows: Vec<HotpathRow>,
+}
+
+/// Runs the experiment at the env-configured scale (`PACO_INSTRS` /
+/// `PACO_SEED`); returns the report or a human-readable error (lane
+/// divergence is an error, not a number).
+pub fn run_hotpath() -> Result<HotpathReport, String> {
+    run_at(default_instrs(DEFAULT_INSTRS), default_seed())
+}
+
+/// The estimator kinds the experiment sweeps.
+fn kinds() -> [EstimatorKind; 3] {
+    [
+        EstimatorKind::None,
+        EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+        EstimatorKind::Paco(PacoConfig::paper()),
+    ]
+}
+
+/// Runs the experiment at an explicit scale (tests use this directly so
+/// they never mutate process environment).
+pub fn run_at(instrs: u64, seed: u64) -> Result<HotpathReport, String> {
+    // The control-event stream of a gzip run — the same extraction the
+    // serve_throughput experiment and paco-load's trace replay use.
+    let mut workload = BenchmarkId::Gzip.build(seed);
+    let events: Vec<DynInstr> = (0..instrs)
+        .map(|_| workload.next_instr())
+        .filter(|i| i.class.is_control())
+        .collect();
+    if events.is_empty() {
+        return Err("no control events generated".into());
+    }
+
+    // Pre-built inputs, shared by all lanes: encoded EVENTS payloads for
+    // the wire lanes, struct-of-arrays batches for the batched pipeline
+    // lane (its native input shape, as produced by the serve decoder).
+    let frames: Vec<Vec<u8>> = events.chunks(BATCH).map(encode_events).collect();
+    let batches: Vec<EventBatch> = events.chunks(BATCH).map(EventBatch::from).collect();
+
+    let mut rows = Vec::new();
+    for kind in kinds() {
+        let config = OnlineConfig::paper(kind);
+        let estimator = OnlinePipeline::new(&config).estimator_name();
+
+        // Parity gate (untimed): both lanes' prediction payloads must
+        // digest identically before any number is reported.
+        let per_event_digest = digest_per_event(&config, &frames)?;
+        let batched_digest = digest_batched(&config, &frames)?;
+        if per_event_digest != batched_digest {
+            return Err(format!(
+                "lane divergence for {estimator}: per-event digest {per_event_digest:016x} \
+                 != batched digest {batched_digest:016x}"
+            ));
+        }
+
+        let pipeline = LanePair {
+            per_event_eps: eps(
+                events.len(),
+                best_of(PASSES, || pipeline_per_event(&config, &events)),
+            ),
+            batched_eps: eps(
+                events.len(),
+                best_of(PASSES, || pipeline_batched(&config, &batches)),
+            ),
+        };
+        let wire = LanePair {
+            per_event_eps: eps(
+                events.len(),
+                best_of(PASSES, || wire_per_event(&config, &frames)),
+            ),
+            batched_eps: eps(
+                events.len(),
+                best_of(PASSES, || wire_batched(&config, &frames)),
+            ),
+        };
+        rows.push(HotpathRow {
+            estimator,
+            pipeline,
+            wire,
+        });
+    }
+
+    Ok(HotpathReport {
+        events: events.len() as u64,
+        batch: BATCH,
+        passes: PASSES,
+        rows,
+    })
+}
+
+fn eps(events: usize, elapsed: Duration) -> f64 {
+    events as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn best_of(passes: u32, mut lane: impl FnMut() -> Duration) -> Duration {
+    (0..passes.max(1)).map(|_| lane()).min().unwrap()
+}
+
+fn pipeline_per_event(config: &OnlineConfig, events: &[DynInstr]) -> Duration {
+    let mut pipe = OnlinePipeline::new(config);
+    let mut out = Vec::with_capacity(BATCH);
+    let t0 = Instant::now();
+    for chunk in events.chunks(BATCH) {
+        out.clear();
+        out.extend(chunk.iter().filter_map(|i| pipe.on_instr(i)));
+        std::hint::black_box(&out);
+    }
+    t0.elapsed()
+}
+
+fn pipeline_batched(config: &OnlineConfig, batches: &[EventBatch]) -> Duration {
+    let mut pipe = OnlinePipeline::new(config);
+    let mut out = OutcomeBatch::with_capacity(BATCH);
+    let t0 = Instant::now();
+    for batch in batches {
+        out.clear();
+        pipe.run_batch(batch, &mut out);
+        std::hint::black_box(&out);
+    }
+    t0.elapsed()
+}
+
+/// The PR-3 `paco-served` frame loop: allocate-and-collect per frame.
+fn wire_per_event(config: &OnlineConfig, frames: &[Vec<u8>]) -> Duration {
+    let mut pipe = OnlinePipeline::new(config);
+    let t0 = Instant::now();
+    for frame in frames {
+        let instrs = decode_events(frame).expect("self-encoded frame");
+        let outcomes: Vec<_> = instrs.iter().filter_map(|i| pipe.on_instr(i)).collect();
+        let payload = encode_outcomes(&outcomes);
+        std::hint::black_box(&payload);
+    }
+    t0.elapsed()
+}
+
+/// Today's `paco-served` frame loop: reused batches, zero dispatch.
+fn wire_batched(config: &OnlineConfig, frames: &[Vec<u8>]) -> Duration {
+    let mut pipe = OnlinePipeline::new(config);
+    let mut batch = EventBatch::new();
+    let mut out = OutcomeBatch::new();
+    let mut payload = Vec::new();
+    let t0 = Instant::now();
+    for frame in frames {
+        decode_events_into(frame, &mut batch).expect("self-encoded frame");
+        out.clear();
+        pipe.run_batch(&batch, &mut out);
+        payload.clear();
+        encode_outcomes_into(&mut payload, &out);
+        std::hint::black_box(&payload);
+    }
+    t0.elapsed()
+}
+
+fn digest_per_event(config: &OnlineConfig, frames: &[Vec<u8>]) -> Result<u64, String> {
+    let mut pipe = OnlinePipeline::new(config);
+    let mut digest = Digest::new();
+    for frame in frames {
+        let instrs = decode_events(frame).map_err(|e| e.to_string())?;
+        let outcomes: Vec<_> = instrs.iter().filter_map(|i| pipe.on_instr(i)).collect();
+        digest.update(&encode_outcomes(&outcomes));
+    }
+    Ok(digest.value())
+}
+
+fn digest_batched(config: &OnlineConfig, frames: &[Vec<u8>]) -> Result<u64, String> {
+    let mut pipe = OnlinePipeline::new(config);
+    let mut batch = EventBatch::new();
+    let mut out = OutcomeBatch::new();
+    let mut payload = Vec::new();
+    let mut digest = Digest::new();
+    for frame in frames {
+        decode_events_into(frame, &mut batch).map_err(|e| e.to_string())?;
+        out.clear();
+        pipe.run_batch(&batch, &mut out);
+        payload.clear();
+        encode_outcomes_into(&mut payload, &out);
+        digest.update(&payload);
+    }
+    Ok(digest.value())
+}
+
+/// Renders the experiment artifact (text mode).
+pub fn render_text(report: &HotpathReport) -> String {
+    use paco_analysis::Table;
+    let mut out = String::new();
+    out.push_str("== hotpath: per-event vs batched confidence lanes ==\n");
+    out.push_str(&format!(
+        "   ({} events, batch {}, best of {} passes; parity verified per run)\n\n",
+        report.events, report.batch, report.passes
+    ));
+    let mut table = Table::new(&[
+        "estimator",
+        "pipeline/event (ev/s)",
+        "pipeline/batch (ev/s)",
+        "speedup",
+        "wire/event (ev/s)",
+        "wire/batch (ev/s)",
+        "speedup",
+    ]);
+    for row in &report.rows {
+        table.row_owned(vec![
+            row.estimator.clone(),
+            format!("{:.0}", row.pipeline.per_event_eps),
+            format!("{:.0}", row.pipeline.batched_eps),
+            format!("{:.2}x", row.pipeline.speedup()),
+            format!("{:.0}", row.wire.per_event_eps),
+            format!("{:.0}", row.wire.batched_eps),
+            format!("{:.2}x", row.wire.speedup()),
+        ]);
+    }
+    out.push_str(&format!("{}\n", table.render()));
+    out.push_str(
+        "Both lanes' prediction payloads were digest-compared this run\n\
+         (byte-identical, or this experiment errors out); `wire` spans\n\
+         decode EVENTS -> predict -> encode PREDICTIONS, the full\n\
+         paco-served frame hot path.\n",
+    );
+    out
+}
+
+/// Renders the report as deterministic-key-order JSON (values are
+/// measurements, so numbers vary run to run and across machines).
+pub fn render_json(report: &HotpathReport) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"events\":{},\"batch\":{},\"passes\":{},\"estimators\":[",
+        report.events, report.batch, report.passes
+    ));
+    for (i, row) in report.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let lane = |p: &LanePair| {
+            format!(
+                "{{\"per_event_eps\":{:.0},\"batched_eps\":{:.0},\"speedup\":{:.3}}}",
+                p.per_event_eps,
+                p.batched_eps,
+                p.speedup()
+            )
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"pipeline\":{},\"wire\":{},\"parity\":true}}",
+            row.estimator,
+            lane(&row.pipeline),
+            lane(&row.wire)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotpath_runs_and_holds_parity() {
+        // Small but long enough to fill the in-flight window and cross
+        // frame boundaries; run_at fails on any lane divergence.
+        let report = run_at(20_000, 42).expect("hotpath runs");
+        assert_eq!(report.rows.len(), kinds().len());
+        for row in &report.rows {
+            assert!(row.pipeline.per_event_eps > 0.0);
+            assert!(row.pipeline.batched_eps > 0.0);
+            assert!(row.wire.per_event_eps > 0.0);
+            assert!(row.wire.batched_eps > 0.0);
+        }
+        let text = render_text(&report);
+        assert!(text.contains("hotpath"));
+        for row in &report.rows {
+            assert!(text.contains(&row.estimator), "missing {}", row.estimator);
+        }
+        let json = render_json(&report);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"pipeline\":"));
+        assert!(json.contains("\"speedup\":"));
+        assert!(json.contains("\"parity\":true"));
+    }
+}

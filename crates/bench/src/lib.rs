@@ -42,6 +42,7 @@ pub mod cache;
 pub mod cli;
 pub mod engine;
 pub mod experiments;
+pub mod hotpath;
 pub mod json;
 pub mod runner;
 pub mod serve_bench;

@@ -1,6 +1,6 @@
 //! Bimodal (per-PC 2-bit counter) direction predictor.
 
-use crate::{DirectionPredictor, SaturatingCounter};
+use crate::{CounterTable, DirectionPredictor};
 use paco_types::Pc;
 
 /// A bimodal predictor: a table of 2-bit saturating counters indexed by a
@@ -25,7 +25,7 @@ use paco_types::Pc;
 /// ```
 #[derive(Debug, Clone)]
 pub struct BimodalPredictor {
-    table: Vec<SaturatingCounter>,
+    table: CounterTable,
     mask: u64,
 }
 
@@ -42,7 +42,7 @@ impl BimodalPredictor {
             "table size must be a power of two"
         );
         BimodalPredictor {
-            table: vec![SaturatingCounter::new(2, 1); entries],
+            table: CounterTable::new(2, 1, entries),
             mask: entries as u64 - 1,
         }
     }
@@ -53,34 +53,62 @@ impl BimodalPredictor {
     }
 
     #[inline]
-    fn index(&self, pc: Pc) -> usize {
-        (pc.table_hash() & self.mask) as usize
+    fn index(&self, pc_hash: u64) -> usize {
+        (pc_hash & self.mask) as usize
+    }
+
+    /// [`predict`](DirectionPredictor::predict) with the PC hash
+    /// ([`Pc::table_hash`]) precomputed — the batched hot path hashes
+    /// each event's PC once and feeds every table from it. The plain
+    /// trait methods delegate here, so the two spellings cannot drift.
+    #[inline]
+    pub fn predict_hashed(&self, pc_hash: u64) -> bool {
+        self.table.msb(self.index(pc_hash))
+    }
+
+    /// [`update`](DirectionPredictor::update) with the PC hash
+    /// precomputed (see [`predict_hashed`](Self::predict_hashed)).
+    #[inline]
+    pub fn update_hashed(&mut self, pc_hash: u64, taken: bool) {
+        let idx = self.index(pc_hash);
+        if taken {
+            self.table.increment(idx);
+        } else {
+            self.table.decrement(idx);
+        }
+    }
+
+    /// Fused predict-then-train: returns the pre-update prediction and
+    /// applies the outcome to the same counter, touching the entry once
+    /// — ≡ [`predict_hashed`](Self::predict_hashed) followed by
+    /// [`update_hashed`](Self::update_hashed), which is how choosers
+    /// use the component at resolve time.
+    #[inline]
+    pub fn train_hashed(&mut self, pc_hash: u64, taken: bool) -> bool {
+        self.table.train(self.index(pc_hash), taken)
     }
 
     /// Appends the predictor's table state (for session snapshots).
     pub fn save_state(&self, out: &mut Vec<u8>) {
-        crate::counter::save_counters(&self.table, out);
+        self.table.save_state(out);
     }
 
     /// Restores state saved by [`save_state`](Self::save_state) into a
     /// predictor of the same configuration; `false` on any mismatch.
     pub fn load_state(&mut self, input: &mut &[u8]) -> bool {
-        crate::counter::load_counters(&mut self.table, input)
+        self.table.load_state(input)
     }
 }
 
 impl DirectionPredictor for BimodalPredictor {
+    #[inline]
     fn predict(&self, pc: Pc, _history: u64) -> bool {
-        self.table[self.index(pc)].msb()
+        self.predict_hashed(pc.table_hash())
     }
 
+    #[inline]
     fn update(&mut self, pc: Pc, _history: u64, taken: bool, _predicted: bool) {
-        let idx = self.index(pc);
-        if taken {
-            self.table[idx].increment();
-        } else {
-            self.table[idx].decrement();
-        }
+        self.update_hashed(pc.table_hash(), taken);
     }
 }
 

@@ -12,7 +12,7 @@
 //! *stratifier*: branches are bucketed by MDC value and a correct-prediction
 //! probability is measured per bucket.
 
-use crate::SaturatingCounter;
+use crate::CounterTable;
 use paco_types::canon::Canon;
 use paco_types::Pc;
 
@@ -78,7 +78,11 @@ impl std::fmt::Display for Mdc {
 /// The front end reads the MDC when a branch is fetched and carries the
 /// index with the in-flight branch so that the resolution-time update hits
 /// the same entry even if global history has since moved on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The `Default` value indexes entry 0 — a placeholder for in-flight
+/// records of branches that never touch the table (non-conditional
+/// control flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct MdcIndex(usize);
 
 /// Configuration for an [`MdcTable`].
@@ -164,7 +168,7 @@ impl Canon for ConfidenceConfig {
 /// ```
 #[derive(Debug, Clone)]
 pub struct MdcTable {
-    counters: Vec<SaturatingCounter>,
+    counters: CounterTable,
     mask: u64,
     history_mask: u64,
     enhanced: bool,
@@ -188,7 +192,7 @@ impl MdcTable {
             (1u64 << config.history_bits) - 1
         };
         MdcTable {
-            counters: vec![SaturatingCounter::new(config.counter_bits, 0); config.entries],
+            counters: CounterTable::new(config.counter_bits, 0, config.entries),
             mask: config.entries as u64 - 1,
             history_mask,
             enhanced: config.enhanced,
@@ -201,7 +205,16 @@ impl MdcTable {
     /// configuration.
     #[inline]
     pub fn index(&self, pc: Pc, history: u64, predicted_taken: bool) -> MdcIndex {
-        let mut h = pc.table_hash() ^ (history & self.history_mask);
+        self.index_hashed(pc.table_hash(), history, predicted_taken)
+    }
+
+    /// [`index`](Self::index) with the PC hash ([`Pc::table_hash`])
+    /// precomputed — the batched hot path hashes each event's PC once
+    /// and feeds every table from it. [`index`](Self::index) delegates
+    /// here, so the two spellings cannot drift.
+    #[inline]
+    pub fn index_hashed(&self, pc_hash: u64, history: u64, predicted_taken: bool) -> MdcIndex {
+        let mut h = pc_hash ^ (history & self.history_mask);
         if self.enhanced {
             // Grunwald et al.: include the predicted direction in the hash.
             h ^= (predicted_taken as u64) << 5;
@@ -212,7 +225,30 @@ impl MdcTable {
     /// Reads the MDC at a previously computed index.
     #[inline]
     pub fn read(&self, idx: MdcIndex) -> Mdc {
-        Mdc(self.counters[idx.0].value())
+        Mdc(self.counters.value(idx.0))
+    }
+
+    /// The fused fetch-time operation — [`index`](Self::index) +
+    /// [`read`](Self::read) in one call, hashing once. This is the MDC
+    /// lane of the batched confidence hot path; it is defined as exactly
+    /// the two-step sequence, so both spellings are interchangeable.
+    #[inline]
+    pub fn fetch(&self, pc: Pc, history: u64, predicted_taken: bool) -> (MdcIndex, Mdc) {
+        let idx = self.index(pc, history, predicted_taken);
+        (idx, self.read(idx))
+    }
+
+    /// [`fetch`](Self::fetch) with the PC hash precomputed (see
+    /// [`index_hashed`](Self::index_hashed)).
+    #[inline]
+    pub fn fetch_hashed(
+        &self,
+        pc_hash: u64,
+        history: u64,
+        predicted_taken: bool,
+    ) -> (MdcIndex, Mdc) {
+        let idx = self.index_hashed(pc_hash, history, predicted_taken);
+        (idx, self.read(idx))
     }
 
     /// Applies the resolution-time update: increment on a correct
@@ -220,9 +256,9 @@ impl MdcTable {
     #[inline]
     pub fn update(&mut self, idx: MdcIndex, correct: bool) {
         if correct {
-            self.counters[idx.0].increment();
+            self.counters.increment(idx.0);
         } else {
-            self.counters[idx.0].reset();
+            self.counters.reset(idx.0);
         }
     }
 
@@ -233,24 +269,19 @@ impl MdcTable {
 
     /// Appends the table's counter state (for session snapshots).
     pub fn save_state(&self, out: &mut Vec<u8>) {
-        crate::counter::save_counters(&self.counters, out);
+        self.counters.save_state(out);
     }
 
     /// Restores state saved by [`save_state`](Self::save_state) into a
     /// table of the same configuration; `false` on any mismatch.
     pub fn load_state(&mut self, input: &mut &[u8]) -> bool {
-        crate::counter::load_counters(&mut self.counters, input)
+        self.counters.load_state(input)
     }
 
     /// Storage footprint in bytes (for hardware-budget reporting).
     pub fn storage_bytes(&self) -> usize {
         // All counters share one width.
-        let bits = self
-            .counters
-            .first()
-            .map(|c| (c.max() as u16 + 1).trailing_zeros() as usize)
-            .unwrap_or(0);
-        self.counters.len() * bits / 8
+        self.counters.len() * self.counters.counter_bits() as usize / 8
     }
 }
 

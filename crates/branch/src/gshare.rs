@@ -1,6 +1,6 @@
 //! Gshare (history-XOR-PC) direction predictor.
 
-use crate::{DirectionPredictor, SaturatingCounter};
+use crate::{CounterTable, DirectionPredictor};
 use paco_types::Pc;
 
 /// A gshare predictor: 2-bit counters indexed by the XOR of a PC hash and
@@ -31,7 +31,7 @@ use paco_types::Pc;
 /// ```
 #[derive(Debug, Clone)]
 pub struct GsharePredictor {
-    table: Vec<SaturatingCounter>,
+    table: CounterTable,
     mask: u64,
     history_bits: u32,
 }
@@ -50,7 +50,7 @@ impl GsharePredictor {
         );
         assert!(history_bits <= 64, "history bits must be <= 64");
         GsharePredictor {
-            table: vec![SaturatingCounter::new(2, 1); entries],
+            table: CounterTable::new(2, 1, entries),
             mask: entries as u64 - 1,
             history_bits,
         }
@@ -67,39 +67,67 @@ impl GsharePredictor {
     }
 
     #[inline]
-    fn index(&self, pc: Pc, history: u64) -> usize {
+    fn index(&self, pc_hash: u64, history: u64) -> usize {
         let hist_mask = if self.history_bits == 64 {
             u64::MAX
         } else {
             (1u64 << self.history_bits) - 1
         };
-        ((pc.table_hash() ^ (history & hist_mask)) & self.mask) as usize
+        ((pc_hash ^ (history & hist_mask)) & self.mask) as usize
+    }
+
+    /// [`predict`](DirectionPredictor::predict) with the PC hash
+    /// ([`Pc::table_hash`]) precomputed — the batched hot path hashes
+    /// each event's PC once and feeds every table from it. The plain
+    /// trait methods delegate here, so the two spellings cannot drift.
+    #[inline]
+    pub fn predict_hashed(&self, pc_hash: u64, history: u64) -> bool {
+        self.table.msb(self.index(pc_hash, history))
+    }
+
+    /// [`update`](DirectionPredictor::update) with the PC hash
+    /// precomputed (see [`predict_hashed`](Self::predict_hashed)).
+    #[inline]
+    pub fn update_hashed(&mut self, pc_hash: u64, history: u64, taken: bool) {
+        let idx = self.index(pc_hash, history);
+        if taken {
+            self.table.increment(idx);
+        } else {
+            self.table.decrement(idx);
+        }
+    }
+
+    /// Fused predict-then-train: returns the pre-update prediction and
+    /// applies the outcome to the same counter, touching the entry once
+    /// — ≡ [`predict_hashed`](Self::predict_hashed) followed by
+    /// [`update_hashed`](Self::update_hashed), which is how choosers
+    /// use the component at resolve time.
+    #[inline]
+    pub fn train_hashed(&mut self, pc_hash: u64, history: u64, taken: bool) -> bool {
+        self.table.train(self.index(pc_hash, history), taken)
     }
 
     /// Appends the predictor's table state (for session snapshots).
     pub fn save_state(&self, out: &mut Vec<u8>) {
-        crate::counter::save_counters(&self.table, out);
+        self.table.save_state(out);
     }
 
     /// Restores state saved by [`save_state`](Self::save_state) into a
     /// predictor of the same configuration; `false` on any mismatch.
     pub fn load_state(&mut self, input: &mut &[u8]) -> bool {
-        crate::counter::load_counters(&mut self.table, input)
+        self.table.load_state(input)
     }
 }
 
 impl DirectionPredictor for GsharePredictor {
+    #[inline]
     fn predict(&self, pc: Pc, history: u64) -> bool {
-        self.table[self.index(pc, history)].msb()
+        self.predict_hashed(pc.table_hash(), history)
     }
 
+    #[inline]
     fn update(&mut self, pc: Pc, history: u64, taken: bool, _predicted: bool) {
-        let idx = self.index(pc, history);
-        if taken {
-            self.table[idx].increment();
-        } else {
-            self.table[idx].decrement();
-        }
+        self.update_hashed(pc.table_hash(), history, taken);
     }
 }
 

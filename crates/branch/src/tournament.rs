@@ -1,6 +1,6 @@
 //! The paper's tournament (hybrid) predictor: gshare + bimodal + selector.
 
-use crate::{BimodalPredictor, DirectionPredictor, GsharePredictor, SaturatingCounter};
+use crate::{BimodalPredictor, CounterTable, DirectionPredictor, GsharePredictor};
 use paco_types::canon::Canon;
 use paco_types::Pc;
 
@@ -82,7 +82,7 @@ impl Canon for TournamentConfig {
 pub struct TournamentPredictor {
     gshare: GsharePredictor,
     bimodal: BimodalPredictor,
-    selector: Vec<SaturatingCounter>,
+    selector: CounterTable,
     selector_mask: u64,
     history_bits: u32,
 }
@@ -103,7 +103,7 @@ impl TournamentPredictor {
             bimodal: BimodalPredictor::new(config.bimodal_entries),
             // Initialize the chooser with a slight bimodal preference
             // (bimodal warms up faster).
-            selector: vec![SaturatingCounter::new(2, 1); config.selector_entries],
+            selector: CounterTable::new(2, 1, config.selector_entries),
             selector_mask: config.selector_entries as u64 - 1,
             history_bits: config.history_bits,
         }
@@ -115,13 +115,53 @@ impl TournamentPredictor {
     }
 
     #[inline]
-    fn selector_index(&self, pc: Pc, history: u64) -> usize {
+    fn selector_index(&self, pc_hash: u64, history: u64) -> usize {
         let hist_mask = if self.history_bits == 64 {
             u64::MAX
         } else {
             (1u64 << self.history_bits) - 1
         };
-        ((pc.table_hash() ^ (history & hist_mask)) & self.selector_mask) as usize
+        ((pc_hash ^ (history & hist_mask)) & self.selector_mask) as usize
+    }
+
+    /// [`predict`](DirectionPredictor::predict) with the PC hash
+    /// ([`Pc::table_hash`]) precomputed — the batched hot path hashes
+    /// each event's PC once and feeds all three component tables from
+    /// it. The plain trait methods delegate here, so the two spellings
+    /// cannot drift.
+    #[inline]
+    pub fn predict_hashed(&self, pc_hash: u64, history: u64) -> bool {
+        let g = self.gshare.predict_hashed(pc_hash, history);
+        let b = self.bimodal.predict_hashed(pc_hash);
+        if self.selector.msb(self.selector_index(pc_hash, history)) {
+            g
+        } else {
+            b
+        }
+    }
+
+    /// [`update`](DirectionPredictor::update) with the PC hash
+    /// precomputed (see [`predict_hashed`](Self::predict_hashed)).
+    ///
+    /// Each component entry is touched once via the fused
+    /// `train_hashed` ops: the pre-update component predictions train
+    /// the chooser (chooser and component tables are disjoint, so
+    /// updating the components first cannot change what the chooser
+    /// sees), then the components absorb the outcome — the same final
+    /// state as the read-then-update spelling, entry for entry.
+    #[inline]
+    pub fn update_hashed(&mut self, pc_hash: u64, history: u64, taken: bool) {
+        let g = self.gshare.train_hashed(pc_hash, history, taken);
+        let b = self.bimodal.train_hashed(pc_hash, taken);
+        // Train the chooser only on disagreement.
+        if g != b {
+            let idx = self.selector_index(pc_hash, history);
+            if g == taken {
+                self.selector.increment(idx);
+            } else {
+                self.selector.decrement(idx);
+            }
+        }
     }
 
     /// The two component predictions `(gshare, bimodal)` for inspection.
@@ -137,7 +177,7 @@ impl TournamentPredictor {
     pub fn save_state(&self, out: &mut Vec<u8>) {
         self.gshare.save_state(out);
         self.bimodal.save_state(out);
-        crate::counter::save_counters(&self.selector, out);
+        self.selector.save_state(out);
     }
 
     /// Restores state saved by [`save_state`](Self::save_state) into a
@@ -146,35 +186,19 @@ impl TournamentPredictor {
     pub fn load_state(&mut self, input: &mut &[u8]) -> bool {
         self.gshare.load_state(input)
             && self.bimodal.load_state(input)
-            && crate::counter::load_counters(&mut self.selector, input)
+            && self.selector.load_state(input)
     }
 }
 
 impl DirectionPredictor for TournamentPredictor {
+    #[inline]
     fn predict(&self, pc: Pc, history: u64) -> bool {
-        let g = self.gshare.predict(pc, history);
-        let b = self.bimodal.predict(pc, history);
-        if self.selector[self.selector_index(pc, history)].msb() {
-            g
-        } else {
-            b
-        }
+        self.predict_hashed(pc.table_hash(), history)
     }
 
-    fn update(&mut self, pc: Pc, history: u64, taken: bool, predicted: bool) {
-        let g = self.gshare.predict(pc, history);
-        let b = self.bimodal.predict(pc, history);
-        // Train the chooser only on disagreement.
-        if g != b {
-            let idx = self.selector_index(pc, history);
-            if g == taken {
-                self.selector[idx].increment();
-            } else {
-                self.selector[idx].decrement();
-            }
-        }
-        self.gshare.update(pc, history, taken, predicted);
-        self.bimodal.update(pc, history, taken, predicted);
+    #[inline]
+    fn update(&mut self, pc: Pc, history: u64, taken: bool, _predicted: bool) {
+        self.update_hashed(pc.table_hash(), history, taken);
     }
 }
 

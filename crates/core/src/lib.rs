@@ -39,7 +39,7 @@
 //! assert_eq!(paco.goodpath_probability().unwrap().value(), 1.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod calculator;

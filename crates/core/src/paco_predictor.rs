@@ -155,6 +155,7 @@ impl PacoPredictor {
 }
 
 impl PathConfidenceEstimator for PacoPredictor {
+    #[inline]
     fn on_fetch(&mut self, info: BranchFetchInfo) -> BranchToken {
         match info.mdc {
             Some(mdc) => {
@@ -173,6 +174,7 @@ impl PathConfidenceEstimator for PacoPredictor {
         }
     }
 
+    #[inline]
     fn on_resolve(&mut self, token: BranchToken, mispredicted: bool) {
         if let Some(mdc) = token.mdc {
             self.mrt.record(mdc, mispredicted);
@@ -180,6 +182,7 @@ impl PathConfidenceEstimator for PacoPredictor {
         }
     }
 
+    #[inline]
     fn on_squash(&mut self, token: BranchToken) {
         if token.mdc.is_some() {
             // Squashed branches leave the window without training the MRT:
@@ -188,6 +191,7 @@ impl PathConfidenceEstimator for PacoPredictor {
         }
     }
 
+    #[inline]
     fn tick(&mut self, cycles: u64) {
         self.cycles_since_refresh += cycles;
         while self.cycles_since_refresh >= self.refresh_period {
@@ -196,10 +200,12 @@ impl PathConfidenceEstimator for PacoPredictor {
         }
     }
 
+    #[inline]
     fn score(&self) -> ConfidenceScore {
         ConfidenceScore(self.calculator.encoded_sum())
     }
 
+    #[inline]
     fn goodpath_probability(&self) -> Option<Probability> {
         Some(self.calculator.goodpath_probability())
     }

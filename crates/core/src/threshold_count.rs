@@ -93,6 +93,7 @@ impl ThresholdCountPredictor {
 }
 
 impl PathConfidenceEstimator for ThresholdCountPredictor {
+    #[inline]
     fn on_fetch(&mut self, info: BranchFetchInfo) -> BranchToken {
         match info.mdc {
             Some(mdc) if !mdc.is_high_confidence(self.threshold) => {
@@ -114,6 +115,7 @@ impl PathConfidenceEstimator for ThresholdCountPredictor {
         }
     }
 
+    #[inline]
     fn on_resolve(&mut self, token: BranchToken, _mispredicted: bool) {
         if token.low_conf {
             debug_assert!(self.low_conf_outstanding > 0, "counter underflow");
@@ -121,6 +123,7 @@ impl PathConfidenceEstimator for ThresholdCountPredictor {
         }
     }
 
+    #[inline]
     fn on_squash(&mut self, token: BranchToken) {
         if token.low_conf {
             debug_assert!(self.low_conf_outstanding > 0, "counter underflow");
@@ -128,6 +131,7 @@ impl PathConfidenceEstimator for ThresholdCountPredictor {
         }
     }
 
+    #[inline]
     fn score(&self) -> ConfidenceScore {
         ConfidenceScore(self.low_conf_outstanding as u64)
     }

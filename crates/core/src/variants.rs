@@ -77,6 +77,7 @@ pub const DEFAULT_MDC_CORRECT_PROFILE: [f64; Mdc::BUCKETS] = [
 ];
 
 impl PathConfidenceEstimator for StaticMrtPredictor {
+    #[inline]
     fn on_fetch(&mut self, info: BranchFetchInfo) -> BranchToken {
         match info.mdc {
             Some(mdc) => {
@@ -93,22 +94,26 @@ impl PathConfidenceEstimator for StaticMrtPredictor {
         }
     }
 
+    #[inline]
     fn on_resolve(&mut self, token: BranchToken, _mispredicted: bool) {
         if token.mdc.is_some() {
             self.calculator.remove(EncodedProb::from_raw(token.encoded));
         }
     }
 
+    #[inline]
     fn on_squash(&mut self, token: BranchToken) {
         if token.mdc.is_some() {
             self.calculator.remove(EncodedProb::from_raw(token.encoded));
         }
     }
 
+    #[inline]
     fn score(&self) -> ConfidenceScore {
         ConfidenceScore(self.calculator.encoded_sum())
     }
 
+    #[inline]
     fn goodpath_probability(&self) -> Option<Probability> {
         Some(self.calculator.goodpath_probability())
     }
@@ -218,6 +223,7 @@ impl PerBranchMrtPredictor {
 }
 
 impl PathConfidenceEstimator for PerBranchMrtPredictor {
+    #[inline]
     fn on_fetch(&mut self, info: BranchFetchInfo) -> BranchToken {
         match info.mdc {
             Some(mdc) => {
@@ -234,6 +240,7 @@ impl PathConfidenceEstimator for PerBranchMrtPredictor {
         }
     }
 
+    #[inline]
     fn on_resolve(&mut self, token: BranchToken, mispredicted: bool) {
         if token.mdc.is_some() {
             let idx = self.entry_index(token.table_key);
@@ -242,16 +249,19 @@ impl PathConfidenceEstimator for PerBranchMrtPredictor {
         }
     }
 
+    #[inline]
     fn on_squash(&mut self, token: BranchToken) {
         if token.mdc.is_some() {
             self.calculator.remove(EncodedProb::from_raw(token.encoded));
         }
     }
 
+    #[inline]
     fn score(&self) -> ConfidenceScore {
         ConfidenceScore(self.calculator.encoded_sum())
     }
 
+    #[inline]
     fn goodpath_probability(&self) -> Option<Probability> {
         Some(self.calculator.goodpath_probability())
     }

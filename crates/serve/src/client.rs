@@ -187,9 +187,15 @@ impl Client {
     }
 }
 
-/// Feeds the same events through a local [`OnlinePipeline`]
-/// (`paco-sim`'s offline semantics) and digests the outcome encodings
-/// exactly as the server would — the reference value for parity checks.
+/// Feeds the same events through a local
+/// [`OnlinePipeline`](paco_sim::OnlinePipeline) (`paco-sim`'s offline
+/// semantics) and digests the outcome encodings exactly as the server
+/// would — the reference value for parity checks.
+///
+/// Deliberately uses the **per-event** lane (`on_instr`) while
+/// `paco-served` answers from the batched lane (`run_batch`): every
+/// parity check against this digest is therefore also a cross-lane
+/// byte-identity proof, not just a loopback echo test.
 pub fn offline_digest(config: &OnlineConfig, instrs: &[DynInstr], batch: usize) -> u64 {
     let mut pipeline = paco_sim::OnlinePipeline::new(config);
     let mut digest = Digest::new();

@@ -5,7 +5,7 @@
 //! [`paco_types::wire`] varints and CRC-32 (the same primitives as the
 //! trace format and the bench result cache), event batches reuse the
 //! `paco-trace` record codec verbatim, and config negotiation compares
-//! [`Canon`](paco_types::canon::Canon) hashes of [`OnlineConfig`]. See
+//! [`Canon`] hashes of [`OnlineConfig`]. See
 //! `docs/PROTOCOL.md` for the normative description.
 //!
 //! ```text
@@ -19,10 +19,11 @@ use std::io::{self, Read, Write};
 
 use paco_sim::OnlineConfig;
 use paco_sim::OnlineOutcome;
+use paco_sim::OutcomeBatch;
 use paco_trace::{decode_record, encode_record, DeltaState, TraceRecord};
 use paco_types::canon::Canon;
 use paco_types::wire::{crc32_update, read_uvarint, write_uvarint};
-use paco_types::DynInstr;
+use paco_types::{DynInstr, EventBatch};
 
 /// Protocol version; bumped on any incompatible frame or payload change.
 pub const PROTOCOL_VERSION: u32 = 1;
@@ -563,9 +564,40 @@ pub fn decode_events(mut input: &[u8]) -> Result<Vec<DynInstr>, ProtoError> {
     Ok(instrs)
 }
 
-const OUTCOME_PREDICTED: u8 = 0x01;
-const OUTCOME_MISPREDICTED: u8 = 0x02;
-const OUTCOME_HAS_PROB: u8 = 0x04;
+/// Decodes a batch of branch events straight into a (reused)
+/// struct-of-arrays [`EventBatch`] — the server hot path. Accepts
+/// exactly the payloads [`decode_events`] accepts and rejects exactly
+/// what it rejects; the only difference is the destination shape (and
+/// that the timing-only `deps`/`mem` record fields, which the
+/// confidence pipeline never reads, are parsed but not stored).
+///
+/// `batch` is cleared first; its capacity is retained across frames, so
+/// a steady-state connection allocates nothing per frame.
+pub fn decode_events_into(mut input: &[u8], batch: &mut EventBatch) -> Result<(), ProtoError> {
+    batch.clear();
+    let input = &mut input;
+    let count = read_uvarint(input).ok_or_else(|| malformed("events: count"))?;
+    if count > (input.len() as u64 / 2) + 1 {
+        return Err(malformed("events: implausible count"));
+    }
+    batch.reserve(count as usize);
+    let mut delta = DeltaState::default();
+    for _ in 0..count {
+        let record = decode_record(input, &mut delta)
+            .map_err(|detail| malformed(format!("events: {detail}")))?;
+        batch.push_raw(record.pc, record.class, record.taken, record.target);
+    }
+    if !input.is_empty() {
+        return Err(malformed("events: trailing bytes"));
+    }
+    Ok(())
+}
+
+// The wire flag bits are defined once, on `OutcomeBatch` in `paco-sim`,
+// so the batched pipeline output and the wire encoding cannot drift.
+const OUTCOME_PREDICTED: u8 = OutcomeBatch::FLAG_PREDICTED_TAKEN;
+const OUTCOME_MISPREDICTED: u8 = OutcomeBatch::FLAG_MISPREDICTED;
+const OUTCOME_HAS_PROB: u8 = OutcomeBatch::FLAG_HAS_PROB;
 
 /// Encodes a batch of prediction outcomes. This encoding is the parity
 /// surface: the integration suite requires the bytes streamed by
@@ -592,6 +624,26 @@ pub fn encode_outcomes(outcomes: &[OnlineOutcome]) -> Vec<u8> {
         }
     }
     out
+}
+
+/// Encodes a batch of prediction outcomes from a struct-of-arrays
+/// [`OutcomeBatch`] — the server hot path. Produces bytes **identical**
+/// to [`encode_outcomes`] over the same outcomes (the batch stores the
+/// wire flag bytes directly, so this is a straight copy-out); appends
+/// to `out` without clearing it, so a reused buffer must be cleared by
+/// the caller.
+pub fn encode_outcomes_into(out: &mut Vec<u8>, outcomes: &OutcomeBatch) {
+    write_uvarint(out, outcomes.len() as u64);
+    let flags = outcomes.flags();
+    let scores = outcomes.scores();
+    let probs = outcomes.prob_bits();
+    for i in 0..outcomes.len() {
+        out.push(flags[i]);
+        write_uvarint(out, scores[i]);
+        if flags[i] & OUTCOME_HAS_PROB != 0 {
+            out.extend_from_slice(&probs[i].to_le_bytes());
+        }
+    }
 }
 
 /// Decodes a batch of prediction outcomes.
@@ -781,6 +833,81 @@ mod tests {
         ];
         let payload = encode_events(&instrs);
         assert_eq!(decode_events(&payload).unwrap(), instrs);
+    }
+
+    #[test]
+    fn batched_event_decode_agrees_with_per_event_decode() {
+        let instrs = vec![
+            DynInstr::branch(Pc::new(0x1000), true, Pc::new(0x2000)),
+            // Timing-only fields are parsed (the codec interleaves them
+            // with the event fields) but not stored in the batch.
+            DynInstr::alu(Pc::new(0x2000))
+                .with_deps(1, 2)
+                .with_mem(0xbeef),
+            DynInstr::branch(Pc::new(0x2004), false, Pc::new(0x1000)),
+        ];
+        let payload = encode_events(&instrs);
+        let reference = decode_events(&payload).unwrap();
+        let mut batch = EventBatch::new();
+        // Pre-dirty the batch: decode_events_into must clear it.
+        batch.push(&DynInstr::alu(Pc::new(0xdead)));
+        decode_events_into(&payload, &mut batch).unwrap();
+        assert_eq!(batch.len(), reference.len());
+        for (i, instr) in reference.iter().enumerate() {
+            assert_eq!(batch.pc(i), instr.pc);
+            assert_eq!(batch.class(i), instr.class);
+            assert_eq!(batch.taken(i), instr.taken);
+            assert_eq!(batch.target(i), instr.target);
+        }
+    }
+
+    #[test]
+    fn batched_event_decode_rejects_what_per_event_rejects() {
+        let payload = encode_events(&[DynInstr::branch(Pc::new(0x10), true, Pc::new(0x20))]);
+        let mut batch = EventBatch::new();
+        for cut in 0..payload.len() {
+            let per_event = decode_events(&payload[..cut]).is_err();
+            let batched = decode_events_into(&payload[..cut], &mut batch).is_err();
+            assert_eq!(per_event, batched, "divergent verdict at cut {cut}");
+            assert!(per_event, "every truncation must be rejected");
+        }
+        // Trailing garbage.
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(decode_events(&long).is_err());
+        assert!(decode_events_into(&long, &mut batch).is_err());
+    }
+
+    #[test]
+    fn batched_outcome_encode_is_byte_identical() {
+        let outcomes = vec![
+            OnlineOutcome {
+                score: 0,
+                prob_bits: None,
+                predicted_taken: true,
+                mispredicted: false,
+            },
+            OnlineOutcome {
+                score: 99999,
+                prob_bits: Some(0.125f64.to_bits()),
+                predicted_taken: false,
+                mispredicted: true,
+            },
+            OnlineOutcome {
+                score: 7,
+                prob_bits: Some(0),
+                predicted_taken: true,
+                mispredicted: true,
+            },
+        ];
+        let mut batch = OutcomeBatch::new();
+        for o in &outcomes {
+            batch.push(o);
+        }
+        let mut from_batch = Vec::new();
+        encode_outcomes_into(&mut from_batch, &batch);
+        assert_eq!(from_batch, encode_outcomes(&outcomes));
+        assert_eq!(decode_outcomes(&from_batch).unwrap(), outcomes);
     }
 
     #[test]

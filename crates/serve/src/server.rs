@@ -17,9 +17,9 @@ use paco_sim::OnlinePipeline;
 use paco_types::fingerprint::code_fingerprint;
 
 use crate::proto::{
-    decode_events, decode_hello, encode_error, encode_outcomes, encode_snapshot, encode_welcome,
-    write_frame, ErrorCode, FrameKind, Hello, ProtoError, Resume, Snapshot, Welcome,
-    PROTOCOL_VERSION,
+    decode_events_into, decode_hello, encode_error, encode_outcomes_into, encode_snapshot,
+    encode_welcome, write_frame, ErrorCode, FrameKind, Hello, ProtoError, Resume, Snapshot,
+    Welcome, PROTOCOL_VERSION,
 };
 use crate::session::{Session, SessionTable};
 
@@ -289,6 +289,18 @@ fn handle_conn(stream: TcpStream, table: &SessionTable) {
     // --- Event stream ------------------------------------------------
     // Sessions are parked (kept resumable) on any non-BYE exit; a clean
     // BYE discards the session.
+    //
+    // The hot path is fully batched: EVENTS payloads decode straight
+    // into a struct-of-arrays EventBatch, run through the pipeline's
+    // monomorphized batch lane, and encode to the wire from an
+    // OutcomeBatch — all three buffers reused across frames, so a
+    // steady-state connection allocates nothing per frame. The bytes
+    // produced are identical to the per-event path (the parity suite
+    // replays the same traces through per-event pipelines and compares
+    // to the last bit).
+    let mut events = paco_types::EventBatch::new();
+    let mut outcomes = paco_sim::OutcomeBatch::new();
+    let mut predictions = Vec::new();
     loop {
         let frame = match crate::proto::read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
@@ -300,24 +312,15 @@ fn handle_conn(stream: TcpStream, table: &SessionTable) {
         };
         match frame.kind {
             FrameKind::Events => {
-                let instrs = match decode_events(&frame.payload) {
-                    Ok(instrs) => instrs,
-                    Err(e) => {
-                        refuse(&mut writer, ErrorCode::Malformed, &e.to_string());
-                        break;
-                    }
-                };
-                let outcomes: Vec<_> = instrs
-                    .iter()
-                    .filter_map(|i| session.pipeline.on_instr(i))
-                    .collect();
-                if write_frame(
-                    &mut writer,
-                    FrameKind::Predictions,
-                    &encode_outcomes(&outcomes),
-                )
-                .is_err()
-                {
+                if let Err(e) = decode_events_into(&frame.payload, &mut events) {
+                    refuse(&mut writer, ErrorCode::Malformed, &e.to_string());
+                    break;
+                }
+                outcomes.clear();
+                session.pipeline.run_batch(&events, &mut outcomes);
+                predictions.clear();
+                encode_outcomes_into(&mut predictions, &outcomes);
+                if write_frame(&mut writer, FrameKind::Predictions, &predictions).is_err() {
                     break;
                 }
             }

@@ -1,0 +1,213 @@
+//! Struct-of-arrays batches of pipeline outcomes.
+//!
+//! The output-side twin of [`paco_types::EventBatch`]: where the event
+//! batch carries what goes *into* [`OnlinePipeline::run_batch`]
+//! (crate::OnlinePipeline::run_batch), an [`OutcomeBatch`] carries what
+//! comes out, in the exact field layout the serve wire encoding wants —
+//! a flags byte (predicted/mispredicted/has-probability), the score,
+//! and the raw IEEE-754 probability bits. The flag bit assignments here
+//! are the *normative* ones for the `paco-serve` PREDICTIONS payload;
+//! `paco_serve::proto` re-uses these constants so the two layers cannot
+//! drift apart.
+
+use crate::OnlineOutcome;
+
+/// A struct-of-arrays batch of [`OnlineOutcome`]s, reusable across
+/// frames ([`clear`](OutcomeBatch::clear) keeps capacity).
+///
+/// # Examples
+///
+/// ```
+/// use paco_sim::{OnlineOutcome, OutcomeBatch};
+///
+/// let mut out = OutcomeBatch::new();
+/// out.push(&OnlineOutcome {
+///     score: 42,
+///     prob_bits: Some(0.5f64.to_bits()),
+///     predicted_taken: true,
+///     mispredicted: false,
+/// });
+/// assert_eq!(out.len(), 1);
+/// assert_eq!(out.get(0).score, 42);
+/// assert_eq!(out.flags()[0], OutcomeBatch::FLAG_PREDICTED_TAKEN | OutcomeBatch::FLAG_HAS_PROB);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutcomeBatch {
+    flags: Vec<u8>,
+    scores: Vec<u64>,
+    probs: Vec<u64>,
+}
+
+impl OutcomeBatch {
+    /// Flag bit: the pipeline predicted the branch taken.
+    pub const FLAG_PREDICTED_TAKEN: u8 = 0x01;
+    /// Flag bit: the prediction missed the architectural outcome.
+    pub const FLAG_MISPREDICTED: u8 = 0x02;
+    /// Flag bit: a goodpath-probability value is present.
+    pub const FLAG_HAS_PROB: u8 = 0x04;
+    /// Every bit an outcome's flags byte may carry.
+    pub const FLAG_ALL: u8 =
+        Self::FLAG_PREDICTED_TAKEN | Self::FLAG_MISPREDICTED | Self::FLAG_HAS_PROB;
+
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        OutcomeBatch::default()
+    }
+
+    /// Creates an empty batch with room for `n` outcomes.
+    pub fn with_capacity(n: usize) -> Self {
+        OutcomeBatch {
+            flags: Vec::with_capacity(n),
+            scores: Vec::with_capacity(n),
+            probs: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of outcomes in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the batch holds no outcomes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Empties the batch, retaining capacity for reuse.
+    pub fn clear(&mut self) {
+        self.flags.clear();
+        self.scores.clear();
+        self.probs.clear();
+    }
+
+    /// Reserves room for `n` additional outcomes.
+    pub fn reserve(&mut self, n: usize) {
+        self.flags.reserve(n);
+        self.scores.reserve(n);
+        self.probs.reserve(n);
+    }
+
+    /// Appends one outcome.
+    #[inline]
+    pub fn push(&mut self, o: &OnlineOutcome) {
+        // Branchless flag packing; the shifts are pinned to the flag
+        // constants at compile time.
+        const _: () = assert!(
+            OutcomeBatch::FLAG_PREDICTED_TAKEN == 1
+                && OutcomeBatch::FLAG_MISPREDICTED == 1 << 1
+                && OutcomeBatch::FLAG_HAS_PROB == 1 << 2
+        );
+        let flags = o.predicted_taken as u8
+            | (o.mispredicted as u8) << 1
+            | (o.prob_bits.is_some() as u8) << 2;
+        self.flags.push(flags);
+        self.scores.push(o.score);
+        self.probs.push(o.prob_bits.unwrap_or(0));
+    }
+
+    /// Reconstructs outcome `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> OnlineOutcome {
+        let flags = self.flags[i];
+        OnlineOutcome {
+            score: self.scores[i],
+            prob_bits: (flags & Self::FLAG_HAS_PROB != 0).then(|| self.probs[i]),
+            predicted_taken: flags & Self::FLAG_PREDICTED_TAKEN != 0,
+            mispredicted: flags & Self::FLAG_MISPREDICTED != 0,
+        }
+    }
+
+    /// Iterates the batch as reconstructed [`OnlineOutcome`]s.
+    pub fn iter(&self) -> impl Iterator<Item = OnlineOutcome> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// The per-outcome flag bytes (wire layout, see the `FLAG_*`
+    /// constants).
+    #[inline]
+    pub fn flags(&self) -> &[u8] {
+        &self.flags
+    }
+
+    /// The per-outcome confidence scores.
+    #[inline]
+    pub fn scores(&self) -> &[u64] {
+        &self.scores
+    }
+
+    /// The per-outcome raw probability bits (0 where
+    /// [`FLAG_HAS_PROB`](Self::FLAG_HAS_PROB) is clear).
+    #[inline]
+    pub fn prob_bits(&self) -> &[u64] {
+        &self.probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<OnlineOutcome> {
+        vec![
+            OnlineOutcome {
+                score: 0,
+                prob_bits: None,
+                predicted_taken: false,
+                mispredicted: false,
+            },
+            OnlineOutcome {
+                score: 4096,
+                prob_bits: Some(0.25f64.to_bits()),
+                predicted_taken: true,
+                mispredicted: true,
+            },
+            OnlineOutcome {
+                score: 17,
+                prob_bits: Some(0u64),
+                predicted_taken: true,
+                mispredicted: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_outcomes() {
+        let outcomes = samples();
+        let mut batch = OutcomeBatch::with_capacity(outcomes.len());
+        for o in &outcomes {
+            batch.push(o);
+        }
+        assert_eq!(batch.len(), outcomes.len());
+        let back: Vec<OnlineOutcome> = batch.iter().collect();
+        assert_eq!(back, outcomes);
+    }
+
+    #[test]
+    fn zero_prob_bits_with_flag_survive() {
+        // `Some(0)` and `None` must stay distinguishable: the flag, not
+        // the value, carries presence.
+        let o = OnlineOutcome {
+            score: 1,
+            prob_bits: Some(0),
+            predicted_taken: false,
+            mispredicted: false,
+        };
+        let mut batch = OutcomeBatch::new();
+        batch.push(&o);
+        assert_eq!(batch.get(0), o);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut batch = OutcomeBatch::new();
+        for o in &samples() {
+            batch.push(o);
+        }
+        let cap = batch.scores.capacity();
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.scores.capacity(), cap);
+    }
+}

@@ -1,9 +1,8 @@
 //! Configuration-level selection of a path confidence estimator.
 
 use paco::{
-    BranchFetchInfo, BranchToken, ConfidenceScore, PacoConfig, PacoPredictor,
-    PathConfidenceEstimator, PerBranchMrtConfig, PerBranchMrtPredictor, StaticMrtPredictor,
-    ThresholdCountConfig, ThresholdCountPredictor,
+    BranchFetchInfo, BranchToken, ConfidenceScore, PacoConfig, PathConfidenceEstimator,
+    PerBranchMrtConfig, ThresholdCountConfig,
 };
 use paco_types::canon::Canon;
 
@@ -23,15 +22,13 @@ pub enum EstimatorKind {
 }
 
 impl EstimatorKind {
-    /// Instantiates the estimator.
+    /// Instantiates the estimator (boxed, for the cycle-level machine).
+    ///
+    /// Delegates to the pipeline's `EstimatorLane` so the
+    /// kind→constructor mapping exists exactly once — the machine and
+    /// the online pipeline cannot drift apart on what a kind means.
     pub fn build(&self) -> Box<dyn PathConfidenceEstimator> {
-        match *self {
-            EstimatorKind::None => Box::new(NullEstimator),
-            EstimatorKind::Paco(cfg) => Box::new(PacoPredictor::new(cfg)),
-            EstimatorKind::ThresholdCount(cfg) => Box::new(ThresholdCountPredictor::new(cfg)),
-            EstimatorKind::StaticMrt => Box::new(StaticMrtPredictor::with_default_profile()),
-            EstimatorKind::PerBranchMrt(cfg) => Box::new(PerBranchMrtPredictor::new(cfg)),
-        }
+        crate::online::EstimatorLane::new(self).into_boxed()
     }
 }
 
@@ -62,14 +59,18 @@ impl Canon for EstimatorKind {
 pub struct NullEstimator;
 
 impl PathConfidenceEstimator for NullEstimator {
+    #[inline]
     fn on_fetch(&mut self, _info: BranchFetchInfo) -> BranchToken {
         BranchToken::empty()
     }
 
+    #[inline]
     fn on_resolve(&mut self, _token: BranchToken, _mispredicted: bool) {}
 
+    #[inline]
     fn on_squash(&mut self, _token: BranchToken) {}
 
+    #[inline]
     fn score(&self) -> ConfidenceScore {
         ConfidenceScore(0)
     }

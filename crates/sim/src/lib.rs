@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 mod cache;
 mod config;
 mod estimator_kind;
@@ -47,6 +48,7 @@ mod online;
 mod policy;
 mod stats;
 
+pub use batch::OutcomeBatch;
 pub use cache::{Cache, CacheConfig, CacheHierarchy};
 pub use config::SimConfig;
 pub use estimator_kind::{EstimatorKind, NullEstimator};

@@ -20,19 +20,49 @@
 //! `resolve_lag` branches, exactly like the hardware register sums the
 //! in-flight window.
 //!
+//! # The two lanes
+//!
+//! Events enter the pipeline through one of two lanes — two
+//! implementations of one semantics, in the classic
+//! reference/fast-path pattern:
+//!
+//! * the **per-event lane**, [`on_instr`](OnlinePipeline::on_instr) —
+//!   one [`DynInstr`] in, one [`OnlineOutcome`] out, with the estimator
+//!   behind a `dyn` vtable and every table keyed the obvious way by
+//!   `Pc`. Deliberately simple: this is the *reference semantics*.
+//! * the **batched lane**, [`run_batch`](OnlinePipeline::run_batch) —
+//!   a struct-of-arrays [`EventBatch`] in, an
+//!   [`OutcomeBatch`](crate::OutcomeBatch) appended to. The estimator
+//!   is matched out of its [`EstimatorKind`] **once per batch**, the
+//!   inner loop is monomorphized over the concrete estimator type
+//!   (no enum or vtable dispatch, no allocation), each event's PC is
+//!   hashed once and carried through the in-flight window, and
+//!   resolve-time component entries are touched once via fused train
+//!   ops. `paco-served` decodes EVENTS frames straight into this lane.
+//!
+//! Their equality — per outcome and per wire byte — is enforced, not
+//! assumed: the unit suite replays long streams through both lanes at
+//! several batch sizes for every estimator kind, the serve integration
+//! suite compares server bytes (batched) against offline replay
+//! (per-event), and every `paco-load` or `hotpath` run digest-compares
+//! the lanes before reporting a number.
+//!
 //! `paco-served` runs one pipeline per session; the parity tests replay
 //! the same trace through a pipeline offline and require equality to the
 //! last bit.
 
-use std::collections::VecDeque;
-
-use paco::{BranchFetchInfo, BranchToken, PathConfidenceEstimator};
+use paco::{
+    BranchFetchInfo, BranchToken, PacoPredictor, PathConfidenceEstimator, PerBranchMrtPredictor,
+    StaticMrtPredictor, ThresholdCountPredictor,
+};
 use paco_branch::DirectionPredictor;
-use paco_branch::{ConfidenceConfig, MdcTable, TournamentConfig, TournamentPredictor};
+use paco_branch::{ConfidenceConfig, MdcIndex, MdcTable, TournamentConfig, TournamentPredictor};
 use paco_types::canon::Canon;
 use paco_types::wire::{read_uvarint, write_uvarint};
-use paco_types::{ControlKind, DynInstr, GlobalHistory, InstrClass, Pc};
+use paco_types::{ControlKind, DynInstr, EventBatch, GlobalHistory, InstrClass, Pc};
 
+use crate::batch::OutcomeBatch;
+use crate::estimator_kind::NullEstimator;
 use crate::EstimatorKind;
 
 /// Configuration of an [`OnlinePipeline`] — the unit of client/server
@@ -176,13 +206,387 @@ impl OnlineOutcome {
 struct PendingBranch {
     token: BranchToken,
     pc: u64,
+    /// `Pc::table_hash()` of `pc`, computed once at fetch and reused by
+    /// every resolve-time table index (a pure function of `pc`, so
+    /// caching it cannot change any outcome). Not serialized — restore
+    /// recomputes it. Meaningful only for conditional branches (0
+    /// otherwise; resolution never indexes tables for non-conditional
+    /// control).
+    pc_hash: u64,
+    /// The MDC entry read at fetch, reused by the batched lane's
+    /// resolve. A pure function of `(pc_hash, hist_before, predicted)`,
+    /// so caching it cannot change any outcome; not serialized
+    /// (restore recomputes it); placeholder for non-conditional
+    /// control.
+    mdc_idx: MdcIndex,
     hist_before: u64,
     taken: bool,
     predicted: bool,
     conditional: bool,
 }
 
+impl PendingBranch {
+    /// An inert record, used to pre-fill window slots.
+    fn empty() -> Self {
+        PendingBranch {
+            token: BranchToken::empty(),
+            pc: 0,
+            pc_hash: 0,
+            mdc_idx: MdcIndex::default(),
+            hist_before: 0,
+            taken: false,
+            predicted: false,
+            conditional: false,
+        }
+    }
+}
+
+/// The in-flight window: a fixed-capacity ring of [`PendingBranch`]es.
+///
+/// Occupancy is bounded by construction — every push is followed by
+/// draining down to `resolve_lag` — so the ring is allocated once and
+/// never grows, and its push/pop are plain masked index arithmetic with
+/// no capacity management on the hot path. Capacity is rounded to a
+/// power of two for the mask, the same allocation policy `VecDeque`
+/// applies internally.
+struct Window {
+    slots: Box<[PendingBranch]>,
+    mask: usize,
+    head: usize,
+    len: usize,
+}
+
+impl Window {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1).next_power_of_two();
+        Window {
+            slots: vec![PendingBranch::empty(); capacity].into_boxed_slice(),
+            mask: capacity - 1,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn push_back(&mut self, b: PendingBranch) {
+        debug_assert!(self.len < self.slots.len(), "window overfilled");
+        let idx = (self.head + self.len) & self.mask;
+        self.slots[idx] = b;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> Option<PendingBranch> {
+        if self.len == 0 {
+            return None;
+        }
+        let b = self.slots[self.head];
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        Some(b)
+    }
+
+    /// Iterates oldest → youngest (snapshot order).
+    fn iter(&self) -> impl Iterator<Item = &PendingBranch> + '_ {
+        (0..self.len).map(move |i| &self.slots[(self.head + i) & self.mask])
+    }
+}
+
 const STATE_VERSION: u8 = 1;
+
+/// The estimator held as a concrete type — one variant per
+/// [`EstimatorKind`] — so the batched lane can select it once per batch
+/// and monomorphize the inner loop over it, while the per-event lane
+/// still reaches it as `dyn PathConfidenceEstimator`.
+pub(crate) enum EstimatorLane {
+    None(NullEstimator),
+    Paco(PacoPredictor),
+    ThresholdCount(ThresholdCountPredictor),
+    StaticMrt(StaticMrtPredictor),
+    PerBranchMrt(PerBranchMrtPredictor),
+}
+
+impl EstimatorLane {
+    /// Builds the concrete estimator for a kind. This is the **single**
+    /// kind→constructor mapping in the crate: [`EstimatorKind::build`]
+    /// boxes the same variants via [`into_boxed`](Self::into_boxed), so
+    /// the pipeline and the cycle-level machine cannot instantiate
+    /// different estimators for one kind.
+    pub(crate) fn new(kind: &EstimatorKind) -> Self {
+        match *kind {
+            EstimatorKind::None => EstimatorLane::None(NullEstimator),
+            EstimatorKind::Paco(cfg) => EstimatorLane::Paco(PacoPredictor::new(cfg)),
+            EstimatorKind::ThresholdCount(cfg) => {
+                EstimatorLane::ThresholdCount(ThresholdCountPredictor::new(cfg))
+            }
+            EstimatorKind::StaticMrt => {
+                EstimatorLane::StaticMrt(StaticMrtPredictor::with_default_profile())
+            }
+            EstimatorKind::PerBranchMrt(cfg) => {
+                EstimatorLane::PerBranchMrt(PerBranchMrtPredictor::new(cfg))
+            }
+        }
+    }
+
+    /// Boxes the concrete estimator behind the trait object interface
+    /// the cycle-level machine uses.
+    pub(crate) fn into_boxed(self) -> Box<dyn PathConfidenceEstimator> {
+        match self {
+            EstimatorLane::None(e) => Box::new(e),
+            EstimatorLane::Paco(e) => Box::new(e),
+            EstimatorLane::ThresholdCount(e) => Box::new(e),
+            EstimatorLane::StaticMrt(e) => Box::new(e),
+            EstimatorLane::PerBranchMrt(e) => Box::new(e),
+        }
+    }
+
+    fn as_dyn(&self) -> &dyn PathConfidenceEstimator {
+        match self {
+            EstimatorLane::None(e) => e,
+            EstimatorLane::Paco(e) => e,
+            EstimatorLane::ThresholdCount(e) => e,
+            EstimatorLane::StaticMrt(e) => e,
+            EstimatorLane::PerBranchMrt(e) => e,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn PathConfidenceEstimator {
+        match self {
+            EstimatorLane::None(e) => e,
+            EstimatorLane::Paco(e) => e,
+            EstimatorLane::ThresholdCount(e) => e,
+            EstimatorLane::StaticMrt(e) => e,
+            EstimatorLane::PerBranchMrt(e) => e,
+        }
+    }
+}
+
+/// Everything in the pipeline except the estimator: the front-end
+/// hardware, the in-flight window and the event counters. Split out so
+/// the batched lane can borrow the core mutably alongside the concrete
+/// estimator it matched out of the [`EstimatorLane`].
+struct PipelineCore {
+    config_hash: u64,
+    resolve_lag: usize,
+    ticks_per_event: u64,
+    tournament: TournamentPredictor,
+    mdc: MdcTable,
+    hist: GlobalHistory,
+    pending: Window,
+    events: u64,
+}
+
+impl PipelineCore {
+    /// The **reference** per-event implementation: one control event
+    /// end to end — predict, read the MDC, fetch into the estimator,
+    /// window the branch, resolve whatever falls out of the window,
+    /// tick — written the obvious way against the plain `Pc`-keyed
+    /// table APIs and a `dyn` estimator, exactly as the service's
+    /// per-event path has always worked.
+    ///
+    /// This body is deliberately *not* shared with the batched fast
+    /// step below: its job is to state the event semantics legibly and
+    /// serve as the baseline the batched lane is proven against
+    /// (outcome-by-outcome and wire-byte equality in the sim/serve
+    /// suites, plus a digest gate on every `hotpath`/`paco-load` run)
+    /// and measured against (the `hotpath` experiment). Any change to
+    /// the semantics must be made to both bodies; the parity tests
+    /// fail loudly if only one moves.
+    fn step_reference(
+        &mut self,
+        est: &mut dyn PathConfidenceEstimator,
+        pc: Pc,
+        conditional: bool,
+        taken: bool,
+    ) -> OnlineOutcome {
+        let hist_before = self.hist.bits();
+
+        let (info, idx, predicted, mispredicted) = if conditional {
+            let predicted = self.tournament.predict(pc, hist_before);
+            let (idx, mdc) = self.mdc.fetch(pc, hist_before, predicted);
+            let info = BranchFetchInfo::conditional_keyed(mdc, pc.table_hash() ^ hist_before);
+            // The architectural outcome is known at event time, so the
+            // history register tracks truth — the same state the machine
+            // reaches after resolving (and, on a miss, repairing) the
+            // branch.
+            self.hist.push(taken);
+            (info, idx, predicted, predicted != taken)
+        } else {
+            (
+                BranchFetchInfo::non_conditional(),
+                MdcIndex::default(),
+                true,
+                false,
+            )
+        };
+
+        let token = est.on_fetch(info);
+        let outcome = OnlineOutcome {
+            score: est.score().0,
+            prob_bits: est.goodpath_probability().map(|p| p.value().to_bits()),
+            predicted_taken: predicted,
+            mispredicted,
+        };
+
+        self.pending.push_back(PendingBranch {
+            token,
+            pc: pc.addr(),
+            // The window is shared with the batched lane, whose resolve
+            // indexes off the cached hash/index; fill them here too so
+            // the lanes can interleave freely on one pipeline.
+            pc_hash: if conditional { pc.table_hash() } else { 0 },
+            mdc_idx: idx,
+            hist_before,
+            taken,
+            predicted,
+            conditional,
+        });
+        while self.pending.len() > self.resolve_lag {
+            self.resolve_oldest_reference(est);
+        }
+        est.tick(self.ticks_per_event);
+        self.events += 1;
+        outcome
+    }
+
+    /// The reference resolve: plain `Pc`-keyed table updates (see
+    /// [`step_reference`](Self::step_reference)).
+    fn resolve_oldest_reference(&mut self, est: &mut dyn PathConfidenceEstimator) {
+        let Some(b) = self.pending.pop_front() else {
+            return;
+        };
+        if b.conditional {
+            let pc = Pc::new(b.pc);
+            let mispredicted = b.predicted != b.taken;
+            est.on_resolve(b.token, mispredicted);
+            let idx = self.mdc.index(pc, b.hist_before, b.predicted);
+            self.mdc.update(idx, !mispredicted);
+            self.tournament
+                .update(pc, b.hist_before, b.taken, b.predicted);
+        } else {
+            est.on_resolve(b.token, false);
+        }
+    }
+
+    /// The **batched-lane** step: the same event semantics as
+    /// [`step_reference`](Self::step_reference), engineered for the hot
+    /// loop — the PC is hashed once and every table (gshare, bimodal,
+    /// selector, MDC, the per-branch key, and the same tables again at
+    /// resolve) indexes off it, resolve-time component entries are
+    /// touched once via the fused train ops, and the estimator is a
+    /// concrete type so every call inlines. Equality with the reference
+    /// is asserted by the parity suites (the hashed/fused table APIs
+    /// are themselves defined by delegation from the plain ones, so the
+    /// indices and final table states cannot differ).
+    #[inline(always)]
+    fn step<E: PathConfidenceEstimator>(
+        &mut self,
+        est: &mut E,
+        pc: Pc,
+        conditional: bool,
+        taken: bool,
+    ) -> OnlineOutcome {
+        let hist_before = self.hist.bits();
+
+        let (info, pc_hash, idx, predicted, mispredicted) = if conditional {
+            // Hash the PC once; every table the event touches — gshare,
+            // bimodal, selector, MDC, the per-branch key, and the same
+            // tables again at resolve — indexes off this value.
+            let pc_hash = pc.table_hash();
+            let predicted = self.tournament.predict_hashed(pc_hash, hist_before);
+            let (idx, mdc) = self.mdc.fetch_hashed(pc_hash, hist_before, predicted);
+            let info = BranchFetchInfo::conditional_keyed(mdc, pc_hash ^ hist_before);
+            // The architectural outcome is known at event time, so the
+            // history register tracks truth — the same state the machine
+            // reaches after resolving (and, on a miss, repairing) the
+            // branch.
+            self.hist.push(taken);
+            (info, pc_hash, idx, predicted, predicted != taken)
+        } else {
+            // The online pipeline has no BTB/RAS/indirect model: service
+            // clients stream *resolved* events, and non-conditional
+            // control contributes no confidence state under JRS coverage
+            // (the paper's perlbmk blind spot, faithfully). Report them
+            // as predicted-taken hits.
+            (
+                BranchFetchInfo::non_conditional(),
+                0,
+                MdcIndex::default(),
+                true,
+                false,
+            )
+        };
+
+        let token = est.on_fetch(info);
+        let outcome = OnlineOutcome {
+            score: est.score().0,
+            prob_bits: est.goodpath_probability().map(|p| p.value().to_bits()),
+            predicted_taken: predicted,
+            mispredicted,
+        };
+
+        self.pending.push_back(PendingBranch {
+            token,
+            pc: pc.addr(),
+            pc_hash,
+            mdc_idx: idx,
+            hist_before,
+            taken,
+            predicted,
+            conditional,
+        });
+        while self.pending.len() > self.resolve_lag {
+            self.resolve_oldest(est);
+        }
+        est.tick(self.ticks_per_event);
+        self.events += 1;
+        outcome
+    }
+
+    /// The batched-lane resolve: estimator training, MDC update,
+    /// predictor update — the deferred back half of the event, indexing
+    /// every table off the hash cached at fetch.
+    #[inline(always)]
+    fn resolve_oldest<E: PathConfidenceEstimator>(&mut self, est: &mut E) {
+        let Some(b) = self.pending.pop_front() else {
+            return;
+        };
+        if b.conditional {
+            let mispredicted = b.predicted != b.taken;
+            est.on_resolve(b.token, mispredicted);
+            self.mdc.update(b.mdc_idx, !mispredicted);
+            self.tournament
+                .update_hashed(b.pc_hash, b.hist_before, b.taken);
+        } else {
+            est.on_resolve(b.token, false);
+        }
+    }
+
+    /// The batched lane's inner loop, monomorphized per concrete
+    /// estimator: no enum or vtable dispatch per event, no allocation
+    /// (the caller's batches are reused across frames).
+    fn process_batch<E: PathConfidenceEstimator>(
+        &mut self,
+        est: &mut E,
+        events: &EventBatch,
+        out: &mut OutcomeBatch,
+    ) {
+        out.reserve(events.len());
+        for (pc, control, taken) in events.lanes() {
+            // Non-control events are ignored, exactly like `on_instr`.
+            let Some(conditional) = control else {
+                continue;
+            };
+            let outcome = self.step(est, pc, conditional, taken);
+            out.push(&outcome);
+        }
+    }
+}
 
 /// The streaming confidence pipeline (see module docs).
 ///
@@ -200,24 +604,33 @@ const STATE_VERSION: u8 = 1;
 ///     .expect("control instructions produce outcomes");
 /// assert!(outcome.prob_bits.is_some()); // PaCo estimates a probability
 /// ```
+///
+/// The batched lane produces the same outcomes from a
+/// [`paco_types::EventBatch`]:
+///
+/// ```
+/// use paco_sim::{OnlineConfig, OnlinePipeline, EstimatorKind, OutcomeBatch};
+/// use paco_types::{DynInstr, EventBatch, Pc};
+///
+/// let config = OnlineConfig::tiny(EstimatorKind::None);
+/// let mut pipe = OnlinePipeline::new(&config);
+/// let mut batch = EventBatch::new();
+/// batch.push(&DynInstr::branch(Pc::new(0x1000), true, Pc::new(0x2000)));
+/// let mut out = OutcomeBatch::new();
+/// pipe.run_batch(&batch, &mut out);
+/// assert_eq!(out.len(), 1);
+/// ```
 pub struct OnlinePipeline {
-    config_hash: u64,
-    resolve_lag: usize,
-    ticks_per_event: u64,
-    tournament: TournamentPredictor,
-    mdc: MdcTable,
-    hist: GlobalHistory,
-    estimator: Box<dyn PathConfidenceEstimator>,
-    pending: VecDeque<PendingBranch>,
-    events: u64,
+    core: PipelineCore,
+    lane: EstimatorLane,
 }
 
 impl std::fmt::Debug for OnlinePipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("OnlinePipeline")
-            .field("estimator", &self.estimator.name())
-            .field("events", &self.events)
-            .field("in_flight", &self.pending.len())
+            .field("estimator", &self.estimator_name())
+            .field("events", &self.core.events)
+            .field("in_flight", &self.core.pending.len())
             .finish_non_exhaustive()
     }
 }
@@ -230,115 +643,75 @@ impl OnlinePipeline {
     /// Panics on configurations [`OnlineConfig::validate`] rejects.
     pub fn new(config: &OnlineConfig) -> Self {
         OnlinePipeline {
-            config_hash: config.canon_hash(),
-            resolve_lag: config.resolve_lag,
-            ticks_per_event: config.ticks_per_event,
-            tournament: TournamentPredictor::new(config.tournament),
-            mdc: MdcTable::new(config.confidence),
-            hist: GlobalHistory::new(config.tournament.history_bits.max(8)),
-            estimator: config.estimator.build(),
-            pending: VecDeque::new(),
-            events: 0,
+            core: PipelineCore {
+                config_hash: config.canon_hash(),
+                resolve_lag: config.resolve_lag,
+                ticks_per_event: config.ticks_per_event,
+                tournament: TournamentPredictor::new(config.tournament),
+                mdc: MdcTable::new(config.confidence),
+                hist: GlobalHistory::new(config.tournament.history_bits.max(8)),
+                pending: Window::new(config.resolve_lag + 1),
+                events: 0,
+            },
+            lane: EstimatorLane::new(&config.estimator),
         }
     }
 
     /// Canonical hash of the configuration this pipeline was built from;
     /// snapshots are only restorable across equal hashes.
     pub fn config_hash(&self) -> u64 {
-        self.config_hash
+        self.core.config_hash
     }
 
     /// Branch events processed so far.
     pub fn events(&self) -> u64 {
-        self.events
+        self.core.events
     }
 
     /// Branches currently in the unresolved window.
     pub fn in_flight(&self) -> usize {
-        self.pending.len()
+        self.core.pending.len()
     }
 
     /// The estimator's display name.
     pub fn estimator_name(&self) -> String {
-        self.estimator.name()
+        self.lane.as_dyn().name()
     }
 
-    /// Processes one instruction. Control instructions produce an
-    /// [`OnlineOutcome`]; anything else is ignored (`None`) — the service
-    /// event stream carries only branches.
+    /// Processes one instruction through the **per-event lane**. Control
+    /// instructions produce an [`OnlineOutcome`]; anything else is
+    /// ignored (`None`) — the service event stream carries only
+    /// branches.
     pub fn on_instr(&mut self, instr: &DynInstr) -> Option<OnlineOutcome> {
         let InstrClass::Control(kind) = instr.class else {
             return None;
         };
-        let pc = instr.pc;
-        let hist_before = self.hist.bits();
-
-        let (info, predicted, mispredicted, conditional) = match kind {
-            ControlKind::Conditional => {
-                let predicted = self.tournament.predict(pc, hist_before);
-                let mdc = self.mdc.read(self.mdc.index(pc, hist_before, predicted));
-                let info = BranchFetchInfo::conditional_keyed(mdc, pc.table_hash() ^ hist_before);
-                (info, predicted, predicted != instr.taken, true)
-            }
-            // The online pipeline has no BTB/RAS/indirect model: service
-            // clients stream *resolved* events, and non-conditional
-            // control contributes no confidence state under JRS coverage
-            // (the paper's perlbmk blind spot, faithfully). Report them
-            // as predicted-taken hits.
-            _ => (BranchFetchInfo::non_conditional(), true, false, false),
-        };
-
-        if conditional {
-            // The architectural outcome is known at event time, so the
-            // history register tracks truth — the same state the machine
-            // reaches after resolving (and, on a miss, repairing) the
-            // branch.
-            self.hist.push(instr.taken);
-        }
-
-        let token = self.estimator.on_fetch(info);
-        let outcome = OnlineOutcome {
-            score: self.estimator.score().0,
-            prob_bits: self
-                .estimator
-                .goodpath_probability()
-                .map(|p| p.value().to_bits()),
-            predicted_taken: predicted,
-            mispredicted,
-        };
-
-        self.pending.push_back(PendingBranch {
-            token,
-            pc: pc.addr(),
-            hist_before,
-            taken: instr.taken,
-            predicted,
-            conditional,
-        });
-        while self.pending.len() > self.resolve_lag {
-            self.resolve_oldest();
-        }
-        self.estimator.tick(self.ticks_per_event);
-        self.events += 1;
-        Some(outcome)
+        let conditional = matches!(kind, ControlKind::Conditional);
+        Some(
+            self.core
+                .step_reference(self.lane.as_dyn_mut(), instr.pc, conditional, instr.taken),
+        )
     }
 
-    /// Resolves the oldest in-flight branch: estimator training, MDC
-    /// update, predictor update — the deferred back half of the event.
-    fn resolve_oldest(&mut self) {
-        let Some(b) = self.pending.pop_front() else {
-            return;
-        };
-        if b.conditional {
-            let pc = Pc::new(b.pc);
-            let mispredicted = b.predicted != b.taken;
-            self.estimator.on_resolve(b.token, mispredicted);
-            let idx = self.mdc.index(pc, b.hist_before, b.predicted);
-            self.mdc.update(idx, !mispredicted);
-            self.tournament
-                .update(pc, b.hist_before, b.taken, b.predicted);
-        } else {
-            self.estimator.on_resolve(b.token, false);
+    /// Processes a whole [`EventBatch`] through the **batched lane**,
+    /// appending one outcome per control event to `out` (non-control
+    /// events are ignored, exactly like [`on_instr`](Self::on_instr)).
+    ///
+    /// The estimator kind is matched once here; the inner loop is
+    /// monomorphized over the concrete estimator and allocation-free.
+    /// Outcomes are identical to feeding the same events through
+    /// `on_instr` one at a time — asserted per outcome and per wire
+    /// byte by the sim/serve suites and digest-checked on every
+    /// `paco-load`/`hotpath` run. The lanes can be interleaved freely
+    /// on one pipeline (they share the tables and the in-flight
+    /// window).
+    pub fn run_batch(&mut self, events: &EventBatch, out: &mut OutcomeBatch) {
+        match &mut self.lane {
+            EstimatorLane::None(est) => self.core.process_batch(est, events, out),
+            EstimatorLane::Paco(est) => self.core.process_batch(est, events, out),
+            EstimatorLane::ThresholdCount(est) => self.core.process_batch(est, events, out),
+            EstimatorLane::StaticMrt(est) => self.core.process_batch(est, events, out),
+            EstimatorLane::PerBranchMrt(est) => self.core.process_batch(est, events, out),
         }
     }
 
@@ -348,14 +721,14 @@ impl OnlinePipeline {
     /// configured pipeline.
     pub fn save_state(&self, out: &mut Vec<u8>) {
         out.push(STATE_VERSION);
-        out.extend_from_slice(&self.config_hash.to_le_bytes());
-        write_uvarint(out, self.events);
-        write_uvarint(out, self.hist.bits());
-        self.tournament.save_state(out);
-        self.mdc.save_state(out);
-        self.estimator.save_state(out);
-        write_uvarint(out, self.pending.len() as u64);
-        for b in &self.pending {
+        out.extend_from_slice(&self.core.config_hash.to_le_bytes());
+        write_uvarint(out, self.core.events);
+        write_uvarint(out, self.core.hist.bits());
+        self.core.tournament.save_state(out);
+        self.core.mdc.save_state(out);
+        self.lane.as_dyn().save_state(out);
+        write_uvarint(out, self.core.pending.len() as u64);
+        for b in self.core.pending.iter() {
             b.token.save_state(out);
             write_uvarint(out, b.pc);
             write_uvarint(out, b.hist_before);
@@ -375,7 +748,7 @@ impl OnlinePipeline {
             return false;
         }
         let (hash_bytes, rest) = rest.split_at(8);
-        if u64::from_le_bytes(hash_bytes.try_into().unwrap()) != self.config_hash {
+        if u64::from_le_bytes(hash_bytes.try_into().unwrap()) != self.core.config_hash {
             return false;
         }
         *input = rest;
@@ -385,19 +758,23 @@ impl OnlinePipeline {
         let Some(hist_bits) = read_uvarint(input) else {
             return false;
         };
-        if !self.tournament.load_state(input)
-            || !self.mdc.load_state(input)
-            || !self.estimator.load_state(input)
+        if !self.core.tournament.load_state(input)
+            || !self.core.mdc.load_state(input)
+            || !self.lane.as_dyn_mut().load_state(input)
         {
             return false;
         }
         let Some(pending_len) = read_uvarint(input) else {
             return false;
         };
-        if pending_len > self.resolve_lag as u64 + 1 {
+        // save_state only runs between events, where the window has been
+        // drained to at most resolve_lag — a longer pending list can only
+        // come from a corrupt or hostile blob (and would overfill the
+        // fixed-capacity ring on the next event).
+        if pending_len > self.core.resolve_lag as u64 {
             return false;
         }
-        let mut pending = VecDeque::with_capacity(pending_len as usize);
+        let mut pending = Window::new(self.core.resolve_lag + 1);
         for _ in 0..pending_len {
             let Some(token) = BranchToken::load_state(input) else {
                 return false;
@@ -415,18 +792,34 @@ impl OnlinePipeline {
                 return false;
             }
             *input = rest;
+            let conditional = flags & 4 != 0;
+            let predicted = flags & 2 != 0;
+            // The cached hash/index are pure functions of the
+            // serialized fields; recomputing them here restores exactly
+            // the values the saving pipeline carried.
+            let pc_hash = if conditional {
+                Pc::new(pc).table_hash()
+            } else {
+                0
+            };
             pending.push_back(PendingBranch {
                 token,
                 pc,
+                pc_hash,
+                mdc_idx: if conditional {
+                    self.core.mdc.index_hashed(pc_hash, hist_before, predicted)
+                } else {
+                    MdcIndex::default()
+                },
                 hist_before,
                 taken: flags & 1 != 0,
-                predicted: flags & 2 != 0,
-                conditional: flags & 4 != 0,
+                predicted,
+                conditional,
             });
         }
-        self.events = events;
-        self.hist.restore(hist_bits);
-        self.pending = pending;
+        self.core.events = events;
+        self.core.hist.restore(hist_bits);
+        self.core.pending = pending;
         true
     }
 }
@@ -451,6 +844,16 @@ mod tests {
         ))
     }
 
+    fn all_kinds() -> [EstimatorKind; 5] {
+        [
+            EstimatorKind::None,
+            EstimatorKind::Paco(PacoConfig::paper().with_refresh_period(500)),
+            EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+            EstimatorKind::StaticMrt,
+            EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
+        ]
+    }
+
     fn stream(n: usize, seed: u64) -> Vec<DynInstr> {
         let mut w = BenchmarkId::Gzip.build(seed);
         (0..n).map(|_| w.next_instr()).collect()
@@ -459,6 +862,25 @@ mod tests {
     fn outcomes(config: &OnlineConfig, instrs: &[DynInstr]) -> Vec<OnlineOutcome> {
         let mut pipe = OnlinePipeline::new(config);
         instrs.iter().filter_map(|i| pipe.on_instr(i)).collect()
+    }
+
+    fn batched_outcomes(
+        config: &OnlineConfig,
+        instrs: &[DynInstr],
+        batch_size: usize,
+    ) -> Vec<OnlineOutcome> {
+        let mut pipe = OnlinePipeline::new(config);
+        let mut batch = EventBatch::new();
+        let mut out = OutcomeBatch::new();
+        let mut collected = Vec::new();
+        for chunk in instrs.chunks(batch_size) {
+            batch.clear();
+            batch.extend_from_instrs(chunk);
+            out.clear();
+            pipe.run_batch(&batch, &mut out);
+            collected.extend(out.iter());
+        }
+        collected
     }
 
     #[test]
@@ -479,20 +901,72 @@ mod tests {
 
     #[test]
     fn every_estimator_kind_serves() {
-        let kinds = [
-            EstimatorKind::None,
-            EstimatorKind::Paco(PacoConfig::paper()),
-            EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
-            EstimatorKind::StaticMrt,
-            EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
-        ];
         let instrs = stream(5_000, 9);
-        for kind in kinds {
+        for kind in all_kinds() {
             let config = OnlineConfig::tiny(kind);
             let out = outcomes(&config, &instrs);
             assert!(!out.is_empty());
             assert_eq!(out, outcomes(&config, &instrs));
         }
+    }
+
+    #[test]
+    fn batched_lane_is_outcome_identical_for_every_estimator() {
+        // The keystone of the batched hot path: run_batch and on_instr
+        // produce the same outcomes, bit for bit, on a stream long
+        // enough to cross MRT refreshes and fill the in-flight window.
+        let instrs = stream(30_000, 21);
+        for kind in all_kinds() {
+            let config = OnlineConfig::tiny(kind);
+            let per_event = outcomes(&config, &instrs);
+            for batch_size in [1, 7, 256] {
+                assert_eq!(
+                    per_event,
+                    batched_outcomes(&config, &instrs, batch_size),
+                    "lane divergence: {kind:?} at batch size {batch_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_interleave_on_one_pipeline() {
+        // Events fetched per-event must resolve correctly inside a later
+        // run_batch and vice versa: the window is shared.
+        let instrs = stream(20_000, 33);
+        let config = paco_tiny();
+        let reference = outcomes(&config, &instrs);
+
+        let mut pipe = OnlinePipeline::new(&config);
+        let mut collected = Vec::new();
+        let mut batch = EventBatch::new();
+        let mut out = OutcomeBatch::new();
+        for (round, chunk) in instrs.chunks(997).enumerate() {
+            if round % 2 == 0 {
+                collected.extend(chunk.iter().filter_map(|i| pipe.on_instr(i)));
+            } else {
+                batch.clear();
+                batch.extend_from_instrs(chunk);
+                out.clear();
+                pipe.run_batch(&batch, &mut out);
+                collected.extend(out.iter());
+            }
+        }
+        assert_eq!(collected, reference);
+    }
+
+    #[test]
+    fn batched_lane_skips_non_control_events() {
+        let config = OnlineConfig::tiny(EstimatorKind::None);
+        let mut pipe = OnlinePipeline::new(&config);
+        let mut batch = EventBatch::new();
+        batch.push(&DynInstr::alu(Pc::new(0x10)));
+        batch.push(&DynInstr::branch(Pc::new(0x14), true, Pc::new(0x40)));
+        batch.push(&DynInstr::alu(Pc::new(0x40)));
+        let mut out = OutcomeBatch::new();
+        pipe.run_batch(&batch, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(pipe.events(), 1);
     }
 
     #[test]
@@ -562,6 +1036,133 @@ mod tests {
             }
         }
         assert_eq!(produced, full);
+    }
+
+    #[test]
+    fn snapshot_resume_continues_the_batched_lane() {
+        // A snapshot taken mid-stream restores into a pipeline that
+        // continues *batched* and still matches the per-event reference.
+        let config = paco_tiny();
+        let instrs = stream(24_000, 13);
+        let full = outcomes(&config, &instrs);
+        let split = instrs.len() / 3;
+
+        let mut first = OnlinePipeline::new(&config);
+        let mut produced: Vec<OnlineOutcome> = instrs[..split]
+            .iter()
+            .filter_map(|i| first.on_instr(i))
+            .collect();
+        let mut blob = Vec::new();
+        first.save_state(&mut blob);
+
+        let mut resumed = OnlinePipeline::new(&config);
+        assert!(resumed.load_state(&mut blob.as_slice()));
+        let mut batch = EventBatch::new();
+        let mut out = OutcomeBatch::new();
+        for chunk in instrs[split..].chunks(512) {
+            batch.clear();
+            batch.extend_from_instrs(chunk);
+            out.clear();
+            resumed.run_batch(&batch, &mut out);
+            produced.extend(out.iter());
+        }
+        assert_eq!(produced, full);
+    }
+
+    #[test]
+    fn snapshot_restores_full_window_at_ring_boundary() {
+        // resolve_lag + 1 a power of two: the ring has exactly
+        // resolve_lag + 1 slots, so a legitimately full window
+        // (resolve_lag entries) must restore and still leave room for
+        // the next event's push.
+        let mut config = paco_tiny();
+        config.resolve_lag = 31;
+        let instrs = stream(24_000, 17);
+        let full = outcomes(&config, &instrs);
+        let split = instrs.len() / 2;
+
+        let mut first = OnlinePipeline::new(&config);
+        let mut produced: Vec<OnlineOutcome> = instrs[..split]
+            .iter()
+            .filter_map(|i| first.on_instr(i))
+            .collect();
+        assert_eq!(first.in_flight(), config.resolve_lag, "window is full");
+        let mut blob = Vec::new();
+        first.save_state(&mut blob);
+
+        let mut resumed = OnlinePipeline::new(&config);
+        assert!(resumed.load_state(&mut blob.as_slice()));
+        let mut batch = EventBatch::new();
+        let mut out = OutcomeBatch::new();
+        for chunk in instrs[split..].chunks(256) {
+            batch.clear();
+            batch.extend_from_instrs(chunk);
+            out.clear();
+            resumed.run_batch(&batch, &mut out);
+            produced.extend(out.iter());
+        }
+        assert_eq!(produced, full);
+    }
+
+    #[test]
+    fn snapshot_rejects_overlong_pending_window() {
+        // save_state runs between events, where the window holds at
+        // most resolve_lag branches; a blob claiming more can only be
+        // hostile or corrupt, and accepting it would overfill the
+        // fixed-capacity ring on the next event. Splice an extra entry
+        // into a real blob and require a clean refusal.
+        use paco_types::wire::read_uvarint;
+
+        let config = OnlineConfig::tiny(EstimatorKind::None);
+        let mut pipe = OnlinePipeline::new(&config);
+        for i in &stream(4_000, 23) {
+            pipe.on_instr(i);
+        }
+        assert_eq!(pipe.in_flight(), config.resolve_lag);
+        let mut blob = Vec::new();
+        pipe.save_state(&mut blob);
+
+        // Walk the blob to the pending section: version + config hash,
+        // two uvarints (events, history), four counter tables (uvarint
+        // length + that many bytes), no estimator state for
+        // EstimatorKind::None.
+        let mut cursor = &blob[1 + 8..];
+        for _ in 0..2 {
+            read_uvarint(&mut cursor).unwrap();
+        }
+        for _ in 0..4 {
+            let len = read_uvarint(&mut cursor).unwrap() as usize;
+            cursor = &cursor[len..];
+        }
+        let pending_at = blob.len() - cursor.len();
+        let mut entries = &blob[pending_at..];
+        let count = read_uvarint(&mut entries).unwrap();
+        assert_eq!(count as usize, config.resolve_lag);
+
+        // One entry: token (uvarint + 2 bytes + uvarint), pc uvarint,
+        // history uvarint, flags byte.
+        let entry_start = blob.len() - entries.len();
+        let mut after = entries;
+        read_uvarint(&mut after).unwrap();
+        after = &after[2..];
+        for _ in 0..3 {
+            read_uvarint(&mut after).unwrap();
+        }
+        after = &after[1..];
+        let entry = blob[entry_start..blob.len() - after.len()].to_vec();
+
+        let mut forged = blob[..pending_at].to_vec();
+        // resolve_lag (8) + 1 still fits a single-byte varint.
+        forged.push(count as u8 + 1);
+        forged.extend_from_slice(&blob[entry_start..]);
+        forged.extend_from_slice(&entry);
+
+        assert!(
+            !OnlinePipeline::new(&config).load_state(&mut forged.as_slice()),
+            "a pending window longer than resolve_lag must be refused"
+        );
+        // The unmodified blob still restores.
+        assert!(OnlinePipeline::new(&config).load_state(&mut blob.as_slice()));
     }
 
     #[test]

@@ -81,7 +81,7 @@ impl<W: Write + Seek> TraceWriter<W> {
     /// Starts a trace on `sink`, writing the header immediately (with a
     /// record-count placeholder that [`finish`](Self::finish) patches).
     ///
-    /// Rejects workload names longer than [`MAX_NAME_LEN`] bytes — the
+    /// Rejects workload names longer than `MAX_NAME_LEN` bytes — the
     /// reader enforces the same bound, and the writer must never produce
     /// a file its own reader rejects.
     pub fn new(mut sink: W, meta: &TraceMeta) -> Result<Self, TraceError> {

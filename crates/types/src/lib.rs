@@ -19,9 +19,10 @@
 //! assert!((hits as f64 - 2_500.0).abs() < 250.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod batch;
 pub mod canon;
 pub mod fingerprint;
 mod history;
@@ -31,6 +32,7 @@ mod prob;
 mod rng;
 pub mod wire;
 
+pub use batch::EventBatch;
 pub use history::GlobalHistory;
 pub use instr::{ControlKind, DynInstr, InstrClass, MemAccess};
 pub use pc::Pc;
