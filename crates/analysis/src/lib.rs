@@ -32,6 +32,6 @@ pub use aggregate::{
     gating_tradeoff, mean, mean_tradeoff, merge_bin_pairs, percentile, GatingTradeoff,
     LatencySummary, RunPoint,
 };
-pub use metrics::{badpath_reduction_pct, hmwipc, perf_delta_pct};
+pub use metrics::{badpath_reduction_pct, coverage_pct, hmwipc, perf_delta_pct};
 pub use reliability::{ReliabilityDiagram, ReliabilityPoint};
 pub use render::{render_diagram_ascii, Table};

@@ -51,6 +51,27 @@ pub fn perf_delta_pct(baseline_ipc: f64, gated_ipc: f64) -> f64 {
     100.0 * (baseline_ipc - gated_ipc) / baseline_ipc
 }
 
+/// Percentage of confidence-bearing events an estimator covered.
+///
+/// The accuracy methodology (paper §4) counts every fetch and execute
+/// event as a potential confidence instance; an estimator that only
+/// scores a subset (e.g. JRS covers conditional branches only) has
+/// coverage below 100%. Returns 0 when there were no events.
+///
+/// # Examples
+///
+/// ```
+/// use paco_analysis::coverage_pct;
+/// assert_eq!(coverage_pct(50, 200), 25.0);
+/// assert_eq!(coverage_pct(0, 0), 0.0);
+/// ```
+pub fn coverage_pct(instances: u64, events: u64) -> f64 {
+    if events == 0 {
+        return 0.0;
+    }
+    100.0 * instances as f64 / events as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

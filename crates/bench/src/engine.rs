@@ -25,7 +25,8 @@
 //! (`seed ^ 0xACC0` for accuracy runs, `^ 0x6A7E` for gating, `^ 0x517` /
 //! `^ 0x53B` / workload `^ 0xF00` for SMT, `^ 0xF1640` for phase windows,
 //! `^ 0xD81F7` for the drifting stress model), so every figure and table
-//! is bit-compatible with its hand-rolled predecessor.
+//! is bit-compatible with its hand-rolled predecessor. Corpus cells
+//! (`robustness`) have no pre-engine ancestor; they salt with `^ 0xC0B50`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -257,6 +258,19 @@ pub fn execute_cell(cell: &CellSpec) -> CellResult {
             let mut machine = MachineBuilder::new(config)
                 .thread(Box::new(drifting_stress_spec().build(seed)), estimator)
                 .seed(seed ^ 0xD81F7)
+                .build();
+            machine.run(config.warmup_for(cell.warmup));
+            machine.reset_stats();
+            let stats = machine.run(cell.instrs);
+            CellResult {
+                stats,
+                phases: Vec::new(),
+            }
+        }
+        CellKind::Corpus { family, estimator } => {
+            let mut machine = MachineBuilder::new(config)
+                .thread(Box::new(family.build(seed)), estimator)
+                .seed(seed ^ 0xC0B50)
                 .build();
             machine.run(config.warmup_for(cell.warmup));
             machine.reset_stats();

@@ -14,11 +14,13 @@
 
 use paco::{LogMode, PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
 use paco_analysis::{
-    gating_tradeoff, mean, mean_tradeoff, merge_bin_pairs, render_diagram_ascii, GatingTradeoff,
-    ReliabilityDiagram, RunPoint, Table,
+    coverage_pct, gating_tradeoff, mean, mean_tradeoff, merge_bin_pairs, render_diagram_ascii,
+    GatingTradeoff, ReliabilityDiagram, RunPoint, Table,
 };
+use paco_corpus::CORPUS;
 use paco_sim::PROB_BINS;
 use paco_sim::{EstimatorKind, FetchPolicy, GatingPolicy};
+use paco_types::canon::Canon;
 use paco_types::Probability;
 use paco_workloads::BenchmarkId::{self, *};
 use paco_workloads::ALL_BENCHMARKS;
@@ -40,6 +42,11 @@ pub enum ExperimentId {
     Fig12,
     TabA1,
     Ablations,
+    /// Corpus-wide robustness sweep: every estimator kind across every
+    /// synthetic workload family of [`paco_corpus::CORPUS`] — the
+    /// systematic answer to "where does the estimator break". Not a
+    /// paper artifact (the paper evaluates on its tuning suite only).
+    Robustness,
     /// End-to-end throughput/latency of the streaming prediction service
     /// (`crate::serve_bench`). Runs a real loopback server — not an
     /// engine cell grid, and never cached.
@@ -51,8 +58,9 @@ pub enum ExperimentId {
     Hotpath,
 }
 
-/// All experiments, in paper order (service measurements last).
-pub const ALL_EXPERIMENTS: [ExperimentId; 10] = [
+/// All experiments, in paper order (corpus and service measurements
+/// last).
+pub const ALL_EXPERIMENTS: [ExperimentId; 11] = [
     ExperimentId::Fig2,
     ExperimentId::Fig3,
     ExperimentId::Tab7,
@@ -61,6 +69,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 10] = [
     ExperimentId::Fig12,
     ExperimentId::TabA1,
     ExperimentId::Ablations,
+    ExperimentId::Robustness,
     ExperimentId::ServeThroughput,
     ExperimentId::Hotpath,
 ];
@@ -77,6 +86,7 @@ impl ExperimentId {
             ExperimentId::Fig12 => "fig12",
             ExperimentId::TabA1 => "tab_a1",
             ExperimentId::Ablations => "ablations",
+            ExperimentId::Robustness => "robustness",
             ExperimentId::ServeThroughput => "serve_throughput",
             ExperimentId::Hotpath => "hotpath",
         }
@@ -93,6 +103,9 @@ impl ExperimentId {
             ExperimentId::Fig12 => "Fig. 12 — SMT fetch prioritization (HMWIPC)",
             ExperimentId::TabA1 => "Appendix Table 1 — MRT variants ablation",
             ExperimentId::Ablations => "refresh-period / log-mode / throttling ablations",
+            ExperimentId::Robustness => {
+                "corpus robustness — every estimator kind × every synthetic workload family"
+            }
             ExperimentId::ServeThroughput => {
                 "streaming service throughput + latency percentiles (loopback, uncached)"
             }
@@ -122,6 +135,7 @@ impl ExperimentId {
             ExperimentId::Fig12 => 200_000,
             ExperimentId::TabA1 => 600_000,
             ExperimentId::Ablations => 400_000,
+            ExperimentId::Robustness => 400_000,
             ExperimentId::ServeThroughput => crate::serve_bench::DEFAULT_INSTRS,
             ExperimentId::Hotpath => crate::hotpath::DEFAULT_INSTRS,
         }
@@ -185,6 +199,13 @@ impl ExperimentId {
                     spec.push(CellSpec::stress(est, p));
                 }
             }
+            ExperimentId::Robustness => {
+                for entry in CORPUS {
+                    for (_, est) in robustness_estimators() {
+                        spec.push(CellSpec::corpus(entry.family, est, entry.seed, p));
+                    }
+                }
+            }
             // Not engine experiments: the CLI routes these to
             // `serve_bench::run_serve_throughput` / `hotpath::run_hotpath`
             // before building a spec; the empty grids keep `spec()` total.
@@ -222,6 +243,7 @@ impl ExperimentId {
             ExperimentId::Fig12 => render_fig12(set),
             ExperimentId::TabA1 => render_tab_a1(set),
             ExperimentId::Ablations => render_ablations(set),
+            ExperimentId::Robustness => render_robustness(set),
             ExperimentId::ServeThroughput => {
                 "serve_throughput runs outside the engine; see `paco-bench run serve_throughput`\n"
                     .to_string()
@@ -795,6 +817,156 @@ fn render_tab_a1(set: &ResultSet<'_>) -> String {
         "Expected ordering under drift (the paper's Appendix-A mechanism):\n\
          dynamic MRT < static MRT, per-branch MRT worst — lifetime rates\n\
          average over regimes the branch is no longer in.\n",
+    );
+    out
+}
+
+// ------------------------------------------------------------------ //
+//  Robustness (corpus sweep)                                          //
+// ------------------------------------------------------------------ //
+
+/// Every estimator kind the robustness sweep exercises, in table order.
+/// `none` runs too: its cells provide the estimator-independent family
+/// profile (mispredict rates, MDC spread).
+pub fn robustness_estimators() -> [(&'static str, EstimatorKind); 5] {
+    [
+        ("PaCo", paco_estimator()),
+        (
+            "JRS-t3",
+            EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+        ),
+        ("StaticMRT", EstimatorKind::StaticMrt),
+        (
+            "PerBranchMRT",
+            EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
+        ),
+        ("none", EstimatorKind::None),
+    ]
+}
+
+/// MDC buckets quoted in the per-family profile (the full 0..16 range is
+/// in `fig2`; these are the knees of the curve).
+const ROBUSTNESS_MDC_BUCKETS: [usize; 7] = [0, 1, 2, 3, 7, 11, 15];
+
+fn render_robustness(set: &ResultSet<'_>) -> String {
+    let p = set.spec.params;
+    let estimators = robustness_estimators();
+    let mut out = String::new();
+    out.push_str("== Robustness: every estimator kind × every corpus family ==\n");
+    out.push_str(&format!(
+        "   ({} instructions/family/estimator, seed {}; families from paco-corpus,\n\
+         \x20   see docs/WORKLOADS.md for the catalog)\n\n",
+        p.instrs, p.seed
+    ));
+
+    // Summary matrix: probability-producing estimators only (JRS emits
+    // counter scores, not probabilities; `none` emits nothing). Select
+    // by capability, not display name — an empty-bin diagram would
+    // render as a perfect 0.0000 RMS.
+    out.push_str("-- accuracy: occurrence-weighted RMS error (lower is better) --\n");
+    let prob_estimators: Vec<&(&str, EstimatorKind)> = estimators
+        .iter()
+        .filter(|(_, est)| {
+            matches!(
+                est,
+                EstimatorKind::Paco(_) | EstimatorKind::StaticMrt | EstimatorKind::PerBranchMrt(_)
+            )
+        })
+        .collect();
+    let mut header = vec!["family"];
+    header.extend(prob_estimators.iter().map(|(n, _)| *n));
+    let mut matrix = Table::new(&header);
+    for entry in CORPUS {
+        let mut row = vec![entry.name.to_string()];
+        for (_, est) in &prob_estimators {
+            let cell = CellSpec::corpus(entry.family, *est, entry.seed, &p);
+            row.push(format!("{:.4}", set.rms(&cell)));
+        }
+        matrix.row_owned(row);
+    }
+    out.push_str(&format!("{}\n", matrix.render()));
+
+    for entry in CORPUS {
+        let knobs: Vec<String> = entry
+            .family
+            .knobs()
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        out.push_str(&format!(
+            "---- {} (seed {}, hash {:016x}) ----\n",
+            entry.name,
+            entry.seed,
+            entry.family.canon_hash()
+        ));
+        out.push_str(&format!(
+            "     {}\n     knobs: {}\n",
+            entry.family.describe(),
+            knobs.join(" ")
+        ));
+
+        // Estimator-independent family profile, from the `none` cell.
+        let none_cell = CellSpec::corpus(entry.family, EstimatorKind::None, entry.seed, &p);
+        let t = &set.get(&none_cell).stats.threads[0];
+        out.push_str(&format!(
+            "     cond mispredict {:.2}%   overall mispredict {:.2}%\n",
+            t.cond_mispredict_pct().unwrap_or(0.0),
+            t.overall_mispredict_pct().unwrap_or(0.0)
+        ));
+        let mut header = vec!["mdc bucket".to_string()];
+        header.extend(ROBUSTNESS_MDC_BUCKETS.iter().map(|b| b.to_string()));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut mdc = Table::new(&header_refs);
+        let mut row = vec!["mispredict %".to_string()];
+        for b in ROBUSTNESS_MDC_BUCKETS {
+            row.push(match t.mdc_bucket_mispredict_pct(b) {
+                Some(pct) => format!("{pct:.1}"),
+                None => "-".to_string(),
+            });
+        }
+        mdc.row_owned(row);
+        out.push_str(&format!("{}\n", mdc.render()));
+
+        // Per-estimator accuracy and coverage. "prob coverage" is the
+        // share of confidence events the estimator assigned a calibrated
+        // probability to — JRS emits counter scores instead, so its
+        // probability coverage is 0 while its score instances are full.
+        let mut table = Table::new(&[
+            "estimator",
+            "RMS",
+            "prob inst",
+            "score inst",
+            "prob coverage %",
+        ]);
+        for (name, est) in estimators {
+            let cell = CellSpec::corpus(entry.family, est, entry.seed, &p);
+            let th = &set.get(&cell).stats.threads[0];
+            let diagram = ReliabilityDiagram::from_bins(&th.prob_instances);
+            let prob_total = diagram.total_instances();
+            let score_total: u64 = th.score_instances.iter().map(|b| b.0).sum();
+            let events = th.fetched + th.executed;
+            table.row_owned(vec![
+                name.to_string(),
+                if prob_total > 0 {
+                    format!("{:.4}", diagram.rms_error())
+                } else {
+                    "-".to_string()
+                },
+                prob_total.to_string(),
+                score_total.to_string(),
+                format!("{:.1}", coverage_pct(prob_total, events)),
+            ]);
+        }
+        out.push_str(&format!("{}\n", table.render()));
+    }
+
+    out.push_str(
+        "Reading guide: biased_bimodal is the floor (everything should be\n\
+         accurate there); mispredict_storm is the adversarial ceiling — no\n\
+         estimator can predict it, so the winner is whoever stays *calibrated*\n\
+         (low RMS at high mispredict rates). phased_flip separates recency-aware\n\
+         designs (dynamic MRT) from lifetime averages (PerBranchMRT), and\n\
+         loop_nest separates history-based prediction from per-site bias.\n",
     );
     out
 }

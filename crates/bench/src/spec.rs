@@ -30,6 +30,7 @@
 //! assert_eq!(spec.cells().len(), 1);
 //! ```
 
+use paco_corpus::CorpusFamily;
 use paco_sim::{EstimatorKind, FetchPolicy, GatingPolicy, SimConfig};
 use paco_types::canon::{fnv1a64, Canon};
 use paco_workloads::BenchmarkId;
@@ -103,6 +104,15 @@ pub enum CellKind {
         /// Estimator under evaluation.
         estimator: EstimatorKind,
     },
+    /// A synthetic corpus family (the `robustness` sweep), accuracy
+    /// methodology on the 4-wide machine. The family recipe is embedded
+    /// verbatim, so its knobs participate in the cell's content hash.
+    Corpus {
+        /// Family recipe to build the workload from.
+        family: CorpusFamily,
+        /// Estimator under evaluation.
+        estimator: EstimatorKind,
+    },
 }
 
 impl CellKind {
@@ -111,6 +121,7 @@ impl CellKind {
         match self {
             CellKind::Accuracy { .. } | CellKind::Gating { .. } => SimConfig::paper_4wide(),
             CellKind::Phased { .. } | CellKind::Stress { .. } => SimConfig::paper_4wide(),
+            CellKind::Corpus { .. } => SimConfig::paper_4wide(),
             CellKind::SmtSingle { .. } => SimConfig::paper_smt_8wide().with_threads(1),
             CellKind::SmtPair { .. } => SimConfig::paper_smt_8wide(),
         }
@@ -156,6 +167,9 @@ impl CellKind {
             ),
             CellKind::Stress { estimator } => {
                 format!("stress/{}", estimator.build().name())
+            }
+            CellKind::Corpus { family, estimator } => {
+                format!("corpus/{}/{}", family.name(), estimator.build().name())
             }
         }
     }
@@ -209,6 +223,11 @@ impl Canon for CellKind {
             }
             CellKind::Stress { estimator } => {
                 out.push(5);
+                estimator.canon(out);
+            }
+            CellKind::Corpus { family, estimator } => {
+                out.push(6);
+                family.canon(out);
                 estimator.canon(out);
             }
         }
@@ -324,6 +343,24 @@ impl CellSpec {
             instrs: total,
             warmup: 0,
             seed: p.seed,
+        }
+    }
+
+    /// A corpus-family cell (accuracy methodology over a synthetic
+    /// family). `corpus_seed` is the manifest entry's seed, folded into
+    /// the experiment seed so entries decorrelate while `PACO_SEED`
+    /// still shifts the whole sweep.
+    pub fn corpus(
+        family: CorpusFamily,
+        estimator: EstimatorKind,
+        corpus_seed: u64,
+        p: &RunParams,
+    ) -> Self {
+        CellSpec {
+            kind: CellKind::Corpus { family, estimator },
+            instrs: p.instrs,
+            warmup: p.warmup,
+            seed: p.seed ^ corpus_seed,
         }
     }
 

@@ -277,3 +277,34 @@ fn all_experiments_render_through_the_engine() {
         );
     }
 }
+
+/// The robustness sweep's corpus cells are as deterministic and
+/// jobs-invariant as every other cell kind: `--jobs 1` and `--jobs 8`
+/// produce byte-equal JSON, and distinct corpus entries never collide on
+/// a content hash (the family recipe is part of the cell identity).
+#[test]
+fn robustness_cells_are_jobs_invariant_and_hash_distinct() {
+    let p = RunParams {
+        instrs: 3_000,
+        seed: 42,
+        warmup: 1_000,
+    };
+    let spec = ExperimentId::Robustness.spec(p);
+    assert_eq!(
+        spec.cells().len(),
+        paco_corpus::CORPUS.len() * paco_bench::experiments::robustness_estimators().len(),
+        "one cell per family x estimator kind"
+    );
+    let mut hashes: Vec<u64> = spec.cells().iter().map(CellSpec::content_hash).collect();
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert_eq!(
+        hashes.len(),
+        spec.cells().len(),
+        "corpus cell hash collision"
+    );
+
+    let seq = Engine::new().jobs(1).run(&spec);
+    let par = Engine::new().jobs(8).run(&spec);
+    assert_eq!(run_json(&spec, &seq), run_json(&spec, &par));
+}

@@ -33,7 +33,7 @@
 //! assert!(pred.predict(pc, 0));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod bimodal;

@@ -1,0 +1,146 @@
+//! `paco-corpus`: inspect and materialize the synthetic workload corpus.
+//!
+//! ```text
+//! paco-corpus list
+//! paco-corpus gen --out-dir DIR [--instrs N] [--jobs J] [--seed S]
+//!                 [--family NAME]... [--sim]
+//! paco-corpus version
+//! ```
+//!
+//! `list` prints the manifest (name, knobs, seed, canonical hash);
+//! `gen` writes one `<name>.paco` trace file per selected entry, through
+//! the same `TraceSink` hook the simulator's recorder uses. Output bytes
+//! are a function of `(family, knobs, seed, --instrs)` alone — identical
+//! across runs and `--jobs` levels.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use paco_corpus::{find_entry, generate, CorpusEntry, GenOptions, CORPUS};
+use paco_types::canon::Canon;
+use paco_types::fingerprint::code_fingerprint;
+
+const USAGE: &str = "\
+usage:
+  paco-corpus list
+  paco-corpus gen --out-dir DIR [--instrs N] [--jobs J] [--seed S]
+                  [--family NAME]... [--sim]
+  paco-corpus version
+
+families: loop_nest call_chain phased_flip markov_walk mispredict_storm
+          biased_bimodal   (default: all)
+defaults: --instrs 1000000, --jobs 1";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("gen") => gen(&args[1..]),
+        Some("version") | Some("--version") | Some("-V") => {
+            println!(
+                "paco-corpus {} fingerprint {:016x}",
+                env!("CARGO_PKG_VERSION"),
+                code_fingerprint()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("--help" | "-h" | "help") | None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("paco-corpus: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn list() {
+    println!(
+        "{:<18} {:<6} {:<18} knobs / sketch",
+        "name", "seed", "canon hash"
+    );
+    for entry in CORPUS {
+        let knobs: Vec<String> = entry
+            .family
+            .knobs()
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!(
+            "{:<18} {:<6} {:016x}  {}",
+            entry.name,
+            entry.seed,
+            entry.family.canon_hash(),
+            knobs.join(" ")
+        );
+        println!("{:<44}  {}", "", entry.family.describe());
+    }
+}
+
+fn gen(args: &[String]) -> Result<ExitCode, String> {
+    let mut out_dir: Option<PathBuf> = None;
+    let mut families: Vec<CorpusEntry> = Vec::new();
+    let mut options = GenOptions::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--out-dir" => out_dir = Some(PathBuf::from(value("--out-dir")?)),
+            "--instrs" => options.instrs = parse_num(&value("--instrs")?, "--instrs")?,
+            "--jobs" => options.jobs = parse_num(&value("--jobs")?, "--jobs")?,
+            "--seed" => options.seed_override = Some(parse_num(&value("--seed")?, "--seed")?),
+            "--sim" => options.sim = true,
+            "--family" => {
+                let name = value("--family")?;
+                let entry = find_entry(&name).ok_or_else(|| {
+                    let known: Vec<&str> = CORPUS.iter().map(|e| e.name).collect();
+                    format!("unknown family `{name}` (known: {})", known.join(" "))
+                })?;
+                if !families.contains(&entry) {
+                    families.push(entry);
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let out_dir = out_dir.ok_or("gen needs --out-dir")?;
+    if options.instrs == 0 || options.jobs == 0 {
+        return Err("--instrs and --jobs must be at least 1".into());
+    }
+    let entries: &[CorpusEntry] = if families.is_empty() {
+        &CORPUS
+    } else {
+        &families
+    };
+
+    let reports = generate(entries, &out_dir, &options).map_err(|e| e.to_string())?;
+    for r in &reports {
+        println!(
+            "{:<18} seed {:<6} hash {:016x} -> {} ({} records)",
+            r.name,
+            r.seed,
+            r.canon_hash,
+            r.path.display(),
+            r.records
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("{flag} expects an integer, got `{v}`"))
+}

@@ -1,0 +1,666 @@
+//! The parametric workload families.
+//!
+//! A [`CorpusFamily`] is a *recipe*: a family discriminant plus a small,
+//! `Copy` knob struct. Building it with a seed yields a
+//! [`CfgWorkload`] — the same generator substrate every benchmark model
+//! uses — so a corpus workload drops into any simulator entry point,
+//! records into paco-trace files, and streams into `paco-served`
+//! sessions unchanged. The [`Canon`] encoding covers the discriminant,
+//! the family name and every knob, so experiment cells over corpus
+//! workloads hash and cache exactly like benchmark cells do.
+
+use paco_types::canon::Canon;
+use paco_types::{InstrClass, Pc, SplitMix64};
+use paco_workloads::{
+    BasicBlock, BehaviorSpec, CfgParams, CfgWorkload, ControlTerminator, DataParams, SyntheticCfg,
+};
+
+/// Knobs of the `loop_nest` family: nested counted loops.
+///
+/// Three loop levels with distinct trip counts, plus a block of biased
+/// body branches. Short trips are learnable by global history; trips
+/// longer than the tournament's 8 history bits are not — the knob that
+/// separates "gshare solves it" from "bimodal floor".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopNestParams {
+    /// Basic blocks in the CFG.
+    pub blocks: usize,
+    /// Trip count of the innermost (hottest) loops.
+    pub inner_trip: u32,
+    /// Trip count of the middle loops.
+    pub mid_trip: u32,
+    /// Trip count of the outermost loops (chosen > history length).
+    pub outer_trip: u32,
+    /// Taken-probability of the non-loop body branches.
+    pub body_bias: f64,
+}
+
+/// Knobs of the `call_chain` family: call/return-dominated control flow.
+///
+/// Raises the call and return terminator weights far above the benchmark
+/// models', producing deep, RAS-stressing call chains with near-perfectly
+/// predictable conditional sites in between.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CallChainParams {
+    /// Basic blocks in the CFG.
+    pub blocks: usize,
+    /// Relative terminator weight of call sites.
+    pub call_weight: f64,
+    /// Relative terminator weight of return sites.
+    pub return_weight: f64,
+    /// Taken-probability of the conditional sites between calls.
+    pub site_bias: f64,
+}
+
+/// Knobs of the `phased_flip` family: regime-switching branch behaviour.
+///
+/// Most conditional sites alternate between an easy and a hard regime
+/// every `period` dynamic instructions — the paper's gcc/mcf pathology
+/// distilled. Estimators keyed to *recent* predictability (the MRT)
+/// should track the flips; lifetime averages should lag them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhasedFlipParams {
+    /// Basic blocks in the CFG.
+    pub blocks: usize,
+    /// Dynamic instructions per phase.
+    pub period: u64,
+    /// Taken-probability in the easy phase.
+    pub easy_taken: f64,
+    /// Taken-probability in the hard phase.
+    pub hard_taken: f64,
+}
+
+/// Knobs of the `markov_walk` family: a pure Markov chain over PCs.
+///
+/// Every state is one basic block ending in a conditional branch whose
+/// taken-probability is drawn (deterministically from the seed) in
+/// `[min_taken, max_taken]`, with a seed-chosen taken-target — the next
+/// PC is a first-order Markov function of the current PC and a coin.
+/// No loops, calls or phases: the cleanest test of per-site probability
+/// estimation over a continuum of mispredict rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarkovWalkParams {
+    /// Markov states (basic blocks); the last one closes the walk.
+    pub states: usize,
+    /// Body instructions per state block.
+    pub body_len: usize,
+    /// Lower bound of per-site taken-probability.
+    pub min_taken: f64,
+    /// Upper bound of per-site taken-probability.
+    pub max_taken: f64,
+}
+
+/// Knobs of the `mispredict_storm` family: adversarial unpredictability.
+///
+/// Coin-flip conditional sites, Markov-modulated bursts and
+/// target-churning indirect jumps — close to the information-theoretic
+/// worst case. No estimator can predict the outcomes; a *good* one must
+/// recognize that and report low confidence (calibration under storm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MispredictStormParams {
+    /// Basic blocks in the CFG.
+    pub blocks: usize,
+    /// Taken-probability of the coin-flip sites (0.5 = maximal entropy).
+    pub coin_taken: f64,
+    /// Behaviour-mix weight of the bursty sites.
+    pub burst_weight: f64,
+    /// Per-execution probability an indirect site switches targets.
+    pub indirect_churn: f64,
+}
+
+/// Knobs of the `biased_bimodal` family: the easy end of the spectrum.
+///
+/// Almost every branch is near-always-taken; bimodal counters learn each
+/// site in a handful of executions. Estimators should saturate at high
+/// confidence — a floor check that nothing *under*-reports certainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasedBimodalParams {
+    /// Basic blocks in the CFG.
+    pub blocks: usize,
+    /// Taken-probability of the dominant sites.
+    pub major_taken: f64,
+    /// Taken-probability of the minority sites.
+    pub minor_taken: f64,
+}
+
+/// A corpus workload family: discriminant + knobs.
+///
+/// `Copy` and canonically serializable on purpose: a family value is
+/// embedded verbatim in `paco-bench` cell specs, where its [`Canon`]
+/// bytes become part of the cell's content hash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorpusFamily {
+    /// Nested counted loops (see [`LoopNestParams`]).
+    LoopNest(LoopNestParams),
+    /// Call/return-dominated control flow (see [`CallChainParams`]).
+    CallChain(CallChainParams),
+    /// Regime-switching behaviour (see [`PhasedFlipParams`]).
+    PhasedFlip(PhasedFlipParams),
+    /// Markov chain over PCs (see [`MarkovWalkParams`]).
+    MarkovWalk(MarkovWalkParams),
+    /// Adversarial unpredictability (see [`MispredictStormParams`]).
+    MispredictStorm(MispredictStormParams),
+    /// Near-always-taken easy branches (see [`BiasedBimodalParams`]).
+    BiasedBimodal(BiasedBimodalParams),
+}
+
+/// Standard instruction-mix fractions shared by the CFG-built families.
+const STD_LOAD_FRAC: f64 = 0.28;
+const STD_STORE_FRAC: f64 = 0.11;
+const STD_MULDIV_FRAC: f64 = 0.03;
+const CODE_BASE: u64 = 0x0040_0000;
+
+fn data_medium() -> DataParams {
+    DataParams {
+        base: 0x1000_0000,
+        footprint: 1 << 21,
+        streams: 4,
+        locality: 0.65,
+    }
+}
+
+impl CorpusFamily {
+    /// The family's stable slug (used as workload name, manifest key and
+    /// trace file stem).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CorpusFamily::LoopNest(_) => "loop_nest",
+            CorpusFamily::CallChain(_) => "call_chain",
+            CorpusFamily::PhasedFlip(_) => "phased_flip",
+            CorpusFamily::MarkovWalk(_) => "markov_walk",
+            CorpusFamily::MispredictStorm(_) => "mispredict_storm",
+            CorpusFamily::BiasedBimodal(_) => "biased_bimodal",
+        }
+    }
+
+    /// One-line branch-behaviour sketch for catalogs and `list` output.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            CorpusFamily::LoopNest(_) => {
+                "nested counted loops; trips straddle the global-history length"
+            }
+            CorpusFamily::CallChain(_) => {
+                "call/return-heavy walks stressing the RAS; easy conditionals"
+            }
+            CorpusFamily::PhasedFlip(_) => "sites flip between easy and hard regimes every period",
+            CorpusFamily::MarkovWalk(_) => "pure Markov PC chain; per-site bias on a continuum",
+            CorpusFamily::MispredictStorm(_) => {
+                "coin-flip sites + bursts + indirect churn; adversarial"
+            }
+            CorpusFamily::BiasedBimodal(_) => {
+                "near-always-taken sites; trivially predictable floor"
+            }
+        }
+    }
+
+    /// The family's knobs as `(name, value)` pairs, in declaration order.
+    ///
+    /// This is the single source the workload catalog
+    /// (`docs/WORKLOADS.md`) is checked against: its per-family knob
+    /// tables must list exactly these names with exactly these rendered
+    /// values (see `crates/corpus/tests/doc_drift.rs`).
+    pub fn knobs(&self) -> Vec<(&'static str, String)> {
+        match self {
+            CorpusFamily::LoopNest(p) => vec![
+                ("blocks", p.blocks.to_string()),
+                ("inner_trip", p.inner_trip.to_string()),
+                ("mid_trip", p.mid_trip.to_string()),
+                ("outer_trip", p.outer_trip.to_string()),
+                ("body_bias", p.body_bias.to_string()),
+            ],
+            CorpusFamily::CallChain(p) => vec![
+                ("blocks", p.blocks.to_string()),
+                ("call_weight", p.call_weight.to_string()),
+                ("return_weight", p.return_weight.to_string()),
+                ("site_bias", p.site_bias.to_string()),
+            ],
+            CorpusFamily::PhasedFlip(p) => vec![
+                ("blocks", p.blocks.to_string()),
+                ("period", p.period.to_string()),
+                ("easy_taken", p.easy_taken.to_string()),
+                ("hard_taken", p.hard_taken.to_string()),
+            ],
+            CorpusFamily::MarkovWalk(p) => vec![
+                ("states", p.states.to_string()),
+                ("body_len", p.body_len.to_string()),
+                ("min_taken", p.min_taken.to_string()),
+                ("max_taken", p.max_taken.to_string()),
+            ],
+            CorpusFamily::MispredictStorm(p) => vec![
+                ("blocks", p.blocks.to_string()),
+                ("coin_taken", p.coin_taken.to_string()),
+                ("burst_weight", p.burst_weight.to_string()),
+                ("indirect_churn", p.indirect_churn.to_string()),
+            ],
+            CorpusFamily::BiasedBimodal(p) => vec![
+                ("blocks", p.blocks.to_string()),
+                ("major_taken", p.major_taken.to_string()),
+                ("minor_taken", p.minor_taken.to_string()),
+            ],
+        }
+    }
+
+    /// Builds the workload, deterministically from `seed`.
+    ///
+    /// Same seed, same knobs → byte-identical instruction stream, on any
+    /// platform and any thread (the stream is a pure function of the
+    /// value and the seed; the corpus property suite asserts this).
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical knobs (zero blocks/states, probabilities
+    /// outside `[0, 1]`, inverted ranges).
+    pub fn build(&self, seed: u64) -> CfgWorkload {
+        self.validate();
+        match self {
+            CorpusFamily::MarkovWalk(p) => build_markov(p, seed, self.name()),
+            _ => {
+                let (params, data) = self.cfg_params();
+                let cfg = SyntheticCfg::build(&params, seed ^ family_salt(self.name()));
+                CfgWorkload::new(self.name(), cfg, data, seed.wrapping_mul(0x9e37))
+            }
+        }
+    }
+
+    /// Panics on out-of-range knobs (see [`build`](Self::build)).
+    fn validate(&self) {
+        let prob = |v: f64, what: &str| {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{}: {what} outside [0, 1]",
+                self.name()
+            );
+        };
+        match self {
+            CorpusFamily::LoopNest(p) => {
+                assert!(p.blocks > 0, "loop_nest: blocks must be positive");
+                assert!(p.inner_trip >= 2 && p.mid_trip >= 2 && p.outer_trip >= 2);
+                prob(p.body_bias, "body_bias");
+            }
+            CorpusFamily::CallChain(p) => {
+                assert!(p.blocks > 0, "call_chain: blocks must be positive");
+                assert!(p.call_weight > 0.0 && p.return_weight > 0.0);
+                prob(p.site_bias, "site_bias");
+            }
+            CorpusFamily::PhasedFlip(p) => {
+                assert!(p.blocks > 0 && p.period > 0);
+                prob(p.easy_taken, "easy_taken");
+                prob(p.hard_taken, "hard_taken");
+            }
+            CorpusFamily::MarkovWalk(p) => {
+                assert!(p.states >= 2, "markov_walk: needs at least two states");
+                assert!(p.body_len >= 1);
+                prob(p.min_taken, "min_taken");
+                prob(p.max_taken, "max_taken");
+                assert!(
+                    p.min_taken <= p.max_taken,
+                    "markov_walk: inverted taken range"
+                );
+            }
+            CorpusFamily::MispredictStorm(p) => {
+                assert!(p.blocks > 0);
+                prob(p.coin_taken, "coin_taken");
+                prob(p.indirect_churn, "indirect_churn");
+                assert!(p.burst_weight >= 0.0);
+            }
+            CorpusFamily::BiasedBimodal(p) => {
+                assert!(p.blocks > 0);
+                prob(p.major_taken, "major_taken");
+                prob(p.minor_taken, "minor_taken");
+            }
+        }
+    }
+
+    /// The CFG construction parameters of the randomized families.
+    fn cfg_params(&self) -> (CfgParams, DataParams) {
+        let base = |blocks, terms, mix, jitter| CfgParams {
+            blocks,
+            min_body: 3,
+            max_body: 9,
+            code_base: CODE_BASE,
+            terminator_weights: terms,
+            behavior_mix: mix,
+            load_frac: STD_LOAD_FRAC,
+            store_frac: STD_STORE_FRAC,
+            muldiv_frac: STD_MULDIV_FRAC,
+            indirect_fanout: 3,
+            indirect_switch_prob: 0.002,
+            bias_jitter: jitter,
+        };
+        match *self {
+            CorpusFamily::LoopNest(p) => (
+                base(
+                    p.blocks,
+                    [0.80, 0.10, 0.04, 0.04, 0.02],
+                    vec![
+                        (BehaviorSpec::Loop(p.inner_trip), 0.35),
+                        (BehaviorSpec::Loop(p.mid_trip), 0.20),
+                        (BehaviorSpec::Loop(p.outer_trip), 0.15),
+                        (BehaviorSpec::Bias(p.body_bias), 0.30),
+                    ],
+                    0.25,
+                ),
+                DataParams::friendly(),
+            ),
+            CorpusFamily::CallChain(p) => (
+                base(
+                    p.blocks,
+                    [0.30, 0.04, p.call_weight, p.return_weight, 0.02],
+                    vec![
+                        (BehaviorSpec::Bias(p.site_bias), 0.70),
+                        (BehaviorSpec::Loop(6), 0.30),
+                    ],
+                    0.25,
+                ),
+                DataParams::friendly(),
+            ),
+            CorpusFamily::PhasedFlip(p) => (
+                base(
+                    p.blocks,
+                    [0.76, 0.08, 0.07, 0.07, 0.02],
+                    vec![
+                        (
+                            BehaviorSpec::Phased {
+                                specs: vec![
+                                    BehaviorSpec::Bias(p.easy_taken),
+                                    BehaviorSpec::Bias(p.hard_taken),
+                                ],
+                                period: p.period,
+                            },
+                            0.65,
+                        ),
+                        (BehaviorSpec::Bias(0.97), 0.35),
+                    ],
+                    0.20,
+                ),
+                data_medium(),
+            ),
+            CorpusFamily::MispredictStorm(p) => {
+                let mut params = base(
+                    p.blocks,
+                    [0.62, 0.08, 0.08, 0.08, 0.14],
+                    vec![
+                        (BehaviorSpec::Bias(p.coin_taken), 0.55),
+                        (
+                            BehaviorSpec::Burst {
+                                calm_taken: 0.88,
+                                enter_burst: 0.01,
+                                exit_burst: 0.04,
+                            },
+                            p.burst_weight,
+                        ),
+                    ],
+                    0.10,
+                );
+                params.indirect_fanout = 8;
+                params.indirect_switch_prob = p.indirect_churn;
+                (
+                    params,
+                    DataParams {
+                        base: 0x1000_0000,
+                        footprint: 1 << 24,
+                        streams: 2,
+                        locality: 0.40,
+                    },
+                )
+            }
+            CorpusFamily::BiasedBimodal(p) => (
+                base(
+                    p.blocks,
+                    [0.78, 0.10, 0.05, 0.05, 0.02],
+                    vec![
+                        (BehaviorSpec::Bias(p.major_taken), 0.85),
+                        (BehaviorSpec::Bias(p.minor_taken), 0.15),
+                    ],
+                    0.15,
+                ),
+                DataParams::friendly(),
+            ),
+            CorpusFamily::MarkovWalk(_) => unreachable!("markov_walk builds its CFG by hand"),
+        }
+    }
+}
+
+/// A per-family construction salt so two families with coincidentally
+/// equal seeds still decorrelate their CFG layouts.
+fn family_salt(name: &str) -> u64 {
+    paco_types::canon::fnv1a64(name.as_bytes())
+}
+
+/// Hand-assembles the Markov-walk CFG: `states − 1` conditional blocks
+/// (one Markov state each) plus a closing jump back to state 0, keeping
+/// the walker's contiguous-fall-through invariant.
+fn build_markov(p: &MarkovWalkParams, seed: u64, name: &str) -> CfgWorkload {
+    let mut rng = SplitMix64::new(seed ^ family_salt(name));
+    let states = p.states;
+    let mut blocks = Vec::with_capacity(states);
+    let mut behaviors = Vec::with_capacity(states - 1);
+    let mut pc_cursor = CODE_BASE;
+    for i in 0..states {
+        let mut body = Vec::with_capacity(p.body_len);
+        let mut deps = Vec::with_capacity(p.body_len);
+        for _ in 0..p.body_len {
+            let draw = rng.next_f64();
+            let class = if draw < STD_LOAD_FRAC {
+                InstrClass::Load
+            } else if draw < STD_LOAD_FRAC + STD_STORE_FRAC {
+                InstrClass::Store
+            } else {
+                InstrClass::Alu
+            };
+            body.push(class);
+            let d0 = if rng.chance_f64(0.7) {
+                1 + rng.below(4) as u32
+            } else {
+                0
+            };
+            deps.push([d0, 0]);
+        }
+        let terminator = if i == states - 1 {
+            ControlTerminator::Jump { target: 0 }
+        } else {
+            let taken = p.min_taken + rng.next_f64() * (p.max_taken - p.min_taken);
+            behaviors.push(BehaviorSpec::Bias(taken));
+            ControlTerminator::Conditional {
+                behavior: behaviors.len() - 1,
+                taken_target: rng.below(states as u64) as usize,
+            }
+        };
+        let start_pc = Pc::new(pc_cursor);
+        pc_cursor += (p.body_len as u64 + 1) * Pc::INSTR_BYTES;
+        blocks.push(BasicBlock {
+            start_pc,
+            body,
+            deps,
+            terminator,
+        });
+    }
+    let cfg = SyntheticCfg::from_parts(blocks, behaviors);
+    CfgWorkload::new(name, cfg, data_medium(), seed.wrapping_mul(0x9e37))
+}
+
+impl std::fmt::Display for CorpusFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Canon for CorpusFamily {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.push(0x60); // type tag
+                        // Discriminant + name (so renames/reorders cannot silently alias
+                        // cache keys), then every knob in declaration order.
+        match self {
+            CorpusFamily::LoopNest(p) => {
+                out.push(0);
+                self.name().canon(out);
+                p.blocks.canon(out);
+                p.inner_trip.canon(out);
+                p.mid_trip.canon(out);
+                p.outer_trip.canon(out);
+                p.body_bias.canon(out);
+            }
+            CorpusFamily::CallChain(p) => {
+                out.push(1);
+                self.name().canon(out);
+                p.blocks.canon(out);
+                p.call_weight.canon(out);
+                p.return_weight.canon(out);
+                p.site_bias.canon(out);
+            }
+            CorpusFamily::PhasedFlip(p) => {
+                out.push(2);
+                self.name().canon(out);
+                p.blocks.canon(out);
+                p.period.canon(out);
+                p.easy_taken.canon(out);
+                p.hard_taken.canon(out);
+            }
+            CorpusFamily::MarkovWalk(p) => {
+                out.push(3);
+                self.name().canon(out);
+                p.states.canon(out);
+                p.body_len.canon(out);
+                p.min_taken.canon(out);
+                p.max_taken.canon(out);
+            }
+            CorpusFamily::MispredictStorm(p) => {
+                out.push(4);
+                self.name().canon(out);
+                p.blocks.canon(out);
+                p.coin_taken.canon(out);
+                p.burst_weight.canon(out);
+                p.indirect_churn.canon(out);
+            }
+            CorpusFamily::BiasedBimodal(p) => {
+                out.push(5);
+                self.name().canon(out);
+                p.blocks.canon(out);
+                p.major_taken.canon(out);
+                p.minor_taken.canon(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CORPUS;
+    use paco_workloads::Workload;
+
+    #[test]
+    fn every_family_builds_and_streams() {
+        for entry in CORPUS {
+            let mut w = entry.family.build(entry.seed);
+            let mut control = 0u64;
+            for _ in 0..20_000 {
+                if w.next_instr().class.is_control() {
+                    control += 1;
+                }
+            }
+            assert!(
+                control > 1_000,
+                "{}: control fraction too low ({control})",
+                entry.name
+            );
+            assert_eq!(w.name(), entry.family.name());
+        }
+    }
+
+    #[test]
+    fn streams_follow_architectural_successors() {
+        for entry in CORPUS {
+            let mut w = entry.family.build(entry.seed);
+            let mut prev = w.next_instr();
+            for _ in 0..20_000 {
+                let cur = w.next_instr();
+                assert_eq!(
+                    cur.pc,
+                    prev.successor(),
+                    "{}: stream must follow architectural successors",
+                    entry.name
+                );
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn canon_hashes_are_distinct_across_families() {
+        let mut hashes: Vec<u64> = CORPUS.iter().map(|e| e.family.canon_hash()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), CORPUS.len());
+    }
+
+    #[test]
+    fn canon_covers_every_knob() {
+        // Tweaking any knob must change the canonical bytes.
+        let base = CorpusFamily::MarkovWalk(MarkovWalkParams {
+            states: 64,
+            body_len: 4,
+            min_taken: 0.55,
+            max_taken: 0.99,
+        });
+        let tweaked = [
+            CorpusFamily::MarkovWalk(MarkovWalkParams {
+                states: 65,
+                ..markov(base)
+            }),
+            CorpusFamily::MarkovWalk(MarkovWalkParams {
+                body_len: 5,
+                ..markov(base)
+            }),
+            CorpusFamily::MarkovWalk(MarkovWalkParams {
+                min_taken: 0.56,
+                ..markov(base)
+            }),
+            CorpusFamily::MarkovWalk(MarkovWalkParams {
+                max_taken: 0.98,
+                ..markov(base)
+            }),
+        ];
+        for t in tweaked {
+            assert_ne!(base.canon_bytes(), t.canon_bytes(), "{t:?}");
+        }
+    }
+
+    fn markov(f: CorpusFamily) -> MarkovWalkParams {
+        match f {
+            CorpusFamily::MarkovWalk(p) => p,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn markov_taken_targets_are_block_starts() {
+        let f = CorpusFamily::MarkovWalk(MarkovWalkParams {
+            states: 48,
+            body_len: 3,
+            min_taken: 0.5,
+            max_taken: 0.99,
+        });
+        let mut w = f.build(7);
+        let starts: std::collections::HashSet<u64> =
+            w.cfg().blocks().iter().map(|b| b.start_pc.addr()).collect();
+        for _ in 0..20_000 {
+            let i = w.next_instr();
+            if i.class.is_control() && i.taken {
+                assert!(starts.contains(&i.target.addr()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted taken range")]
+    fn markov_rejects_inverted_range() {
+        CorpusFamily::MarkovWalk(MarkovWalkParams {
+            states: 8,
+            body_len: 2,
+            min_taken: 0.9,
+            max_taken: 0.1,
+        })
+        .build(1);
+    }
+}

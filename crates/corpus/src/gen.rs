@@ -1,0 +1,181 @@
+//! Materializing corpus workloads into paco-trace files.
+//!
+//! Generation goes through the same [`paco_sim::TraceSink`] hook the simulator's
+//! recorder uses: the default path feeds the goodpath stream straight
+//! into a [`TraceRecorder`] sink (fast — no timing model), and the
+//! `--sim` path attaches the identical sink to a cycle-level machine, so
+//! both paths produce files any `paco-trace` / `paco-load` consumer
+//! accepts. Entries are independent, so generation parallelizes over a
+//! shared cursor exactly like the experiment engine — and, exactly like
+//! the engine, the bytes written are a function of the entry alone,
+//! never of the worker count.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use paco_sim::{EstimatorKind, MachineBuilder, SimConfig};
+use paco_trace::{TraceError, TraceMeta, TraceRecorder};
+use paco_types::canon::Canon;
+use paco_workloads::Workload;
+
+use crate::manifest::CorpusEntry;
+
+/// Options for [`generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenOptions {
+    /// Goodpath instructions to materialize per entry.
+    pub instrs: u64,
+    /// Worker threads (entries are independent; output is identical at
+    /// any level).
+    pub jobs: usize,
+    /// Overrides every entry's manifest seed when set.
+    pub seed_override: Option<u64>,
+    /// Record through a live cycle-level simulation instead of streaming
+    /// the generator directly (slower; also captures the in-flight tail).
+    pub sim: bool,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            instrs: 1_000_000,
+            jobs: 1,
+            seed_override: None,
+            sim: false,
+        }
+    }
+}
+
+/// What one entry materialized to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenReport {
+    /// Manifest name of the entry.
+    pub name: &'static str,
+    /// The trace file written (`<out_dir>/<name>.paco`).
+    pub path: PathBuf,
+    /// Records in the file.
+    pub records: u64,
+    /// The seed the workload was built with.
+    pub seed: u64,
+    /// Canonical hash of the family recipe.
+    pub canon_hash: u64,
+}
+
+/// Materializes `entries` into `<out_dir>/<name>.paco` trace files.
+///
+/// Reports come back in entry order regardless of `jobs`. The first
+/// failing entry's error is returned (workers finish their in-flight
+/// entries first).
+pub fn generate(
+    entries: &[CorpusEntry],
+    out_dir: &Path,
+    options: &GenOptions,
+) -> Result<Vec<GenReport>, TraceError> {
+    std::fs::create_dir_all(out_dir)?;
+    let slots: Vec<OnceLock<Result<GenReport, TraceError>>> =
+        entries.iter().map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let jobs = options.jobs.clamp(1, entries.len().max(1));
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(entry) = entries.get(i) else { break };
+                let result = generate_one(entry, out_dir, options);
+                slots[i]
+                    .set(result)
+                    .expect("each entry slot is written exactly once");
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("worker loop covered every entry"))
+        .collect()
+}
+
+fn generate_one(
+    entry: &CorpusEntry,
+    out_dir: &Path,
+    options: &GenOptions,
+) -> Result<GenReport, TraceError> {
+    let seed = options.seed_override.unwrap_or(entry.seed);
+    let workload = entry.family.build(seed);
+    let meta = TraceMeta::for_workload(&workload);
+    let path = out_dir.join(format!("{}.paco", entry.name));
+    let recorder = TraceRecorder::create(&path, &meta)?;
+
+    if options.sim {
+        let mut machine = MachineBuilder::new(SimConfig::paper_4wide())
+            .thread(Box::new(workload), EstimatorKind::None)
+            .trace_sink(recorder.sink())
+            .seed(seed)
+            .build();
+        machine.run(options.instrs);
+    } else {
+        let mut workload = workload;
+        let mut sink = recorder.sink();
+        for _ in 0..options.instrs {
+            sink.record(&workload.next_instr());
+        }
+    }
+
+    let summary = recorder.finish()?;
+    Ok(GenReport {
+        name: entry.name,
+        path,
+        records: summary.records,
+        seed,
+        canon_hash: entry.family.canon_hash(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CORPUS;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("paco-corpus-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn generates_one_file_per_entry_in_order() {
+        let dir = tmp_dir("order");
+        let options = GenOptions {
+            instrs: 2_000,
+            jobs: 3,
+            ..GenOptions::default()
+        };
+        let reports = generate(&CORPUS[..3], &dir, &options).unwrap();
+        assert_eq!(reports.len(), 3);
+        for (report, entry) in reports.iter().zip(&CORPUS[..3]) {
+            assert_eq!(report.name, entry.name);
+            assert_eq!(report.records, 2_000);
+            assert!(report.path.exists(), "{}", report.path.display());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generated_trace_opens_as_workload() {
+        let dir = tmp_dir("open");
+        let options = GenOptions {
+            instrs: 3_000,
+            ..GenOptions::default()
+        };
+        let reports = generate(&CORPUS[3..4], &dir, &options).unwrap();
+        let mut replay = paco_trace::open_workload(&reports[0].path).unwrap();
+        let mut live = CORPUS[3].family.build(CORPUS[3].seed);
+        for _ in 0..3_000 {
+            assert_eq!(replay.next_instr(), live.next_instr());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

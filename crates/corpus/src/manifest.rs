@@ -1,0 +1,130 @@
+//! The named corpus: one default entry per family.
+//!
+//! An entry pins a family's knobs *and* its seed, so a corpus name is a
+//! complete, reproducible workload identity: `name → family + knobs +
+//! seed`, with the [`Canon`](paco_types::canon::Canon) hash of the
+//! family value serving as the drift-proof fingerprint quoted in
+//! `docs/WORKLOADS.md` and printed by `paco-corpus list`.
+
+use crate::family::{
+    BiasedBimodalParams, CallChainParams, CorpusFamily, LoopNestParams, MarkovWalkParams,
+    MispredictStormParams, PhasedFlipParams,
+};
+
+/// One named corpus workload: a family recipe plus its default seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusEntry {
+    /// Manifest name (equals the family slug for the default corpus).
+    pub name: &'static str,
+    /// The family recipe.
+    pub family: CorpusFamily,
+    /// Default build seed (decorrelates entries from one another).
+    pub seed: u64,
+}
+
+/// The default corpus, in catalog order (easy → adversarial is *not*
+/// the order; it is grouped by mechanism: loops, calls, phases, chains,
+/// storms, floors).
+pub const CORPUS: [CorpusEntry; 6] = [
+    CorpusEntry {
+        name: "loop_nest",
+        family: CorpusFamily::LoopNest(LoopNestParams {
+            blocks: 260,
+            inner_trip: 4,
+            mid_trip: 7,
+            outer_trip: 19,
+            body_bias: 0.93,
+        }),
+        seed: 101,
+    },
+    CorpusEntry {
+        name: "call_chain",
+        family: CorpusFamily::CallChain(CallChainParams {
+            blocks: 520,
+            call_weight: 0.27,
+            return_weight: 0.27,
+            site_bias: 0.96,
+        }),
+        seed: 102,
+    },
+    CorpusEntry {
+        name: "phased_flip",
+        family: CorpusFamily::PhasedFlip(PhasedFlipParams {
+            blocks: 340,
+            period: 60000,
+            easy_taken: 0.995,
+            hard_taken: 0.72,
+        }),
+        seed: 103,
+    },
+    CorpusEntry {
+        name: "markov_walk",
+        family: CorpusFamily::MarkovWalk(MarkovWalkParams {
+            states: 160,
+            body_len: 5,
+            min_taken: 0.52,
+            max_taken: 0.995,
+        }),
+        seed: 104,
+    },
+    CorpusEntry {
+        name: "mispredict_storm",
+        family: CorpusFamily::MispredictStorm(MispredictStormParams {
+            blocks: 300,
+            coin_taken: 0.5,
+            burst_weight: 0.45,
+            indirect_churn: 0.3,
+        }),
+        seed: 105,
+    },
+    CorpusEntry {
+        name: "biased_bimodal",
+        family: CorpusFamily::BiasedBimodal(BiasedBimodalParams {
+            blocks: 240,
+            major_taken: 0.997,
+            minor_taken: 0.9,
+        }),
+        seed: 106,
+    },
+];
+
+/// Looks a corpus entry up by manifest name (case-insensitive).
+pub fn find_entry(name: &str) -> Option<CorpusEntry> {
+    CORPUS
+        .iter()
+        .copied()
+        .find(|e| e.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_match_family_slugs() {
+        let mut names: Vec<&str> = CORPUS.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CORPUS.len());
+        for e in CORPUS {
+            assert_eq!(e.name, e.family.name(), "default corpus uses family slugs");
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let mut seeds: Vec<u64> = CORPUS.iter().map(|e| e.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), CORPUS.len());
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        for e in CORPUS {
+            assert_eq!(find_entry(e.name), Some(e));
+            assert_eq!(find_entry(&e.name.to_uppercase()), Some(e));
+        }
+        assert_eq!(find_entry("no_such_family"), None);
+    }
+}

@@ -1,0 +1,153 @@
+//! Doc-drift guard: the corpus catalog in `docs/WORKLOADS.md` must match
+//! the generator registry in `paco_corpus::CORPUS`.
+//!
+//! Mirrors `crates/serve/tests/doc_drift.rs` (which pins PROTOCOL.md to
+//! `proto.rs`): the document is normative prose for humans; this suite
+//! parses its manifest and per-family knob tables and compares them
+//! against the code, so neither can change without the other. The canon
+//! hash column makes the check airtight — it fingerprints the whole
+//! recipe, so even a knob this parser missed would still trip it.
+
+use std::path::Path;
+
+use paco_corpus::CORPUS;
+use paco_types::canon::Canon;
+
+fn workloads_md() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/WORKLOADS.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Splits a markdown table row into trimmed cells (empty edge cells
+/// from the leading/trailing `|` removed).
+fn row_cells(line: &str) -> Option<Vec<String>> {
+    let line = line.trim();
+    if !line.starts_with('|') || !line.ends_with('|') || line.len() < 2 {
+        return None;
+    }
+    let cells: Vec<String> = line[1..line.len() - 1]
+        .split('|')
+        .map(|c| c.trim().to_string())
+        .collect();
+    // Skip separator rows (|---|---|).
+    if cells
+        .iter()
+        .all(|c| c.chars().all(|ch| ch == '-' || ch == ':'))
+    {
+        return None;
+    }
+    Some(cells)
+}
+
+/// Strips backticks from a code-literal cell.
+fn code(cell: &str) -> &str {
+    cell.trim_matches('`')
+}
+
+#[test]
+fn manifest_table_matches_registry() {
+    let doc = workloads_md();
+    // Manifest rows: | `name` | seed | `hash` | sketch |
+    let mut documented = Vec::new();
+    for line in doc.lines() {
+        let Some(cells) = row_cells(line) else {
+            continue;
+        };
+        if cells.len() != 4 || !cells[0].starts_with('`') {
+            continue;
+        }
+        let Ok(seed) = cells[1].parse::<u64>() else {
+            continue;
+        };
+        documented.push((
+            code(&cells[0]).to_string(),
+            seed,
+            code(&cells[2]).to_string(),
+        ));
+    }
+    assert_eq!(
+        documented.len(),
+        CORPUS.len(),
+        "docs/WORKLOADS.md manifest table must list every corpus entry exactly once: {documented:?}"
+    );
+    for entry in CORPUS {
+        let row = documented
+            .iter()
+            .find(|(name, _, _)| name == entry.name)
+            .unwrap_or_else(|| panic!("docs/WORKLOADS.md: no manifest row for {}", entry.name));
+        assert_eq!(row.1, entry.seed, "{}: documented seed drifted", entry.name);
+        assert_eq!(
+            row.2,
+            format!("{:016x}", entry.family.canon_hash()),
+            "{}: documented canon hash drifted — the recipe changed; update the \
+             manifest row AND the knob table (and rerun the results section)",
+            entry.name
+        );
+    }
+    // No stale rows: every documented name must exist in the registry.
+    for (name, _, _) in &documented {
+        assert!(
+            CORPUS.iter().any(|e| e.name == name),
+            "docs/WORKLOADS.md documents unknown family `{name}`"
+        );
+    }
+}
+
+#[test]
+fn knob_tables_match_registry() {
+    let doc = workloads_md();
+    for entry in CORPUS {
+        let heading = format!("### `{}`", entry.name);
+        let section_start = doc
+            .find(&heading)
+            .unwrap_or_else(|| panic!("docs/WORKLOADS.md: no section {heading}"));
+        let section = &doc[section_start + heading.len()..];
+        let section = match section.find("\n### ") {
+            Some(end) => &section[..end],
+            None => section,
+        };
+        // Knob rows: | `knob` | value |
+        let mut documented = Vec::new();
+        for line in section.lines() {
+            let Some(cells) = row_cells(line) else {
+                continue;
+            };
+            if cells.len() != 2 || !cells[0].starts_with('`') {
+                continue;
+            }
+            documented.push((code(&cells[0]).to_string(), cells[1].clone()));
+        }
+        let expected: Vec<(String, String)> = entry
+            .family
+            .knobs()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        assert_eq!(
+            documented, expected,
+            "{}: knob table drifted from CorpusFamily::knobs()",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn every_family_section_quotes_a_difficulty() {
+    // Each family section promises an estimator-difficulty sketch; keep
+    // the promise literal so the catalog stays useful.
+    let doc = workloads_md();
+    for entry in CORPUS {
+        let heading = format!("### `{}`", entry.name);
+        let start = doc.find(&heading).expect("section exists (tested above)");
+        let section = &doc[start..];
+        let section = match section[heading.len()..].find("\n### ") {
+            Some(end) => &section[..heading.len() + end],
+            None => section,
+        };
+        assert!(
+            section.contains("**Expected"),
+            "{}: section must state the expected estimator difficulty",
+            entry.name
+        );
+    }
+}

@@ -1,34 +1,42 @@
 //! `paco-load`: trace-replay load generator for `paco-served`.
 //!
 //! ```text
-//! paco-load run --addr HOST:PORT --trace FILE [--threads M] [--batch N]
-//!               [--rate EVENTS_PER_SEC] [--events N] [--estimator KIND]
-//!               [--profile paper|tiny] [--lag K] [--json] [--no-parity]
+//! paco-load run --addr HOST:PORT (--trace FILE | --corpus FAMILY)
+//!               [--corpus-seed S] [--corpus-instrs N] [--threads M]
+//!               [--batch N] [--rate EVENTS_PER_SEC] [--events N]
+//!               [--estimator KIND] [--profile paper|tiny] [--lag K]
+//!               [--json] [--no-parity]
 //! paco-load version
 //! ```
 //!
-//! Replays the control-flow events of a recorded `.paco` trace across M
-//! concurrent sessions and reports events/s plus p50/p90/p99 batch
-//! round-trip latency. Unless `--no-parity` is given, every session's
-//! prediction digest is checked against an offline `OnlinePipeline`
-//! replay — a non-zero exit means the service broke byte-parity.
+//! Replays branch events — from a recorded `.paco` trace, or synthesized
+//! in memory from a named `paco-corpus` family — across M concurrent
+//! sessions and reports events/s plus p50/p90/p99 batch round-trip
+//! latency. Unless `--no-parity` is given, every session's prediction
+//! digest is checked against an offline `OnlinePipeline` replay — a
+//! non-zero exit means the service broke byte-parity.
 
 use std::process::ExitCode;
 
 use paco::{PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
-use paco_serve::{control_events, run_load, LoadOptions};
+use paco_corpus::{find_entry, CORPUS};
+use paco_serve::{control_events, corpus_control_events, run_load, LoadOptions};
 use paco_sim::{EstimatorKind, OnlineConfig};
 use paco_types::fingerprint::code_fingerprint;
 
 const USAGE: &str = "\
 usage:
-  paco-load run --addr HOST:PORT --trace FILE [--threads M] [--batch N]
-                [--rate EVENTS_PER_SEC] [--events N] [--estimator KIND]
-                [--profile paper|tiny] [--lag K] [--json] [--no-parity]
+  paco-load run --addr HOST:PORT (--trace FILE | --corpus FAMILY)
+                [--corpus-seed S] [--corpus-instrs N] [--threads M]
+                [--batch N] [--rate EVENTS_PER_SEC] [--events N]
+                [--estimator KIND] [--profile paper|tiny] [--lag K]
+                [--json] [--no-parity]
   paco-load version
 
 estimators: paco count static perbranch none   (default: paco)
-defaults:   --threads 1, --batch 512, --profile paper";
+families:   loop_nest call_chain phased_flip markov_walk mispredict_storm
+            biased_bimodal (seed defaults to the manifest's)
+defaults:   --threads 1, --batch 512, --profile paper, --corpus-instrs 200000";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,6 +84,9 @@ fn parse_estimator(name: &str) -> Result<EstimatorKind, String> {
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut addr = None;
     let mut trace = None;
+    let mut corpus = None;
+    let mut corpus_seed = None;
+    let mut corpus_instrs: Option<u64> = None;
     let mut estimator = "paco".to_string();
     let mut profile = "paper".to_string();
     let mut lag = None;
@@ -92,6 +103,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         match arg.as_str() {
             "--addr" => addr = Some(value("--addr")?),
             "--trace" => trace = Some(value("--trace")?),
+            "--corpus" => corpus = Some(value("--corpus")?),
+            "--corpus-seed" => {
+                corpus_seed = Some(parse_num::<u64>(&value("--corpus-seed")?, "--corpus-seed")?)
+            }
+            "--corpus-instrs" => {
+                corpus_instrs = Some(parse_num(&value("--corpus-instrs")?, "--corpus-instrs")?)
+            }
             "--threads" => options.threads = parse_num(&value("--threads")?, "--threads")?,
             "--batch" => options.batch = parse_num(&value("--batch")?, "--batch")?,
             "--events" => {
@@ -116,7 +134,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let addr = addr.ok_or("run needs --addr")?;
-    let trace = trace.ok_or("run needs --trace")?;
+    if trace.is_some() && corpus.is_some() {
+        return Err("--trace and --corpus are mutually exclusive".into());
+    }
+    if trace.is_none() && corpus.is_none() {
+        return Err("run needs --trace or --corpus".into());
+    }
+    if corpus.is_none() && (corpus_seed.is_some() || corpus_instrs.is_some()) {
+        return Err("--corpus-seed/--corpus-instrs require --corpus".into());
+    }
+    if corpus_instrs == Some(0) {
+        return Err("--corpus-instrs must be at least 1".into());
+    }
     if options.threads == 0 || options.batch == 0 {
         return Err("--threads and --batch must be at least 1".into());
     }
@@ -136,7 +165,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     config.validate()?;
     options.config = config;
 
-    let events = control_events(&trace).map_err(|e| e.to_string())?;
+    let events = match (&trace, &corpus) {
+        (Some(trace), None) => control_events(trace).map_err(|e| e.to_string())?,
+        (None, Some(name)) => {
+            let entry = find_entry(name).ok_or_else(|| {
+                let known: Vec<&str> = CORPUS.iter().map(|e| e.name).collect();
+                format!(
+                    "unknown corpus family `{name}` (known: {})",
+                    known.join(" ")
+                )
+            })?;
+            let seed = corpus_seed.unwrap_or(entry.seed);
+            let instrs = corpus_instrs.unwrap_or(200_000);
+            corpus_control_events(&entry.family, seed, instrs).map_err(|e| e.to_string())?
+        }
+        _ => unreachable!("exactly one source is enforced above"),
+    };
     let report = run_load(addr.as_str(), &events, &options).map_err(|e| e.to_string())?;
 
     if json {

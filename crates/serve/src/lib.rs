@@ -47,7 +47,10 @@ pub mod server;
 pub mod session;
 
 pub use client::{offline_digest, Client, ClientError};
-pub use load::{control_events, run_load, LoadError, LoadOptions, LoadReport, SessionReport};
+pub use load::{
+    control_events, corpus_control_events, run_load, LoadError, LoadOptions, LoadReport,
+    SessionReport,
+};
 pub use proto::{Digest, ErrorCode, FrameKind, ProtoError, PROTOCOL_VERSION};
 pub use server::RunningServer;
 pub use session::{Session, SessionTable};

@@ -140,6 +140,32 @@ pub fn control_events(trace: impl AsRef<Path>) -> Result<Vec<DynInstr>, LoadErro
     Ok(events)
 }
 
+/// Synthesizes the branch events of a corpus workload in memory: builds
+/// the family with `seed`, streams `instrs` goodpath instructions and
+/// keeps the control-flow ones — no trace file needed. The stream is a
+/// pure function of `(family, seed, instrs)`, so two load runs against
+/// the same corpus arguments replay identical events (and their parity
+/// digests are comparable run to run).
+pub fn corpus_control_events(
+    family: &paco_corpus::CorpusFamily,
+    seed: u64,
+    instrs: u64,
+) -> Result<Vec<DynInstr>, LoadError> {
+    use paco_workloads::Workload;
+    let mut workload = family.build(seed);
+    let mut events = Vec::new();
+    for _ in 0..instrs {
+        let instr = workload.next_instr();
+        if instr.class.is_control() {
+            events.push(instr);
+        }
+    }
+    if events.is_empty() {
+        return Err(LoadError::EmptyTrace);
+    }
+    Ok(events)
+}
+
 /// Runs one load session: streams `events` in batches, measuring each
 /// round trip.
 fn run_session(

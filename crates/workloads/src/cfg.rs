@@ -297,6 +297,63 @@ impl SyntheticCfg {
         }
     }
 
+    /// Assembles a CFG from explicit blocks and behaviour specs.
+    ///
+    /// This is the programmatic-construction entry point for generators
+    /// that need precise control over structure (e.g. the `paco-corpus`
+    /// Markov-walk family, where every transition probability is a
+    /// parameter) instead of [`build`](Self::build)'s randomized layout.
+    /// The walker's invariants still apply: blocks must be laid out
+    /// contiguously (a not-taken conditional falls through to the next
+    /// block's start PC), and the caller should make the last block an
+    /// explicit [`ControlTerminator::Jump`] so the walk never falls off
+    /// the end non-sequentially.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `blocks` is empty, blocks overlap or are unordered, or
+    /// a terminator references an out-of-range behaviour or block index.
+    pub fn from_parts(blocks: Vec<BasicBlock>, behaviors: Vec<BehaviorSpec>) -> Self {
+        assert!(!blocks.is_empty(), "CFG needs at least one block");
+        for w in blocks.windows(2) {
+            // Strict equality: a gap would make a not-taken conditional
+            // "fall through" to a PC that is not its architectural
+            // successor, breaking the stream-continuity invariant that
+            // trace delta-PC encoding and replay depend on.
+            assert!(
+                w[0].end_pc() == w[1].start_pc,
+                "blocks must be laid out contiguously and in order"
+            );
+        }
+        let nblocks = blocks.len();
+        for b in &blocks {
+            match &b.terminator {
+                ControlTerminator::Conditional {
+                    behavior,
+                    taken_target,
+                } => {
+                    assert!(*behavior < behaviors.len(), "behaviour index out of range");
+                    assert!(*taken_target < nblocks, "taken target out of range");
+                }
+                ControlTerminator::Jump { target } | ControlTerminator::Call { target } => {
+                    assert!(*target < nblocks, "target out of range");
+                }
+                ControlTerminator::Indirect { targets, .. } => {
+                    for t in targets {
+                        assert!(*t < nblocks, "indirect target out of range");
+                    }
+                }
+                ControlTerminator::Return | ControlTerminator::FallThrough => {}
+            }
+        }
+        let code_bytes = blocks.last().unwrap().end_pc().addr() - blocks[0].start_pc.addr();
+        SyntheticCfg {
+            blocks,
+            behaviors,
+            code_bytes,
+        }
+    }
+
     /// The basic blocks.
     pub fn blocks(&self) -> &[BasicBlock] {
         &self.blocks
@@ -379,6 +436,46 @@ mod tests {
         p.blocks = 512;
         let large = SyntheticCfg::build(&p, 3).code_bytes();
         assert!(large > 8 * small);
+    }
+
+    #[test]
+    fn from_parts_assembles_and_validates() {
+        let blocks = vec![
+            BasicBlock {
+                start_pc: Pc::new(0x1000),
+                body: vec![InstrClass::Alu],
+                deps: vec![[0, 0]],
+                terminator: ControlTerminator::Conditional {
+                    behavior: 0,
+                    taken_target: 1,
+                },
+            },
+            BasicBlock {
+                start_pc: Pc::new(0x1008),
+                body: vec![],
+                deps: vec![],
+                terminator: ControlTerminator::Jump { target: 0 },
+            },
+        ];
+        let cfg = SyntheticCfg::from_parts(blocks, vec![BehaviorSpec::Bias(0.5)]);
+        assert_eq!(cfg.blocks().len(), 2);
+        assert_eq!(cfg.conditional_sites(), 1);
+        assert_eq!(cfg.code_bytes(), 0xc);
+    }
+
+    #[test]
+    #[should_panic(expected = "behaviour index out of range")]
+    fn from_parts_rejects_dangling_behavior() {
+        let blocks = vec![BasicBlock {
+            start_pc: Pc::new(0x1000),
+            body: vec![],
+            deps: vec![],
+            terminator: ControlTerminator::Conditional {
+                behavior: 3,
+                taken_target: 0,
+            },
+        }];
+        SyntheticCfg::from_parts(blocks, vec![]);
     }
 
     #[test]

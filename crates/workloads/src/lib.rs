@@ -27,7 +27,7 @@
 //! assert!(i.pc.addr() > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod behavior;
@@ -38,7 +38,7 @@ mod spec;
 mod wrong_path;
 
 pub use behavior::{BehaviorSpec, BehaviorState};
-pub use cfg::{BasicBlock, ControlTerminator, SyntheticCfg};
+pub use cfg::{BasicBlock, CfgParams, ControlTerminator, SyntheticCfg};
 pub use generator::{CfgWorkload, DataParams};
 pub use replay::{BufferSource, ReplaySource, TraceWorkload};
 pub use spec::{drifting_stress_spec, BenchmarkId, ModelSpec, ALL_BENCHMARKS};
