@@ -24,6 +24,7 @@
 #![warn(missing_debug_implementations)]
 
 mod aggregate;
+mod drift;
 mod metrics;
 mod reliability;
 mod render;
@@ -32,6 +33,7 @@ pub use aggregate::{
     gating_tradeoff, mean, mean_tradeoff, merge_bin_pairs, percentile, GatingTradeoff,
     LatencySummary, RunPoint,
 };
+pub use drift::{occupancy_distance, CusumDetector};
 pub use metrics::{badpath_reduction_pct, coverage_pct, hmwipc, perf_delta_pct};
 pub use reliability::{ReliabilityDiagram, ReliabilityPoint};
 pub use render::{render_diagram_ascii, Table};

@@ -57,6 +57,8 @@ pub fn run_at(instrs: u64, seed: u64) -> Result<LoadReport, String> {
         events_per_thread: None,
         target_rate: None,
         parity_check: true,
+        watch: false,
+        family: None,
     };
     let report = run_load(server.addr(), &events, &options).map_err(|e| e.to_string())?;
     server.stop();

@@ -25,11 +25,16 @@ usage:
   paco-corpus list
   paco-corpus gen --out-dir DIR [--instrs N] [--jobs J] [--seed S]
                   [--family NAME]... [--sim]
+  paco-corpus profiles
   paco-corpus version
 
 families: loop_nest call_chain phased_flip markov_walk mispredict_storm
           biased_bimodal   (default: all)
-defaults: --instrs 1000000, --jobs 1";
+defaults: --instrs 1000000, --jobs 1
+
+`profiles` regenerates the reference calibration profiles the serving
+layer's drift detector compares sessions against, in the exact shape of
+the pinned REFERENCE_PROFILE_HASHES table.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +44,10 @@ fn main() -> ExitCode {
             Ok(ExitCode::SUCCESS)
         }
         Some("gen") => gen(&args[1..]),
+        Some("profiles") => {
+            profiles();
+            Ok(ExitCode::SUCCESS)
+        }
         Some("version") | Some("--version") | Some("-V") => {
             println!(
                 "paco-corpus {} fingerprint {:016x}",
@@ -83,6 +92,36 @@ fn list() {
         );
         println!("{:<44}  {}", "", entry.family.describe());
     }
+}
+
+fn profiles() {
+    let computed: Vec<_> = CORPUS
+        .iter()
+        .map(|entry| (entry.name, paco_corpus::compute_reference(entry)))
+        .collect();
+    println!(
+        "{:<18} {:<8} {:<9} {:<9} {:<18}",
+        "name", "events", "w/prob", "mispred", "canon hash"
+    );
+    for (name, p) in &computed {
+        println!(
+            "{:<18} {:<8} {:<9} {:<9.4} {:016x}",
+            name,
+            p.events(),
+            p.with_prob(),
+            p.mispredict_rate(),
+            p.canon_hash()
+        );
+    }
+    println!();
+    println!(
+        "pub const REFERENCE_PROFILE_HASHES: [(&str, u64); {}] = [",
+        CORPUS.len()
+    );
+    for (name, p) in &computed {
+        println!("    (\"{name}\", 0x{:016x}),", p.canon_hash());
+    }
+    println!("];");
 }
 
 fn gen(args: &[String]) -> Result<ExitCode, String> {

@@ -49,6 +49,7 @@
 mod family;
 mod gen;
 mod manifest;
+mod profiles;
 
 pub use family::{
     BiasedBimodalParams, CallChainParams, CorpusFamily, LoopNestParams, MarkovWalkParams,
@@ -56,3 +57,7 @@ pub use family::{
 };
 pub use gen::{generate, GenOptions, GenReport};
 pub use manifest::{find_entry, CorpusEntry, CORPUS};
+pub use profiles::{
+    compute_reference, prob_bin, reference_profile, CalibrationProfile, PROFILE_BINS,
+    PROFILE_WARMUP, PROFILE_WINDOW, REFERENCE_INSTRS, REFERENCE_PROFILE_HASHES,
+};

@@ -5,6 +5,8 @@
 //!               [--corpus-seed S] [--corpus-instrs N] [--threads M]
 //!               [--batch N] [--rate EVENTS_PER_SEC] [--events N]
 //!               [--estimator KIND] [--profile paper|tiny] [--lag K]
+//!               [--watch] [--family NAME] [--splice FAMILY]
+//!               [--splice-instrs N] [--splice-seed S]
 //!               [--json] [--no-parity]
 //! paco-load version
 //! ```
@@ -15,12 +17,22 @@
 //! latency. Unless `--no-parity` is given, every session's prediction
 //! digest is checked against an offline `OnlinePipeline` replay — a
 //! non-zero exit means the service broke byte-parity.
+//!
+//! `--watch` declares each session's workload family at HELLO time
+//! (default: the `--corpus` family; override with `--family`) and polls
+//! the server's STATS telemetry, so the final report shows per-session
+//! calibration and the drift verdict. `--splice FAMILY` switches the
+//! synthesized stream to a second family mid-run — the drift-detection
+//! demo: `--corpus biased_bimodal --watch --splice mispredict_storm`
+//! must flag, the unspliced run must not.
 
 use std::process::ExitCode;
 
 use paco::{PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
 use paco_corpus::{find_entry, CORPUS};
-use paco_serve::{control_events, corpus_control_events, run_load, LoadOptions};
+use paco_serve::{
+    control_events, corpus_control_events, corpus_splice_events, run_load, LoadOptions,
+};
 use paco_sim::{EstimatorKind, OnlineConfig};
 use paco_types::fingerprint::code_fingerprint;
 
@@ -30,13 +42,19 @@ usage:
                 [--corpus-seed S] [--corpus-instrs N] [--threads M]
                 [--batch N] [--rate EVENTS_PER_SEC] [--events N]
                 [--estimator KIND] [--profile paper|tiny] [--lag K]
+                [--watch] [--family NAME] [--splice FAMILY]
+                [--splice-instrs N] [--splice-seed S]
                 [--json] [--no-parity]
   paco-load version
 
 estimators: paco count static perbranch none   (default: paco)
 families:   loop_nest call_chain phased_flip markov_walk mispredict_storm
             biased_bimodal (seed defaults to the manifest's)
-defaults:   --threads 1, --batch 512, --profile paper, --corpus-instrs 200000";
+defaults:   --threads 1, --batch 512, --profile paper, --corpus-instrs 200000
+watch:      --watch declares the --corpus family (or --family NAME) and
+            polls STATS; --splice FAMILY switches the stream to a second
+            family mid-run to exercise the drift detector
+            (--splice-instrs defaults to --corpus-instrs)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +109,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut profile = "paper".to_string();
     let mut lag = None;
     let mut json = false;
+    let mut watch = false;
+    let mut family = None;
+    let mut splice = None;
+    let mut splice_instrs: Option<u64> = None;
+    let mut splice_seed = None;
     let mut options = LoadOptions::default();
 
     let mut it = args.iter();
@@ -128,6 +151,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             "--estimator" => estimator = value("--estimator")?,
             "--profile" => profile = value("--profile")?,
             "--lag" => lag = Some(parse_num::<usize>(&value("--lag")?, "--lag")?),
+            "--watch" => watch = true,
+            "--family" => family = Some(value("--family")?),
+            "--splice" => splice = Some(value("--splice")?),
+            "--splice-instrs" => {
+                splice_instrs = Some(parse_num(&value("--splice-instrs")?, "--splice-instrs")?)
+            }
+            "--splice-seed" => {
+                splice_seed = Some(parse_num::<u64>(&value("--splice-seed")?, "--splice-seed")?)
+            }
             "--json" => json = true,
             "--no-parity" => options.parity_check = false,
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
@@ -145,6 +177,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     if corpus_instrs == Some(0) {
         return Err("--corpus-instrs must be at least 1".into());
+    }
+    if splice.is_some() && corpus.is_none() {
+        return Err("--splice requires --corpus (it splices synthesized streams)".into());
+    }
+    if splice.is_none() && (splice_instrs.is_some() || splice_seed.is_some()) {
+        return Err("--splice-instrs/--splice-seed require --splice".into());
+    }
+    if splice_instrs == Some(0) {
+        return Err("--splice-instrs must be at least 1".into());
+    }
+    if family.is_some() && !watch {
+        return Err("--family requires --watch (it pins the drift detector)".into());
     }
     if options.threads == 0 || options.batch == 0 {
         return Err("--threads and --batch must be at least 1".into());
@@ -168,19 +212,37 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let events = match (&trace, &corpus) {
         (Some(trace), None) => control_events(trace).map_err(|e| e.to_string())?,
         (None, Some(name)) => {
-            let entry = find_entry(name).ok_or_else(|| {
-                let known: Vec<&str> = CORPUS.iter().map(|e| e.name).collect();
-                format!(
-                    "unknown corpus family `{name}` (known: {})",
-                    known.join(" ")
-                )
-            })?;
+            let entry = lookup_family(name)?;
             let seed = corpus_seed.unwrap_or(entry.seed);
             let instrs = corpus_instrs.unwrap_or(200_000);
-            corpus_control_events(&entry.family, seed, instrs).map_err(|e| e.to_string())?
+            if watch && family.is_none() {
+                // A watched corpus run declares its own family by
+                // default, so the server pins the right reference.
+                family = Some(entry.name.to_string());
+            }
+            match &splice {
+                Some(splice_name) => {
+                    let splice_entry = lookup_family(splice_name)?;
+                    let (events, _) = corpus_splice_events(
+                        &entry.family,
+                        seed,
+                        instrs,
+                        &splice_entry.family,
+                        splice_seed.unwrap_or(splice_entry.seed),
+                        splice_instrs.unwrap_or(instrs),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    events
+                }
+                None => {
+                    corpus_control_events(&entry.family, seed, instrs).map_err(|e| e.to_string())?
+                }
+            }
         }
         _ => unreachable!("exactly one source is enforced above"),
     };
+    options.watch = watch;
+    options.family = family;
     let report = run_load(addr.as_str(), &events, &options).map_err(|e| e.to_string())?;
 
     if json {
@@ -200,4 +262,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
     v.parse()
         .map_err(|_| format!("{flag} expects an integer, got `{v}`"))
+}
+
+fn lookup_family(name: &str) -> Result<paco_corpus::CorpusEntry, String> {
+    find_entry(name).ok_or_else(|| {
+        let known: Vec<&str> = CORPUS.iter().map(|e| e.name).collect();
+        format!(
+            "unknown corpus family `{name}` (known: {})",
+            known.join(" ")
+        )
+    })
 }

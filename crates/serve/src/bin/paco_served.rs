@@ -1,26 +1,30 @@
 //! `paco-served`: the streaming path-confidence prediction server.
 //!
 //! ```text
-//! paco-served serve [--addr 127.0.0.1:7421] [--shards N]
+//! paco-served serve [--addr 127.0.0.1:7421] [--shards N] [--fleet-log SECS]
 //! paco-served version
 //! ```
 //!
 //! Sessions are negotiated per connection (the client brings its own
 //! `OnlineConfig`); see `docs/PROTOCOL.md`. `version` prints the
 //! executable fingerprint exchanged in the handshake, so client/server
-//! build mismatches are debuggable.
+//! build mismatches are debuggable. `--fleet-log SECS` prints one
+//! fleet-telemetry line (sessions, events/s, drift-flagged count) to
+//! stdout every SECS seconds — the operator's heartbeat view of the
+//! same aggregate the STATS frame carries.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use paco_serve::RunningServer;
 use paco_types::fingerprint::code_fingerprint;
 
 const USAGE: &str = "\
 usage:
-  paco-served serve [--addr 127.0.0.1:7421] [--shards N]
+  paco-served serve [--addr 127.0.0.1:7421] [--shards N] [--fleet-log SECS]
   paco-served version
 
-defaults: --addr 127.0.0.1:7421, --shards 8";
+defaults: --addr 127.0.0.1:7421, --shards 8, fleet logging off";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +57,7 @@ fn main() -> ExitCode {
 fn serve(args: &[String]) -> Result<ExitCode, String> {
     let mut addr = "127.0.0.1:7421".to_string();
     let mut shards = 8usize;
+    let mut fleet_log: Option<u64> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -66,6 +71,16 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                     return Err("--shards must be at least 1".into());
                 }
             }
+            "--fleet-log" => {
+                let v = it.next().ok_or("--fleet-log needs a value")?;
+                let secs: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--fleet-log expects seconds, got `{v}`"))?;
+                if secs == 0 {
+                    return Err("--fleet-log must be at least 1 second".into());
+                }
+                fleet_log = Some(secs);
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -77,7 +92,30 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
         shards,
         code_fingerprint()
     );
+    if let Some(secs) = fleet_log {
+        spawn_fleet_logger(&server, Duration::from_secs(secs));
+    }
     // Foreground until killed; every connection gets its own thread.
     server.join();
     Ok(ExitCode::SUCCESS)
+}
+
+/// Spawns a detached thread printing one fleet-telemetry line every
+/// `period`. The server outlives the logger (the process runs until
+/// killed), so the thread holds only the cheap snapshot handles.
+fn spawn_fleet_logger(server: &RunningServer, period: Duration) {
+    let snapshot = server.fleet_handle();
+    std::thread::spawn(move || loop {
+        std::thread::sleep(period);
+        let fleet = snapshot();
+        println!(
+            "fleet: active {} parked {} seen {} flagged {} events {} ({:.0} ev/s)",
+            fleet.sessions_active,
+            fleet.sessions_parked,
+            fleet.sessions_seen,
+            fleet.flagged_sessions,
+            fleet.events,
+            f64::from_bits(fleet.events_per_sec_bits),
+        );
+    });
 }

@@ -10,9 +10,9 @@ use paco_types::fingerprint::code_fingerprint;
 use paco_types::DynInstr;
 
 use crate::proto::{
-    decode_error, decode_outcomes, decode_snapshot, decode_welcome, encode_events, encode_hello,
-    encode_outcomes, read_frame, write_frame, Digest, ErrorCode, Frame, FrameKind, Hello,
-    ProtoError, Resume, Snapshot, PROTOCOL_VERSION,
+    decode_error, decode_outcomes, decode_snapshot, decode_stats, decode_welcome, encode_events,
+    encode_hello, encode_outcomes, read_frame, write_frame, Digest, ErrorCode, Frame, FrameKind,
+    Hello, ProtoError, Resume, Snapshot, Stats, PROTOCOL_VERSION,
 };
 
 /// A client-side failure.
@@ -64,7 +64,20 @@ pub struct Client {
 impl Client {
     /// Opens a fresh session.
     pub fn connect(addr: impl ToSocketAddrs, config: &OnlineConfig) -> Result<Self, ClientError> {
-        Self::handshake(addr, config, Resume::Fresh)
+        Self::handshake(addr, config, Resume::Fresh, None)
+    }
+
+    /// Opens a fresh session declaring a workload family: the server
+    /// pins the session's drift detector against that family's
+    /// reference calibration profile (see the STATS frame). Unknown
+    /// names are refused with
+    /// [`ErrorCode::UnknownFamily`](crate::proto::ErrorCode).
+    pub fn connect_declaring(
+        addr: impl ToSocketAddrs,
+        config: &OnlineConfig,
+        family: &str,
+    ) -> Result<Self, ClientError> {
+        Self::handshake(addr, config, Resume::Fresh, Some(family.to_owned()))
     }
 
     /// Reclaims a session the server parked when a previous connection
@@ -74,7 +87,7 @@ impl Client {
         config: &OnlineConfig,
         session_id: u64,
     ) -> Result<Self, ClientError> {
-        Self::handshake(addr, config, Resume::SessionId(session_id))
+        Self::handshake(addr, config, Resume::SessionId(session_id), None)
     }
 
     /// Opens a session restored from a snapshot blob the client carried
@@ -84,13 +97,14 @@ impl Client {
         config: &OnlineConfig,
         state: Vec<u8>,
     ) -> Result<Self, ClientError> {
-        Self::handshake(addr, config, Resume::State(state))
+        Self::handshake(addr, config, Resume::State(state), None)
     }
 
     fn handshake(
         addr: impl ToSocketAddrs,
         config: &OnlineConfig,
         resume: Resume,
+        family: Option<String>,
     ) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -109,6 +123,7 @@ impl Client {
             config: *config,
             config_hash: crate::proto::config_hash(config),
             resume,
+            family,
         };
         write_frame(&mut client.writer, FrameKind::Hello, &encode_hello(&hello))
             .map_err(ProtoError::Io)?;
@@ -176,6 +191,15 @@ impl Client {
         write_frame(&mut self.writer, FrameKind::SnapshotReq, &[]).map_err(ProtoError::Io)?;
         let frame = self.expect_frame(FrameKind::Snapshot)?;
         Ok(decode_snapshot(&frame.payload)?)
+    }
+
+    /// Requests the session's watch telemetry plus the fleet snapshot.
+    /// Stats polling never touches the prediction [`digest`](Self::digest)
+    /// — parity checks are unaffected by how often a client watches.
+    pub fn stats(&mut self) -> Result<Stats, ClientError> {
+        write_frame(&mut self.writer, FrameKind::StatsReq, &[]).map_err(ProtoError::Io)?;
+        let frame = self.expect_frame(FrameKind::Stats)?;
+        Ok(decode_stats(&frame.payload)?)
     }
 
     /// Closes the session cleanly; the server discards it (it will not

@@ -45,12 +45,16 @@ pub mod load;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod watch;
 
 pub use client::{offline_digest, Client, ClientError};
 pub use load::{
-    control_events, corpus_control_events, run_load, LoadError, LoadOptions, LoadReport,
-    SessionReport,
+    control_events, corpus_control_events, corpus_splice_events, run_load, LoadError, LoadOptions,
+    LoadReport, SessionReport, SessionWatch,
 };
-pub use proto::{Digest, ErrorCode, FrameKind, ProtoError, PROTOCOL_VERSION};
+pub use proto::{
+    Digest, ErrorCode, FleetStats, FrameKind, ProtoError, SessionStats, Stats, PROTOCOL_VERSION,
+};
 pub use server::RunningServer;
 pub use session::{Session, SessionTable};
+pub use watch::{FleetAggregator, WatchState, DRIFT_LIMIT, DRIFT_THRESHOLD, WATCH_WINDOW};

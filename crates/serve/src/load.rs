@@ -37,6 +37,12 @@ pub struct LoadOptions {
     pub target_rate: Option<f64>,
     /// Compare each session's digest against the offline pipeline.
     pub parity_check: bool,
+    /// Poll STATS mid-run and report each session's watch telemetry
+    /// (drift flag, calibration error) in the final report.
+    pub watch: bool,
+    /// Workload family declared at HELLO time, pinning the server-side
+    /// drift detector against that family's reference profile.
+    pub family: Option<String>,
 }
 
 impl Default for LoadOptions {
@@ -48,6 +54,50 @@ impl Default for LoadOptions {
             events_per_thread: None,
             target_rate: None,
             parity_check: true,
+            watch: false,
+            family: None,
+        }
+    }
+}
+
+/// One session's watch telemetry, as read from its final STATS frame.
+#[derive(Debug, Clone)]
+pub struct SessionWatch {
+    /// The declared family, if any.
+    pub family: Option<String>,
+    /// Completed rolling windows.
+    pub windows: u64,
+    /// Lifetime mispredict rate.
+    pub mispredict_rate: f64,
+    /// Occurrence-weighted calibration RMS error of the session's
+    /// lifetime reliability bins.
+    pub rms_error: f64,
+    /// The most recent window's divergence from the reference profile.
+    pub last_divergence: f64,
+    /// The CUSUM drift accumulator.
+    pub cusum: f64,
+    /// Whether the drift flag latched.
+    pub drift_flagged: bool,
+    /// The 1-based window at which the flag latched (0 = never).
+    pub drift_window: u64,
+}
+
+impl SessionWatch {
+    fn from_stats(s: &crate::proto::SessionStats) -> Self {
+        let rms_error = paco_analysis::ReliabilityDiagram::from_bins(&s.bins).rms_error();
+        SessionWatch {
+            family: s.family.clone(),
+            windows: s.windows,
+            mispredict_rate: if s.events == 0 {
+                0.0
+            } else {
+                s.mispredicts as f64 / s.events as f64
+            },
+            rms_error,
+            last_divergence: f64::from_bits(s.last_divergence_bits),
+            cusum: f64::from_bits(s.cusum_bits),
+            drift_flagged: s.drift_flagged,
+            drift_window: s.drift_window,
         }
     }
 }
@@ -63,8 +113,20 @@ pub struct SessionReport {
     pub batches: u64,
     /// FNV-1a digest of every PREDICTIONS payload, in order.
     pub digest: u64,
+    /// Wall-clock duration of this session's streaming loop.
+    pub elapsed: Duration,
     /// Round-trip time of each batch, microseconds.
     pub latencies_us: Vec<f64>,
+    /// Watch telemetry from the session's final STATS poll (present iff
+    /// [`LoadOptions::watch`]).
+    pub watch: Option<SessionWatch>,
+}
+
+impl SessionReport {
+    /// This session's own streaming rate, events/second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
 }
 
 /// Aggregate results of one load run.
@@ -84,6 +146,8 @@ pub struct LoadReport {
     /// Parity verdict: `Some(true)` when every session's digest matched
     /// the offline pipeline, `None` when the check was disabled.
     pub parity_ok: Option<bool>,
+    /// Sessions whose drift flag latched (0 when watch was off).
+    pub flagged_sessions: u64,
 }
 
 /// A load-run failure.
@@ -166,6 +230,28 @@ pub fn corpus_control_events(
     Ok(events)
 }
 
+/// Synthesizes a mid-stream regime switch: the control events of
+/// `base` followed by the control events of `splice`, returning the
+/// spliced stream and the index of its first post-splice event. The
+/// acceptance demo replays `biased_bimodal` splicing into
+/// `mispredict_storm` and requires the drift detector to fire past the
+/// splice point (and stay quiet on the unspliced control run). Like
+/// [`corpus_control_events`], the stream is a pure function of its
+/// arguments, so parity digests remain comparable run to run.
+pub fn corpus_splice_events(
+    base: &paco_corpus::CorpusFamily,
+    base_seed: u64,
+    base_instrs: u64,
+    splice: &paco_corpus::CorpusFamily,
+    splice_seed: u64,
+    splice_instrs: u64,
+) -> Result<(Vec<DynInstr>, usize), LoadError> {
+    let mut events = corpus_control_events(base, base_seed, base_instrs)?;
+    let splice_at = events.len();
+    events.extend(corpus_control_events(splice, splice_seed, splice_instrs)?);
+    Ok((events, splice_at))
+}
+
 /// Runs one load session: streams `events` in batches, measuring each
 /// round trip.
 fn run_session(
@@ -183,9 +269,14 @@ fn run_session(
         .target_rate
         .map(|r| (r / options.threads.max(1) as f64).max(1.0));
 
-    let mut client = Client::connect(addr, &options.config)?;
+    let mut client = match &options.family {
+        Some(family) if options.watch => Client::connect_declaring(addr, &options.config, family)?,
+        _ => Client::connect(addr, &options.config)?,
+    };
+    let session_started = Instant::now();
     let mut latencies = Vec::with_capacity(events.len() / options.batch.max(1) + 1);
     let mut sent = 0u64;
+    let mut batches = 0u64;
     for chunk in events.chunks(options.batch.max(1)) {
         if let Some(rate) = per_thread_rate {
             // Pace against the shared epoch: sleep until this batch's
@@ -200,13 +291,28 @@ fn run_session(
         latencies.push(t0.elapsed().as_secs_f64() * 1e6);
         debug_assert_eq!(outcomes.len(), chunk.len(), "control-only batches");
         sent += chunk.len() as u64;
+        batches += 1;
+        // Watch mode polls STATS mid-stream (outside the timed RTT);
+        // stats polling never touches the prediction digest, so the
+        // parity check is unaffected.
+        if options.watch && batches % 32 == 0 {
+            client.stats()?;
+        }
     }
+    let elapsed = session_started.elapsed();
+    let watch = if options.watch {
+        Some(SessionWatch::from_stats(&client.stats()?.session))
+    } else {
+        None
+    };
     let report = SessionReport {
         session_id: client.session_id(),
         events: sent,
         batches: latencies.len() as u64,
         digest: client.digest(),
+        elapsed,
         latencies_us: latencies,
+        watch,
     };
     client.bye()?;
     Ok(report)
@@ -265,6 +371,10 @@ pub fn run_load(
         .iter()
         .flat_map(|r| r.latencies_us.iter().copied())
         .collect();
+    let flagged_sessions = reports
+        .iter()
+        .filter(|r| r.watch.as_ref().is_some_and(|w| w.drift_flagged))
+        .count() as u64;
     Ok(LoadReport {
         events: total_events,
         elapsed,
@@ -272,6 +382,7 @@ pub fn run_load(
         latency_us: LatencySummary::from_samples(&all_latencies),
         sessions: reports,
         parity_ok,
+        flagged_sessions,
     })
 }
 
@@ -291,9 +402,31 @@ impl LoadReport {
         ));
         for s in &self.sessions {
             out.push_str(&format!(
-                "session {:<6} events {:<8} batches {:<6} digest {:016x}\n",
-                s.session_id, s.events, s.batches, s.digest
+                "session {:<6} events {:<8} batches {:<6} ev/s {:<9.0} digest {:016x}\n",
+                s.session_id,
+                s.events,
+                s.batches,
+                s.events_per_sec(),
+                s.digest
             ));
+            if let Some(w) = &s.watch {
+                let drift = if w.drift_flagged {
+                    format!("drift @w{}", w.drift_window)
+                } else {
+                    "drift -".to_string()
+                };
+                out.push_str(&format!(
+                    "  watch {:<6} family {:<16} windows {:<4} misp {:.4} rms {:.4} div {:.3} cusum {:.3} {}\n",
+                    s.session_id,
+                    w.family.as_deref().unwrap_or("-"),
+                    w.windows,
+                    w.mispredict_rate,
+                    w.rms_error,
+                    w.last_divergence,
+                    w.cusum,
+                    drift
+                ));
+            }
         }
         match self.parity_ok {
             Some(true) => {
@@ -302,6 +435,11 @@ impl LoadReport {
             Some(false) => out.push_str("parity               FAILED\n"),
             None => out.push_str("parity               skipped\n"),
         }
+        out.push_str(&format!(
+            "summary              sessions {}  flagged {}\n",
+            self.sessions.len(),
+            self.flagged_sessions
+        ));
         out
     }
 
@@ -330,13 +468,35 @@ impl LoadReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"id\":{},\"events\":{},\"batches\":{},\"digest\":\"{:016x}\"}}",
-                s.session_id, s.events, s.batches, s.digest
+                "{{\"id\":{},\"events\":{},\"batches\":{},\"events_per_sec\":{:.1},\"digest\":\"{:016x}\"",
+                s.session_id,
+                s.events,
+                s.batches,
+                s.events_per_sec(),
+                s.digest
             ));
+            if let Some(w) = &s.watch {
+                out.push_str(&format!(
+                    ",\"watch\":{{\"family\":{},\"windows\":{},\"mispredict_rate\":{:.6},\"rms_error\":{:.6},\"last_divergence\":{:.6},\"cusum\":{:.6},\"drift_flagged\":{},\"drift_window\":{}}}",
+                    match &w.family {
+                        Some(f) => format!("\"{f}\""),
+                        None => "null".to_string(),
+                    },
+                    w.windows,
+                    w.mispredict_rate,
+                    w.rms_error,
+                    w.last_divergence,
+                    w.cusum,
+                    w.drift_flagged,
+                    w.drift_window
+                ));
+            }
+            out.push('}');
         }
         out.push_str("],");
         out.push_str(&format!(
-            "\"parity\":{}",
+            "\"flagged_sessions\":{},\"parity\":{}",
+            self.flagged_sessions,
             match self.parity_ok {
                 Some(true) => "true",
                 Some(false) => "false",

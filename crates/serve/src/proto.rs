@@ -26,7 +26,9 @@ use paco_types::wire::{crc32_update, read_uvarint, write_uvarint};
 use paco_types::{DynInstr, EventBatch};
 
 /// Protocol version; bumped on any incompatible frame or payload change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added the STATS_REQ/STATS pair and the optional declared
+/// workload family in HELLO.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound accepted for a frame payload.
 pub const MAX_FRAME_PAYLOAD: usize = 1 << 22;
@@ -49,6 +51,10 @@ pub enum FrameKind {
     Snapshot = 0x06,
     /// Client → server: clean close; the session is discarded.
     Bye = 0x07,
+    /// Client → server: request watch telemetry (session + fleet).
+    StatsReq = 0x08,
+    /// Server → client: per-session and fleet-aggregated watch metrics.
+    Stats = 0x09,
     /// Server → client: terminal error (code + message); the connection
     /// closes after this frame.
     Error = 0x7f,
@@ -64,6 +70,8 @@ impl FrameKind {
             0x05 => FrameKind::SnapshotReq,
             0x06 => FrameKind::Snapshot,
             0x07 => FrameKind::Bye,
+            0x08 => FrameKind::StatsReq,
+            0x09 => FrameKind::Stats,
             0x7f => FrameKind::Error,
             _ => return None,
         })
@@ -87,6 +95,9 @@ pub enum ErrorCode {
     BadState = 5,
     /// A frame or payload could not be decoded.
     Malformed = 6,
+    /// HELLO declared a workload family the server has no reference
+    /// calibration profile for.
+    UnknownFamily = 7,
 }
 
 impl ErrorCode {
@@ -99,6 +110,7 @@ impl ErrorCode {
             4 => ErrorCode::UnknownSession,
             5 => ErrorCode::BadState,
             6 => ErrorCode::Malformed,
+            7 => ErrorCode::UnknownFamily,
             _ => return None,
         })
     }
@@ -223,7 +235,16 @@ pub struct Hello {
     pub config_hash: u64,
     /// Session establishment mode.
     pub resume: Resume,
+    /// Declared workload family for drift watching. When set, the server
+    /// pins the session's rolling calibration profile against the named
+    /// family's reference profile and refuses unknown names with
+    /// [`ErrorCode::UnknownFamily`]. `None` disables drift scoring (the
+    /// rest of the watch telemetry still runs).
+    pub family: Option<String>,
 }
+
+/// Longest accepted [`Hello::family`] name, in bytes.
+pub const MAX_FAMILY_NAME: usize = 64;
 
 /// Encodes a [`Hello`] payload.
 pub fn encode_hello(hello: &Hello) -> Vec<u8> {
@@ -242,6 +263,14 @@ pub fn encode_hello(hello: &Hello) -> Vec<u8> {
             out.push(2);
             write_uvarint(&mut out, blob.len() as u64);
             out.extend_from_slice(blob);
+        }
+    }
+    match &hello.family {
+        None => out.push(0),
+        Some(name) => {
+            out.push(1);
+            write_uvarint(&mut out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
         }
     }
     out
@@ -276,6 +305,30 @@ pub fn decode_hello(mut input: &[u8]) -> Result<Hello, ProtoError> {
         }
         other => return Err(malformed(format!("hello: unknown resume tag {other}"))),
     };
+    let (&family_tag, rest) = input
+        .split_first()
+        .ok_or_else(|| malformed("hello: family tag"))?;
+    *input = rest;
+    let family = match family_tag {
+        0 => None,
+        1 => {
+            let len = read_uvarint(input)
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| malformed("hello: family length"))?;
+            if len > MAX_FAMILY_NAME {
+                return Err(malformed("hello: family name too long"));
+            }
+            if input.len() < len {
+                return Err(malformed("hello: family name truncated"));
+            }
+            let (name, rest) = input.split_at(len);
+            *input = rest;
+            let name = std::str::from_utf8(name)
+                .map_err(|_| malformed("hello: family name is not UTF-8"))?;
+            Some(name.to_owned())
+        }
+        other => return Err(malformed(format!("hello: unknown family tag {other}"))),
+    };
     if !input.is_empty() {
         return Err(malformed("hello: trailing bytes"));
     }
@@ -285,6 +338,7 @@ pub fn decode_hello(mut input: &[u8]) -> Result<Hello, ProtoError> {
         config,
         config_hash,
         resume,
+        family,
     })
 }
 
@@ -523,6 +577,255 @@ pub fn decode_snapshot(mut input: &[u8]) -> Result<Snapshot, ProtoError> {
         events,
         state: input.to_vec(),
     })
+}
+
+// ------------------------------------------------------------------ //
+//  STATS (paco-watch telemetry)                                      //
+// ------------------------------------------------------------------ //
+
+/// Upper bound accepted for calibration-bin vectors in a STATS payload.
+pub const MAX_STATS_BINS: usize = 1024;
+
+/// Per-session watch telemetry, as carried in a [`FrameKind::Stats`]
+/// frame: lifetime calibration counters plus the drift detector's
+/// current verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// The session the metrics describe.
+    pub session_id: u64,
+    /// The declared workload family the drift detector scores against
+    /// (`None` when the session did not declare one).
+    pub family: Option<String>,
+    /// Control events observed since the session started.
+    pub events: u64,
+    /// Mispredicted events since the session started.
+    pub mispredicts: u64,
+    /// Events that carried a probability estimate.
+    pub with_prob: u64,
+    /// Completed rolling windows fed to the drift detector.
+    pub windows: u64,
+    /// Events in the current (partial) rolling window.
+    pub window_len: u64,
+    /// IEEE-754 bits of the most recent completed window's divergence
+    /// from the reference profile (0.0 before the first window or
+    /// without a declared family). Bits, not a float: stats frames are
+    /// part of the lane-determinism surface.
+    pub last_divergence_bits: u64,
+    /// IEEE-754 bits of the CUSUM drift accumulator.
+    pub cusum_bits: u64,
+    /// Whether the drift flag has latched for this session.
+    pub drift_flagged: bool,
+    /// The 1-based detector window at which the flag latched (0 =
+    /// never).
+    pub drift_window: u64,
+    /// Lifetime `(instances, correct predictions)` calibration bins,
+    /// low predicted probability first — feed to
+    /// `paco_analysis::ReliabilityDiagram::from_bins`.
+    pub bins: Vec<(u64, u64)>,
+}
+
+/// Fleet-aggregated watch telemetry: every session the server has seen,
+/// pooled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Sessions currently owned by a live connection.
+    pub sessions_active: u64,
+    /// Sessions parked awaiting a resume.
+    pub sessions_parked: u64,
+    /// Sessions ever established since the server started.
+    pub sessions_seen: u64,
+    /// Sessions whose drift flag has latched.
+    pub flagged_sessions: u64,
+    /// Control events observed across the fleet.
+    pub events: u64,
+    /// Mispredicted events across the fleet.
+    pub mispredicts: u64,
+    /// IEEE-754 bits of the server's recent fleet-wide event rate
+    /// (events/second, exponentially smoothed over snapshot intervals).
+    pub events_per_sec_bits: u64,
+    /// Pooled calibration bins across the fleet (same layout as
+    /// [`SessionStats::bins`], merged via
+    /// `paco_analysis::merge_bin_pairs`).
+    pub bins: Vec<(u64, u64)>,
+}
+
+/// A [`FrameKind::Stats`] payload: the requesting session's telemetry
+/// plus the fleet snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Metrics of the session that sent STATS_REQ.
+    pub session: SessionStats,
+    /// Fleet-wide aggregate at the time of the request.
+    pub fleet: FleetStats,
+}
+
+fn encode_bins(out: &mut Vec<u8>, bins: &[(u64, u64)]) {
+    write_uvarint(out, bins.len() as u64);
+    for &(instances, correct) in bins {
+        write_uvarint(out, instances);
+        write_uvarint(out, correct);
+    }
+}
+
+fn decode_bins(input: &mut &[u8], what: &str) -> Result<Vec<(u64, u64)>, ProtoError> {
+    let count = read_uvarint(input)
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| malformed(format!("{what}: bin count")))?;
+    if count > MAX_STATS_BINS {
+        return Err(malformed(format!("{what}: implausible bin count")));
+    }
+    let mut bins = Vec::with_capacity(count);
+    for _ in 0..count {
+        let instances =
+            read_uvarint(input).ok_or_else(|| malformed(format!("{what}: bin instances")))?;
+        let correct =
+            read_uvarint(input).ok_or_else(|| malformed(format!("{what}: bin correct")))?;
+        bins.push((instances, correct));
+    }
+    Ok(bins)
+}
+
+fn encode_opt_name(out: &mut Vec<u8>, name: &Option<String>) {
+    match name {
+        None => out.push(0),
+        Some(name) => {
+            out.push(1);
+            write_uvarint(out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+        }
+    }
+}
+
+fn decode_opt_name(input: &mut &[u8], what: &str) -> Result<Option<String>, ProtoError> {
+    let (&tag, rest) = input
+        .split_first()
+        .ok_or_else(|| malformed(format!("{what}: name tag")))?;
+    *input = rest;
+    match tag {
+        0 => Ok(None),
+        1 => {
+            let len = read_uvarint(input)
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| malformed(format!("{what}: name length")))?;
+            if len > MAX_FAMILY_NAME {
+                return Err(malformed(format!("{what}: name too long")));
+            }
+            if input.len() < len {
+                return Err(malformed(format!("{what}: name truncated")));
+            }
+            let (name, rest) = input.split_at(len);
+            *input = rest;
+            let name = std::str::from_utf8(name)
+                .map_err(|_| malformed(format!("{what}: name is not UTF-8")))?;
+            Ok(Some(name.to_owned()))
+        }
+        other => Err(malformed(format!("{what}: unknown name tag {other}"))),
+    }
+}
+
+/// Appends the wire encoding of a [`SessionStats`] to `out`. Exposed
+/// separately from [`encode_stats`] so the lane-determinism test can
+/// compare session telemetry byte-for-byte.
+pub fn encode_session_stats(out: &mut Vec<u8>, s: &SessionStats) {
+    write_uvarint(out, s.session_id);
+    encode_opt_name(out, &s.family);
+    write_uvarint(out, s.events);
+    write_uvarint(out, s.mispredicts);
+    write_uvarint(out, s.with_prob);
+    write_uvarint(out, s.windows);
+    write_uvarint(out, s.window_len);
+    out.extend_from_slice(&s.last_divergence_bits.to_le_bytes());
+    out.extend_from_slice(&s.cusum_bits.to_le_bytes());
+    out.push(s.drift_flagged as u8);
+    write_uvarint(out, s.drift_window);
+    encode_bins(out, &s.bins);
+}
+
+fn decode_session_stats(input: &mut &[u8]) -> Result<SessionStats, ProtoError> {
+    let session_id = read_uvarint(input).ok_or_else(|| malformed("stats: session id"))?;
+    let family = decode_opt_name(input, "stats: family")?;
+    let events = read_uvarint(input).ok_or_else(|| malformed("stats: events"))?;
+    let mispredicts = read_uvarint(input).ok_or_else(|| malformed("stats: mispredicts"))?;
+    let with_prob = read_uvarint(input).ok_or_else(|| malformed("stats: with_prob"))?;
+    let windows = read_uvarint(input).ok_or_else(|| malformed("stats: windows"))?;
+    let window_len = read_uvarint(input).ok_or_else(|| malformed("stats: window length"))?;
+    let last_divergence_bits = take_u64_le(input).ok_or_else(|| malformed("stats: divergence"))?;
+    let cusum_bits = take_u64_le(input).ok_or_else(|| malformed("stats: cusum"))?;
+    let (&flag, rest) = input
+        .split_first()
+        .ok_or_else(|| malformed("stats: drift flag"))?;
+    *input = rest;
+    if flag > 1 {
+        return Err(malformed("stats: drift flag out of range"));
+    }
+    let drift_window = read_uvarint(input).ok_or_else(|| malformed("stats: drift window"))?;
+    let bins = decode_bins(input, "stats: session")?;
+    Ok(SessionStats {
+        session_id,
+        family,
+        events,
+        mispredicts,
+        with_prob,
+        windows,
+        window_len,
+        last_divergence_bits,
+        cusum_bits,
+        drift_flagged: flag == 1,
+        drift_window,
+        bins,
+    })
+}
+
+fn encode_fleet_stats(out: &mut Vec<u8>, f: &FleetStats) {
+    write_uvarint(out, f.sessions_active);
+    write_uvarint(out, f.sessions_parked);
+    write_uvarint(out, f.sessions_seen);
+    write_uvarint(out, f.flagged_sessions);
+    write_uvarint(out, f.events);
+    write_uvarint(out, f.mispredicts);
+    out.extend_from_slice(&f.events_per_sec_bits.to_le_bytes());
+    encode_bins(out, &f.bins);
+}
+
+fn decode_fleet_stats(input: &mut &[u8]) -> Result<FleetStats, ProtoError> {
+    let sessions_active = read_uvarint(input).ok_or_else(|| malformed("stats: active sessions"))?;
+    let sessions_parked = read_uvarint(input).ok_or_else(|| malformed("stats: parked sessions"))?;
+    let sessions_seen = read_uvarint(input).ok_or_else(|| malformed("stats: seen sessions"))?;
+    let flagged_sessions =
+        read_uvarint(input).ok_or_else(|| malformed("stats: flagged sessions"))?;
+    let events = read_uvarint(input).ok_or_else(|| malformed("stats: fleet events"))?;
+    let mispredicts = read_uvarint(input).ok_or_else(|| malformed("stats: fleet mispredicts"))?;
+    let events_per_sec_bits = take_u64_le(input).ok_or_else(|| malformed("stats: fleet rate"))?;
+    let bins = decode_bins(input, "stats: fleet")?;
+    Ok(FleetStats {
+        sessions_active,
+        sessions_parked,
+        sessions_seen,
+        flagged_sessions,
+        events,
+        mispredicts,
+        events_per_sec_bits,
+        bins,
+    })
+}
+
+/// Encodes a [`Stats`] payload.
+pub fn encode_stats(stats: &Stats) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_session_stats(&mut out, &stats.session);
+    encode_fleet_stats(&mut out, &stats.fleet);
+    out
+}
+
+/// Decodes a [`Stats`] payload.
+pub fn decode_stats(mut input: &[u8]) -> Result<Stats, ProtoError> {
+    let input = &mut input;
+    let session = decode_session_stats(input)?;
+    let fleet = decode_fleet_stats(input)?;
+    if !input.is_empty() {
+        return Err(malformed("stats: trailing bytes"));
+    }
+    Ok(Stats { session, fleet })
 }
 
 // ------------------------------------------------------------------ //
@@ -788,16 +1091,32 @@ mod tests {
             Resume::SessionId(42),
             Resume::State(vec![1, 2, 3, 4]),
         ] {
-            let hello = Hello {
-                protocol_version: PROTOCOL_VERSION,
-                fingerprint: 0xdead_beef,
-                config: sample_config(),
-                config_hash: config_hash(&sample_config()),
-                resume,
-            };
-            let bytes = encode_hello(&hello);
-            assert_eq!(decode_hello(&bytes).unwrap(), hello);
+            for family in [None, Some("biased_bimodal".to_owned())] {
+                let hello = Hello {
+                    protocol_version: PROTOCOL_VERSION,
+                    fingerprint: 0xdead_beef,
+                    config: sample_config(),
+                    config_hash: config_hash(&sample_config()),
+                    resume: resume.clone(),
+                    family,
+                };
+                let bytes = encode_hello(&hello);
+                assert_eq!(decode_hello(&bytes).unwrap(), hello);
+            }
         }
+    }
+
+    #[test]
+    fn hello_rejects_oversized_family_names() {
+        let hello = Hello {
+            protocol_version: PROTOCOL_VERSION,
+            fingerprint: 1,
+            config: sample_config(),
+            config_hash: config_hash(&sample_config()),
+            resume: Resume::Fresh,
+            family: Some("f".repeat(MAX_FAMILY_NAME + 1)),
+        };
+        assert!(decode_hello(&encode_hello(&hello)).is_err());
     }
 
     #[test]
@@ -949,6 +1268,91 @@ mod tests {
         let (code, msg) = decode_error(&encode_error(ErrorCode::BadState, "nope")).unwrap();
         assert_eq!(code, ErrorCode::BadState);
         assert_eq!(msg, "nope");
+    }
+
+    fn sample_stats() -> Stats {
+        Stats {
+            session: SessionStats {
+                session_id: 17,
+                family: Some("biased_bimodal".to_owned()),
+                events: 100_000,
+                mispredicts: 2_200,
+                with_prob: 99_000,
+                windows: 48,
+                window_len: 700,
+                last_divergence_bits: 0.31f64.to_bits(),
+                cusum_bits: 0.62f64.to_bits(),
+                drift_flagged: true,
+                drift_window: 45,
+                bins: (0..21).map(|i| (i * 10, i * 9)).collect(),
+            },
+            fleet: FleetStats {
+                sessions_active: 4,
+                sessions_parked: 1,
+                sessions_seen: 9,
+                flagged_sessions: 2,
+                events: 800_000,
+                mispredicts: 31_000,
+                events_per_sec_bits: 125_000.0f64.to_bits(),
+                bins: (0..21).map(|i| (i * 100, i * 80)).collect(),
+            },
+        }
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = sample_stats();
+        assert_eq!(decode_stats(&encode_stats(&stats)).unwrap(), stats);
+
+        // A minimal frame too: no family, empty bins, nothing flagged.
+        let quiet = Stats {
+            session: SessionStats {
+                session_id: 1,
+                family: None,
+                events: 0,
+                mispredicts: 0,
+                with_prob: 0,
+                windows: 0,
+                window_len: 0,
+                last_divergence_bits: 0.0f64.to_bits(),
+                cusum_bits: 0.0f64.to_bits(),
+                drift_flagged: false,
+                drift_window: 0,
+                bins: Vec::new(),
+            },
+            fleet: FleetStats {
+                sessions_active: 1,
+                sessions_parked: 0,
+                sessions_seen: 1,
+                flagged_sessions: 0,
+                events: 0,
+                mispredicts: 0,
+                events_per_sec_bits: 0.0f64.to_bits(),
+                bins: Vec::new(),
+            },
+        };
+        assert_eq!(decode_stats(&encode_stats(&quiet)).unwrap(), quiet);
+    }
+
+    #[test]
+    fn stats_rejects_truncation_and_trailing_bytes() {
+        let payload = encode_stats(&sample_stats());
+        for cut in 0..payload.len() {
+            assert!(
+                decode_stats(&payload[..cut]).is_err(),
+                "truncation at {cut} must be rejected"
+            );
+        }
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(decode_stats(&long).is_err());
+    }
+
+    #[test]
+    fn stats_rejects_implausible_bin_counts() {
+        let mut stats = sample_stats();
+        stats.session.bins = vec![(0, 0); MAX_STATS_BINS + 1];
+        assert!(decode_stats(&encode_stats(&stats)).is_err());
     }
 
     #[test]

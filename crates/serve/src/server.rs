@@ -18,10 +18,17 @@ use paco_types::fingerprint::code_fingerprint;
 
 use crate::proto::{
     decode_events_into, decode_hello, encode_error, encode_outcomes_into, encode_snapshot,
-    encode_welcome, write_frame, ErrorCode, FrameKind, Hello, ProtoError, Resume, Snapshot,
-    Welcome, PROTOCOL_VERSION,
+    encode_stats, encode_welcome, write_frame, ErrorCode, FleetStats, FrameKind, Hello, ProtoError,
+    Resume, Snapshot, Stats, Welcome, PROTOCOL_VERSION,
 };
 use crate::session::{Session, SessionTable};
+use crate::watch::{FleetAggregator, WatchState};
+
+/// How many EVENTS frames a connection handles between folds of its
+/// watch deltas into the fleet aggregator. Folding takes the fleet
+/// mutex, so it happens at this cadence (plus on STATS_REQ and at
+/// connection end), never per frame.
+const FOLD_EVERY_BATCHES: u64 = 32;
 
 /// Shared server control state: the shutdown flag plus handles to every
 /// live connection (so shutdown can unblock handler reads).
@@ -75,7 +82,12 @@ impl ServerShared {
 /// Runs the accept loop until `shared` is shut down. Connection handlers
 /// run on scoped threads, so this function returns only after every
 /// handler has finished.
-fn serve(listener: TcpListener, table: &SessionTable, shared: &ServerShared) {
+fn serve(
+    listener: TcpListener,
+    table: &SessionTable,
+    shared: &ServerShared,
+    fleet: &FleetAggregator,
+) {
     thread::scope(|scope| {
         for stream in listener.incoming() {
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -90,7 +102,7 @@ fn serve(listener: TcpListener, table: &SessionTable, shared: &ServerShared) {
                 continue; // untrackable connection: refuse, don't serve
             };
             scope.spawn(move || {
-                handle_conn(stream, table);
+                handle_conn(stream, table, fleet);
                 shared.unregister(conn_id);
             });
         }
@@ -105,6 +117,7 @@ pub struct RunningServer {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
     table: Arc<SessionTable>,
+    fleet: Arc<FleetAggregator>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
@@ -116,15 +129,18 @@ impl RunningServer {
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared::default());
         let table = Arc::new(SessionTable::new(shards));
+        let fleet = Arc::new(FleetAggregator::new());
         let accept_shared = Arc::clone(&shared);
         let accept_table = Arc::clone(&table);
+        let accept_fleet = Arc::clone(&fleet);
         let accept_thread = thread::Builder::new()
             .name("paco-served-accept".into())
-            .spawn(move || serve(listener, &accept_table, &accept_shared))?;
+            .spawn(move || serve(listener, &accept_table, &accept_shared, &accept_fleet))?;
         Ok(RunningServer {
             addr,
             shared,
             table,
+            fleet,
             accept_thread: Some(accept_thread),
         })
     }
@@ -137,6 +153,21 @@ impl RunningServer {
     /// Sessions currently parked (detached, resumable).
     pub fn parked_sessions(&self) -> usize {
         self.table.parked()
+    }
+
+    /// The current fleet-wide watch snapshot (what a STATS frame's fleet
+    /// half would report) — for the binary's periodic fleet log.
+    pub fn fleet_snapshot(&self) -> FleetStats {
+        self.fleet.snapshot(self.table.parked())
+    }
+
+    /// A `'static` snapshot closure over the same aggregate as
+    /// [`fleet_snapshot`](Self::fleet_snapshot) — for detached logger
+    /// threads that must outlive the borrow of `self`.
+    pub fn fleet_handle(&self) -> impl Fn() -> FleetStats + Send + 'static {
+        let fleet = Arc::clone(&self.fleet);
+        let table = Arc::clone(&self.table);
+        move || fleet.snapshot(table.parked())
     }
 
     /// Shuts down: stops accepting, severs live connections, joins all
@@ -197,13 +228,37 @@ fn establish(hello: &Hello, table: &SessionTable) -> Result<Session, Refusal> {
             ),
         ));
     }
+    // Resolve the declared workload family (if any) to its shipped
+    // reference profile before touching any session state, so an
+    // unknown name refuses cleanly.
+    let declared = match &hello.family {
+        None => None,
+        Some(name) => match paco_corpus::reference_profile(name) {
+            Some(profile) => Some((name.clone(), *profile)),
+            None => {
+                let known: Vec<&str> = paco_corpus::CORPUS.iter().map(|e| e.name).collect();
+                return Err((
+                    ErrorCode::UnknownFamily,
+                    format!(
+                        "no reference profile for family `{name}` (known: {})",
+                        known.join(" ")
+                    ),
+                ));
+            }
+        },
+    };
+    let fresh_watch = |declared: Option<(String, paco_corpus::CalibrationProfile)>| match declared {
+        Some((name, profile)) => WatchState::new(Some(name), Some(profile)),
+        None => WatchState::default(),
+    };
     match &hello.resume {
         Resume::Fresh => Ok(Session {
             id: table.allocate_id(),
             pipeline: OnlinePipeline::new(&hello.config),
+            watch: fresh_watch(declared),
         }),
         Resume::SessionId(id) => {
-            let session = table.claim(*id).ok_or_else(|| {
+            let mut session = table.claim(*id).ok_or_else(|| {
                 (
                     ErrorCode::UnknownSession,
                     format!("session {id} is unknown, expired or already claimed"),
@@ -218,6 +273,12 @@ fn establish(hello: &Hello, table: &SessionTable) -> Result<Session, Refusal> {
                     format!("session {id} was created under a different configuration"),
                 ));
             }
+            // A reclaimed session keeps its accumulated telemetry; a
+            // declaring HELLO can pin a family onto a session that never
+            // had one (WatchState::declare is first-writer-wins).
+            if let Some((name, profile)) = declared {
+                session.watch.declare(name, profile);
+            }
             Ok(session)
         }
         Resume::State(blob) => {
@@ -229,9 +290,12 @@ fn establish(hello: &Hello, table: &SessionTable) -> Result<Session, Refusal> {
                     "state blob failed to restore (wrong config or corrupt)".into(),
                 ));
             }
+            // Snapshot blobs carry pipeline state only; telemetry
+            // restarts (a restored session is a new observation stream).
             Ok(Session {
                 id: table.allocate_id(),
                 pipeline,
+                watch: fresh_watch(declared),
             })
         }
     }
@@ -239,7 +303,7 @@ fn establish(hello: &Hello, table: &SessionTable) -> Result<Session, Refusal> {
 
 /// Serves one connection to completion. Never panics on client input;
 /// protocol violations answer with an ERROR frame and close.
-fn handle_conn(stream: TcpStream, table: &SessionTable) {
+fn handle_conn(stream: TcpStream, table: &SessionTable, fleet: &FleetAggregator) {
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -272,6 +336,7 @@ fn handle_conn(stream: TcpStream, table: &SessionTable) {
         Ok(session) => session,
         Err((code, msg)) => return refuse(&mut writer, code, &msg),
     };
+    fleet.session_started();
     let welcome = Welcome {
         session_id: session.id,
         fingerprint: code_fingerprint(),
@@ -282,6 +347,8 @@ fn handle_conn(stream: TcpStream, table: &SessionTable) {
         // session (possibly a just-claimed resume with accumulated
         // state) must survive the transient failure like any post-
         // handshake disconnect does.
+        session.watch.fold_into(fleet);
+        fleet.session_ended();
         table.park(session);
         return;
     }
@@ -301,6 +368,7 @@ fn handle_conn(stream: TcpStream, table: &SessionTable) {
     let mut events = paco_types::EventBatch::new();
     let mut outcomes = paco_sim::OutcomeBatch::new();
     let mut predictions = Vec::new();
+    let mut batches = 0u64;
     loop {
         let frame = match crate::proto::read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
@@ -323,6 +391,23 @@ fn handle_conn(stream: TcpStream, table: &SessionTable) {
                 if write_frame(&mut writer, FrameKind::Predictions, &predictions).is_err() {
                     break;
                 }
+                // Watch telemetry rides the hot loop allocation-free;
+                // the fleet fold (which locks) runs at a batch cadence.
+                session.watch.observe_batch(&outcomes);
+                batches += 1;
+                if batches % FOLD_EVERY_BATCHES == 0 {
+                    session.watch.fold_into(fleet);
+                }
+            }
+            FrameKind::StatsReq => {
+                session.watch.fold_into(fleet);
+                let stats = Stats {
+                    session: session.watch.session_stats(session.id),
+                    fleet: fleet.snapshot(table.parked()),
+                };
+                if write_frame(&mut writer, FrameKind::Stats, &encode_stats(&stats)).is_err() {
+                    break;
+                }
             }
             FrameKind::SnapshotReq => {
                 let mut state = Vec::new();
@@ -342,7 +427,13 @@ fn handle_conn(stream: TcpStream, table: &SessionTable) {
                     break;
                 }
             }
-            FrameKind::Bye => return, // clean close: session discarded
+            FrameKind::Bye => {
+                // Clean close: the session is discarded, but its
+                // telemetry still counts toward the fleet totals.
+                session.watch.fold_into(fleet);
+                fleet.session_ended();
+                return;
+            }
             _ => {
                 refuse(
                     &mut writer,
@@ -353,5 +444,7 @@ fn handle_conn(stream: TcpStream, table: &SessionTable) {
             }
         }
     }
+    session.watch.fold_into(fleet);
+    fleet.session_ended();
     table.park(session);
 }

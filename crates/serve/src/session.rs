@@ -19,6 +19,8 @@ use std::sync::Mutex;
 
 use paco_sim::OnlinePipeline;
 
+use crate::watch::WatchState;
+
 /// One client's pipeline plus its identity.
 #[derive(Debug)]
 pub struct Session {
@@ -26,6 +28,10 @@ pub struct Session {
     pub id: u64,
     /// The session's confidence pipeline.
     pub pipeline: OnlinePipeline,
+    /// The session's watch telemetry (calibration, drift detection).
+    /// Parked and reclaimed with the session, so telemetry survives
+    /// reconnects exactly like pipeline state.
+    pub watch: WatchState,
 }
 
 /// A parked session plus its age stamp (for bounded-occupancy
@@ -126,6 +132,7 @@ mod tests {
         Session {
             id: table.allocate_id(),
             pipeline: OnlinePipeline::new(&OnlineConfig::tiny(EstimatorKind::None)),
+            watch: WatchState::default(),
         }
     }
 

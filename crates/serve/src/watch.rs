@@ -1,0 +1,530 @@
+//! `paco-watch`: per-session calibration telemetry, fleet aggregation
+//! and online drift detection for the serving layer.
+//!
+//! Every session carries a [`WatchState`]: lifetime calibration counters
+//! plus a rolling [`WATCH_WINDOW`]-event window of the same shape. The
+//! state is updated inline in the `run_batch` hot loop with a strict
+//! zero-allocation budget — both profiles are fixed-size
+//! [`CalibrationProfile`]s and the update is pure counter arithmetic.
+//!
+//! When a session declares a workload family (HELLO's `family` field),
+//! each completed window is scored against the family's shipped
+//! reference profile ([`paco_corpus::reference_profile`]): the
+//! divergence is the larger of the total-variation distance between
+//! bin-occupancy distributions and the absolute mispredict-rate delta,
+//! fed to a one-sided [`CusumDetector`]. A stream that departs its
+//! family — the acceptance demo splices `mispredict_storm` into a
+//! `biased_bimodal` session — accumulates divergence and latches the
+//! drift flag within a few windows, while an on-profile stream bleeds
+//! the accumulator back to zero.
+//!
+//! Sessions fold their counter *deltas* into the shared
+//! [`FleetAggregator`] at batch-count checkpoints (not per batch — the
+//! hot loop takes no locks), on STATS_REQ, and when the connection
+//! ends; the aggregator pools calibration bins across sessions via
+//! [`paco_analysis::merge_bin_pairs`] and tracks a smoothed fleet event
+//! rate.
+//!
+//! Everything in a session's telemetry is a deterministic function of
+//! its event stream: no clocks, no randomness. The lane-determinism
+//! test encodes [`SessionStats`] from a per-event and a batched replay
+//! of the same events and requires identical bytes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use paco_analysis::{merge_bin_pairs, occupancy_distance, CusumDetector};
+use paco_corpus::{prob_bin, CalibrationProfile, PROFILE_BINS, PROFILE_WINDOW};
+use paco_sim::{OnlineOutcome, OutcomeBatch};
+
+use crate::proto::{FleetStats, SessionStats};
+
+/// Rolling-window length, in control events, between drift scorings.
+/// Shared with the reference-profile generator so windows and baselines
+/// describe the same timescale.
+pub const WATCH_WINDOW: u64 = PROFILE_WINDOW;
+
+/// Completed windows skipped before drift scoring starts, absorbing the
+/// predictor's cold-start transient (the reference profiles skip the
+/// same span).
+pub const WATCH_WARMUP_WINDOWS: u64 = 2;
+
+/// Per-window divergence at or below this level bleeds the CUSUM
+/// accumulator; above it, the excess accumulates. Sits above the
+/// sampling noise of a [`WATCH_WINDOW`]-event window measured against
+/// its own family (see the steady-state watch tests).
+pub const DRIFT_THRESHOLD: f64 = 0.12;
+
+/// CUSUM accumulator level that latches the drift flag: a sustained
+/// shift must exceed [`DRIFT_THRESHOLD`] by this much in total before a
+/// session is flagged.
+pub const DRIFT_LIMIT: f64 = 0.25;
+
+/// Per-session watch telemetry: lifetime calibration, a rolling window,
+/// and the drift detector. Fixed-size — attaching one to every session
+/// costs no allocation, and updating it in the hot loop allocates
+/// nothing.
+#[derive(Debug, Clone)]
+pub struct WatchState {
+    /// Calibration counters of every *completed* window. The hot loop
+    /// touches only [`window`](Self::window); each completed window is
+    /// absorbed here at roll time, and readers merge the live window
+    /// back in via [`lifetime`](Self::lifetime).
+    cum: CalibrationProfile,
+    /// The current rolling window (reset every [`WATCH_WINDOW`] events).
+    window: CalibrationProfile,
+    detector: CusumDetector,
+    /// The declared family's reference profile, when one was declared.
+    reference: Option<CalibrationProfile>,
+    family: Option<String>,
+    /// Completed rolling windows (including warmup windows the detector
+    /// never saw).
+    windows: u64,
+    /// The 1-based completed-window index at which the drift flag
+    /// latched; 0 = never.
+    drift_window: u64,
+    // Fold marks: the portion of the counters already delta-folded into
+    // the fleet aggregator.
+    folded_events: u64,
+    folded_mispredicts: u64,
+    folded_bins: [(u64, u64); PROFILE_BINS],
+    folded_flag: bool,
+}
+
+impl WatchState {
+    /// A fresh watch state, optionally pinned to a declared workload
+    /// family and its reference profile.
+    pub fn new(family: Option<String>, reference: Option<CalibrationProfile>) -> Self {
+        WatchState {
+            cum: CalibrationProfile::new(),
+            window: CalibrationProfile::new(),
+            detector: CusumDetector::new(DRIFT_THRESHOLD, DRIFT_LIMIT),
+            reference,
+            family,
+            windows: 0,
+            drift_window: 0,
+            folded_events: 0,
+            folded_mispredicts: 0,
+            folded_bins: [(0, 0); PROFILE_BINS],
+            folded_flag: false,
+        }
+    }
+
+    /// Pins a declared family onto a session that does not have one yet
+    /// (reclaiming a parked session with a declaring HELLO). A session
+    /// that already has a family keeps it — telemetry stays a
+    /// deterministic function of the original declaration.
+    pub fn declare(&mut self, family: String, reference: CalibrationProfile) {
+        if self.family.is_none() {
+            self.family = Some(family);
+            self.reference = Some(reference);
+        }
+    }
+
+    /// Records one outcome (the per-event reference lane).
+    #[inline]
+    pub fn observe(&mut self, outcome: &OnlineOutcome) {
+        self.record(outcome.probability(), outcome.mispredicted);
+    }
+
+    /// Records a whole outcome batch (the server hot loop). Reads the
+    /// struct-of-arrays columns directly and allocates nothing. The
+    /// batch is processed in chunks that stop exactly at window
+    /// boundaries, so the inner loop carries no per-event rollover
+    /// check and settles the event/mispredict counters once per chunk;
+    /// window rolls happen at the same event index as in the per-event
+    /// lane (the lane-determinism test holds the two to identical
+    /// bytes).
+    pub fn observe_batch(&mut self, outcomes: &OutcomeBatch) {
+        let (mut flags, mut probs) = (outcomes.flags(), outcomes.prob_bits());
+        while !flags.is_empty() {
+            let take = ((WATCH_WINDOW - self.window.events()) as usize).min(flags.len());
+            let (chunk_flags, rest_flags) = flags.split_at(take);
+            let (chunk_probs, rest_probs) = probs.split_at(take);
+            let mut mispredicts = 0u64;
+            for (&f, &p) in chunk_flags.iter().zip(chunk_probs) {
+                mispredicts += u64::from(f & OutcomeBatch::FLAG_MISPREDICTED != 0);
+                if f & OutcomeBatch::FLAG_HAS_PROB != 0 {
+                    let correct = u64::from(f & OutcomeBatch::FLAG_MISPREDICTED == 0);
+                    self.window.add_bin(prob_bin(f64::from_bits(p)), 1, correct);
+                }
+            }
+            self.window.add_counts(take as u64, mispredicts);
+            if self.window.events() >= WATCH_WINDOW {
+                self.roll_window();
+            }
+            (flags, probs) = (rest_flags, rest_probs);
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, prob: Option<f64>, mispredicted: bool) {
+        self.record_bin(prob.map(prob_bin), mispredicted);
+    }
+
+    /// The shared recording core. Only the window profile is touched
+    /// per event; lifetime counters are maintained by absorbing each
+    /// completed window in [`roll_window`](Self::roll_window), which
+    /// halves the counter traffic on the hot path.
+    #[inline]
+    fn record_bin(&mut self, bin: Option<usize>, mispredicted: bool) {
+        self.window.record_bin(bin, mispredicted);
+        if self.window.events() >= WATCH_WINDOW {
+            self.roll_window();
+        }
+    }
+
+    /// Closes the current window: score it against the reference (past
+    /// warmup), absorb it into the lifetime counters, and reset it.
+    fn roll_window(&mut self) {
+        self.windows += 1;
+        if self.windows > WATCH_WARMUP_WINDOWS {
+            if let Some(reference) = &self.reference {
+                let divergence = occupancy_distance(self.window.bins(), reference.bins())
+                    .max((self.window.mispredict_rate() - reference.mispredict_rate()).abs());
+                let was = self.detector.is_flagged();
+                if self.detector.observe(divergence) && !was {
+                    self.drift_window = self.windows;
+                }
+            }
+        }
+        self.cum.absorb(&self.window);
+        self.window.clear();
+    }
+
+    /// Lifetime counters: completed windows plus the live window.
+    fn lifetime(&self) -> CalibrationProfile {
+        let mut total = self.cum;
+        total.absorb(&self.window);
+        total
+    }
+
+    /// Whether the drift flag has latched.
+    pub fn drift_flagged(&self) -> bool {
+        self.detector.is_flagged()
+    }
+
+    /// The declared family, if any.
+    pub fn family(&self) -> Option<&str> {
+        self.family.as_deref()
+    }
+
+    /// Control events observed.
+    pub fn events(&self) -> u64 {
+        self.cum.events() + self.window.events()
+    }
+
+    /// The session's telemetry as a wire-ready [`SessionStats`].
+    pub fn session_stats(&self, session_id: u64) -> SessionStats {
+        let lifetime = self.lifetime();
+        SessionStats {
+            session_id,
+            family: self.family.clone(),
+            events: lifetime.events(),
+            mispredicts: lifetime.mispredicts(),
+            with_prob: lifetime.with_prob(),
+            windows: self.windows,
+            window_len: self.window.events(),
+            last_divergence_bits: self.detector.last_divergence().to_bits(),
+            cusum_bits: self.detector.cusum().to_bits(),
+            drift_flagged: self.detector.is_flagged(),
+            drift_window: self.drift_window,
+            bins: lifetime.bins().to_vec(),
+        }
+    }
+
+    /// Folds this session's counter growth since the last fold into the
+    /// fleet aggregator (one lock acquisition; called at batch-count
+    /// checkpoints, on STATS_REQ and at connection end — never per
+    /// event).
+    pub fn fold_into(&mut self, fleet: &FleetAggregator) {
+        let lifetime = self.lifetime();
+        let delta_events = lifetime.events() - self.folded_events;
+        let delta_mispredicts = lifetime.mispredicts() - self.folded_mispredicts;
+        let mut delta_bins = [(0u64, 0u64); PROFILE_BINS];
+        for (delta, (&now, &folded)) in delta_bins
+            .iter_mut()
+            .zip(lifetime.bins().iter().zip(&self.folded_bins))
+        {
+            *delta = (now.0 - folded.0, now.1 - folded.1);
+        }
+        let newly_flagged = self.detector.is_flagged() && !self.folded_flag;
+        if delta_events == 0 && !newly_flagged {
+            return;
+        }
+        fleet.fold(delta_events, delta_mispredicts, &delta_bins, newly_flagged);
+        self.folded_events = lifetime.events();
+        self.folded_mispredicts = lifetime.mispredicts();
+        self.folded_bins.copy_from_slice(lifetime.bins());
+        self.folded_flag = self.detector.is_flagged();
+    }
+}
+
+impl Default for WatchState {
+    fn default() -> Self {
+        WatchState::new(None, None)
+    }
+}
+
+/// Fleet-wide pooled telemetry, shared by every connection handler.
+/// Sessions fold counter deltas in; STATS_REQ and the server's periodic
+/// log read snapshots out.
+#[derive(Debug)]
+pub struct FleetAggregator {
+    active: AtomicU64,
+    inner: Mutex<FleetInner>,
+}
+
+#[derive(Debug)]
+struct FleetInner {
+    sessions_seen: u64,
+    flagged: u64,
+    events: u64,
+    mispredicts: u64,
+    bins: [(u64, u64); PROFILE_BINS],
+    rate_at: Instant,
+    rate_events: u64,
+    rate: f64,
+}
+
+impl FleetAggregator {
+    /// A fresh aggregator (server start).
+    pub fn new() -> Self {
+        FleetAggregator {
+            active: AtomicU64::new(0),
+            inner: Mutex::new(FleetInner {
+                sessions_seen: 0,
+                flagged: 0,
+                events: 0,
+                mispredicts: 0,
+                bins: [(0, 0); PROFILE_BINS],
+                rate_at: Instant::now(),
+                rate_events: 0,
+                rate: 0.0,
+            }),
+        }
+    }
+
+    /// A connection established a session.
+    pub fn session_started(&self) {
+        self.active.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().unwrap().sessions_seen += 1;
+    }
+
+    /// A connection released its session (parked or discarded).
+    pub fn session_ended(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Absorbs one session's counter deltas; `newly_flagged` marks the
+    /// first fold after that session's drift flag latched.
+    fn fold(
+        &self,
+        delta_events: u64,
+        delta_mispredicts: u64,
+        delta_bins: &[(u64, u64); PROFILE_BINS],
+        newly_flagged: bool,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.events += delta_events;
+        inner.mispredicts += delta_mispredicts;
+        merge_bin_pairs(&mut inner.bins, delta_bins);
+        inner.flagged += newly_flagged as u64;
+    }
+
+    /// The fleet snapshot as a wire-ready [`FleetStats`]. `parked` is
+    /// the session table's current parked count (the aggregator does not
+    /// own the table). The event rate is re-measured when at least 50 ms
+    /// passed since the previous measurement and smoothed across
+    /// snapshots.
+    pub fn snapshot(&self, parked: usize) -> FleetStats {
+        let mut inner = self.inner.lock().unwrap();
+        let elapsed = inner.rate_at.elapsed();
+        if elapsed.as_millis() >= 50 {
+            let fresh = (inner.events - inner.rate_events) as f64 / elapsed.as_secs_f64();
+            inner.rate = if inner.rate == 0.0 {
+                fresh
+            } else {
+                0.5 * inner.rate + 0.5 * fresh
+            };
+            inner.rate_at = Instant::now();
+            inner.rate_events = inner.events;
+        }
+        FleetStats {
+            sessions_active: self.active.load(Ordering::Relaxed),
+            sessions_parked: parked as u64,
+            sessions_seen: inner.sessions_seen,
+            flagged_sessions: inner.flagged,
+            events: inner.events,
+            mispredicts: inner.mispredicts,
+            events_per_sec_bits: inner.rate.to_bits(),
+            bins: inner.bins.to_vec(),
+        }
+    }
+}
+
+impl Default for FleetAggregator {
+    fn default() -> Self {
+        FleetAggregator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(prob: f64, mispredicted: bool) -> OnlineOutcome {
+        OnlineOutcome {
+            score: 1,
+            prob_bits: Some(prob.to_bits()),
+            predicted_taken: true,
+            mispredicted,
+        }
+    }
+
+    /// Feeds `windows` full windows drawn from a fixed (prob, mispredict)
+    /// mix.
+    fn feed(watch: &mut WatchState, windows: u64, mix: &[(f64, bool)]) {
+        let total = windows * WATCH_WINDOW;
+        for i in 0..total {
+            let (p, m) = mix[i as usize % mix.len()];
+            watch.observe(&outcome(p, m));
+        }
+    }
+
+    fn reference_like(mix: &[(f64, bool)]) -> CalibrationProfile {
+        let mut profile = CalibrationProfile::new();
+        for i in 0..(4 * WATCH_WINDOW) {
+            let (p, m) = mix[i as usize % mix.len()];
+            profile.record(Some(p), m);
+        }
+        profile
+    }
+
+    const STEADY: &[(f64, bool)] = &[
+        (0.97, false),
+        (0.97, false),
+        (0.92, false),
+        (0.97, false),
+        (0.80, true),
+    ];
+    const STORMY: &[(f64, bool)] = &[(0.55, true), (0.60, false), (0.55, true), (0.90, false)];
+
+    #[test]
+    fn on_profile_stream_stays_quiet() {
+        let mut watch = WatchState::new(Some("steady".into()), Some(reference_like(STEADY)));
+        feed(&mut watch, 12, STEADY);
+        assert!(!watch.drift_flagged());
+        let stats = watch.session_stats(1);
+        assert_eq!(stats.windows, 12);
+        assert_eq!(stats.events, 12 * WATCH_WINDOW);
+        assert_eq!(stats.drift_window, 0);
+        assert_eq!(stats.family.as_deref(), Some("steady"));
+    }
+
+    #[test]
+    fn regime_switch_latches_the_flag_after_the_splice() {
+        let mut watch = WatchState::new(Some("steady".into()), Some(reference_like(STEADY)));
+        feed(&mut watch, 8, STEADY);
+        assert!(!watch.drift_flagged(), "quiet before the splice");
+        feed(&mut watch, 6, STORMY);
+        assert!(watch.drift_flagged(), "stormy windows must latch the flag");
+        let stats = watch.session_stats(1);
+        assert!(
+            stats.drift_window > 8,
+            "flag must latch after the splice window, got {}",
+            stats.drift_window
+        );
+        assert!(stats.drift_flagged);
+    }
+
+    #[test]
+    fn undeclared_sessions_never_flag() {
+        let mut watch = WatchState::new(None, None);
+        feed(&mut watch, 4, STEADY);
+        feed(&mut watch, 8, STORMY);
+        assert!(!watch.drift_flagged());
+        let stats = watch.session_stats(9);
+        assert_eq!(stats.windows, 12);
+        assert_eq!(stats.family, None);
+        assert_eq!(stats.last_divergence_bits, 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn batched_and_per_event_observation_agree() {
+        let outcomes: Vec<OnlineOutcome> = (0..(3 * WATCH_WINDOW + 17))
+            .map(|i| {
+                let p = (i % 100) as f64 / 100.0;
+                OnlineOutcome {
+                    score: i,
+                    prob_bits: (i % 7 != 0).then(|| p.to_bits()),
+                    predicted_taken: i % 2 == 0,
+                    mispredicted: i % 5 == 0,
+                }
+            })
+            .collect();
+        let reference = reference_like(STEADY);
+
+        let mut per_event = WatchState::new(Some("steady".into()), Some(reference));
+        for o in &outcomes {
+            per_event.observe(o);
+        }
+
+        let mut batched = WatchState::new(Some("steady".into()), Some(reference));
+        for chunk in outcomes.chunks(512) {
+            let mut batch = OutcomeBatch::new();
+            for o in chunk {
+                batch.push(o);
+            }
+            batched.observe_batch(&batch);
+        }
+
+        let mut a = Vec::new();
+        crate::proto::encode_session_stats(&mut a, &per_event.session_stats(3));
+        let mut b = Vec::new();
+        crate::proto::encode_session_stats(&mut b, &batched.session_stats(3));
+        assert_eq!(a, b, "lanes must produce byte-identical telemetry");
+    }
+
+    #[test]
+    fn fold_into_accumulates_deltas_once() {
+        let fleet = FleetAggregator::new();
+        fleet.session_started();
+        let mut watch = WatchState::new(Some("steady".into()), Some(reference_like(STEADY)));
+        feed(&mut watch, 2, STEADY);
+        watch.fold_into(&fleet);
+        watch.fold_into(&fleet); // no growth: must be a no-op
+        let snap = fleet.snapshot(0);
+        assert_eq!(snap.events, 2 * WATCH_WINDOW);
+        assert_eq!(snap.sessions_active, 1);
+        assert_eq!(snap.sessions_seen, 1);
+        assert_eq!(snap.flagged_sessions, 0);
+        assert_eq!(
+            snap.bins.iter().map(|&(n, _)| n).sum::<u64>(),
+            2 * WATCH_WINDOW
+        );
+
+        feed(&mut watch, 10, STORMY);
+        watch.fold_into(&fleet);
+        watch.fold_into(&fleet);
+        fleet.session_ended();
+        let snap = fleet.snapshot(4);
+        assert_eq!(snap.events, 12 * WATCH_WINDOW);
+        assert_eq!(
+            snap.flagged_sessions, 1,
+            "a latched flag folds exactly once"
+        );
+        assert_eq!(snap.sessions_active, 0);
+        assert_eq!(snap.sessions_parked, 4);
+    }
+
+    #[test]
+    fn declare_pins_only_once() {
+        let mut watch = WatchState::default();
+        assert_eq!(watch.family(), None);
+        watch.declare("a".into(), reference_like(STEADY));
+        watch.declare("b".into(), reference_like(STORMY));
+        assert_eq!(watch.family(), Some("a"));
+    }
+}

@@ -65,6 +65,8 @@ fn frame_kind_table_matches_proto() {
         (FrameKind::SnapshotReq, "SNAPSHOT_REQ"),
         (FrameKind::Snapshot, "SNAPSHOT"),
         (FrameKind::Bye, "BYE"),
+        (FrameKind::StatsReq, "STATS_REQ"),
+        (FrameKind::Stats, "STATS"),
         (FrameKind::Error, "ERROR"),
     ];
     for &(kind, name) in expected {
@@ -101,6 +103,7 @@ fn error_code_table_matches_proto() {
         (ErrorCode::UnknownSession, "UNKNOWN_SESSION"),
         (ErrorCode::BadState, "BAD_STATE"),
         (ErrorCode::Malformed, "MALFORMED"),
+        (ErrorCode::UnknownFamily, "UNKNOWN_FAMILY"),
     ];
     for &(code, name) in expected {
         let documented = rows

@@ -4,15 +4,16 @@
 //! `paco-trace` corruption suite for the on-disk format).
 
 use paco_serve::proto::{
-    decode_events, decode_hello, decode_outcomes, encode_events, encode_hello, encode_outcomes,
-    frame_bytes, read_frame, Frame, FrameKind, Hello, ProtoError, Resume, PROTOCOL_VERSION,
+    decode_events, decode_hello, decode_outcomes, decode_stats, encode_events, encode_hello,
+    encode_outcomes, encode_stats, frame_bytes, read_frame, FleetStats, Frame, FrameKind, Hello,
+    ProtoError, Resume, SessionStats, Stats, PROTOCOL_VERSION,
 };
 use paco_sim::{EstimatorKind, OnlineConfig, OnlineOutcome};
 use paco_types::{ControlKind, DynInstr, InstrClass, Pc};
 use proptest::prelude::*;
 
 fn kind_from(seed: u8) -> FrameKind {
-    match seed % 8 {
+    match seed % 10 {
         0 => FrameKind::Hello,
         1 => FrameKind::Welcome,
         2 => FrameKind::Events,
@@ -20,6 +21,8 @@ fn kind_from(seed: u8) -> FrameKind {
         4 => FrameKind::SnapshotReq,
         5 => FrameKind::Snapshot,
         6 => FrameKind::Bye,
+        7 => FrameKind::StatsReq,
+        8 => FrameKind::Stats,
         _ => FrameKind::Error,
     }
 }
@@ -43,6 +46,90 @@ fn event_strategy() -> impl Strategy<Value = DynInstr> {
             target: Pc::new(target),
         }
     })
+}
+
+/// Reliability bins as the STATS codec ships them: up to a generous
+/// multiple of the real 21-bin layout.
+fn bins_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((any::<u64>(), any::<u64>()), 0..64)
+}
+
+/// Short lowercase family names, sometimes absent (the offline proptest
+/// layer has no regex strategies, so names are derived from a seed).
+fn name_strategy() -> impl Strategy<Value = Option<String>> {
+    (any::<bool>(), any::<u64>(), 1usize..24).prop_map(|(some, seed, len)| {
+        some.then(|| {
+            (0..len)
+                .map(|i| {
+                    let x = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(i as u64)
+                        .wrapping_mul(0x9e3779b97f4a7c15);
+                    char::from(b'a' + ((x >> 33) % 26) as u8)
+                })
+                .collect()
+        })
+    })
+}
+
+fn session_stats_strategy() -> impl Strategy<Value = SessionStats> {
+    (
+        (
+            any::<u64>(),
+            name_strategy(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<bool>(), any::<u64>(), bins_strategy()),
+    )
+        .prop_map(|(ids, scalars, drift)| {
+            let (session_id, family, events, mispredicts, with_prob) = ids;
+            let (windows, window_len, last_divergence_bits, cusum_bits) = scalars;
+            let (drift_flagged, drift_window, bins) = drift;
+            SessionStats {
+                session_id,
+                family,
+                events,
+                mispredicts,
+                with_prob,
+                windows,
+                window_len,
+                last_divergence_bits,
+                cusum_bits,
+                drift_flagged,
+                drift_window,
+                bins,
+            }
+        })
+}
+
+fn fleet_stats_strategy() -> impl Strategy<Value = FleetStats> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        bins_strategy(),
+    )
+        .prop_map(|(sessions, counters, bins)| {
+            let (sessions_active, sessions_parked, sessions_seen, flagged_sessions) = sessions;
+            let (events, mispredicts, events_per_sec_bits) = counters;
+            FleetStats {
+                sessions_active,
+                sessions_parked,
+                sessions_seen,
+                flagged_sessions,
+                events,
+                mispredicts,
+                events_per_sec_bits,
+                bins,
+            }
+        })
+}
+
+fn stats_strategy() -> impl Strategy<Value = Stats> {
+    (session_stats_strategy(), fleet_stats_strategy())
+        .prop_map(|(session, fleet)| Stats { session, fleet })
 }
 
 fn outcome_strategy() -> impl Strategy<Value = OnlineOutcome> {
@@ -149,14 +236,15 @@ proptest! {
         prop_assert_eq!(decode_outcomes(&payload).unwrap(), outcomes);
     }
 
-    /// HELLO round-trips for arbitrary fingerprints/hashes and resume
-    /// blobs.
+    /// HELLO round-trips for arbitrary fingerprints/hashes, resume
+    /// blobs, and family declarations.
     #[test]
     fn hello_round_trips(
         fingerprint in any::<u64>(),
         config_hash in any::<u64>(),
         blob in proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..256),
         mode in 0u8..3,
+        family in name_strategy(),
     ) {
         let resume = match mode {
             0 => Resume::Fresh,
@@ -169,8 +257,44 @@ proptest! {
             config: OnlineConfig::tiny(EstimatorKind::StaticMrt),
             config_hash,
             resume,
+            family,
         };
         prop_assert_eq!(decode_hello(&encode_hello(&hello)).unwrap(), hello);
+    }
+
+    /// STATS round-trips for arbitrary telemetry values — every counter,
+    /// f64 bit pattern, flag, and bin vector survives the codec exactly.
+    #[test]
+    fn stats_round_trip(stats in stats_strategy()) {
+        let payload = encode_stats(&stats);
+        prop_assert_eq!(decode_stats(&payload).unwrap(), stats);
+    }
+
+    /// A STATS frame truncated anywhere strictly inside it fails at the
+    /// frame layer — telemetry can never be silently partial.
+    #[test]
+    fn stats_frame_truncation_is_rejected(
+        stats in stats_strategy(),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = frame_bytes(FrameKind::Stats, &encode_stats(&stats));
+        let cut = 1 + (cut_seed as usize % (bytes.len() - 1));
+        prop_assert!(read_frame(&mut &bytes[..cut]).is_err());
+    }
+
+    /// Flipping any single bit of a STATS frame is caught by the CRC
+    /// (or the header checks) before the payload is ever interpreted.
+    #[test]
+    fn stats_frame_corruption_is_rejected(
+        stats in stats_strategy(),
+        victim in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let clean = frame_bytes(FrameKind::Stats, &encode_stats(&stats));
+        let idx = victim as usize % clean.len();
+        let mut bytes = clean.clone();
+        bytes[idx] ^= 1 << bit;
+        prop_assert!(read_frame(&mut bytes.as_slice()).is_err());
     }
 }
 
