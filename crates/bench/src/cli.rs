@@ -24,24 +24,30 @@ use crate::json::run_json;
 use crate::runner::env_params;
 
 /// Parsed `run` options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct RunOptions {
     jobs: Option<usize>,
     no_cache: bool,
     json: bool,
     help: bool,
+    /// `--batch N[,N…]`: hotpath-only batch-size sweep.
+    batch: Option<Vec<usize>>,
 }
 
 const USAGE: &str = "usage:
   paco-bench list
   paco-bench run <experiment>... [--jobs N] [--no-cache] [--json]
+                                 [--batch N[,N...]]
   paco-bench version
 
 Run `paco-bench list` for the available experiments; `all` runs every
 one. PACO_INSTRS / PACO_SEED / PACO_WARMUP adjust run lengths, and
 PACO_BENCH_CACHE_DIR relocates the result cache
-(default: target/paco-bench-cache). `version` prints the executable
-fingerprint that keys the result cache.";
+(default: target/paco-bench-cache). `--batch` applies to the hotpath
+experiment only: it sweeps the batched pipeline lane across the given
+frame sizes (e.g. `--batch 64,128,512,2048`) on top of the default
+512-event frames. `version` prints the executable fingerprint that
+keys the result cache.";
 
 /// Entry point for the `paco-bench` binary. Returns the process exit
 /// code.
@@ -61,7 +67,7 @@ pub fn main_multi(args: &[String]) -> i32 {
             Ok((ids, opts)) if !ids.is_empty() => {
                 let mut code = 0;
                 for id in ids {
-                    if !run_experiment(id, opts) {
+                    if !run_experiment(id, opts.clone()) {
                         code = 1;
                     }
                 }
@@ -154,6 +160,20 @@ fn parse_run(args: &[String]) -> Result<(Vec<ExperimentId>, RunOptions), String>
             "--no-cache" => opts.no_cache = true,
             "--json" => opts.json = true,
             "--help" | "-h" => opts.help = true,
+            "--batch" => {
+                let v = it.next().ok_or("--batch requires a value")?;
+                let sizes = v
+                    .split(',')
+                    .map(|s| match s.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => Ok(n),
+                        _ => Err(format!("invalid --batch size {s:?}")),
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if sizes.is_empty() {
+                    return Err("--batch requires at least one size".into());
+                }
+                opts.batch = Some(sizes);
+            }
             "all" => {
                 for id in ALL_EXPERIMENTS {
                     if !ids.contains(&id) {
@@ -179,6 +199,13 @@ fn parse_run(args: &[String]) -> Result<(Vec<ExperimentId>, RunOptions), String>
 /// Runs one experiment; `false` on failure (a parity break or server
 /// error in `serve_throughput` must fail the process, not just print).
 fn run_experiment(id: ExperimentId, opts: RunOptions) -> bool {
+    if opts.batch.is_some() && id != ExperimentId::Hotpath {
+        eprintln!(
+            "paco-bench: warning: --batch only applies to the hotpath experiment; \
+             ignored for {}",
+            id.name()
+        );
+    }
     // The service experiments measure wall-clock behavior (a real
     // loopback server / the two pipeline lanes); they bypass the engine
     // and are never cached.
@@ -207,7 +234,11 @@ fn run_experiment(id: ExperimentId, opts: RunOptions) -> bool {
     }
     if id == ExperimentId::Hotpath {
         let started = Instant::now();
-        return match crate::hotpath::run_hotpath() {
+        let result = match &opts.batch {
+            Some(sizes) => crate::hotpath::run_hotpath_sweep(sizes),
+            None => crate::hotpath::run_hotpath(),
+        };
+        return match result {
             Ok(report) => {
                 if opts.json {
                     println!("{}", crate::hotpath::render_json(&report));
@@ -299,6 +330,19 @@ mod tests {
         assert!(parse_run(&strs(&["--bogus"])).is_err());
         assert!(parse_run(&strs(&["fig2", "--jobs"])).is_err());
         assert!(parse_run(&strs(&["fig2", "--jobs", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_batch_sweep_list() {
+        let (ids, opts) = parse_run(&strs(&["hotpath", "--batch", "64,128,512,2048"])).unwrap();
+        assert_eq!(ids, vec![ExperimentId::Hotpath]);
+        assert_eq!(opts.batch, Some(vec![64, 128, 512, 2048]));
+        let (_, single) = parse_run(&strs(&["hotpath", "--batch", "256"])).unwrap();
+        assert_eq!(single.batch, Some(vec![256]));
+        assert!(parse_run(&strs(&["hotpath", "--batch"])).is_err());
+        assert!(parse_run(&strs(&["hotpath", "--batch", "0"])).is_err());
+        assert!(parse_run(&strs(&["hotpath", "--batch", "64,x"])).is_err());
+        assert!(parse_run(&strs(&["hotpath", "--batch", ""])).is_err());
     }
 
     #[test]

@@ -24,10 +24,20 @@
 //! `docs/EXPERIMENTS.md` caps the watch lane's overhead at 5% of the
 //! batched wire lane.
 //!
+//! Each row also carries a **per-pass breakdown** (predict / train /
+//! estimator microseconds per frame), measured on a separate probed run
+//! of the *chunked* data-parallel kernel
+//! ([`OnlinePipeline::run_batch_probed`]) — the [`PassProbe`] hook adds
+//! clock reads, so it never touches the headline numbers, which come
+//! from the fused `run_batch` kernel. `--batch N[,N…]` additionally
+//! sweeps the batched pipeline lane across frame sizes, digest-gating
+//! every size against the default-size outcome stream.
+//!
 //! Like `serve_throughput`, this is a wall-clock measurement: it
 //! bypasses the engine and the result cache. The numbers only count if
-//! the lanes agree — every run digests both lanes' prediction payloads
-//! and fails on any divergence, so the benchmark doubles as a parity
+//! the lanes agree — every run digests every lane's prediction payloads
+//! (per-event reference, fused batched, chunked kernel, watched) and
+//! fails on any divergence, so the benchmark doubles as a parity
 //! check. The `--json` output of this experiment (plus
 //! `serve_throughput`) is what `BENCH_baseline.json` at the repo root
 //! records; see `docs/EXPERIMENTS.md` for how baselines are compared.
@@ -40,7 +50,9 @@ use paco_serve::proto::{
     decode_events, decode_events_into, encode_events, encode_outcomes, encode_outcomes_into,
 };
 use paco_serve::{Digest, WatchState};
-use paco_sim::{EstimatorKind, OnlineConfig, OnlinePipeline, OutcomeBatch};
+use paco_sim::{
+    EstimatorKind, HotPass, NoProbe, OnlineConfig, OnlinePipeline, OutcomeBatch, PassProbe,
+};
 use paco_types::{DynInstr, EventBatch};
 use paco_workloads::{BenchmarkId, Workload};
 
@@ -50,8 +62,9 @@ use crate::runner::{default_instrs, default_seed};
 /// (`PACO_INSTRS` overrides).
 pub const DEFAULT_INSTRS: u64 = 400_000;
 
-/// Events per frame/batch, matching the serve defaults.
-const BATCH: usize = 512;
+/// Default events per frame/batch, matching the serve defaults
+/// (`paco-bench run hotpath --batch N[,N…]` sweeps other sizes).
+pub const DEFAULT_BATCH: usize = 512;
 
 /// Timed passes per lane; the best pass is reported (the lanes are
 /// deterministic, so the best pass is the least-perturbed one).
@@ -73,6 +86,29 @@ impl LanePair {
     }
 }
 
+/// Where the chunked data-parallel kernel's wall time goes, attributed
+/// per pass by a [`PassProbe`] over the whole stream and averaged per
+/// frame.
+///
+/// Probed runs carry two extra clock reads per pass per 16-event chunk,
+/// so these numbers attribute time *within* the chunked kernel; the
+/// headline `batched_eps` comes from a separate unprobed run of the
+/// fused `run_batch` kernel. The final partial chunk runs through the
+/// scalar step unattributed, so the three passes sum to slightly less
+/// than a probed frame's wall time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassBreakdown {
+    /// Mean microseconds per frame in Pass 0 (event compaction, history
+    /// scan, hashed index precomputation, next-chunk prefetch).
+    pub predict_us: f64,
+    /// Mean microseconds per frame in Pass A (the order-exact table
+    /// pass: counter reads, MDC fetches, due resolve-time trains).
+    pub train_us: f64,
+    /// Mean microseconds per frame in Pass B (the estimator chunk hook,
+    /// window pushes and outcome packing).
+    pub estimator_us: f64,
+}
+
 /// Measurements for one estimator kind.
 #[derive(Debug, Clone)]
 pub struct HotpathRow {
@@ -85,6 +121,8 @@ pub struct HotpathRow {
     /// Events/second through the batched wire lane with watch telemetry
     /// enabled.
     pub wire_watch_eps: f64,
+    /// Per-pass wall-time attribution of the batched pipeline lane.
+    pub passes: PassBreakdown,
 }
 
 impl HotpathRow {
@@ -93,6 +131,26 @@ impl HotpathRow {
     pub fn watch_overhead(&self) -> f64 {
         1.0 - self.wire_watch_eps / self.wire.batched_eps.max(1e-9)
     }
+}
+
+/// One estimator's batched-pipeline throughput at one swept batch size.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// The estimator's display name.
+    pub estimator: String,
+    /// Events/second through the batched pipeline lane at this size.
+    pub batched_eps: f64,
+    /// Ratio against the same run's per-event pipeline lane.
+    pub speedup: f64,
+}
+
+/// All estimators' batched-pipeline throughput at one swept batch size.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Events per batch at this sweep point.
+    pub batch: usize,
+    /// One cell per estimator kind, in the report's row order.
+    pub cells: Vec<SweepCell>,
 }
 
 /// The full experiment result.
@@ -106,6 +164,8 @@ pub struct HotpathReport {
     pub passes: u32,
     /// Per-estimator measurements.
     pub rows: Vec<HotpathRow>,
+    /// Speedup-vs-batch-size curve (`--batch` sweep; empty otherwise).
+    pub sweep: Vec<SweepPoint>,
 }
 
 /// Runs the experiment at the env-configured scale (`PACO_INSTRS` /
@@ -113,6 +173,14 @@ pub struct HotpathReport {
 /// divergence is an error, not a number).
 pub fn run_hotpath() -> Result<HotpathReport, String> {
     run_at(default_instrs(DEFAULT_INSTRS), default_seed())
+}
+
+/// [`run_hotpath`] plus a batched-pipeline sweep over `batches` sizes
+/// (the `--batch` flag); each sweep point re-chunks the same event
+/// stream and is digest-gated against the default-size lane before it
+/// is timed.
+pub fn run_hotpath_sweep(batches: &[usize]) -> Result<HotpathReport, String> {
+    run_at_sweep(default_instrs(DEFAULT_INSTRS), default_seed(), batches)
 }
 
 /// The estimator kinds the experiment sweeps.
@@ -127,6 +195,15 @@ fn kinds() -> [EstimatorKind; 3] {
 /// Runs the experiment at an explicit scale (tests use this directly so
 /// they never mutate process environment).
 pub fn run_at(instrs: u64, seed: u64) -> Result<HotpathReport, String> {
+    run_at_sweep(instrs, seed, &[])
+}
+
+/// [`run_at`] plus the batch-size sweep, at an explicit scale.
+pub fn run_at_sweep(
+    instrs: u64,
+    seed: u64,
+    sweep_sizes: &[usize],
+) -> Result<HotpathReport, String> {
     // The control-event stream of a gzip run — the same extraction the
     // serve_throughput experiment and paco-load's trace replay use.
     let mut workload = BenchmarkId::Gzip.build(seed);
@@ -137,12 +214,15 @@ pub fn run_at(instrs: u64, seed: u64) -> Result<HotpathReport, String> {
     if events.is_empty() {
         return Err("no control events generated".into());
     }
+    if let Some(&bad) = sweep_sizes.iter().find(|&&b| b == 0) {
+        return Err(format!("invalid sweep batch size {bad}"));
+    }
 
     // Pre-built inputs, shared by all lanes: encoded EVENTS payloads for
     // the wire lanes, struct-of-arrays batches for the batched pipeline
     // lane (its native input shape, as produced by the serve decoder).
-    let frames: Vec<Vec<u8>> = events.chunks(BATCH).map(encode_events).collect();
-    let batches: Vec<EventBatch> = events.chunks(BATCH).map(EventBatch::from).collect();
+    let frames: Vec<Vec<u8>> = events.chunks(DEFAULT_BATCH).map(encode_events).collect();
+    let batches: Vec<EventBatch> = events.chunks(DEFAULT_BATCH).map(EventBatch::from).collect();
 
     // The watch lane's reference profile, resolved (and lazily computed)
     // before any pass is timed so its one-time cost never lands inside a
@@ -156,14 +236,25 @@ pub fn run_at(instrs: u64, seed: u64) -> Result<HotpathReport, String> {
         let estimator = OnlinePipeline::new(&config).estimator_name();
 
         // Parity gate (untimed): all lanes' prediction payloads must
-        // digest identically before any number is reported. The watched
-        // lane is included — telemetry must never change the bytes.
+        // digest identically before any number is reported. The chunked
+        // kernel is gated even though the headline timings run fused —
+        // the probed breakdown below runs through it, and its parity
+        // contract is load-bearing regardless of which kernel the
+        // router picks. The watched lane is included too — telemetry
+        // must never change the bytes.
         let per_event_digest = digest_per_event(&config, &frames)?;
         let batched_digest = digest_batched(&config, &frames)?;
         if per_event_digest != batched_digest {
             return Err(format!(
                 "lane divergence for {estimator}: per-event digest {per_event_digest:016x} \
                  != batched digest {batched_digest:016x}"
+            ));
+        }
+        let chunked_digest = digest_chunked(&config, &frames)?;
+        if chunked_digest != batched_digest {
+            return Err(format!(
+                "chunked-kernel divergence for {estimator}: chunked digest \
+                 {chunked_digest:016x} != batched digest {batched_digest:016x}"
             ));
         }
         let watched_digest = digest_watched(&config, &frames, &reference)?;
@@ -198,19 +289,55 @@ pub fn run_at(instrs: u64, seed: u64) -> Result<HotpathReport, String> {
             events.len(),
             best_of(PASSES, || wire_watched(&config, &frames, &reference)),
         );
+        let passes = pipeline_breakdown(&config, &batches);
         rows.push(HotpathRow {
             estimator,
             pipeline,
             wire,
             wire_watch_eps,
+            passes,
         });
+    }
+
+    // The `--batch` sweep: the batched pipeline lane re-timed at each
+    // requested frame size, against the default-size per-event lane
+    // already in `rows`. Chunking must never change the outcome stream,
+    // so every size is digest-gated against the default-size lane
+    // before it is timed.
+    let mut sweep = Vec::new();
+    for &size in sweep_sizes {
+        let sized: Vec<EventBatch> = events.chunks(size).map(EventBatch::from).collect();
+        let mut cells = Vec::new();
+        for (kind, row) in kinds().into_iter().zip(&rows) {
+            let config = OnlineConfig::paper(kind);
+            let base = digest_outcomes(&config, &batches);
+            let at_size = digest_outcomes(&config, &sized);
+            if at_size != base {
+                return Err(format!(
+                    "batch-size divergence for {} at batch {size}: digest {at_size:016x} \
+                     != default-size digest {base:016x}",
+                    row.estimator
+                ));
+            }
+            let batched_eps = eps(
+                events.len(),
+                best_of(PASSES, || pipeline_batched(&config, &sized)),
+            );
+            cells.push(SweepCell {
+                estimator: row.estimator.clone(),
+                batched_eps,
+                speedup: batched_eps / row.pipeline.per_event_eps.max(1e-9),
+            });
+        }
+        sweep.push(SweepPoint { batch: size, cells });
     }
 
     Ok(HotpathReport {
         events: events.len() as u64,
-        batch: BATCH,
+        batch: DEFAULT_BATCH,
         passes: PASSES,
         rows,
+        sweep,
     })
 }
 
@@ -224,9 +351,9 @@ fn best_of(passes: u32, mut lane: impl FnMut() -> Duration) -> Duration {
 
 fn pipeline_per_event(config: &OnlineConfig, events: &[DynInstr]) -> Duration {
     let mut pipe = OnlinePipeline::new(config);
-    let mut out = Vec::with_capacity(BATCH);
+    let mut out = Vec::with_capacity(DEFAULT_BATCH);
     let t0 = Instant::now();
-    for chunk in events.chunks(BATCH) {
+    for chunk in events.chunks(DEFAULT_BATCH) {
         out.clear();
         out.extend(chunk.iter().filter_map(|i| pipe.on_instr(i)));
         std::hint::black_box(&out);
@@ -235,8 +362,9 @@ fn pipeline_per_event(config: &OnlineConfig, events: &[DynInstr]) -> Duration {
 }
 
 fn pipeline_batched(config: &OnlineConfig, batches: &[EventBatch]) -> Duration {
+    let cap = batches.first().map_or(0, EventBatch::len);
     let mut pipe = OnlinePipeline::new(config);
-    let mut out = OutcomeBatch::with_capacity(BATCH);
+    let mut out = OutcomeBatch::with_capacity(cap);
     let t0 = Instant::now();
     for batch in batches {
         out.clear();
@@ -244,6 +372,100 @@ fn pipeline_batched(config: &OnlineConfig, batches: &[EventBatch]) -> Duration {
         std::hint::black_box(&out);
     }
     t0.elapsed()
+}
+
+/// Wall-time accumulator behind the per-pass breakdown: two `Instant`
+/// reads per pass per chunk, which is why probed runs are separate from
+/// the headline timings.
+#[derive(Debug, Default)]
+struct TimingProbe {
+    predict: Duration,
+    train: Duration,
+    estimator: Duration,
+}
+
+impl TimingProbe {
+    fn total(&self) -> Duration {
+        self.predict + self.train + self.estimator
+    }
+}
+
+impl PassProbe for TimingProbe {
+    #[inline]
+    fn span<R>(&mut self, pass: HotPass, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        let elapsed = t0.elapsed();
+        match pass {
+            HotPass::Predict => self.predict += elapsed,
+            HotPass::Train => self.train += elapsed,
+            HotPass::Estimator => self.estimator += elapsed,
+        }
+        r
+    }
+}
+
+/// Times the batched pipeline lane with a [`TimingProbe`] attached,
+/// best of [`PASSES`] by attributed total, averaged per frame.
+fn pipeline_breakdown(config: &OnlineConfig, batches: &[EventBatch]) -> PassBreakdown {
+    let cap = batches.first().map_or(0, EventBatch::len);
+    let mut best: Option<TimingProbe> = None;
+    for _ in 0..PASSES.max(1) {
+        let mut pipe = OnlinePipeline::new(config);
+        let mut out = OutcomeBatch::with_capacity(cap);
+        let mut probe = TimingProbe::default();
+        for batch in batches {
+            out.clear();
+            pipe.run_batch_probed(batch, &mut out, &mut probe);
+            std::hint::black_box(&out);
+        }
+        let better = match &best {
+            Some(b) => probe.total() < b.total(),
+            None => true,
+        };
+        if better {
+            best = Some(probe);
+        }
+    }
+    let probe = best.unwrap_or_default();
+    let frames = batches.len().max(1) as f64;
+    let us = |d: Duration| d.as_secs_f64() * 1e6 / frames;
+    PassBreakdown {
+        predict_us: us(probe.predict),
+        train_us: us(probe.train),
+        estimator_us: us(probe.estimator),
+    }
+}
+
+/// Digest of the raw outcome stream (flags, scores, probability bits)
+/// produced by the batched pipeline over `batches` — frame-boundary
+/// free, so runs chunked at different batch sizes are comparable.
+fn digest_outcomes(config: &OnlineConfig, batches: &[EventBatch]) -> u64 {
+    let mut pipe = OnlinePipeline::new(config);
+    let mut out = OutcomeBatch::new();
+    // One digest per outcome array, combined at the end: interleaving
+    // the arrays per frame would make the digest depend on where the
+    // frame boundaries fall, which is exactly what this gate must not
+    // be sensitive to.
+    let mut flags = Digest::new();
+    let mut scores = Digest::new();
+    let mut probs = Digest::new();
+    for batch in batches {
+        out.clear();
+        pipe.run_batch(batch, &mut out);
+        flags.update(out.flags());
+        for &s in out.scores() {
+            scores.update(&s.to_le_bytes());
+        }
+        for &p in out.prob_bits() {
+            probs.update(&p.to_le_bytes());
+        }
+    }
+    let mut combined = Digest::new();
+    combined.update(&flags.value().to_le_bytes());
+    combined.update(&scores.value().to_le_bytes());
+    combined.update(&probs.value().to_le_bytes());
+    combined.value()
 }
 
 /// The PR-3 `paco-served` frame loop: allocate-and-collect per frame.
@@ -332,6 +554,26 @@ fn digest_batched(config: &OnlineConfig, frames: &[Vec<u8>]) -> Result<u64, Stri
     Ok(digest.value())
 }
 
+/// Same stream through the chunked data-parallel kernel
+/// (`run_batch_probed` with [`NoProbe`]) — the kernel the per-pass
+/// breakdown instruments must stay byte-identical to the fused lane.
+fn digest_chunked(config: &OnlineConfig, frames: &[Vec<u8>]) -> Result<u64, String> {
+    let mut pipe = OnlinePipeline::new(config);
+    let mut batch = EventBatch::new();
+    let mut out = OutcomeBatch::new();
+    let mut payload = Vec::new();
+    let mut digest = Digest::new();
+    for frame in frames {
+        decode_events_into(frame, &mut batch).map_err(|e| e.to_string())?;
+        out.clear();
+        pipe.run_batch_probed(&batch, &mut out, &mut NoProbe);
+        payload.clear();
+        encode_outcomes_into(&mut payload, &out);
+        digest.update(&payload);
+    }
+    Ok(digest.value())
+}
+
 fn digest_watched(
     config: &OnlineConfig,
     frames: &[Vec<u8>],
@@ -389,6 +631,37 @@ pub fn render_text(report: &HotpathReport) -> String {
         ]);
     }
     out.push_str(&format!("{}\n", table.render()));
+
+    out.push_str("per-pass breakdown of the batched lane (probed run, us/frame):\n");
+    let mut passes = Table::new(&["estimator", "predict", "train", "estimator pass", "total"]);
+    for row in &report.rows {
+        let p = &row.passes;
+        passes.row_owned(vec![
+            row.estimator.clone(),
+            format!("{:.1}", p.predict_us),
+            format!("{:.1}", p.train_us),
+            format!("{:.1}", p.estimator_us),
+            format!("{:.1}", p.predict_us + p.train_us + p.estimator_us),
+        ]);
+    }
+    out.push_str(&format!("{}\n", passes.render()));
+
+    if !report.sweep.is_empty() {
+        out.push_str("speedup vs batch size (batched pipeline lane):\n");
+        let mut sweep = Table::new(&["batch", "estimator", "batched (ev/s)", "speedup"]);
+        for point in &report.sweep {
+            for cell in &point.cells {
+                sweep.row_owned(vec![
+                    point.batch.to_string(),
+                    cell.estimator.clone(),
+                    format!("{:.0}", cell.batched_eps),
+                    format!("{:.2}x", cell.speedup),
+                ]);
+            }
+        }
+        out.push_str(&format!("{}\n", sweep.render()));
+    }
+
     out.push_str(
         "All lanes' prediction payloads were digest-compared this run\n\
          (byte-identical, or this experiment errors out); `wire` spans\n\
@@ -421,13 +694,35 @@ pub fn render_json(report: &HotpathReport) -> String {
         };
         out.push_str(&format!(
             "{{\"name\":\"{}\",\"pipeline\":{},\"wire\":{},\"wire_watch_eps\":{:.0},\
-             \"watch_overhead\":{:.4},\"parity\":true}}",
+             \"watch_overhead\":{:.4},\
+             \"passes\":{{\"predict_us\":{:.2},\"train_us\":{:.2},\"estimator_us\":{:.2}}},\
+             \"parity\":true}}",
             row.estimator,
             lane(&row.pipeline),
             lane(&row.wire),
             row.wire_watch_eps,
-            row.watch_overhead()
+            row.watch_overhead(),
+            row.passes.predict_us,
+            row.passes.train_us,
+            row.passes.estimator_us,
         ));
+    }
+    out.push_str("],\"sweep\":[");
+    for (i, point) in report.sweep.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"batch\":{},\"estimators\":[", point.batch));
+        for (j, cell) in point.cells.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"batched_eps\":{:.0},\"speedup\":{:.3}}}",
+                cell.estimator, cell.batched_eps, cell.speedup
+            ));
+        }
+        out.push_str("]}");
     }
     out.push_str("]}");
     out
@@ -443,6 +738,7 @@ mod tests {
         // frame boundaries; run_at fails on any lane divergence.
         let report = run_at(20_000, 42).expect("hotpath runs");
         assert_eq!(report.rows.len(), kinds().len());
+        assert!(report.sweep.is_empty());
         for row in &report.rows {
             assert!(row.pipeline.per_event_eps > 0.0);
             assert!(row.pipeline.batched_eps > 0.0);
@@ -452,9 +748,14 @@ mod tests {
             // policy (docs/EXPERIMENTS.md), not a unit-test assertion —
             // timing assertions flake under CI load.
             assert!(row.wire_watch_eps > 0.0);
+            // The probed run attributes real time to every pass.
+            assert!(row.passes.predict_us > 0.0);
+            assert!(row.passes.train_us > 0.0);
+            assert!(row.passes.estimator_us > 0.0);
         }
         let text = render_text(&report);
         assert!(text.contains("hotpath"));
+        assert!(text.contains("per-pass breakdown"));
         for row in &report.rows {
             assert!(text.contains(&row.estimator), "missing {}", row.estimator);
         }
@@ -464,6 +765,30 @@ mod tests {
         assert!(json.contains("\"speedup\":"));
         assert!(json.contains("\"wire_watch_eps\":"));
         assert!(json.contains("\"watch_overhead\":"));
+        assert!(json.contains("\"passes\":{\"predict_us\":"));
         assert!(json.contains("\"parity\":true"));
+        assert!(json.contains("\"sweep\":[]"));
+    }
+
+    #[test]
+    fn hotpath_sweep_gates_and_reports_every_size() {
+        // Non-lane-multiple and tiny sizes included on purpose: the
+        // sweep digest gate proves chunking never changes the outcome
+        // stream, whatever the frame size.
+        let report = run_at_sweep(12_000, 7, &[48, 100]).expect("sweep runs");
+        assert_eq!(report.sweep.len(), 2);
+        for (point, &size) in report.sweep.iter().zip(&[48usize, 100]) {
+            assert_eq!(point.batch, size);
+            assert_eq!(point.cells.len(), kinds().len());
+            for cell in &point.cells {
+                assert!(cell.batched_eps > 0.0);
+                assert!(cell.speedup > 0.0);
+            }
+        }
+        assert!(run_at_sweep(12_000, 7, &[0]).is_err());
+        let text = render_text(&report);
+        assert!(text.contains("speedup vs batch size"));
+        let json = render_json(&report);
+        assert!(json.contains("\"sweep\":[{\"batch\":48,"));
     }
 }

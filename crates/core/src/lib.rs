@@ -45,6 +45,7 @@
 mod calculator;
 mod encoded;
 mod estimator;
+mod fastexp;
 mod log_circuit;
 mod mrt;
 mod paco_predictor;
@@ -53,7 +54,10 @@ mod variants;
 
 pub use calculator::PathConfidenceCalculator;
 pub use encoded::EncodedProb;
-pub use estimator::{BranchFetchInfo, BranchToken, ConfidenceScore, PathConfidenceEstimator};
+pub use estimator::{
+    BranchFetchInfo, BranchToken, ChunkOut, ConfidenceScore, EstimatorChunk,
+    PathConfidenceEstimator,
+};
 pub use log_circuit::{LogCircuit, LogMode};
 pub use mrt::{MispredictRateTable, MrtBucket};
 pub use paco_predictor::{PacoConfig, PacoPredictor};

@@ -35,7 +35,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use paco_analysis::{merge_bin_pairs, occupancy_distance, CusumDetector};
-use paco_corpus::{prob_bin, CalibrationProfile, PROFILE_BINS, PROFILE_WINDOW};
+use paco_corpus::{prob_bin, CalibrationProfile, ProbBinner, PROFILE_BINS, PROFILE_WINDOW};
 use paco_sim::{OnlineOutcome, OutcomeBatch};
 
 use crate::proto::{FleetStats, SessionStats};
@@ -137,6 +137,12 @@ impl WatchState {
     /// lane (the lane-determinism test holds the two to identical
     /// bytes).
     pub fn observe_batch(&mut self, outcomes: &OutcomeBatch) {
+        // Binning stays in integer bit-pattern form end to end: the
+        // wire already carries raw probability bits, and
+        // `ProbBinner::bin_bits` is bit-identical to `prob_bin` on the
+        // decoded value (pinned by paco-corpus' oracle sweep), so the
+        // float round-trip the per-event lane does is skipped entirely.
+        let binner = ProbBinner::new();
         let (mut flags, mut probs) = (outcomes.flags(), outcomes.prob_bits());
         while !flags.is_empty() {
             let take = ((WATCH_WINDOW - self.window.events()) as usize).min(flags.len());
@@ -147,7 +153,7 @@ impl WatchState {
                 mispredicts += u64::from(f & OutcomeBatch::FLAG_MISPREDICTED != 0);
                 if f & OutcomeBatch::FLAG_HAS_PROB != 0 {
                     let correct = u64::from(f & OutcomeBatch::FLAG_MISPREDICTED == 0);
-                    self.window.add_bin(prob_bin(f64::from_bits(p)), 1, correct);
+                    self.window.add_bin(binner.bin_bits(p), 1, correct);
                 }
             }
             self.window.add_counts(take as u64, mispredicts);

@@ -53,6 +53,6 @@ pub use cache::{Cache, CacheConfig, CacheHierarchy};
 pub use config::SimConfig;
 pub use estimator_kind::{EstimatorKind, NullEstimator};
 pub use machine::{Machine, MachineBuilder, TraceSink};
-pub use online::{OnlineConfig, OnlineOutcome, OnlinePipeline};
+pub use online::{HotPass, NoProbe, OnlineConfig, OnlineOutcome, OnlinePipeline, PassProbe};
 pub use policy::{FetchPolicy, GatingPolicy};
 pub use stats::{MachineStats, ThreadStats, PROB_BINS, SCORE_BINS};

@@ -1,0 +1,105 @@
+//! A/B harness: fused register loop vs chunked data-parallel kernel,
+//! swept across table footprints.
+//!
+//! This is the measurement behind the kernel routing decision in
+//! `crates/sim/src/online.rs`: `run_batch` always runs the fused loop
+//! because, on every *validated* table configuration (the config
+//! validator caps tables at `MAX_TABLE_ENTRIES`, so host footprint
+//! tops out around 1 MiB — cache-resident on any modern part), the
+//! fused loop wins. The chunked kernel's ~100 B/event of staged
+//! array traffic round-trips through L1 and never pays for itself
+//! when the tables it is prefetching are already resident.
+//!
+//! Run it with `cargo run --release --example kernel_ab`. Expect the
+//! fused column ahead by roughly 25–30% at every footprint on
+//! cache-rich hardware; a machine where the chunked column wins at
+//! the `max` footprint is the hardware the chunked kernel is kept
+//! for (see `PREFETCH_FOOTPRINT_MIN`).
+//!
+//! Methodology notes: best-of-5 per cell (the lanes are deterministic,
+//! so the fastest pass is the least-perturbed one), three interleaved
+//! rounds per footprint so cross-round agreement is visible, and the
+//! `None` estimator so the comparison isolates the kernels rather
+//! than estimator math. Throughput is *raw* events/s over the whole
+//! gzip instruction stream (~14% control events), so numbers here are
+//! ~7× the control-event eps the `hotpath` experiment reports.
+
+use paco_branch::{ConfidenceConfig, TournamentConfig};
+use paco_sim::{EstimatorKind, NoProbe, OnlineConfig, OnlinePipeline, OutcomeBatch};
+use paco_types::EventBatch;
+use paco_workloads::{BenchmarkId, Workload};
+use std::time::Instant;
+
+fn batches(n: usize, seed: u64) -> Vec<EventBatch> {
+    let mut w = BenchmarkId::Gzip.build(seed);
+    let instrs: Vec<_> = (0..n).map(|_| w.next_instr()).collect();
+    instrs
+        .chunks(512)
+        .map(|c| {
+            let mut b = EventBatch::new();
+            b.extend_from_instrs(c);
+            b
+        })
+        .collect()
+}
+
+fn time_lane(config: &OnlineConfig, batches: &[EventBatch], chunked: bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let mut pipe = OnlinePipeline::new(config);
+        let mut out = OutcomeBatch::new();
+        let t0 = Instant::now();
+        for b in batches {
+            out.clear();
+            if chunked {
+                pipe.run_batch_probed(b, &mut out, &mut NoProbe);
+            } else {
+                pipe.run_batch(b, &mut out);
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt < best {
+            best = dt;
+        }
+    }
+    best
+}
+
+fn main() {
+    let events = 400_000;
+    let bs = batches(events, 42);
+    let n: usize = bs.iter().map(|b| b.len()).sum();
+    for (name, tent, mdce) in [
+        ("tiny(12KB)", 1usize << 12, 1usize << 10),
+        ("paper(400KB)", 1 << 17, 1 << 14),
+        ("max(1MB)", 1 << 18, 1 << 18),
+    ] {
+        let config = OnlineConfig {
+            tournament: TournamentConfig {
+                gshare_entries: tent,
+                bimodal_entries: tent,
+                selector_entries: tent,
+                history_bits: 8,
+            },
+            confidence: ConfidenceConfig {
+                entries: mdce,
+                counter_bits: 4,
+                history_bits: 8,
+                enhanced: true,
+            },
+            estimator: EstimatorKind::None,
+            resolve_lag: 32,
+            ticks_per_event: 1,
+        };
+        for round in 0..3 {
+            let tf = time_lane(&config, &bs, false);
+            let tc = time_lane(&config, &bs, true);
+            println!(
+                "{name} r{round}: fused {:.1}M eps, chunked {:.1}M eps ({:+.1}%)",
+                n as f64 / tf / 1e6,
+                n as f64 / tc / 1e6,
+                (tf / tc - 1.0) * 100.0
+            );
+        }
+    }
+}
