@@ -34,8 +34,14 @@ pub fn mean(values: &[f64]) -> f64 {
 /// interpolation between adjacent order statistics (the "linear" method
 /// shared by numpy and R type 7).
 ///
-/// The load harness reports tail latency with this: `percentile(lat, 50.0)`
-/// / `90.0` / `99.0` are the p50/p90/p99 round-trip times.
+/// This is the exact-sort *small-run oracle*: it clones and sorts the
+/// whole sample on every call, so it is the reference answer for tests
+/// (the streaming-histogram quantile bound is pinned against it) and
+/// for one-off percentiles of modest samples. Callers that need several
+/// percentiles of the same sample must sort once themselves and use
+/// [`percentile_sorted`] for each — [`LatencySummary::from_samples`]
+/// does exactly that — and big-run telemetry should stream into a
+/// fixed-size histogram instead of accumulating samples at all.
 ///
 /// # Examples
 ///
@@ -55,15 +61,36 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of an empty sample");
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile sample"));
-    percentile_of_sorted(&sorted, p)
+    percentile_sorted(&sorted, p)
 }
 
-/// [`percentile`] over an already ascending-sorted sample (callers that
-/// need several percentiles sort once and use this).
-fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+/// [`percentile`] over an already ascending-sorted sample: no clone, no
+/// re-sort. Callers that need several percentiles sort once and call
+/// this per quantile.
+///
+/// # Examples
+///
+/// ```
+/// use paco_analysis::percentile_sorted;
+/// let sorted = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile_sorted(&sorted, 50.0), 2.5);
+/// assert_eq!(percentile_sorted(&sorted, 90.0), 3.7);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`. The sample
+/// must already be ascending; this is debug-asserted, not checked in
+/// release builds.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
     assert!(
         (0.0..=100.0).contains(&p),
         "percentile {p} outside [0, 100]"
+    );
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile_sorted requires an ascending sample"
     );
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -107,10 +134,10 @@ impl LatencySummary {
         LatencySummary {
             count: sorted.len(),
             mean: mean(&sorted),
-            p50: percentile_of_sorted(&sorted, 50.0),
-            p90: percentile_of_sorted(&sorted, 90.0),
-            p99: percentile_of_sorted(&sorted, 99.0),
-            max: percentile_of_sorted(&sorted, 100.0),
+            p50: percentile_sorted(&sorted, 50.0),
+            p90: percentile_sorted(&sorted, 90.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            max: percentile_sorted(&sorted, 100.0),
         }
     }
 }

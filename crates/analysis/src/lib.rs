@@ -30,8 +30,8 @@ mod reliability;
 mod render;
 
 pub use aggregate::{
-    gating_tradeoff, mean, mean_tradeoff, merge_bin_pairs, percentile, GatingTradeoff,
-    LatencySummary, RunPoint,
+    gating_tradeoff, mean, mean_tradeoff, merge_bin_pairs, percentile, percentile_sorted,
+    GatingTradeoff, LatencySummary, RunPoint,
 };
 pub use drift::{occupancy_distance, CusumDetector};
 pub use metrics::{badpath_reduction_pct, coverage_pct, hmwipc, perf_delta_pct};

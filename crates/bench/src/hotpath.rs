@@ -24,6 +24,13 @@
 //! `docs/EXPERIMENTS.md` caps the watch lane's overhead at 5% of the
 //! batched wire lane.
 //!
+//! A fourth wire variant, **wire+metrics**, is the batched loop with the
+//! full `paco-obs` metric plane attached exactly as `paco-served` wires
+//! it: one frame-counter bump, one batch-size histogram record and one
+//! handle-time histogram record (with its own clock reads) per frame —
+//! the cost of running metered, isolated. The baseline policy caps this
+//! lane's overhead at 2% of the unmetered batched wire lane.
+//!
 //! Each row also carries a **per-pass breakdown** (predict / train /
 //! estimator microseconds per frame), measured on a separate probed run
 //! of the *chunked* data-parallel kernel
@@ -46,10 +53,11 @@ use std::time::{Duration, Instant};
 
 use paco::{PacoConfig, ThresholdCountConfig};
 use paco_corpus::CalibrationProfile;
+use paco_obs::HistogramSnapshot;
 use paco_serve::proto::{
     decode_events, decode_events_into, encode_events, encode_outcomes, encode_outcomes_into,
 };
-use paco_serve::{Digest, WatchState};
+use paco_serve::{Digest, FrameKind, ServeMetrics, WatchState};
 use paco_sim::{
     EstimatorKind, HotPass, NoProbe, OnlineConfig, OnlinePipeline, OutcomeBatch, PassProbe,
 };
@@ -121,6 +129,9 @@ pub struct HotpathRow {
     /// Events/second through the batched wire lane with watch telemetry
     /// enabled.
     pub wire_watch_eps: f64,
+    /// Events/second through the batched wire lane with the `paco-obs`
+    /// metric plane attached (the `paco-served` per-frame recording).
+    pub wire_metrics_eps: f64,
     /// Per-pass wall-time attribution of the batched pipeline lane.
     pub passes: PassBreakdown,
 }
@@ -130,6 +141,12 @@ impl HotpathRow {
     /// (0.03 = watching costs 3%; negative = noise in the lane's favor).
     pub fn watch_overhead(&self) -> f64 {
         1.0 - self.wire_watch_eps / self.wire.batched_eps.max(1e-9)
+    }
+
+    /// Metric-plane overhead as a fraction of batched wire throughput
+    /// (0.01 = metering costs 1%; negative = noise in the lane's favor).
+    pub fn metrics_overhead(&self) -> f64 {
+        1.0 - self.wire_metrics_eps / self.wire.batched_eps.max(1e-9)
     }
 }
 
@@ -264,6 +281,17 @@ pub fn run_at_sweep(
                  {watched_digest:016x} != batched digest {batched_digest:016x}"
             ));
         }
+        // The metered lane records into a real server metric plane; its
+        // one contract is that recording is observational, so it is held
+        // to the same byte-parity gate as every other lane.
+        let metrics = ServeMetrics::new();
+        let metered_digest = digest_metered(&config, &frames, &metrics)?;
+        if metered_digest != batched_digest {
+            return Err(format!(
+                "metric plane perturbed predictions for {estimator}: metered digest \
+                 {metered_digest:016x} != batched digest {batched_digest:016x}"
+            ));
+        }
 
         let pipeline = LanePair {
             per_event_eps: eps(
@@ -289,12 +317,17 @@ pub fn run_at_sweep(
             events.len(),
             best_of(PASSES, || wire_watched(&config, &frames, &reference)),
         );
+        let wire_metrics_eps = eps(
+            events.len(),
+            best_of(PASSES, || wire_metered(&config, &frames, &metrics)),
+        );
         let passes = pipeline_breakdown(&config, &batches);
         rows.push(HotpathRow {
             estimator,
             pipeline,
             wire,
             wire_watch_eps,
+            wire_metrics_eps,
             passes,
         });
     }
@@ -377,16 +410,26 @@ fn pipeline_batched(config: &OnlineConfig, batches: &[EventBatch]) -> Duration {
 /// Wall-time accumulator behind the per-pass breakdown: two `Instant`
 /// reads per pass per chunk, which is why probed runs are separate from
 /// the headline timings.
+///
+/// Spans land in the same log-linear [`HistogramSnapshot`] the serve
+/// metric plane and `paco-load`'s streaming latency use — the breakdown
+/// reads the sums, and the full per-chunk span distribution rides along
+/// for anyone holding the probe.
 #[derive(Debug, Default)]
 struct TimingProbe {
-    predict: Duration,
-    train: Duration,
-    estimator: Duration,
+    predict: HistogramSnapshot,
+    train: HistogramSnapshot,
+    estimator: HistogramSnapshot,
 }
 
 impl TimingProbe {
-    fn total(&self) -> Duration {
-        self.predict + self.train + self.estimator
+    /// Attributed nanoseconds across all three passes (wrapping, like
+    /// every histogram sum; a probe lives far short of a wrap).
+    fn total_ns(&self) -> u64 {
+        self.predict
+            .sum()
+            .wrapping_add(self.train.sum())
+            .wrapping_add(self.estimator.sum())
     }
 }
 
@@ -395,11 +438,11 @@ impl PassProbe for TimingProbe {
     fn span<R>(&mut self, pass: HotPass, f: impl FnOnce() -> R) -> R {
         let t0 = Instant::now();
         let r = f();
-        let elapsed = t0.elapsed();
+        let ns = t0.elapsed().as_nanos() as u64;
         match pass {
-            HotPass::Predict => self.predict += elapsed,
-            HotPass::Train => self.train += elapsed,
-            HotPass::Estimator => self.estimator += elapsed,
+            HotPass::Predict => self.predict.record(ns),
+            HotPass::Train => self.train.record(ns),
+            HotPass::Estimator => self.estimator.record(ns),
         }
         r
     }
@@ -420,7 +463,7 @@ fn pipeline_breakdown(config: &OnlineConfig, batches: &[EventBatch]) -> PassBrea
             std::hint::black_box(&out);
         }
         let better = match &best {
-            Some(b) => probe.total() < b.total(),
+            Some(b) => probe.total_ns() < b.total_ns(),
             None => true,
         };
         if better {
@@ -429,11 +472,11 @@ fn pipeline_breakdown(config: &OnlineConfig, batches: &[EventBatch]) -> PassBrea
     }
     let probe = best.unwrap_or_default();
     let frames = batches.len().max(1) as f64;
-    let us = |d: Duration| d.as_secs_f64() * 1e6 / frames;
+    let us = |h: &HistogramSnapshot| h.sum() as f64 / 1e3 / frames;
     PassBreakdown {
-        predict_us: us(probe.predict),
-        train_us: us(probe.train),
-        estimator_us: us(probe.estimator),
+        predict_us: us(&probe.predict),
+        train_us: us(&probe.train),
+        estimator_us: us(&probe.estimator),
     }
 }
 
@@ -526,6 +569,34 @@ fn wire_watched(
     t0.elapsed()
 }
 
+/// The metered `paco-served` frame loop: the batched lane plus exactly
+/// the per-frame recording the server does — a frame-counter bump, a
+/// batch-size histogram record, and a handle-time histogram record with
+/// its own two clock reads. What running with `--metrics-addr` scraping
+/// enabled costs the hot path.
+fn wire_metered(config: &OnlineConfig, frames: &[Vec<u8>], metrics: &ServeMetrics) -> Duration {
+    let mut pipe = OnlinePipeline::new(config);
+    let mut batch = EventBatch::new();
+    let mut out = OutcomeBatch::new();
+    let mut payload = Vec::new();
+    let t0 = Instant::now();
+    for frame in frames {
+        let f0 = Instant::now();
+        decode_events_into(frame, &mut batch).expect("self-encoded frame");
+        out.clear();
+        pipe.run_batch(&batch, &mut out);
+        payload.clear();
+        encode_outcomes_into(&mut payload, &out);
+        metrics.frame(FrameKind::Events).inc();
+        metrics.batch_events.record(batch.len() as u64);
+        metrics
+            .batch_handle_ns
+            .record(f0.elapsed().as_nanos() as u64);
+        std::hint::black_box(&payload);
+    }
+    t0.elapsed()
+}
+
 fn digest_per_event(config: &OnlineConfig, frames: &[Vec<u8>]) -> Result<u64, String> {
     let mut pipe = OnlinePipeline::new(config);
     let mut digest = Digest::new();
@@ -574,6 +645,35 @@ fn digest_chunked(config: &OnlineConfig, frames: &[Vec<u8>]) -> Result<u64, Stri
     Ok(digest.value())
 }
 
+/// Same stream through the metered loop — recording into a live metric
+/// plane must never change the prediction bytes.
+fn digest_metered(
+    config: &OnlineConfig,
+    frames: &[Vec<u8>],
+    metrics: &ServeMetrics,
+) -> Result<u64, String> {
+    let mut pipe = OnlinePipeline::new(config);
+    let mut batch = EventBatch::new();
+    let mut out = OutcomeBatch::new();
+    let mut payload = Vec::new();
+    let mut digest = Digest::new();
+    for frame in frames {
+        let f0 = Instant::now();
+        decode_events_into(frame, &mut batch).map_err(|e| e.to_string())?;
+        out.clear();
+        pipe.run_batch(&batch, &mut out);
+        payload.clear();
+        encode_outcomes_into(&mut payload, &out);
+        metrics.frame(FrameKind::Events).inc();
+        metrics.batch_events.record(batch.len() as u64);
+        metrics
+            .batch_handle_ns
+            .record(f0.elapsed().as_nanos() as u64);
+        digest.update(&payload);
+    }
+    Ok(digest.value())
+}
+
 fn digest_watched(
     config: &OnlineConfig,
     frames: &[Vec<u8>],
@@ -615,7 +715,9 @@ pub fn render_text(report: &HotpathReport) -> String {
         "wire/batch (ev/s)",
         "speedup",
         "wire+watch (ev/s)",
-        "overhead",
+        "watch ovh",
+        "wire+metrics (ev/s)",
+        "metrics ovh",
     ]);
     for row in &report.rows {
         table.row_owned(vec![
@@ -628,6 +730,8 @@ pub fn render_text(report: &HotpathReport) -> String {
             format!("{:.2}x", row.wire.speedup()),
             format!("{:.0}", row.wire_watch_eps),
             format!("{:.1}%", row.watch_overhead() * 100.0),
+            format!("{:.0}", row.wire_metrics_eps),
+            format!("{:.1}%", row.metrics_overhead() * 100.0),
         ]);
     }
     out.push_str(&format!("{}\n", table.render()));
@@ -666,8 +770,10 @@ pub fn render_text(report: &HotpathReport) -> String {
         "All lanes' prediction payloads were digest-compared this run\n\
          (byte-identical, or this experiment errors out); `wire` spans\n\
          decode EVENTS -> predict -> encode PREDICTIONS, the full\n\
-         paco-served frame hot path, and `wire+watch` adds per-session\n\
-         calibration telemetry (the paco-watch lane).\n",
+         paco-served frame hot path, `wire+watch` adds per-session\n\
+         calibration telemetry (the paco-watch lane), and `wire+metrics`\n\
+         adds the paco-obs metric plane's per-frame recording (the\n\
+         --metrics-addr lane).\n",
     );
     out
 }
@@ -694,7 +800,7 @@ pub fn render_json(report: &HotpathReport) -> String {
         };
         out.push_str(&format!(
             "{{\"name\":\"{}\",\"pipeline\":{},\"wire\":{},\"wire_watch_eps\":{:.0},\
-             \"watch_overhead\":{:.4},\
+             \"watch_overhead\":{:.4},\"wire_metrics_eps\":{:.0},\"metrics_overhead\":{:.4},\
              \"passes\":{{\"predict_us\":{:.2},\"train_us\":{:.2},\"estimator_us\":{:.2}}},\
              \"parity\":true}}",
             row.estimator,
@@ -702,6 +808,8 @@ pub fn render_json(report: &HotpathReport) -> String {
             lane(&row.wire),
             row.wire_watch_eps,
             row.watch_overhead(),
+            row.wire_metrics_eps,
+            row.metrics_overhead(),
             row.passes.predict_us,
             row.passes.train_us,
             row.passes.estimator_us,
@@ -744,10 +852,12 @@ mod tests {
             assert!(row.pipeline.batched_eps > 0.0);
             assert!(row.wire.per_event_eps > 0.0);
             assert!(row.wire.batched_eps > 0.0);
-            // Throughput only; the 5% overhead budget is a baseline
-            // policy (docs/EXPERIMENTS.md), not a unit-test assertion —
-            // timing assertions flake under CI load.
+            // Throughput only; the 5% watch and 2% metrics overhead
+            // budgets are baseline policy (docs/EXPERIMENTS.md), not
+            // unit-test assertions — timing assertions flake under CI
+            // load.
             assert!(row.wire_watch_eps > 0.0);
+            assert!(row.wire_metrics_eps > 0.0);
             // The probed run attributes real time to every pass.
             assert!(row.passes.predict_us > 0.0);
             assert!(row.passes.train_us > 0.0);
@@ -765,6 +875,8 @@ mod tests {
         assert!(json.contains("\"speedup\":"));
         assert!(json.contains("\"wire_watch_eps\":"));
         assert!(json.contains("\"watch_overhead\":"));
+        assert!(json.contains("\"wire_metrics_eps\":"));
+        assert!(json.contains("\"metrics_overhead\":"));
         assert!(json.contains("\"passes\":{\"predict_us\":"));
         assert!(json.contains("\"parity\":true"));
         assert!(json.contains("\"sweep\":[]"));

@@ -59,6 +59,7 @@ pub fn run_at(instrs: u64, seed: u64) -> Result<LoadReport, String> {
         parity_check: true,
         watch: false,
         family: None,
+        exact_latency_cap: 65_536,
     };
     let report = run_load(server.addr(), &events, &options).map_err(|e| e.to_string())?;
     server.stop();

@@ -1,0 +1,202 @@
+//! The scrapeable exposition endpoint: a minimal HTTP/1.1 sidecar
+//! listener built on `std::net` alone.
+//!
+//! Two paths:
+//!
+//! * `GET /metrics` — the registry rendered in the Prometheus text
+//!   exposition format (version 0.0.4).
+//! * `GET /flight` — the flight recorder rendered as readable text
+//!   (the operator-request dump path).
+//!
+//! The listener runs on its own thread, fully off the serving hot path:
+//! a scrape costs one registry render, which reads relaxed atomics and
+//! never blocks a recording thread. Shutdown mirrors the main server's
+//! pattern — set a flag, then self-connect to unblock `accept`.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::flight::FlightRecorder;
+use crate::registry::Registry;
+
+/// A running exposition endpoint. Dropping it stops the listener.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and serves `registry` (and `recorder`, on
+    /// `/flight`) until [`stop`](Self::stop) or drop.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        recorder: Arc<FlightRecorder>,
+    ) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Scrapes are cheap and rare; handle them inline so
+                    // the endpoint stays single-threaded and bounded.
+                    let _ = handle_scrape(stream, &registry, &recorder);
+                }
+            })
+        };
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and waits for it to exit.
+    pub fn stop(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads one request line, routes it, writes one response, closes.
+fn handle_scrape(
+    mut stream: TcpStream,
+    registry: &Registry,
+    recorder: &FlightRecorder,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request head (or a bounded amount).
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+            break;
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, body) = if method != "GET" {
+        ("405 Method Not Allowed", "method not allowed\n".to_string())
+    } else {
+        match path {
+            "/metrics" => ("200 OK", registry.render()),
+            "/flight" => ("200 OK", recorder.render()),
+            _ => ("404 Not Found", "try /metrics or /flight\n".to_string()),
+        }
+    };
+
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::FlightKind;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("split head/body");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_flight_then_stops() {
+        let registry = Arc::new(Registry::new());
+        let counter = registry.counter("test_scrapes_total", "Scrapes.", vec![]);
+        counter.add(11);
+        let recorder = Arc::new(FlightRecorder::with_capacity(8));
+        recorder.record(FlightKind::ConnOpen, 42, 0);
+
+        let mut server =
+            MetricsServer::bind("127.0.0.1:0", Arc::clone(&registry), Arc::clone(&recorder))
+                .expect("bind");
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("version=0.0.4"));
+        assert!(body.contains("test_scrapes_total 11\n"));
+
+        let (head, body) = get(addr, "/flight");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.contains("conn-open"));
+        assert!(body.contains("conn=42"));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        server.stop();
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly after close on some platforms;
+                // a second stop must stay a no-op either way.
+                server.stop();
+                true
+            }
+        );
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let registry = Arc::new(Registry::new());
+        let recorder = Arc::new(FlightRecorder::with_capacity(8));
+        let server = MetricsServer::bind("127.0.0.1:0", registry, recorder).expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 405"));
+    }
+}

@@ -1,0 +1,48 @@
+//! `paco-obs`: a zero-allocation metrics plane and structured flight
+//! recorder for the PaCo serving stack, with a scrapeable Prometheus
+//! text exposition endpoint.
+//!
+//! The design splits observability into two planes that share one
+//! constraint — *nothing on the per-event hot path may lock or
+//! allocate*:
+//!
+//! * **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) are registered
+//!   once at startup in a [`Registry`] and recorded through shared
+//!   handles. A counter increment is a thread-local stripe lookup plus
+//!   one relaxed atomic add; a histogram record is a couple of shifts
+//!   (power-of-two log-linear bucketing) plus relaxed adds. Reads
+//!   (scrapes, log lines) sum stripes and snapshot buckets — rare and
+//!   off-path. [`Registry::render`] emits Prometheus text format 0.0.4.
+//! * **The flight recorder** ([`FlightRecorder`]) keeps the last N
+//!   *control-plane* events — connection open/close, frame decode
+//!   errors, session park/resume/restore, drift latches — in fixed-size
+//!   per-stripe ring buffers of binary [`FlightEvent`]s, dumped as
+//!   readable text on protocol error, panic
+//!   ([`install_panic_hook`]) or operator request.
+//!
+//! [`MetricsServer`] binds a sidecar TCP listener serving `GET
+//! /metrics` (the registry) and `GET /flight` (the recorder) so
+//! operators can scrape a live server without touching the protocol
+//! port.
+//!
+//! [`HistogramSnapshot`] doubles as a single-threaded recorder: load
+//! generators and benches record into a plain snapshot (no atomics) and
+//! merge per-session snapshots afterwards — merge is exact
+//! (bucket-wise addition), so sharded recording loses nothing.
+
+#![deny(missing_docs)]
+
+mod expose;
+mod flight;
+mod hist;
+mod metrics;
+mod registry;
+
+pub use expose::MetricsServer;
+pub use flight::{install_panic_hook, FlightEvent, FlightKind, FlightRecorder};
+pub use hist::{
+    bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot, BUCKET_COUNT, SUB_BITS,
+    SUB_COUNT,
+};
+pub use metrics::{Counter, Gauge, STRIPES};
+pub use registry::{FamilyInfo, MetricKind, Registry};

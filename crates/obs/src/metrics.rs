@@ -1,0 +1,185 @@
+//! Counters and gauges: the scalar metric primitives.
+//!
+//! [`Counter`] is the hot-path workhorse: monotonic, updated with one
+//! relaxed atomic add into a per-thread stripe (threads are assigned
+//! stripes round-robin on first touch, so unrelated threads do not
+//! bounce the same cache line). Reading sums the stripes — reads are
+//! rare (scrapes, log lines), writes are constant.
+//!
+//! [`Gauge`] is a single `f64` cell (set / add) for values that go both
+//! ways: session-table occupancy, the smoothed fleet event rate. Gauges
+//! are updated at control-plane cadence, not per event, so they are not
+//! striped.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Stripes per counter. Power of two; more stripes buy less write
+/// contention at the cost of read-side summing and memory.
+pub const STRIPES: usize = 8;
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's stripe, assigned round-robin on first use.
+    static THREAD_STRIPE: usize =
+        NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+}
+
+/// The calling thread's stripe index.
+#[inline]
+pub(crate) fn thread_stripe() -> usize {
+    THREAD_STRIPE.with(|s| *s)
+}
+
+/// One cache line per stripe, so two threads on different stripes never
+/// write the same line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCell(AtomicU64);
+
+/// A monotonic counter. `inc`/`add` is a thread-local stripe lookup plus
+/// one relaxed `fetch_add` — no locks, no allocation.
+#[derive(Debug, Default)]
+pub struct Counter {
+    cells: [PaddedCell; STRIPES],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cells[thread_stripe()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total (sum over stripes).
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A floating-point gauge: last-set value, plus add/sub for occupancy
+/// tracking. Stored as `f64` bits in one atomic cell; `add` is a small
+/// CAS loop (gauges update at connection cadence, never per event).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge reading 0.
+    pub fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: f64) {
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self.bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Subtracts `delta`.
+    pub fn sub(&self, delta: f64) {
+        self.add(-delta);
+    }
+
+    /// The current reading.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let counter = Arc::new(Counter::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), 8000);
+    }
+
+    #[test]
+    fn counter_add_accumulates() {
+        let c = Counter::new();
+        c.add(5);
+        c.add(7);
+        c.inc();
+        assert_eq!(c.value(), 13);
+    }
+
+    #[test]
+    fn gauge_set_add_sub() {
+        let g = Gauge::new();
+        assert_eq!(g.value(), 0.0);
+        g.set(4.5);
+        assert_eq!(g.value(), 4.5);
+        g.add(1.0);
+        g.sub(2.0);
+        assert!((g.value() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_concurrent_adds_balance() {
+        let g = Arc::new(Gauge::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let g = Arc::clone(&g);
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        g.add(1.0);
+                        g.sub(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.value(), 0.0);
+    }
+}

@@ -1,0 +1,381 @@
+//! The metric registry and Prometheus-style text exposition.
+//!
+//! A [`Registry`] maps metric *descriptors* (name, help, label pairs)
+//! to shared handles ([`Counter`], [`Gauge`], [`Histogram`]). Hot paths
+//! hold the `Arc` handles directly — registration happens once at
+//! startup and the registry lock is touched only by registration and
+//! scrapes, never by a record.
+//!
+//! [`Registry::render`] produces the Prometheus text exposition format
+//! (version 0.0.4): `# HELP` / `# TYPE` headers per family, one sample
+//! line per labeled series, and for histograms the cumulative
+//! `_bucket{le=...}` / `_sum` / `_count` triplet (empty buckets are
+//! elided; `le` values are the buckets' inclusive upper bounds).
+
+use std::sync::{Arc, Mutex};
+
+use crate::hist::Histogram;
+use crate::metrics::{Counter, Gauge};
+
+/// What a registered metric is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter.
+    Counter,
+    /// Set/add gauge.
+    Gauge,
+    /// Log-linear histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The exposition `# TYPE` keyword.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One registered series: descriptor plus the live handle.
+#[derive(Debug)]
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    labels: Vec<(&'static str, String)>,
+    handle: Handle,
+}
+
+#[derive(Debug)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Handle {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Handle::Counter(_) => MetricKind::Counter,
+            Handle::Gauge(_) => MetricKind::Gauge,
+            Handle::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A metric family as seen by documentation and doc-drift tests: the
+/// name, kind, help string and label keys shared by its series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyInfo {
+    /// The family name (e.g. `paco_frames_total`).
+    pub name: &'static str,
+    /// The metric kind.
+    pub kind: MetricKind,
+    /// The family's help string.
+    pub help: &'static str,
+    /// Label keys every series of the family carries (may be empty).
+    pub label_keys: Vec<&'static str>,
+}
+
+/// The registry: a startup-time list of metric series.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+        handle: Handle,
+    ) {
+        assert!(valid_name(name), "invalid metric name `{name}`");
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        for existing in entries.iter().filter(|e| e.name == name) {
+            assert_eq!(
+                existing.handle.kind(),
+                handle.kind(),
+                "metric family `{name}` registered with two kinds"
+            );
+            assert!(
+                existing.labels != labels,
+                "metric series `{name}` {labels:?} registered twice"
+            );
+        }
+        entries.push(Entry {
+            name,
+            help,
+            labels,
+            handle,
+        });
+    }
+
+    /// Registers a counter series and returns its handle.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<Counter> {
+        let counter = Arc::new(Counter::new());
+        self.register(name, help, labels, Handle::Counter(Arc::clone(&counter)));
+        counter
+    }
+
+    /// Registers a gauge series and returns its handle.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<Gauge> {
+        let gauge = Arc::new(Gauge::new());
+        self.register(name, help, labels, Handle::Gauge(Arc::clone(&gauge)));
+        gauge
+    }
+
+    /// Registers a histogram series and returns its handle.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+    ) -> Arc<Histogram> {
+        let hist = Arc::new(Histogram::new());
+        self.register(name, help, labels, Handle::Histogram(Arc::clone(&hist)));
+        hist
+    }
+
+    /// The registered families (deduplicated by name, registration
+    /// order) — what `docs/OBSERVABILITY.md`'s catalog is pinned to.
+    pub fn families(&self) -> Vec<FamilyInfo> {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut families: Vec<FamilyInfo> = Vec::new();
+        for entry in entries.iter() {
+            if families.iter().any(|f| f.name == entry.name) {
+                continue;
+            }
+            families.push(FamilyInfo {
+                name: entry.name,
+                kind: entry.handle.kind(),
+                help: entry.help,
+                label_keys: entry.labels.iter().map(|(k, _)| *k).collect(),
+            });
+        }
+        families
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format. Families render contiguously in first-registration
+    /// order.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for entry in entries.iter() {
+            if seen.contains(&entry.name) {
+                continue;
+            }
+            seen.push(entry.name);
+            out.push_str(&format!("# HELP {} {}\n", entry.name, entry.help));
+            out.push_str(&format!(
+                "# TYPE {} {}\n",
+                entry.name,
+                entry.handle.kind().type_name()
+            ));
+            for series in entries.iter().filter(|e| e.name == entry.name) {
+                render_series(&mut out, series);
+            }
+        }
+        out
+    }
+}
+
+fn label_block(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a gauge value: integral readings print without a fraction so
+/// occupancy gauges scrape as plain integers.
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_series(out: &mut String, entry: &Entry) {
+    match &entry.handle {
+        Handle::Counter(c) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                entry.name,
+                label_block(&entry.labels, None),
+                c.value()
+            ));
+        }
+        Handle::Gauge(g) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                entry.name,
+                label_block(&entry.labels, None),
+                format_f64(g.value())
+            ));
+        }
+        Handle::Histogram(h) => {
+            let snap = h.snapshot();
+            let mut cum = 0u64;
+            for (i, &n) in snap.buckets().iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cum += n;
+                let upper = crate::hist::bucket_upper(i);
+                // The top bucket's bound is +Inf; the explicit +Inf
+                // line below carries it.
+                if upper == u64::MAX {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    entry.name,
+                    label_block(&entry.labels, Some(("le", &upper.to_string()))),
+                    cum
+                ));
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                entry.name,
+                label_block(&entry.labels, Some(("le", "+Inf"))),
+                snap.count()
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                entry.name,
+                label_block(&entry.labels, None),
+                snap.sum()
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                entry.name,
+                label_block(&entry.labels, None),
+                snap.count()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let registry = Registry::new();
+        let a = registry.counter(
+            "test_frames_total",
+            "Frames.",
+            vec![("opcode", "EVENTS".into())],
+        );
+        let b = registry.counter(
+            "test_frames_total",
+            "Frames.",
+            vec![("opcode", "BYE".into())],
+        );
+        let g = registry.gauge("test_occupancy", "Occupancy.", vec![]);
+        let h = registry.histogram("test_latency_ns", "Latency.", vec![]);
+        a.add(3);
+        b.inc();
+        g.set(7.0);
+        h.record(5);
+        h.record(100);
+
+        let text = registry.render();
+        assert!(text.contains("# HELP test_frames_total Frames.\n"));
+        assert!(text.contains("# TYPE test_frames_total counter\n"));
+        assert!(text.contains("test_frames_total{opcode=\"EVENTS\"} 3\n"));
+        assert!(text.contains("test_frames_total{opcode=\"BYE\"} 1\n"));
+        assert!(text.contains("# TYPE test_occupancy gauge\n"));
+        assert!(text.contains("test_occupancy 7\n"));
+        assert!(text.contains("# TYPE test_latency_ns histogram\n"));
+        assert!(text.contains("test_latency_ns_bucket{le=\"5\"} 1\n"));
+        assert!(text.contains("test_latency_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("test_latency_ns_sum 105\n"));
+        assert!(text.contains("test_latency_ns_count 2\n"));
+        // One header block per family, even with two series.
+        assert_eq!(text.matches("# TYPE test_frames_total").count(), 1);
+    }
+
+    #[test]
+    fn families_deduplicate_and_keep_label_keys() {
+        let registry = Registry::new();
+        registry.counter("test_a_total", "A.", vec![("k", "1".into())]);
+        registry.counter("test_a_total", "A.", vec![("k", "2".into())]);
+        registry.gauge("test_b", "B.", vec![]);
+        let families = registry.families();
+        assert_eq!(families.len(), 2);
+        assert_eq!(families[0].name, "test_a_total");
+        assert_eq!(families[0].kind, MetricKind::Counter);
+        assert_eq!(families[0].label_keys, vec!["k"]);
+        assert_eq!(families[1].name, "test_b");
+        assert_eq!(families[1].kind, MetricKind::Gauge);
+        assert!(families[1].label_keys.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_series_panics() {
+        let registry = Registry::new();
+        registry.counter("test_dup_total", "Dup.", vec![]);
+        registry.counter("test_dup_total", "Dup.", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two kinds")]
+    fn kind_conflict_panics() {
+        let registry = Registry::new();
+        registry.counter("test_kind", "K.", vec![("a", "1".into())]);
+        registry.gauge("test_kind", "K.", vec![("a", "2".into())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        Registry::new().counter("Bad-Name", "X.", vec![]);
+    }
+}

@@ -7,14 +7,19 @@
 //!               [--estimator KIND] [--profile paper|tiny] [--lag K]
 //!               [--watch] [--family NAME] [--splice FAMILY]
 //!               [--splice-instrs N] [--splice-seed S]
-//!               [--json] [--no-parity]
+//!               [--latency-cap N] [--json] [--no-parity]
 //! paco-load version
 //! ```
 //!
 //! Replays branch events — from a recorded `.paco` trace, or synthesized
 //! in memory from a named `paco-corpus` family — across M concurrent
 //! sessions and reports events/s plus p50/p90/p99 batch round-trip
-//! latency. Unless `--no-parity` is given, every session's prediction
+//! latency. Small runs summarize latency by exact sort; past
+//! `--latency-cap` samples per session (default 65536) the summary
+//! switches to streaming log-linear histograms with fixed memory, so
+//! arbitrarily long runs cannot grow the sample buffer (`--latency-cap 0`
+//! forces streaming from the first batch; the report names the method
+//! used). Unless `--no-parity` is given, every session's prediction
 //! digest is checked against an offline `OnlinePipeline` replay — a
 //! non-zero exit means the service broke byte-parity.
 //!
@@ -44,7 +49,7 @@ usage:
                 [--estimator KIND] [--profile paper|tiny] [--lag K]
                 [--watch] [--family NAME] [--splice FAMILY]
                 [--splice-instrs N] [--splice-seed S]
-                [--json] [--no-parity]
+                [--latency-cap N] [--json] [--no-parity]
   paco-load version
 
 estimators: paco count static perbranch none   (default: paco)
@@ -159,6 +164,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             "--splice-seed" => {
                 splice_seed = Some(parse_num::<u64>(&value("--splice-seed")?, "--splice-seed")?)
+            }
+            "--latency-cap" => {
+                options.exact_latency_cap = parse_num(&value("--latency-cap")?, "--latency-cap")?
             }
             "--json" => json = true,
             "--no-parity" => options.parity_check = false,

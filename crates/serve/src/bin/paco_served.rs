@@ -2,29 +2,45 @@
 //!
 //! ```text
 //! paco-served serve [--addr 127.0.0.1:7421] [--shards N] [--fleet-log SECS]
+//!                   [--metrics-addr 127.0.0.1:9421]
 //! paco-served version
 //! ```
 //!
 //! Sessions are negotiated per connection (the client brings its own
 //! `OnlineConfig`); see `docs/PROTOCOL.md`. `version` prints the
 //! executable fingerprint exchanged in the handshake, so client/server
-//! build mismatches are debuggable. `--fleet-log SECS` prints one
-//! fleet-telemetry line (sessions, events/s, drift-flagged count) to
-//! stdout every SECS seconds — the operator's heartbeat view of the
-//! same aggregate the STATS frame carries.
+//! build mismatches are debuggable.
+//!
+//! Observability (`docs/OBSERVABILITY.md` has the full catalog):
+//!
+//! * `--metrics-addr ADDR` binds a sidecar HTTP listener serving the
+//!   Prometheus text exposition on `GET /metrics` and a readable flight
+//!   recorder dump on `GET /flight`. The sidecar never touches the
+//!   protocol port or the prediction hot path.
+//! * `--fleet-log SECS` prints one fleet-telemetry line (sessions,
+//!   events/s, drift-flagged count) to stdout every SECS seconds. The
+//!   line is a thin consumer of the same metric registry the scrape
+//!   endpoint renders — one source of truth, two read paths.
+//! * On panic, the flight recorder dumps its ring to stderr before the
+//!   process dies, so the last control-plane events around a crash are
+//!   never lost.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
+use paco_obs::{install_panic_hook, MetricsServer};
 use paco_serve::RunningServer;
 use paco_types::fingerprint::code_fingerprint;
 
 const USAGE: &str = "\
 usage:
   paco-served serve [--addr 127.0.0.1:7421] [--shards N] [--fleet-log SECS]
+                    [--metrics-addr ADDR]
   paco-served version
 
-defaults: --addr 127.0.0.1:7421, --shards 8, fleet logging off";
+defaults: --addr 127.0.0.1:7421, --shards 8, fleet logging off,
+          metrics endpoint off";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +74,7 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     let mut addr = "127.0.0.1:7421".to_string();
     let mut shards = 8usize;
     let mut fleet_log: Option<u64> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -81,17 +98,39 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                 }
                 fleet_log = Some(secs);
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(it.next().ok_or("--metrics-addr needs a value")?.clone())
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
     let server = RunningServer::bind(addr.as_str(), shards)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    install_panic_hook(Arc::clone(server.metrics().recorder()));
     println!(
         "paco-served: listening on {} ({} session shards, fingerprint {:016x})",
         server.addr(),
         shards,
         code_fingerprint()
     );
+    // Kept alive for the life of the process; dropping would stop the
+    // scrape listener.
+    let _metrics_server = match metrics_addr {
+        Some(maddr) => {
+            let endpoint = MetricsServer::bind(
+                maddr.as_str(),
+                Arc::clone(server.metrics().registry()),
+                Arc::clone(server.metrics().recorder()),
+            )
+            .map_err(|e| format!("cannot bind metrics endpoint {maddr}: {e}"))?;
+            println!(
+                "paco-served: metrics on http://{}/metrics (flight recorder on /flight)",
+                endpoint.local_addr()
+            );
+            Some(endpoint)
+        }
+        None => None,
+    };
     if let Some(secs) = fleet_log {
         spawn_fleet_logger(&server, Duration::from_secs(secs));
     }
@@ -102,7 +141,10 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
 
 /// Spawns a detached thread printing one fleet-telemetry line every
 /// `period`. The server outlives the logger (the process runs until
-/// killed), so the thread holds only the cheap snapshot handles.
+/// killed), so the thread holds only the cheap snapshot handles. The
+/// numbers come straight out of the metric registry's counters (the
+/// aggregator holds registry handles) — the log line and a `/metrics`
+/// scrape can never disagree.
 fn spawn_fleet_logger(server: &RunningServer, period: Duration) {
     let snapshot = server.fleet_handle();
     std::thread::spawn(move || loop {

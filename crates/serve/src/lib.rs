@@ -42,6 +42,7 @@
 
 pub mod client;
 pub mod load;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod session;
@@ -49,9 +50,10 @@ pub mod watch;
 
 pub use client::{offline_digest, Client, ClientError};
 pub use load::{
-    control_events, corpus_control_events, corpus_splice_events, run_load, LoadError, LoadOptions,
-    LoadReport, SessionReport, SessionWatch,
+    control_events, corpus_control_events, corpus_splice_events, run_load, LatencyMethod,
+    LoadError, LoadOptions, LoadReport, SessionReport, SessionWatch,
 };
+pub use metrics::{FleetCounters, ServeMetrics, SessionMode};
 pub use proto::{
     Digest, ErrorCode, FleetStats, FrameKind, ProtoError, SessionStats, Stats, PROTOCOL_VERSION,
 };

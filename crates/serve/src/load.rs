@@ -16,6 +16,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use paco_analysis::LatencySummary;
+use paco_obs::HistogramSnapshot;
 use paco_sim::OnlineConfig;
 use paco_types::DynInstr;
 
@@ -43,6 +44,14 @@ pub struct LoadOptions {
     /// Workload family declared at HELLO time, pinning the server-side
     /// drift detector against that family's reference profile.
     pub family: Option<String>,
+    /// Per-session cap on exact round-trip samples retained in memory.
+    /// Up to this many RTTs per session, latency percentiles come from
+    /// an exact sort (the small-run oracle); past it, sessions stop
+    /// keeping individual samples and the run-wide summary switches to
+    /// the streaming log-linear histograms (every batch is still
+    /// counted — only the exact-sort path is dropped). `0` forces
+    /// streaming summaries from the first batch.
+    pub exact_latency_cap: usize,
 }
 
 impl Default for LoadOptions {
@@ -56,6 +65,27 @@ impl Default for LoadOptions {
             parity_check: true,
             watch: false,
             family: None,
+            exact_latency_cap: 65_536,
+        }
+    }
+}
+
+/// How a [`LoadReport`]'s latency summary was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyMethod {
+    /// Exact sort over every retained sample (small runs).
+    Exact,
+    /// Merged streaming histograms; percentiles are bucket-interpolated
+    /// (error bounded by one log-linear bucket, ≤ 12.5% relative).
+    Streaming,
+}
+
+impl LatencyMethod {
+    /// The method's stable report name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LatencyMethod::Exact => "exact",
+            LatencyMethod::Streaming => "streaming",
         }
     }
 }
@@ -115,8 +145,13 @@ pub struct SessionReport {
     pub digest: u64,
     /// Wall-clock duration of this session's streaming loop.
     pub elapsed: Duration,
-    /// Round-trip time of each batch, microseconds.
+    /// Exact round-trip time samples, microseconds — capped at
+    /// [`LoadOptions::exact_latency_cap`]; big runs carry the overflow
+    /// only in [`latency_hist`](Self::latency_hist).
     pub latencies_us: Vec<f64>,
+    /// Streaming histogram of every batch round trip, nanoseconds
+    /// (never capped; merged across sessions for big-run summaries).
+    pub latency_hist: HistogramSnapshot,
     /// Watch telemetry from the session's final STATS poll (present iff
     /// [`LoadOptions::watch`]).
     pub watch: Option<SessionWatch>,
@@ -141,6 +176,10 @@ pub struct LoadReport {
     /// Batch round-trip latency summary (microseconds), pooled across
     /// sessions.
     pub latency_us: LatencySummary,
+    /// How [`latency_us`](Self::latency_us) was computed: exact sort
+    /// while every session stayed under the sample cap, streaming
+    /// histogram quantiles otherwise.
+    pub latency_method: LatencyMethod,
     /// Per-session details.
     pub sessions: Vec<SessionReport>,
     /// Parity verdict: `Some(true)` when every session's digest matched
@@ -274,7 +313,9 @@ fn run_session(
         _ => Client::connect(addr, &options.config)?,
     };
     let session_started = Instant::now();
-    let mut latencies = Vec::with_capacity(events.len() / options.batch.max(1) + 1);
+    let expected_batches = events.len() / options.batch.max(1) + 1;
+    let mut latencies = Vec::with_capacity(expected_batches.min(options.exact_latency_cap));
+    let mut latency_hist = HistogramSnapshot::new();
     let mut sent = 0u64;
     let mut batches = 0u64;
     for chunk in events.chunks(options.batch.max(1)) {
@@ -288,7 +329,13 @@ fn run_session(
         }
         let t0 = Instant::now();
         let outcomes = client.send_events(chunk)?;
-        latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+        let rtt = t0.elapsed();
+        // The histogram sees every batch (fixed memory, no allocation);
+        // exact samples stop accumulating at the cap.
+        latency_hist.record(rtt.as_nanos() as u64);
+        if latencies.len() < options.exact_latency_cap {
+            latencies.push(rtt.as_secs_f64() * 1e6);
+        }
         debug_assert_eq!(outcomes.len(), chunk.len(), "control-only batches");
         sent += chunk.len() as u64;
         batches += 1;
@@ -308,10 +355,11 @@ fn run_session(
     let report = SessionReport {
         session_id: client.session_id(),
         events: sent,
-        batches: latencies.len() as u64,
+        batches,
         digest: client.digest(),
         elapsed,
         latencies_us: latencies,
+        latency_hist,
         watch,
     };
     client.bye()?;
@@ -367,10 +415,29 @@ pub fn run_load(
     };
 
     let total_events: u64 = reports.iter().map(|r| r.events).sum();
-    let all_latencies: Vec<f64> = reports
+    // Exact sort is the small-run oracle; once any session overflowed
+    // its sample cap the exact pool is incomplete, so the summary comes
+    // from the merged streaming histograms instead (which saw every
+    // batch).
+    let truncated = reports
         .iter()
-        .flat_map(|r| r.latencies_us.iter().copied())
-        .collect();
+        .any(|r| (r.latencies_us.len() as u64) < r.batches);
+    let (latency_us, latency_method) = if truncated {
+        let mut pooled = HistogramSnapshot::new();
+        for r in &reports {
+            pooled.merge(&r.latency_hist);
+        }
+        (summary_from_hist(&pooled), LatencyMethod::Streaming)
+    } else {
+        let all_latencies: Vec<f64> = reports
+            .iter()
+            .flat_map(|r| r.latencies_us.iter().copied())
+            .collect();
+        (
+            LatencySummary::from_samples(&all_latencies),
+            LatencyMethod::Exact,
+        )
+    };
     let flagged_sessions = reports
         .iter()
         .filter(|r| r.watch.as_ref().is_some_and(|w| w.drift_flagged))
@@ -379,11 +446,27 @@ pub fn run_load(
         events: total_events,
         elapsed,
         events_per_sec: total_events as f64 / elapsed.as_secs_f64().max(1e-9),
-        latency_us: LatencySummary::from_samples(&all_latencies),
+        latency_us,
+        latency_method,
         sessions: reports,
         parity_ok,
         flagged_sessions,
     })
+}
+
+/// A [`LatencySummary`] (microseconds) from a pooled nanosecond RTT
+/// histogram: count, exact mean and max, bucket-interpolated
+/// percentiles. The quantile-error-bound property test pins these to
+/// within one bucket of the exact-sort answer.
+fn summary_from_hist(hist: &HistogramSnapshot) -> LatencySummary {
+    LatencySummary {
+        count: hist.count() as usize,
+        mean: hist.mean() / 1e3,
+        p50: hist.quantile(0.50) / 1e3,
+        p90: hist.quantile(0.90) / 1e3,
+        p99: hist.quantile(0.99) / 1e3,
+        max: hist.max() as f64 / 1e3,
+    }
 }
 
 impl LoadReport {
@@ -397,8 +480,12 @@ impl LoadReport {
             self.events_per_sec
         ));
         out.push_str(&format!(
-            "latency (batch RTT)  p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, max {:.1} us\n",
-            self.latency_us.p50, self.latency_us.p90, self.latency_us.p99, self.latency_us.max
+            "latency (batch RTT)  p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, max {:.1} us ({})\n",
+            self.latency_us.p50,
+            self.latency_us.p90,
+            self.latency_us.p99,
+            self.latency_us.max,
+            self.latency_method.as_str()
         ));
         for s in &self.sessions {
             out.push_str(&format!(
@@ -454,13 +541,14 @@ impl LoadReport {
             self.events_per_sec
         ));
         out.push_str(&format!(
-            "\"latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{:.1},\"p90\":{:.1},\"p99\":{:.1},\"max\":{:.1}}},",
+            "\"latency_us\":{{\"count\":{},\"mean\":{:.1},\"p50\":{:.1},\"p90\":{:.1},\"p99\":{:.1},\"max\":{:.1},\"method\":\"{}\"}},",
             self.latency_us.count,
             self.latency_us.mean,
             self.latency_us.p50,
             self.latency_us.p90,
             self.latency_us.p99,
-            self.latency_us.max
+            self.latency_us.max,
+            self.latency_method.as_str()
         ));
         out.push_str("\"sessions\":[");
         for (i, s) in self.sessions.iter().enumerate() {

@@ -12,10 +12,13 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::Instant;
 
+use paco_obs::FlightKind;
 use paco_sim::OnlinePipeline;
 use paco_types::fingerprint::code_fingerprint;
 
+use crate::metrics::{ServeMetrics, SessionMode};
 use crate::proto::{
     decode_events_into, decode_hello, encode_error, encode_outcomes_into, encode_snapshot,
     encode_stats, encode_welcome, write_frame, ErrorCode, FleetStats, FrameKind, Hello, ProtoError,
@@ -87,6 +90,7 @@ fn serve(
     table: &SessionTable,
     shared: &ServerShared,
     fleet: &FleetAggregator,
+    metrics: &ServeMetrics,
 ) {
     thread::scope(|scope| {
         for stream in listener.incoming() {
@@ -101,8 +105,11 @@ fn serve(
             let Some(conn_id) = shared.register(&stream) else {
                 continue; // untrackable connection: refuse, don't serve
             };
+            metrics.connections.inc();
+            metrics.recorder().record(FlightKind::ConnOpen, conn_id, 0);
             scope.spawn(move || {
-                handle_conn(stream, table, fleet);
+                handle_conn(stream, conn_id, table, fleet, metrics);
+                metrics.recorder().record(FlightKind::ConnClose, conn_id, 0);
                 shared.unregister(conn_id);
             });
         }
@@ -118,6 +125,7 @@ pub struct RunningServer {
     shared: Arc<ServerShared>,
     table: Arc<SessionTable>,
     fleet: Arc<FleetAggregator>,
+    metrics: Arc<ServeMetrics>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
@@ -129,18 +137,31 @@ impl RunningServer {
         let addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared::default());
         let table = Arc::new(SessionTable::new(shards));
-        let fleet = Arc::new(FleetAggregator::new());
+        let metrics = Arc::new(ServeMetrics::new());
+        // The aggregator's scalar counters ARE the registry's cells:
+        // fleet log, STATS frames and /metrics scrapes read one source.
+        let fleet = Arc::new(FleetAggregator::with_counters(metrics.fleet.clone()));
         let accept_shared = Arc::clone(&shared);
         let accept_table = Arc::clone(&table);
         let accept_fleet = Arc::clone(&fleet);
+        let accept_metrics = Arc::clone(&metrics);
         let accept_thread = thread::Builder::new()
             .name("paco-served-accept".into())
-            .spawn(move || serve(listener, &accept_table, &accept_shared, &accept_fleet))?;
+            .spawn(move || {
+                serve(
+                    listener,
+                    &accept_table,
+                    &accept_shared,
+                    &accept_fleet,
+                    &accept_metrics,
+                )
+            })?;
         Ok(RunningServer {
             addr,
             shared,
             table,
             fleet,
+            metrics,
             accept_thread: Some(accept_thread),
         })
     }
@@ -148,6 +169,12 @@ impl RunningServer {
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's metric plane (registry + flight recorder) — what
+    /// `--metrics-addr` exposes and tests scrape.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
     }
 
     /// Sessions currently parked (detached, resumable).
@@ -303,7 +330,13 @@ fn establish(hello: &Hello, table: &SessionTable) -> Result<Session, Refusal> {
 
 /// Serves one connection to completion. Never panics on client input;
 /// protocol violations answer with an ERROR frame and close.
-fn handle_conn(stream: TcpStream, table: &SessionTable, fleet: &FleetAggregator) {
+fn handle_conn(
+    stream: TcpStream,
+    conn_id: u64,
+    table: &SessionTable,
+    fleet: &FleetAggregator,
+    metrics: &ServeMetrics,
+) {
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -311,32 +344,63 @@ fn handle_conn(stream: TcpStream, table: &SessionTable, fleet: &FleetAggregator)
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
 
-    let refuse = |writer: &mut BufWriter<TcpStream>, code: ErrorCode, msg: &str| {
+    // Every refusal counts; a *malformed* refusal is a protocol error,
+    // which additionally lands in the flight recorder and dumps it —
+    // the "something impossible arrived on the wire" diagnostic path.
+    let refuse = |writer: &mut BufWriter<TcpStream>, code: ErrorCode, msg: &str, session: u64| {
+        metrics.protocol_errors.inc();
+        if code == ErrorCode::Malformed {
+            metrics
+                .recorder()
+                .record(FlightKind::FrameError, conn_id, session);
+            metrics.recorder().dump("protocol error");
+        }
         let _ = write_frame(writer, FrameKind::Error, &encode_error(code, msg));
+    };
+    let park = |session: Session| {
+        metrics.session_parks.inc();
+        metrics
+            .recorder()
+            .record(FlightKind::SessionPark, session.id, 0);
+        table.park(session);
+        metrics.sessions_parked.set(table.parked() as f64);
     };
 
     // --- Handshake ---------------------------------------------------
     let hello = match crate::proto::read_frame(&mut reader) {
         Ok(Some(frame)) if frame.kind == FrameKind::Hello => match decode_hello(&frame.payload) {
             Ok(hello) => hello,
-            Err(e) => return refuse(&mut writer, ErrorCode::Malformed, &e.to_string()),
+            Err(e) => return refuse(&mut writer, ErrorCode::Malformed, &e.to_string(), 0),
         },
         Ok(Some(_)) => {
             return refuse(
                 &mut writer,
                 ErrorCode::Malformed,
                 "expected HELLO as the first frame",
+                0,
             )
         }
         Ok(None) => return,
-        Err(ProtoError::Malformed(m)) => return refuse(&mut writer, ErrorCode::Malformed, &m),
+        Err(ProtoError::Malformed(m)) => return refuse(&mut writer, ErrorCode::Malformed, &m, 0),
         Err(ProtoError::Io(_)) => return,
     };
+    metrics.frame(FrameKind::Hello).inc();
     let mut session = match establish(&hello, table) {
         Ok(session) => session,
-        Err((code, msg)) => return refuse(&mut writer, code, &msg),
+        Err((code, msg)) => return refuse(&mut writer, code, &msg, 0),
     };
-    fleet.session_started();
+    let (mode, flight_kind) = match &hello.resume {
+        Resume::Fresh => (SessionMode::Fresh, FlightKind::SessionFresh),
+        Resume::SessionId(_) => (SessionMode::Resumed, FlightKind::SessionResume),
+        Resume::State(_) => (SessionMode::Restored, FlightKind::SessionRestore),
+    };
+    fleet.session_started(mode);
+    metrics.recorder().record(flight_kind, session.id, 0);
+    // A resume just removed a parked session; keep the gauge current.
+    metrics.sessions_parked.set(table.parked() as f64);
+    // A reclaimed session may come back already drift-flagged; only a
+    // latch that happens on THIS connection records a flight event.
+    let mut drift_noted = session.watch.drift_flagged();
     let welcome = Welcome {
         session_id: session.id,
         fingerprint: code_fingerprint(),
@@ -349,7 +413,7 @@ fn handle_conn(stream: TcpStream, table: &SessionTable, fleet: &FleetAggregator)
         // handshake disconnect does.
         session.watch.fold_into(fleet);
         fleet.session_ended();
-        table.park(session);
+        park(session);
         return;
     }
 
@@ -374,14 +438,21 @@ fn handle_conn(stream: TcpStream, table: &SessionTable, fleet: &FleetAggregator)
             Ok(Some(frame)) => frame,
             Ok(None) | Err(ProtoError::Io(_)) => break,
             Err(ProtoError::Malformed(m)) => {
-                refuse(&mut writer, ErrorCode::Malformed, &m);
+                refuse(&mut writer, ErrorCode::Malformed, &m, session.id);
                 break;
             }
         };
+        metrics.frame(frame.kind).inc();
         match frame.kind {
             FrameKind::Events => {
+                let started = Instant::now();
                 if let Err(e) = decode_events_into(&frame.payload, &mut events) {
-                    refuse(&mut writer, ErrorCode::Malformed, &e.to_string());
+                    refuse(
+                        &mut writer,
+                        ErrorCode::Malformed,
+                        &e.to_string(),
+                        session.id,
+                    );
                     break;
                 }
                 outcomes.clear();
@@ -394,6 +465,18 @@ fn handle_conn(stream: TcpStream, table: &SessionTable, fleet: &FleetAggregator)
                 // Watch telemetry rides the hot loop allocation-free;
                 // the fleet fold (which locks) runs at a batch cadence.
                 session.watch.observe_batch(&outcomes);
+                metrics.batch_events.record(events.len() as u64);
+                metrics
+                    .batch_handle_ns
+                    .record(started.elapsed().as_nanos() as u64);
+                if !drift_noted && session.watch.drift_flagged() {
+                    drift_noted = true;
+                    metrics.recorder().record(
+                        FlightKind::DriftLatch,
+                        session.id,
+                        session.watch.drift_window(),
+                    );
+                }
                 batches += 1;
                 if batches % FOLD_EVERY_BATCHES == 0 {
                     session.watch.fold_into(fleet);
@@ -432,6 +515,9 @@ fn handle_conn(stream: TcpStream, table: &SessionTable, fleet: &FleetAggregator)
                 // telemetry still counts toward the fleet totals.
                 session.watch.fold_into(fleet);
                 fleet.session_ended();
+                metrics
+                    .recorder()
+                    .record(FlightKind::SessionBye, session.id, 0);
                 return;
             }
             _ => {
@@ -439,6 +525,7 @@ fn handle_conn(stream: TcpStream, table: &SessionTable, fleet: &FleetAggregator)
                     &mut writer,
                     ErrorCode::Malformed,
                     "unexpected frame kind from client",
+                    session.id,
                 );
                 break;
             }
@@ -446,5 +533,5 @@ fn handle_conn(stream: TcpStream, table: &SessionTable, fleet: &FleetAggregator)
     }
     session.watch.fold_into(fleet);
     fleet.session_ended();
-    table.park(session);
+    park(session);
 }

@@ -30,7 +30,6 @@
 //! test encodes [`SessionStats`] from a per-event and a batched replay
 //! of the same events and requires identical bytes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -38,6 +37,7 @@ use paco_analysis::{merge_bin_pairs, occupancy_distance, CusumDetector};
 use paco_corpus::{prob_bin, CalibrationProfile, ProbBinner, PROFILE_BINS, PROFILE_WINDOW};
 use paco_sim::{OnlineOutcome, OutcomeBatch};
 
+use crate::metrics::{FleetCounters, SessionMode};
 use crate::proto::{FleetStats, SessionStats};
 
 /// Rolling-window length, in control events, between drift scorings.
@@ -88,6 +88,7 @@ pub struct WatchState {
     // the fleet aggregator.
     folded_events: u64,
     folded_mispredicts: u64,
+    folded_windows: u64,
     folded_bins: [(u64, u64); PROFILE_BINS],
     folded_flag: bool,
 }
@@ -106,6 +107,7 @@ impl WatchState {
             drift_window: 0,
             folded_events: 0,
             folded_mispredicts: 0,
+            folded_windows: 0,
             folded_bins: [(0, 0); PROFILE_BINS],
             folded_flag: false,
         }
@@ -211,6 +213,13 @@ impl WatchState {
         self.detector.is_flagged()
     }
 
+    /// The 1-based completed-window index at which the drift flag
+    /// latched (0 = never) — the flight recorder stamps this into
+    /// drift-latch events.
+    pub fn drift_window(&self) -> u64 {
+        self.drift_window
+    }
+
     /// The declared family, if any.
     pub fn family(&self) -> Option<&str> {
         self.family.as_deref()
@@ -248,6 +257,7 @@ impl WatchState {
         let lifetime = self.lifetime();
         let delta_events = lifetime.events() - self.folded_events;
         let delta_mispredicts = lifetime.mispredicts() - self.folded_mispredicts;
+        let delta_windows = self.windows - self.folded_windows;
         let mut delta_bins = [(0u64, 0u64); PROFILE_BINS];
         for (delta, (&now, &folded)) in delta_bins
             .iter_mut()
@@ -259,9 +269,16 @@ impl WatchState {
         if delta_events == 0 && !newly_flagged {
             return;
         }
-        fleet.fold(delta_events, delta_mispredicts, &delta_bins, newly_flagged);
+        fleet.fold(
+            delta_events,
+            delta_mispredicts,
+            delta_windows,
+            &delta_bins,
+            newly_flagged,
+        );
         self.folded_events = lifetime.events();
         self.folded_mispredicts = lifetime.mispredicts();
+        self.folded_windows = self.windows;
         self.folded_bins.copy_from_slice(lifetime.bins());
         self.folded_flag = self.detector.is_flagged();
     }
@@ -274,20 +291,20 @@ impl Default for WatchState {
 }
 
 /// Fleet-wide pooled telemetry, shared by every connection handler.
-/// Sessions fold counter deltas in; STATS_REQ and the server's periodic
-/// log read snapshots out.
+/// Sessions fold counter deltas in; STATS_REQ, the server's periodic
+/// log and `/metrics` scrapes read the same cells out — the scalar
+/// counters *are* registry handles ([`FleetCounters`]), so there is no
+/// parallel bookkeeping to keep in sync. Only the calibration bins and
+/// the rate-smoothing state (protocol-level data with no Prometheus
+/// shape) stay under the mutex.
 #[derive(Debug)]
 pub struct FleetAggregator {
-    active: AtomicU64,
+    counters: FleetCounters,
     inner: Mutex<FleetInner>,
 }
 
 #[derive(Debug)]
 struct FleetInner {
-    sessions_seen: u64,
-    flagged: u64,
-    events: u64,
-    mispredicts: u64,
     bins: [(u64, u64); PROFILE_BINS],
     rate_at: Instant,
     rate_events: u64,
@@ -295,15 +312,19 @@ struct FleetInner {
 }
 
 impl FleetAggregator {
-    /// A fresh aggregator (server start).
+    /// A fresh aggregator with detached (unregistered) counters — unit
+    /// tests and ad-hoc tooling. Servers use
+    /// [`with_counters`](Self::with_counters) so the same cells feed
+    /// the exposition endpoint.
     pub fn new() -> Self {
+        FleetAggregator::with_counters(FleetCounters::detached())
+    }
+
+    /// An aggregator recording into `counters` (registry handles).
+    pub fn with_counters(counters: FleetCounters) -> Self {
         FleetAggregator {
-            active: AtomicU64::new(0),
+            counters,
             inner: Mutex::new(FleetInner {
-                sessions_seen: 0,
-                flagged: 0,
-                events: 0,
-                mispredicts: 0,
                 bins: [(0, 0); PROFILE_BINS],
                 rate_at: Instant::now(),
                 rate_events: 0,
@@ -313,14 +334,14 @@ impl FleetAggregator {
     }
 
     /// A connection established a session.
-    pub fn session_started(&self) {
-        self.active.fetch_add(1, Ordering::Relaxed);
-        self.inner.lock().unwrap().sessions_seen += 1;
+    pub fn session_started(&self, mode: SessionMode) {
+        self.counters.active.add(1.0);
+        self.counters.established[mode as usize].inc();
     }
 
     /// A connection released its session (parked or discarded).
     pub fn session_ended(&self) {
-        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.counters.active.sub(1.0);
     }
 
     /// Absorbs one session's counter deltas; `newly_flagged` marks the
@@ -329,41 +350,45 @@ impl FleetAggregator {
         &self,
         delta_events: u64,
         delta_mispredicts: u64,
+        delta_windows: u64,
         delta_bins: &[(u64, u64); PROFILE_BINS],
         newly_flagged: bool,
     ) {
+        self.counters.events.add(delta_events);
+        self.counters.mispredicts.add(delta_mispredicts);
+        self.counters.windows.add(delta_windows);
+        self.counters.drift_latches.add(newly_flagged as u64);
         let mut inner = self.inner.lock().unwrap();
-        inner.events += delta_events;
-        inner.mispredicts += delta_mispredicts;
         merge_bin_pairs(&mut inner.bins, delta_bins);
-        inner.flagged += newly_flagged as u64;
     }
 
     /// The fleet snapshot as a wire-ready [`FleetStats`]. `parked` is
     /// the session table's current parked count (the aggregator does not
     /// own the table). The event rate is re-measured when at least 50 ms
-    /// passed since the previous measurement and smoothed across
-    /// snapshots.
+    /// passed since the previous measurement, smoothed across snapshots,
+    /// and written through to the `paco_fleet_events_per_sec` gauge.
     pub fn snapshot(&self, parked: usize) -> FleetStats {
+        let events = self.counters.events.value();
         let mut inner = self.inner.lock().unwrap();
         let elapsed = inner.rate_at.elapsed();
         if elapsed.as_millis() >= 50 {
-            let fresh = (inner.events - inner.rate_events) as f64 / elapsed.as_secs_f64();
+            let fresh = (events - inner.rate_events) as f64 / elapsed.as_secs_f64();
             inner.rate = if inner.rate == 0.0 {
                 fresh
             } else {
                 0.5 * inner.rate + 0.5 * fresh
             };
             inner.rate_at = Instant::now();
-            inner.rate_events = inner.events;
+            inner.rate_events = events;
+            self.counters.events_per_sec.set(inner.rate);
         }
         FleetStats {
-            sessions_active: self.active.load(Ordering::Relaxed),
+            sessions_active: self.counters.active.value() as u64,
             sessions_parked: parked as u64,
-            sessions_seen: inner.sessions_seen,
-            flagged_sessions: inner.flagged,
-            events: inner.events,
-            mispredicts: inner.mispredicts,
+            sessions_seen: self.counters.established.iter().map(|c| c.value()).sum(),
+            flagged_sessions: self.counters.drift_latches.value(),
+            events,
+            mispredicts: self.counters.mispredicts.value(),
             events_per_sec_bits: inner.rate.to_bits(),
             bins: inner.bins.to_vec(),
         }
@@ -496,7 +521,7 @@ mod tests {
     #[test]
     fn fold_into_accumulates_deltas_once() {
         let fleet = FleetAggregator::new();
-        fleet.session_started();
+        fleet.session_started(SessionMode::Fresh);
         let mut watch = WatchState::new(Some("steady".into()), Some(reference_like(STEADY)));
         feed(&mut watch, 2, STEADY);
         watch.fold_into(&fleet);

@@ -1,0 +1,149 @@
+//! End-to-end observability test: a live server with the sidecar
+//! scrape endpoint attached, driven by a real client, scraped over
+//! real HTTP.
+//!
+//! This is the in-repo twin of the CI smoke job: every registered
+//! metric family must show up well-formed in a `/metrics` scrape taken
+//! mid-run, and an injected malformed frame must land in the flight
+//! recorder (visible on `/flight`) and bump the protocol-error counter.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use paco_obs::MetricsServer;
+use paco_serve::{corpus_control_events, Client, RunningServer};
+use paco_sim::{EstimatorKind, OnlineConfig};
+
+/// One blocking HTTP/1.1 GET against the scrape endpoint; returns the
+/// full response (head + body).
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect scrape endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+/// Polls `check` against fresh scrapes until it passes or the deadline
+/// hits — connection teardown (and the flight events it records) races
+/// the test thread, so racy assertions retry instead of flaking.
+fn scrape_until(addr: SocketAddr, path: &str, check: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let body = http_get(addr, path);
+        if check(&body) || Instant::now() > deadline {
+            return body;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn events() -> Vec<paco_types::DynInstr> {
+    let entry = paco_corpus::find_entry("biased_bimodal").expect("shipped family");
+    corpus_control_events(&entry.family, entry.seed, 20_000).expect("synthesize events")
+}
+
+#[test]
+fn scrape_reports_every_family_and_flight_events() {
+    let server = RunningServer::bind("127.0.0.1:0", 2).expect("bind server");
+    let mut endpoint = MetricsServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(server.metrics().registry()),
+        Arc::clone(server.metrics().recorder()),
+    )
+    .expect("bind scrape endpoint");
+
+    // Drive a real session so counters and histograms have data.
+    let config = OnlineConfig::tiny(EstimatorKind::None);
+    let mut client = Client::connect(server.addr(), &config).expect("connect");
+    let events = events();
+    for chunk in events.chunks(256) {
+        client.send_events(chunk).expect("send events");
+    }
+    client.bye().expect("clean bye");
+
+    // Mid-run scrape: every family the registry knows must be present
+    // and well-formed (HELP + TYPE headers per family).
+    let text = http_get(endpoint.local_addr(), "/metrics");
+    assert!(
+        text.starts_with("HTTP/1.1 200 OK"),
+        "scrape failed: {}",
+        text.lines().next().unwrap_or("")
+    );
+    for family in server.metrics().registry().families() {
+        assert!(
+            text.contains(&format!("# HELP {} ", family.name)),
+            "family {} missing HELP in scrape",
+            family.name
+        );
+        assert!(
+            text.contains(&format!("# TYPE {} ", family.name)),
+            "family {} missing TYPE in scrape",
+            family.name
+        );
+    }
+    // Spot-check the data path actually recorded.
+    assert!(text.contains("paco_connections_total 1\n"));
+    assert!(text.contains("paco_frames_total{opcode=\"EVENTS\"}"));
+    assert!(text.contains("paco_sessions_established_total{mode=\"fresh\"} 1\n"));
+    assert!(text.contains("paco_batch_handle_ns_count"));
+    assert!(text.contains("paco_batch_events_bucket"));
+
+    // The flight recorder saw the whole session lifecycle. The BYE
+    // teardown races this scrape, so poll for the final event.
+    let flight = scrape_until(endpoint.local_addr(), "/flight", |body| {
+        body.contains("session-bye")
+    });
+    for expected in ["conn-open", "session-fresh", "session-bye"] {
+        assert!(
+            flight.contains(expected),
+            "flight missing {expected}:\n{flight}"
+        );
+    }
+
+    endpoint.stop();
+    server.stop();
+}
+
+#[test]
+fn malformed_frame_lands_in_flight_recorder() {
+    let server = RunningServer::bind("127.0.0.1:0", 2).expect("bind server");
+    let mut endpoint = MetricsServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(server.metrics().registry()),
+        Arc::clone(server.metrics().recorder()),
+    )
+    .expect("bind scrape endpoint");
+
+    // Garbage on the protocol port: an impossible frame header. The
+    // server must refuse with ERROR (drained until EOF here) and record
+    // the protocol error.
+    let mut raw = TcpStream::connect(server.addr()).expect("connect protocol port");
+    raw.write_all(&[0xFF; 16]).expect("write garbage");
+    let mut drained = Vec::new();
+    let _ = raw.read_to_end(&mut drained); // EOF = handler finished
+
+    let text = scrape_until(endpoint.local_addr(), "/metrics", |body| {
+        body.contains("paco_protocol_errors_total 1\n")
+    });
+    assert!(
+        text.contains("paco_protocol_errors_total 1\n"),
+        "protocol error not counted:\n{text}"
+    );
+    let flight = scrape_until(endpoint.local_addr(), "/flight", |body| {
+        body.contains("frame-error")
+    });
+    assert!(
+        flight.contains("frame-error"),
+        "malformed frame not in flight recorder:\n{flight}"
+    );
+
+    endpoint.stop();
+    server.stop();
+}

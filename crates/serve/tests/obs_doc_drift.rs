@@ -1,0 +1,164 @@
+//! Doc-drift guard: the observability catalog in
+//! `docs/OBSERVABILITY.md` must match the metric families
+//! [`ServeMetrics`] registers and the flight-recorder event set
+//! `paco-obs` defines.
+//!
+//! Like `doc_drift.rs` for the protocol spec, the document is normative
+//! prose for humans; this suite parses its code-literal tables (metric
+//! families with kind and label keys, flight event names) and compares
+//! them against the implementation, so neither can change without the
+//! other.
+
+use std::path::Path;
+
+use paco_obs::{FlightKind, MetricKind};
+use paco_serve::ServeMetrics;
+
+fn observability_md() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/OBSERVABILITY.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Extracts the backticked literal from a markdown table cell:
+/// `` `paco_frames_total` `` → `Some("paco_frames_total")`.
+fn backticked(cell: &str) -> Option<&str> {
+    cell.strip_prefix('`')?.strip_suffix('`')
+}
+
+/// Parses rows of the metric-family table:
+/// `| \`name\` | kind | \`label\` | meaning |` →
+/// `(name, kind, labels)`. A labels cell of `—` means no labels.
+fn family_rows(doc: &str) -> Vec<(String, String, Vec<String>)> {
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() < 5 || !cells[0].is_empty() {
+            continue;
+        }
+        let Some(name) = backticked(cells[1]) else {
+            continue;
+        };
+        if !name.starts_with("paco_") {
+            continue; // the flight-event and budget tables, not this one
+        }
+        let kind = cells[2].to_string();
+        let labels: Vec<String> = if cells[3] == "—" {
+            Vec::new()
+        } else {
+            cells[3]
+                .split(',')
+                .filter_map(|c| backticked(c.trim()))
+                .map(str::to_string)
+                .collect()
+        };
+        rows.push((name.to_string(), kind, labels));
+    }
+    rows
+}
+
+/// Parses rows of the flight-event table: backticked kebab-case names.
+fn event_rows(doc: &str) -> Vec<String> {
+    let mut rows = Vec::new();
+    for line in doc.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() != 4 || !cells[0].is_empty() {
+            continue; // the event table has exactly two columns
+        }
+        let Some(name) = backticked(cells[1]) else {
+            continue;
+        };
+        if name.contains('-') && name.chars().all(|c| c.is_ascii_lowercase() || c == '-') {
+            rows.push(name.to_string());
+        }
+    }
+    rows
+}
+
+fn kind_name(kind: MetricKind) -> &'static str {
+    match kind {
+        MetricKind::Counter => "counter",
+        MetricKind::Gauge => "gauge",
+        MetricKind::Histogram => "histogram",
+    }
+}
+
+#[test]
+fn metric_family_table_matches_registry() {
+    let doc = observability_md();
+    let documented = family_rows(&doc);
+    assert!(
+        !documented.is_empty(),
+        "docs/OBSERVABILITY.md: no metric-family table rows found"
+    );
+    let live = ServeMetrics::new();
+    let families = live.registry().families();
+
+    // Every live family must be documented, with matching kind and
+    // label keys.
+    for family in &families {
+        let row = documented
+            .iter()
+            .find(|(name, _, _)| name == family.name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "docs/OBSERVABILITY.md: no table row for family {}",
+                    family.name
+                )
+            });
+        assert_eq!(
+            row.1,
+            kind_name(family.kind),
+            "docs/OBSERVABILITY.md documents {} as a {}, the registry says {}",
+            family.name,
+            row.1,
+            kind_name(family.kind)
+        );
+        let doc_labels: Vec<&str> = row.2.iter().map(String::as_str).collect();
+        assert_eq!(
+            doc_labels, family.label_keys,
+            "docs/OBSERVABILITY.md label keys for {} drifted",
+            family.name
+        );
+    }
+
+    // And nothing stale: every documented family must exist.
+    for (name, _, _) in &documented {
+        assert!(
+            families.iter().any(|f| f.name == name),
+            "docs/OBSERVABILITY.md documents unknown family {name}"
+        );
+    }
+    assert_eq!(
+        documented.len(),
+        families.len(),
+        "docs/OBSERVABILITY.md family count drifted"
+    );
+}
+
+#[test]
+fn flight_event_table_matches_flight_kinds() {
+    let doc = observability_md();
+    let documented = event_rows(&doc);
+    assert!(
+        !documented.is_empty(),
+        "docs/OBSERVABILITY.md: no flight-event table rows found"
+    );
+    for kind in FlightKind::ALL {
+        assert!(
+            documented.iter().any(|n| n == kind.name()),
+            "docs/OBSERVABILITY.md: no table row for flight event {}",
+            kind.name()
+        );
+    }
+    for name in &documented {
+        assert!(
+            FlightKind::ALL.iter().any(|k| k.name() == name),
+            "docs/OBSERVABILITY.md documents unknown flight event {name}"
+        );
+    }
+    assert_eq!(
+        documented.len(),
+        FlightKind::ALL.len(),
+        "docs/OBSERVABILITY.md flight-event count drifted"
+    );
+}
