@@ -232,6 +232,30 @@ fn run_experiment(id: ExperimentId, opts: RunOptions) -> bool {
             }
         };
     }
+    if id == ExperimentId::ServeScale {
+        let started = Instant::now();
+        return match crate::serve_scale::run_serve_scale() {
+            Ok(report) => {
+                if opts.json {
+                    println!("{}", report.render_json());
+                } else {
+                    print!("{}", crate::serve_scale::render_text(&report));
+                }
+                eprintln!(
+                    "paco-bench: serve_scale: sessions={} peak_parked={} migrated={} secs={:.2}",
+                    report.sessions,
+                    report.peak_parked,
+                    report.migrated,
+                    started.elapsed().as_secs_f64()
+                );
+                true
+            }
+            Err(e) => {
+                eprintln!("paco-bench: serve_scale failed: {e}");
+                false
+            }
+        };
+    }
     if id == ExperimentId::Hotpath {
         let started = Instant::now();
         let result = match &opts.batch {

@@ -51,6 +51,12 @@ pub enum ExperimentId {
     /// (`crate::serve_bench`). Runs a real loopback server — not an
     /// engine cell grid, and never cached.
     ServeThroughput,
+    /// Churn-storm scale test of the sharded reactor
+    /// (`crate::serve_scale`): thousands of sessions parked, resumed
+    /// and migrated, every one digest-checked against offline replay.
+    /// Runs a real loopback server — not an engine cell grid, and
+    /// never cached.
+    ServeScale,
     /// Per-event vs batched confidence-lane microbenchmark
     /// (`crate::hotpath`). Wall-clock measurement with a built-in
     /// lane-parity gate — not an engine cell grid, and never cached.
@@ -60,7 +66,7 @@ pub enum ExperimentId {
 
 /// All experiments, in paper order (corpus and service measurements
 /// last).
-pub const ALL_EXPERIMENTS: [ExperimentId; 11] = [
+pub const ALL_EXPERIMENTS: [ExperimentId; 12] = [
     ExperimentId::Fig2,
     ExperimentId::Fig3,
     ExperimentId::Tab7,
@@ -71,6 +77,7 @@ pub const ALL_EXPERIMENTS: [ExperimentId; 11] = [
     ExperimentId::Ablations,
     ExperimentId::Robustness,
     ExperimentId::ServeThroughput,
+    ExperimentId::ServeScale,
     ExperimentId::Hotpath,
 ];
 
@@ -88,6 +95,7 @@ impl ExperimentId {
             ExperimentId::Ablations => "ablations",
             ExperimentId::Robustness => "robustness",
             ExperimentId::ServeThroughput => "serve_throughput",
+            ExperimentId::ServeScale => "serve_scale",
             ExperimentId::Hotpath => "hotpath",
         }
     }
@@ -108,6 +116,9 @@ impl ExperimentId {
             }
             ExperimentId::ServeThroughput => {
                 "streaming service throughput + latency percentiles (loopback, uncached)"
+            }
+            ExperimentId::ServeScale => {
+                "churn-storm scale: 10k sessions parked/resumed/migrated, parity-gated (loopback, uncached)"
             }
             ExperimentId::Hotpath => {
                 "per-event vs batched confidence-lane throughput (parity-gated, uncached)"
@@ -137,6 +148,7 @@ impl ExperimentId {
             ExperimentId::Ablations => 400_000,
             ExperimentId::Robustness => 400_000,
             ExperimentId::ServeThroughput => crate::serve_bench::DEFAULT_INSTRS,
+            ExperimentId::ServeScale => crate::serve_scale::DEFAULT_INSTRS,
             ExperimentId::Hotpath => crate::hotpath::DEFAULT_INSTRS,
         }
     }
@@ -207,9 +219,9 @@ impl ExperimentId {
                 }
             }
             // Not engine experiments: the CLI routes these to
-            // `serve_bench::run_serve_throughput` / `hotpath::run_hotpath`
-            // before building a spec; the empty grids keep `spec()` total.
-            ExperimentId::ServeThroughput | ExperimentId::Hotpath => {}
+            // `serve_bench` / `serve_scale` / `hotpath` before building
+            // a spec; the empty grids keep `spec()` total.
+            ExperimentId::ServeThroughput | ExperimentId::ServeScale | ExperimentId::Hotpath => {}
             ExperimentId::Ablations => {
                 for period in ABLATION_PERIODS {
                     let est = EstimatorKind::Paco(PacoConfig::paper().with_refresh_period(period));
@@ -246,6 +258,10 @@ impl ExperimentId {
             ExperimentId::Robustness => render_robustness(set),
             ExperimentId::ServeThroughput => {
                 "serve_throughput runs outside the engine; see `paco-bench run serve_throughput`\n"
+                    .to_string()
+            }
+            ExperimentId::ServeScale => {
+                "serve_scale runs outside the engine; see `paco-bench run serve_scale`\n"
                     .to_string()
             }
             ExperimentId::Hotpath => {
@@ -1088,9 +1104,12 @@ mod tests {
         let p = tiny_params();
         for id in ALL_EXPERIMENTS {
             let spec = id.spec(p);
-            // serve_throughput and hotpath run outside the engine: their
+            // The service experiments run outside the engine: their
             // grids are intentionally empty and the CLI never builds them.
-            if matches!(id, ExperimentId::ServeThroughput | ExperimentId::Hotpath) {
+            if matches!(
+                id,
+                ExperimentId::ServeThroughput | ExperimentId::ServeScale | ExperimentId::Hotpath
+            ) {
                 assert!(spec.cells().is_empty());
                 continue;
             }

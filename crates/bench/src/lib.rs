@@ -46,6 +46,7 @@ pub mod hotpath;
 pub mod json;
 pub mod runner;
 pub mod serve_bench;
+pub mod serve_scale;
 pub mod spec;
 
 pub use runner::{

@@ -1,0 +1,147 @@
+//! The `serve_scale` experiment: the sharded reactor under a full
+//! churn storm — thousands of sessions connected, parked at one
+//! barrier, then resumed and (partly) migrated — with every session
+//! digest-checked against offline replay.
+//!
+//! Where `serve_throughput` measures the hot path of a few long-lived
+//! sessions, this measures the *control plane at scale*: session-table
+//! pressure (peak concurrent parked sessions equals the whole storm),
+//! resume routing to home shards, and live migration under load. Like
+//! the other service experiments it is wall-clock, bypasses the engine
+//! and the result cache, and refuses to report numbers on any parity
+//! loss or a leaked session.
+//!
+//! Scale knobs: `PACO_INSTRS` sizes the shared event pool,
+//! `PACO_SESSIONS` the storm (default 10 000 — the committed-baseline
+//! scale), `PACO_SEED` the deterministic churn schedule.
+
+use paco::PacoConfig;
+use paco_serve::{corpus_control_events, run_churn, ChurnOptions, ChurnReport, RunningServer};
+use paco_sim::{EstimatorKind, OnlineConfig};
+
+use crate::runner::{default_instrs, default_seed};
+
+/// Default instruction-stream length the shared event pool is
+/// synthesized from (`PACO_INSTRS` overrides).
+pub const DEFAULT_INSTRS: u64 = 150_000;
+
+/// Default storm size (`PACO_SESSIONS` overrides): the committed
+/// baseline sustains this many concurrently churned sessions on one
+/// vCPU without parity loss.
+pub const DEFAULT_SESSIONS: usize = 10_000;
+
+/// Worker shards the loopback server runs (8 × the session table's
+/// per-shard parked bound comfortably holds the default storm).
+const SHARDS: usize = 8;
+
+/// Concurrent driver threads.
+const THREADS: usize = 16;
+
+/// Events per EVENTS frame (cut points land on batch boundaries).
+const BATCH: usize = 32;
+
+/// Events each session streams across both churn phases.
+const EVENTS_PER_SESSION: usize = 64;
+
+/// Every 9th session issues an operator MIGRATE after resuming.
+const MIGRATE_EVERY: usize = 9;
+
+/// Runs the experiment at the env-configured scale; returns the report
+/// or a human-readable error.
+pub fn run_serve_scale() -> Result<ChurnReport, String> {
+    let sessions = std::env::var("PACO_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SESSIONS);
+    run_at(default_instrs(DEFAULT_INSTRS), default_seed(), sessions)
+}
+
+/// Runs the experiment at an explicit scale (tests use this directly so
+/// they never mutate process environment).
+pub fn run_at(instrs: u64, seed: u64, sessions: usize) -> Result<ChurnReport, String> {
+    // The shared pool every session's slice is a rotation of: the
+    // best-predictable corpus family, so the measurement is dominated
+    // by churn mechanics rather than estimator behavior.
+    let entry =
+        paco_corpus::find_entry("biased_bimodal").ok_or("corpus family biased_bimodal missing")?;
+    let pool = corpus_control_events(&entry.family, seed, instrs).map_err(|e| e.to_string())?;
+    if pool.len() < EVENTS_PER_SESSION {
+        return Err(format!(
+            "pool too small: {} control events, need at least {EVENTS_PER_SESSION}",
+            pool.len()
+        ));
+    }
+
+    let server = RunningServer::bind("127.0.0.1:0", SHARDS)
+        .map_err(|e| format!("cannot bind loopback server: {e}"))?;
+    let options = ChurnOptions {
+        // Small tables keep a 10k-session park resident; the paper PaCo
+        // estimator stays on so migration moves real estimator state.
+        config: OnlineConfig::tiny(EstimatorKind::Paco(PacoConfig::paper())),
+        sessions,
+        threads: THREADS,
+        batch: BATCH,
+        events_per_session: EVENTS_PER_SESSION,
+        seed,
+        migrate_every: MIGRATE_EVERY,
+        resume_retries: 500,
+    };
+    let report = run_churn(server.addr(), &pool, &options).map_err(|e| e.to_string())?;
+    let leaked = server.parked_sessions();
+    server.stop();
+
+    if !report.parity_ok() {
+        return Err(format!(
+            "parity failure: {} sessions diverged from offline replay: {:?}",
+            report.parity_failures.len(),
+            &report.parity_failures[..report.parity_failures.len().min(16)]
+        ));
+    }
+    if report.peak_parked < sessions {
+        return Err(format!(
+            "storm never held the whole fleet parked: peak {} of {sessions} sessions",
+            report.peak_parked
+        ));
+    }
+    if leaked != 0 {
+        return Err(format!(
+            "session table leaked {leaked} sessions after the storm"
+        ));
+    }
+    Ok(report)
+}
+
+/// Renders the experiment artifact (text mode).
+pub fn render_text(report: &ChurnReport) -> String {
+    let mut out = String::new();
+    out.push_str("== serve_scale: churn storm on the sharded reactor ==\n");
+    out.push_str(&format!(
+        "   ({} sessions x {} events, batch {}, {} shards, operator MIGRATE every {}th session)\n\n",
+        report.sessions, EVENTS_PER_SESSION, BATCH, SHARDS, MIGRATE_EVERY
+    ));
+    out.push_str(&report.render_text());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_scale_runs_and_holds_parity() {
+        // Keep it small: this spins a real 8-shard server and churns
+        // every session through park → resume → finish.
+        let report = run_at(20_000, 7, 300).expect("experiment runs");
+        assert_eq!(report.sessions, 300);
+        assert_eq!(report.peak_parked, 300);
+        assert!(report.parity_ok());
+        assert!(report.migrated > 0, "some sessions must migrate");
+        assert!(report.events > 0);
+        let text = render_text(&report);
+        assert!(text.contains("serve_scale"));
+        assert!(text.contains("parity               ok"));
+        let json = report.render_json();
+        assert!(json.contains("\"parity\":true"));
+        assert!(json.contains("\"peak_parked\":300"));
+    }
+}

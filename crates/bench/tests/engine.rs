@@ -259,8 +259,11 @@ fn all_experiments_render_through_the_engine() {
         if matches!(id, ExperimentId::Fig10 | ExperimentId::Fig12) && cfg!(debug_assertions) {
             continue; // debug builds: covered by the release CI run
         }
-        if matches!(id, ExperimentId::ServeThroughput | ExperimentId::Hotpath) {
-            continue; // not engine experiments (serve_bench/hotpath have their own tests)
+        if matches!(
+            id,
+            ExperimentId::ServeThroughput | ExperimentId::ServeScale | ExperimentId::Hotpath
+        ) {
+            continue; // not engine experiments; each has its own tests
         }
         let spec = id.spec(p);
         let run = Engine::new().run(&spec);

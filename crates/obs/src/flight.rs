@@ -49,11 +49,18 @@ pub enum FlightKind {
     /// A session's drift detector latched. `a` = session id, `b` = the
     /// 1-based window index at which the flag latched.
     DriftLatch = 9,
+    /// A session moved to another worker shard via the snapshot path.
+    /// `a` = session id, `b` = packed shards (`from << 32 | to`).
+    SessionMigrate = 10,
+    /// A migration's snapshot restore failed and the session fell back
+    /// to moving its live state directly. `a` = session id, `b` =
+    /// packed shards (`from << 32 | to`).
+    MigrateFail = 11,
 }
 
 impl FlightKind {
     /// Every kind, in code order — the doc-drift catalog iterates this.
-    pub const ALL: [FlightKind; 9] = [
+    pub const ALL: [FlightKind; 11] = [
         FlightKind::ConnOpen,
         FlightKind::ConnClose,
         FlightKind::FrameError,
@@ -63,6 +70,8 @@ impl FlightKind {
         FlightKind::SessionRestore,
         FlightKind::SessionBye,
         FlightKind::DriftLatch,
+        FlightKind::SessionMigrate,
+        FlightKind::MigrateFail,
     ];
 
     /// The kind's stable kebab-case name (used in dumps and docs).
@@ -77,6 +86,8 @@ impl FlightKind {
             FlightKind::SessionRestore => "session-restore",
             FlightKind::SessionBye => "session-bye",
             FlightKind::DriftLatch => "drift-latch",
+            FlightKind::SessionMigrate => "session-migrate",
+            FlightKind::MigrateFail => "migrate-fail",
         }
     }
 
@@ -91,6 +102,9 @@ impl FlightKind {
             | FlightKind::SessionRestore
             | FlightKind::SessionBye => format!("session={a}"),
             FlightKind::DriftLatch => format!("session={a} window={b}"),
+            FlightKind::SessionMigrate | FlightKind::MigrateFail => {
+                format!("session={a} shard={}->{}", b >> 32, b & 0xffff_ffff)
+            }
         }
     }
 }
@@ -137,6 +151,11 @@ pub struct FlightRecorder {
     epoch: Instant,
     seq: AtomicU64,
     recorded: AtomicU64,
+    /// Lifetime counts per kind, indexed by `FlightKind as u8`. The
+    /// rings retain only the recent tail; these survive overwrites, so
+    /// event counts can be reconciled against metric counters exactly
+    /// even after millions of events.
+    recorded_by_kind: [AtomicU64; FlightRecorder::KIND_SLOTS],
     rings: Vec<Mutex<Ring>>,
 }
 
@@ -144,6 +163,9 @@ impl FlightRecorder {
     /// Events each stripe ring retains by default (total capacity is
     /// `STRIPES` times this).
     pub const DEFAULT_RING_CAPACITY: usize = 512;
+
+    /// Per-kind counter slots (covers every `FlightKind` repr value).
+    const KIND_SLOTS: usize = 12;
 
     /// A recorder with the default per-ring capacity.
     pub fn new() -> Self {
@@ -157,6 +179,7 @@ impl FlightRecorder {
             epoch: Instant::now(),
             seq: AtomicU64::new(0),
             recorded: AtomicU64::new(0),
+            recorded_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
             rings: (0..STRIPES)
                 .map(|_| {
                     Mutex::new(Ring {
@@ -179,6 +202,7 @@ impl FlightRecorder {
             b,
         };
         self.recorded.fetch_add(1, Ordering::Relaxed);
+        self.recorded_by_kind[kind as usize].fetch_add(1, Ordering::Relaxed);
         let mut ring = self.rings[thread_stripe()]
             .lock()
             .expect("flight ring poisoned");
@@ -188,6 +212,13 @@ impl FlightRecorder {
     /// Events recorded over the recorder's lifetime (retained or not).
     pub fn recorded(&self) -> u64 {
         self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime count of events of one kind (retained or not) — the
+    /// reconciliation surface scale tests compare against metric
+    /// counters, since rings overwrite their oldest events.
+    pub fn recorded_of(&self, kind: FlightKind) -> u64 {
+        self.recorded_by_kind[kind as usize].load(Ordering::Relaxed)
     }
 
     /// The retained events, oldest first (merged across rings, ordered
@@ -303,6 +334,20 @@ mod tests {
         let events = rec.events();
         assert_eq!(events.len(), 32);
         assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn per_kind_counts_survive_ring_overwrites() {
+        let rec = FlightRecorder::with_capacity(2);
+        for i in 0..9 {
+            rec.record(FlightKind::SessionPark, i, 0);
+        }
+        rec.record(FlightKind::SessionMigrate, 9, 3 << 32 | 5);
+        assert_eq!(rec.recorded_of(FlightKind::SessionPark), 9);
+        assert_eq!(rec.recorded_of(FlightKind::SessionMigrate), 1);
+        assert_eq!(rec.recorded_of(FlightKind::MigrateFail), 0);
+        let text = rec.render();
+        assert!(text.contains("session=9 shard=3->5"));
     }
 
     #[test]

@@ -30,13 +30,20 @@
 //! synthesized stream to a second family mid-run — the drift-detection
 //! demo: `--corpus biased_bimodal --watch --splice mispredict_storm`
 //! must flag, the unspliced run must not.
+//!
+//! `paco-load churn` runs the seeded connect/park/resume/migrate storm
+//! instead of a steady replay: every session streams part of its slice,
+//! drops without BYE, resumes by id, optionally migrates between worker
+//! shards live, and finishes — its end-to-end digest checked against
+//! offline replay. Any per-session parity failure exits non-zero.
 
 use std::process::ExitCode;
 
 use paco::{PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
 use paco_corpus::{find_entry, CORPUS};
 use paco_serve::{
-    control_events, corpus_control_events, corpus_splice_events, run_load, LoadOptions,
+    control_events, corpus_control_events, corpus_splice_events, run_churn, run_load, ChurnOptions,
+    LoadOptions,
 };
 use paco_sim::{EstimatorKind, OnlineConfig};
 use paco_types::fingerprint::code_fingerprint;
@@ -50,6 +57,11 @@ usage:
                 [--watch] [--family NAME] [--splice FAMILY]
                 [--splice-instrs N] [--splice-seed S]
                 [--latency-cap N] [--json] [--no-parity]
+  paco-load churn --addr HOST:PORT --corpus FAMILY
+                [--corpus-seed S] [--corpus-instrs N] [--sessions N]
+                [--threads M] [--batch N] [--session-events N]
+                [--seed S] [--migrate-every K] [--estimator KIND]
+                [--profile paper|tiny] [--lag K] [--json]
   paco-load version
 
 estimators: paco count static perbranch none   (default: paco)
@@ -59,12 +71,18 @@ defaults:   --threads 1, --batch 512, --profile paper, --corpus-instrs 200000
 watch:      --watch declares the --corpus family (or --family NAME) and
             polls STATS; --splice FAMILY switches the stream to a second
             family mid-run to exercise the drift detector
-            (--splice-instrs defaults to --corpus-instrs)";
+            (--splice-instrs defaults to --corpus-instrs)
+churn:      every session connects, streams, drops without BYE, resumes
+            by id, optionally migrates shards (every --migrate-every-th
+            session; 0 = never), finishes and byte-checks its whole
+            prediction stream against offline replay; any per-session
+            parity failure exits non-zero";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => run(&args[1..]),
+        Some("churn") => churn(&args[1..]),
         Some("version") | Some("--version") | Some("-V") => {
             println!(
                 "paco-load {} protocol {} fingerprint {:016x}",
@@ -261,6 +279,99 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if report.parity_ok == Some(false) {
         eprintln!(
             "paco-load: PARITY FAILURE: online predictions diverged from the offline pipeline"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn churn(args: &[String]) -> Result<ExitCode, String> {
+    let mut addr = None;
+    let mut corpus = None;
+    let mut corpus_seed = None;
+    let mut corpus_instrs: Option<u64> = None;
+    let mut estimator = "paco".to_string();
+    let mut profile = "paper".to_string();
+    let mut lag = None;
+    let mut json = false;
+    let mut options = ChurnOptions::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--corpus" => corpus = Some(value("--corpus")?),
+            "--corpus-seed" => {
+                corpus_seed = Some(parse_num::<u64>(&value("--corpus-seed")?, "--corpus-seed")?)
+            }
+            "--corpus-instrs" => {
+                corpus_instrs = Some(parse_num(&value("--corpus-instrs")?, "--corpus-instrs")?)
+            }
+            "--sessions" => options.sessions = parse_num(&value("--sessions")?, "--sessions")?,
+            "--threads" => options.threads = parse_num(&value("--threads")?, "--threads")?,
+            "--batch" => options.batch = parse_num(&value("--batch")?, "--batch")?,
+            "--session-events" => {
+                options.events_per_session =
+                    parse_num(&value("--session-events")?, "--session-events")?
+            }
+            "--seed" => options.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--migrate-every" => {
+                options.migrate_every = parse_num(&value("--migrate-every")?, "--migrate-every")?
+            }
+            "--estimator" => estimator = value("--estimator")?,
+            "--profile" => profile = value("--profile")?,
+            "--lag" => lag = Some(parse_num::<usize>(&value("--lag")?, "--lag")?),
+            "--json" => json = true,
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let addr = addr.ok_or("churn needs --addr")?;
+    let corpus = corpus.ok_or("churn needs --corpus (it synthesizes the event pool)")?;
+    if options.sessions == 0 || options.threads == 0 || options.batch == 0 {
+        return Err("--sessions, --threads and --batch must be at least 1".into());
+    }
+    if options.events_per_session == 0 {
+        return Err("--session-events must be at least 1".into());
+    }
+    if corpus_instrs == Some(0) {
+        return Err("--corpus-instrs must be at least 1".into());
+    }
+
+    let kind = parse_estimator(&estimator)?;
+    let mut config = match profile.as_str() {
+        "paper" => OnlineConfig::paper(kind),
+        "tiny" => OnlineConfig::tiny(kind),
+        other => return Err(format!("unknown profile `{other}` (paper|tiny)")),
+    };
+    if let Some(lag) = lag {
+        config.resolve_lag = lag;
+    }
+    config.validate()?;
+    options.config = config;
+
+    let entry = lookup_family(&corpus)?;
+    let pool = corpus_control_events(
+        &entry.family,
+        corpus_seed.unwrap_or(entry.seed),
+        corpus_instrs.unwrap_or(200_000),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let report = run_churn(addr.as_str(), &pool, &options).map_err(|e| e.to_string())?;
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.parity_ok() {
+        eprintln!(
+            "paco-load: PARITY FAILURE: {} churned session(s) diverged from the offline pipeline",
+            report.parity_failures.len()
         );
         return Ok(ExitCode::FAILURE);
     }

@@ -108,7 +108,7 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     install_panic_hook(Arc::clone(server.metrics().recorder()));
     println!(
-        "paco-served: listening on {} ({} session shards, fingerprint {:016x})",
+        "paco-served: listening on {} ({} worker shards, fingerprint {:016x})",
         server.addr(),
         shards,
         code_fingerprint()
@@ -134,7 +134,8 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     if let Some(secs) = fleet_log {
         spawn_fleet_logger(&server, Duration::from_secs(secs));
     }
-    // Foreground until killed; every connection gets its own thread.
+    // Foreground until killed; N pinned worker shards multiplex the
+    // connections, each on its own event loop.
     server.join();
     Ok(ExitCode::SUCCESS)
 }

@@ -10,9 +10,10 @@ use paco_types::fingerprint::code_fingerprint;
 use paco_types::DynInstr;
 
 use crate::proto::{
-    decode_error, decode_outcomes, decode_snapshot, decode_stats, decode_welcome, encode_events,
-    encode_hello, encode_outcomes, read_frame, write_frame, Digest, ErrorCode, Frame, FrameKind,
-    Hello, ProtoError, Resume, Snapshot, Stats, PROTOCOL_VERSION,
+    decode_error, decode_migrate_ack, decode_outcomes, decode_snapshot, decode_stats,
+    decode_welcome, encode_events, encode_hello, encode_migrate_req, encode_outcomes, read_frame,
+    write_frame, Digest, ErrorCode, Frame, FrameKind, Hello, MigrateAck, MigrateReq, ProtoError,
+    Resume, Snapshot, Stats, PROTOCOL_VERSION,
 };
 
 /// A client-side failure.
@@ -174,6 +175,32 @@ impl Client {
     /// this connection — the session's result fingerprint.
     pub fn digest(&self) -> u64 {
         self.digest.value()
+    }
+
+    /// Seeds the running digest with a prior connection's final
+    /// [`digest`](Self::digest) value, so one fingerprint spans a
+    /// session's whole life across drops, resumes and migrations.
+    pub fn seed_digest(&mut self, value: u64) {
+        self.digest = Digest::seeded(value);
+    }
+
+    /// Asks the server to migrate this session to another worker shard
+    /// (`None` lets the server pick the least-loaded one); blocks for
+    /// the MIGRATE acknowledgement naming the shard pair. Predictions
+    /// before and after the ack are part of one byte-identical stream.
+    pub fn migrate(&mut self, target_shard: Option<u32>) -> Result<MigrateAck, ClientError> {
+        let req = MigrateReq {
+            session_id: self.session_id,
+            target_shard,
+        };
+        write_frame(
+            &mut self.writer,
+            FrameKind::Migrate,
+            &encode_migrate_req(&req),
+        )
+        .map_err(ProtoError::Io)?;
+        let frame = self.expect_frame(FrameKind::Migrate)?;
+        Ok(decode_migrate_ack(&frame.payload)?)
     }
 
     /// Streams a batch of events; blocks for and returns the

@@ -5,14 +5,19 @@
 //! confidence estimation its natural deployment shape — a long-running
 //! service under throughput pressure:
 //!
-//! * **`paco-served`** ([`server`]): a multi-threaded TCP server
-//!   (`std::net` + scoped threads, no async runtime) exposing every
+//! * **`paco-served`** ([`server`]): a sharded event-loop TCP server —
+//!   N pinned worker shards, each multiplexing its connections with a
+//!   hand-rolled non-blocking reactor over `std::net` (no async
+//!   runtime) — exposing every
 //!   [`EstimatorKind`](paco_sim::EstimatorKind) as a session-oriented
-//!   prediction service. Each connection owns a private
-//!   [`OnlinePipeline`](paco_sim::OnlinePipeline); detached sessions
-//!   park in a sharded table for bit-identical resume, and clients can
-//!   carry opaque state snapshots across reconnects (even across server
-//!   restarts).
+//!   prediction service. Each session owns a private
+//!   [`OnlinePipeline`](paco_sim::OnlinePipeline) and routes to its
+//!   home shard by id hash; detached sessions park in a sharded table
+//!   for bit-identical resume, clients can carry opaque state snapshots
+//!   across reconnects (even across server restarts), and live sessions
+//!   migrate between shards — by operator `MIGRATE` frame or the
+//!   automatic load-threshold policy — with the same byte-identity
+//!   guarantee.
 //! * **`paco-load`** ([`load`]): a trace-replay load generator that
 //!   hammers a server with the control-flow events of a recorded
 //!   `.paco` trace from M concurrent sessions and reports throughput
@@ -50,13 +55,14 @@ pub mod watch;
 
 pub use client::{offline_digest, Client, ClientError};
 pub use load::{
-    control_events, corpus_control_events, corpus_splice_events, run_load, LatencyMethod,
-    LoadError, LoadOptions, LoadReport, SessionReport, SessionWatch,
+    control_events, corpus_control_events, corpus_splice_events, run_churn, run_load, ChurnOptions,
+    ChurnReport, LatencyMethod, LoadError, LoadOptions, LoadReport, SessionReport, SessionWatch,
 };
 pub use metrics::{FleetCounters, ServeMetrics, SessionMode};
 pub use proto::{
-    Digest, ErrorCode, FleetStats, FrameKind, ProtoError, SessionStats, Stats, PROTOCOL_VERSION,
+    Digest, ErrorCode, FleetStats, FrameDecoder, FrameKind, MigrateAck, MigrateReq, ProtoError,
+    SessionStats, Stats, PROTOCOL_VERSION,
 };
-pub use server::RunningServer;
+pub use server::{FaultInjector, RunningServer, ServeOptions};
 pub use session::{Session, SessionTable};
 pub use watch::{FleetAggregator, WatchState, DRIFT_LIMIT, DRIFT_THRESHOLD, WATCH_WINDOW};

@@ -12,6 +12,7 @@
 
 use std::net::ToSocketAddrs;
 use std::path::Path;
+use std::sync::Barrier;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -452,6 +453,377 @@ pub fn run_load(
         parity_ok,
         flagged_sessions,
     })
+}
+
+/// Churn-storm options.
+///
+/// A churn run is the serving layer's stress harness: `sessions`
+/// seeded sessions each live a two-phase life — connect, stream part of
+/// their event slice, drop *without* BYE (the session parks), then
+/// resume by id, optionally demand a live migration, stream the rest
+/// and close cleanly. Every per-session decision (event slice, cut
+/// point, migration) is a pure function of `(seed, session index)`, so
+/// a storm replays identically run to run and every session's final
+/// digest has an offline oracle.
+#[derive(Debug, Clone)]
+pub struct ChurnOptions {
+    /// Pipeline configuration for every session.
+    pub config: OnlineConfig,
+    /// Total sessions in the storm.
+    pub sessions: usize,
+    /// Concurrent driver threads (sessions are dealt round-robin).
+    pub threads: usize,
+    /// Events per EVENTS frame. Cut points land on batch boundaries, so
+    /// [`offline_digest`] over the session's whole slice with this same
+    /// batch size is the parity oracle.
+    pub batch: usize,
+    /// Events each session streams across both phases.
+    pub events_per_session: usize,
+    /// Storm seed: same seed, same storm.
+    pub seed: u64,
+    /// Every `migrate_every`-th session (0 = none) issues an operator
+    /// MIGRATE after resuming, letting the server pick the target.
+    pub migrate_every: usize,
+    /// Attempts to claim a parked session before giving up. A resume
+    /// can race the server still parking the dropped connection, so the
+    /// driver retries `UNKNOWN_SESSION` refusals with a short sleep.
+    pub resume_retries: u32,
+}
+
+impl Default for ChurnOptions {
+    fn default() -> Self {
+        ChurnOptions {
+            config: OnlineConfig::default(),
+            sessions: 256,
+            threads: 8,
+            batch: 32,
+            events_per_session: 96,
+            seed: 0x5eed_c4a2,
+            migrate_every: 7,
+            resume_retries: 500,
+        }
+    }
+}
+
+/// Aggregate results of one churn storm.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Sessions that completed both phases.
+    pub sessions: usize,
+    /// Total events streamed across all sessions and phases.
+    pub events: u64,
+    /// Wall-clock duration of the whole storm.
+    pub elapsed: Duration,
+    /// Aggregate throughput, events/second.
+    pub events_per_sec: f64,
+    /// Sessions parked server-side at the phase barrier (what the storm
+    /// measured as peak concurrent churned sessions).
+    pub peak_parked: usize,
+    /// Operator MIGRATE acknowledgements naming an actual shard move
+    /// (`from != to`).
+    pub migrated: usize,
+    /// MIGRATE acknowledgements where the server answered without
+    /// moving (already on the target, or a single-shard server).
+    pub migrate_noops: usize,
+    /// Session ids whose end-to-end digest diverged from the offline
+    /// oracle — **must** be empty; `paco-load churn` exits non-zero
+    /// otherwise.
+    pub parity_failures: Vec<u64>,
+}
+
+impl ChurnReport {
+    /// `true` iff every session's digest matched its offline oracle.
+    pub fn parity_ok(&self) -> bool {
+        self.parity_failures.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sessions             {}\nevents               {}\nelapsed              {:.3} s\nthroughput           {:.0} events/s\n",
+            self.sessions,
+            self.events,
+            self.elapsed.as_secs_f64(),
+            self.events_per_sec
+        ));
+        out.push_str(&format!(
+            "peak parked          {}\nmigrated             {} ({} no-op acks)\n",
+            self.peak_parked, self.migrated, self.migrate_noops
+        ));
+        if self.parity_ok() {
+            out.push_str("parity               ok (every session == offline, byte-identical)\n");
+        } else {
+            out.push_str(&format!(
+                "parity               FAILED ({} sessions: {:?})\n",
+                self.parity_failures.len(),
+                &self.parity_failures[..self.parity_failures.len().min(16)]
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as deterministic-key-order JSON.
+    pub fn render_json(&self) -> String {
+        let ids: Vec<String> = self.parity_failures.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"sessions\":{},\"events\":{},\"elapsed_s\":{:.6},\"events_per_sec\":{:.1},\"peak_parked\":{},\"migrated\":{},\"migrate_noops\":{},\"parity\":{},\"parity_failures\":[{}]}}",
+            self.sessions,
+            self.events,
+            self.elapsed.as_secs_f64(),
+            self.events_per_sec,
+            self.peak_parked,
+            self.migrated,
+            self.migrate_noops,
+            self.parity_ok(),
+            ids.join(",")
+        )
+    }
+}
+
+/// A splitmix64 step — the per-session decision stream.
+fn churn_rng(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One session's event slice: a deterministic rotation of the shared
+/// pool (pure function of `(seed, index)`).
+fn churn_slice(pool: &[DynInstr], options: &ChurnOptions, index: usize) -> (Vec<DynInstr>, usize) {
+    let mut rng = options.seed ^ (index as u64).wrapping_mul(0xd6e8_feb8_6659_fd93);
+    let offset = (churn_rng(&mut rng) % pool.len() as u64) as usize;
+    let events: Vec<DynInstr> = pool
+        .iter()
+        .cycle()
+        .skip(offset)
+        .take(options.events_per_session)
+        .cloned()
+        .collect();
+    let batches = events.len().div_ceil(options.batch.max(1));
+    // Cut strictly inside the stream when it spans 2+ batches: both
+    // phases stream at least one frame, and every phase-A frame is a
+    // full batch (so offline chunking lines up).
+    let cut = if batches < 2 {
+        1
+    } else {
+        1 + (churn_rng(&mut rng) % (batches as u64 - 1)) as usize
+    };
+    (events, cut)
+}
+
+/// What phase A (connect → stream → drop) leaves for phase B.
+struct ParkedHalf {
+    index: usize,
+    session_id: u64,
+    digest: u64,
+    events: Vec<DynInstr>,
+    cut: usize,
+    sent: u64,
+}
+
+/// Runs a churn storm against `addr`: every session streams part of its
+/// slice, drops without BYE, resumes by id (retrying the park race),
+/// optionally migrates live, streams the rest and compares its
+/// continued digest against [`offline_digest`] over the whole slice.
+///
+/// All sessions finish phase A before any starts phase B — the barrier
+/// is the point of the storm: it holds every churned session parked
+/// concurrently (reported as [`ChurnReport::peak_parked`]).
+pub fn run_churn(
+    addr: impl ToSocketAddrs,
+    pool: &[DynInstr],
+    options: &ChurnOptions,
+) -> Result<ChurnReport, LoadError> {
+    let addr = addr
+        .to_socket_addrs()
+        .map_err(|e| LoadError::Client(ClientError::from(e)))?
+        .next()
+        .ok_or_else(|| {
+            LoadError::Client(ClientError::Unexpected(
+                "address resolves to nothing".into(),
+            ))
+        })?;
+    if pool.is_empty() || options.sessions == 0 || options.events_per_session == 0 {
+        return Err(LoadError::NoEvents);
+    }
+
+    let threads = options.threads.max(1);
+    let barrier = Barrier::new(threads);
+    let started = Instant::now();
+    let peak_parked = std::sync::atomic::AtomicUsize::new(0);
+
+    struct WorkerOutcome {
+        events: u64,
+        migrated: usize,
+        migrate_noops: usize,
+        parity_failures: Vec<u64>,
+        completed: usize,
+    }
+
+    let outcomes: Vec<Result<WorkerOutcome, LoadError>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let barrier = &barrier;
+                let peak_parked = &peak_parked;
+                scope.spawn(move || -> Result<WorkerOutcome, LoadError> {
+                    // Phase A: park this worker's share of the storm.
+                    let mut parked = Vec::new();
+                    for index in (worker..options.sessions).step_by(threads) {
+                        let (events, cut) = churn_slice(pool, options, index);
+                        let mut client = Client::connect(addr, &options.config)?;
+                        let mut sent = 0u64;
+                        for chunk in events.chunks(options.batch.max(1)).take(cut) {
+                            client.send_events(chunk)?;
+                            sent += chunk.len() as u64;
+                        }
+                        parked.push(ParkedHalf {
+                            index,
+                            session_id: client.session_id(),
+                            digest: client.digest(),
+                            events,
+                            cut,
+                            sent,
+                        });
+                        drop(client); // no BYE: the server parks the session
+                    }
+                    if barrier.wait().is_leader() {
+                        // Every session in the storm is now dropped (the
+                        // server may still be sweeping the last EOFs);
+                        // sample the parked gauge as the storm's peak.
+                        peak_parked.store(
+                            probe_parked(&addr, &options.config, options.sessions),
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                    }
+                    barrier.wait();
+
+                    // Phase B: resume, optionally migrate, finish, verify.
+                    let mut outcome = WorkerOutcome {
+                        events: 0,
+                        migrated: 0,
+                        migrate_noops: 0,
+                        parity_failures: Vec::new(),
+                        completed: 0,
+                    };
+                    for half in parked {
+                        let mut client = resume_with_retry(&addr, options, half.session_id)?;
+                        client.seed_digest(half.digest);
+                        let mut sent = half.sent;
+                        if options.migrate_every != 0 && half.index % options.migrate_every == 0 {
+                            let ack = client.migrate(None).map_err(LoadError::Client)?;
+                            if ack.from_shard == ack.to_shard {
+                                outcome.migrate_noops += 1;
+                            } else {
+                                outcome.migrated += 1;
+                            }
+                        }
+                        for chunk in events_rest(&half.events, options.batch, half.cut) {
+                            client.send_events(chunk)?;
+                            sent += chunk.len() as u64;
+                        }
+                        let expect = offline_digest(&options.config, &half.events, options.batch);
+                        if client.digest() != expect {
+                            outcome.parity_failures.push(half.session_id);
+                        }
+                        client.bye()?;
+                        outcome.events += sent;
+                        outcome.completed += 1;
+                    }
+                    Ok(outcome)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("churn thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut report = ChurnReport {
+        sessions: 0,
+        events: 0,
+        elapsed,
+        events_per_sec: 0.0,
+        peak_parked: peak_parked.load(std::sync::atomic::Ordering::Relaxed),
+        migrated: 0,
+        migrate_noops: 0,
+        parity_failures: Vec::new(),
+    };
+    for outcome in outcomes {
+        let outcome = outcome?;
+        report.sessions += outcome.completed;
+        report.events += outcome.events;
+        report.migrated += outcome.migrated;
+        report.migrate_noops += outcome.migrate_noops;
+        report.parity_failures.extend(outcome.parity_failures);
+    }
+    report.parity_failures.sort_unstable();
+    report.events_per_sec = report.events as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok(report)
+}
+
+/// The phase-B chunks of a cut stream: everything past the first `cut`
+/// full batches, chunked exactly as the offline oracle chunks them.
+fn events_rest(events: &[DynInstr], batch: usize, cut: usize) -> impl Iterator<Item = &[DynInstr]> {
+    events.chunks(batch.max(1)).skip(cut)
+}
+
+/// Polls the server's parked-session count (via a throwaway session's
+/// STATS frame) until it reaches `want` or stops growing — phase A's
+/// EOFs race the probe, so it watches for the table to settle.
+fn probe_parked(addr: &std::net::SocketAddr, config: &OnlineConfig, want: usize) -> usize {
+    let Ok(mut client) = Client::connect(addr, config) else {
+        return 0;
+    };
+    let mut best = 0usize;
+    let mut stable = 0u32;
+    for _ in 0..500 {
+        let Ok(stats) = client.stats() else { break };
+        let parked = stats.fleet.sessions_parked as usize;
+        if parked >= want {
+            best = parked;
+            break;
+        }
+        if parked > best {
+            best = parked;
+            stable = 0;
+        } else {
+            stable += 1;
+            if stable > 50 {
+                break;
+            }
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    let _ = client.bye();
+    best
+}
+
+/// Resumes a parked session, retrying the park race: the server may
+/// still be sweeping the dropped connection's EOF when the resume
+/// arrives, answering `UNKNOWN_SESSION` until the park lands.
+fn resume_with_retry(
+    addr: &std::net::SocketAddr,
+    options: &ChurnOptions,
+    session_id: u64,
+) -> Result<Client, LoadError> {
+    let mut attempt = 0u32;
+    loop {
+        match Client::resume_by_id(addr, &options.config, session_id) {
+            Ok(client) => return Ok(client),
+            Err(ClientError::Server(crate::proto::ErrorCode::UnknownSession, _))
+                if attempt < options.resume_retries =>
+            {
+                attempt += 1;
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(LoadError::Client(e)),
+        }
+    }
 }
 
 /// A [`LatencySummary`] (microseconds) from a pooled nanosecond RTT

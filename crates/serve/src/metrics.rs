@@ -84,7 +84,7 @@ pub struct ServeMetrics {
     recorder: Arc<FlightRecorder>,
     /// TCP connections accepted.
     pub connections: Arc<Counter>,
-    frames: [Arc<Counter>; 6],
+    frames: [Arc<Counter>; 7],
     /// ERROR frames sent for protocol violations.
     pub protocol_errors: Arc<Counter>,
     /// Server-side handle time of one EVENTS batch (decode → predict →
@@ -96,14 +96,29 @@ pub struct ServeMetrics {
     pub session_parks: Arc<Counter>,
     /// Sessions currently parked in the table.
     pub sessions_parked: Arc<Gauge>,
+    /// Completed session migrations by trigger (`operator`, `policy`).
+    migrations: [Arc<Counter>; 2],
+    /// Live connections per worker shard (the load signal the
+    /// auto-migration policy reads).
+    pub shard_connections: Vec<Arc<Gauge>>,
     /// The fleet-side handles (also held by the aggregator).
     pub fleet: FleetCounters,
 }
 
 impl ServeMetrics {
-    /// Builds the plane: a fresh registry with every family registered,
-    /// and a flight recorder of default capacity.
+    /// Worker shards [`ServeMetrics::new`] registers gauges for (the
+    /// server's default shard count).
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// Builds the plane with the default worker-shard count.
     pub fn new() -> Self {
+        ServeMetrics::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// Builds the plane: a fresh registry with every family registered
+    /// (including one `paco_shard_connections` cell per worker shard),
+    /// and a flight recorder of default capacity.
+    pub fn with_shards(shards: usize) -> Self {
         let registry = Arc::new(Registry::new());
         let frame = |op: &str| {
             registry.counter(
@@ -165,6 +180,7 @@ impl ServeMetrics {
                 frame("SNAPSHOT_REQ"),
                 frame("BYE"),
                 frame("OTHER"),
+                frame("MIGRATE"),
             ],
             protocol_errors: registry.counter(
                 "paco_protocol_errors_total",
@@ -191,6 +207,22 @@ impl ServeMetrics {
                 "Sessions currently parked in the session table.",
                 vec![],
             ),
+            migrations: ["operator", "policy"].map(|trigger| {
+                registry.counter(
+                    "paco_session_migrations_total",
+                    "Completed live session migrations between worker shards, by trigger.",
+                    vec![("trigger", trigger.to_string())],
+                )
+            }),
+            shard_connections: (0..shards.max(1))
+                .map(|shard| {
+                    registry.gauge(
+                        "paco_shard_connections",
+                        "Connections currently owned by each worker shard.",
+                        vec![("shard", shard.to_string())],
+                    )
+                })
+                .collect(),
             fleet,
             recorder: Arc::new(FlightRecorder::new()),
             registry,
@@ -217,9 +249,16 @@ impl ServeMetrics {
             FrameKind::StatsReq => 2,
             FrameKind::SnapshotReq => 3,
             FrameKind::Bye => 4,
+            FrameKind::Migrate => 6,
             _ => 5,
         };
         &self.frames[i]
+    }
+
+    /// The migration counter for `trigger` (`true` = operator MIGRATE
+    /// frame, `false` = automatic load-threshold policy).
+    pub fn migrations(&self, operator: bool) -> &Counter {
+        &self.migrations[if operator { 0 } else { 1 }]
     }
 }
 
@@ -253,10 +292,12 @@ mod tests {
             "paco_watch_windows_total",
             "paco_drift_latches_total",
             "paco_fleet_events_per_sec",
+            "paco_session_migrations_total",
+            "paco_shard_connections",
         ] {
             assert!(names.contains(&expected), "missing family {expected}");
         }
-        assert_eq!(names.len(), 14, "families drifted: {names:?}");
+        assert_eq!(names.len(), 16, "families drifted: {names:?}");
     }
 
     #[test]
@@ -264,10 +305,25 @@ mod tests {
         let metrics = ServeMetrics::new();
         metrics.frame(FrameKind::Events).add(3);
         metrics.frame(FrameKind::Bye).inc();
+        metrics.frame(FrameKind::Migrate).inc();
         metrics.frame(FrameKind::Error).inc(); // routes to OTHER
         let text = metrics.registry().render();
         assert!(text.contains("paco_frames_total{opcode=\"EVENTS\"} 3\n"));
         assert!(text.contains("paco_frames_total{opcode=\"BYE\"} 1\n"));
+        assert!(text.contains("paco_frames_total{opcode=\"MIGRATE\"} 1\n"));
         assert!(text.contains("paco_frames_total{opcode=\"OTHER\"} 1\n"));
+    }
+
+    #[test]
+    fn shard_cells_follow_the_worker_count() {
+        let metrics = ServeMetrics::with_shards(3);
+        assert_eq!(metrics.shard_connections.len(), 3);
+        metrics.shard_connections[2].set(5.0);
+        metrics.migrations(true).inc();
+        metrics.migrations(false).add(2);
+        let text = metrics.registry().render();
+        assert!(text.contains("paco_shard_connections{shard=\"2\"} 5\n"));
+        assert!(text.contains("paco_session_migrations_total{trigger=\"operator\"} 1\n"));
+        assert!(text.contains("paco_session_migrations_total{trigger=\"policy\"} 2\n"));
     }
 }

@@ -55,6 +55,11 @@ pub enum FrameKind {
     StatsReq = 0x08,
     /// Server → client: per-session and fleet-aggregated watch metrics.
     Stats = 0x09,
+    /// Bidirectional migration control: client → server it requests
+    /// moving the session to another worker shard
+    /// ([`MigrateReq`]); server → client it acknowledges the completed
+    /// move ([`MigrateAck`]).
+    Migrate = 0x0a,
     /// Server → client: terminal error (code + message); the connection
     /// closes after this frame.
     Error = 0x7f,
@@ -72,6 +77,7 @@ impl FrameKind {
             0x07 => FrameKind::Bye,
             0x08 => FrameKind::StatsReq,
             0x09 => FrameKind::Stats,
+            0x0a => FrameKind::Migrate,
             0x7f => FrameKind::Error,
             _ => return None,
         })
@@ -984,6 +990,197 @@ pub fn decode_outcomes(mut input: &[u8]) -> Result<Vec<OnlineOutcome>, ProtoErro
     Ok(outcomes)
 }
 
+// ------------------------------------------------------------------ //
+//  MIGRATE                                                           //
+// ------------------------------------------------------------------ //
+
+/// A client → server [`FrameKind::Migrate`] payload: move the
+/// connection's session to another worker shard via the park → restore
+/// snapshot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateReq {
+    /// The session to move. Must be the session attached to the
+    /// requesting connection (migrating someone else's session is
+    /// refused with [`ErrorCode::BadState`]).
+    pub session_id: u64,
+    /// Destination worker shard; `None` lets the server pick the
+    /// least-loaded worker.
+    pub target_shard: Option<u32>,
+}
+
+/// A server → client [`FrameKind::Migrate`] payload acknowledging the
+/// completed move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrateAck {
+    /// The migrated session.
+    pub session_id: u64,
+    /// Worker shard the session left.
+    pub from_shard: u32,
+    /// Worker shard now owning the session.
+    pub to_shard: u32,
+}
+
+/// Encodes a [`MigrateReq`] payload.
+pub fn encode_migrate_req(req: &MigrateReq) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, req.session_id);
+    match req.target_shard {
+        None => out.push(0),
+        Some(shard) => {
+            out.push(1);
+            write_uvarint(&mut out, shard as u64);
+        }
+    }
+    out
+}
+
+/// Decodes a [`MigrateReq`] payload.
+pub fn decode_migrate_req(mut input: &[u8]) -> Result<MigrateReq, ProtoError> {
+    let input = &mut input;
+    let session_id = read_uvarint(input).ok_or_else(|| malformed("migrate: session id"))?;
+    let (&tag, rest) = input
+        .split_first()
+        .ok_or_else(|| malformed("migrate: target tag"))?;
+    *input = rest;
+    let target_shard = match tag {
+        0 => None,
+        1 => Some(
+            read_uvarint(input)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| malformed("migrate: target shard"))?,
+        ),
+        other => return Err(malformed(format!("migrate: unknown target tag {other}"))),
+    };
+    if !input.is_empty() {
+        return Err(malformed("migrate: trailing bytes"));
+    }
+    Ok(MigrateReq {
+        session_id,
+        target_shard,
+    })
+}
+
+/// Encodes a [`MigrateAck`] payload.
+pub fn encode_migrate_ack(ack: &MigrateAck) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, ack.session_id);
+    write_uvarint(&mut out, ack.from_shard as u64);
+    write_uvarint(&mut out, ack.to_shard as u64);
+    out
+}
+
+/// Decodes a [`MigrateAck`] payload.
+pub fn decode_migrate_ack(mut input: &[u8]) -> Result<MigrateAck, ProtoError> {
+    let input = &mut input;
+    let session_id = read_uvarint(input).ok_or_else(|| malformed("migrate ack: session id"))?;
+    let from_shard = read_uvarint(input)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| malformed("migrate ack: from shard"))?;
+    let to_shard = read_uvarint(input)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or_else(|| malformed("migrate ack: to shard"))?;
+    if !input.is_empty() {
+        return Err(malformed("migrate ack: trailing bytes"));
+    }
+    Ok(MigrateAck {
+        session_id,
+        from_shard,
+        to_shard,
+    })
+}
+
+// ------------------------------------------------------------------ //
+//  Incremental frame decoding (the reactor read path)                 //
+// ------------------------------------------------------------------ //
+
+/// An incremental frame decoder for non-blocking reads: bytes arrive in
+/// arbitrary chunks via [`FrameDecoder::feed`], complete frames come
+/// out of [`FrameDecoder::try_frame`].
+///
+/// The decoder reaches **exactly** the verdicts of [`read_frame`] over
+/// the same byte stream, independent of how the stream is chunked: the
+/// same frames in the same order, the same `Malformed` messages for
+/// unknown kinds, oversized payloads and checksum mismatches, and —
+/// via [`FrameDecoder::on_eof`] — the same clean-EOF/mid-frame-EOF
+/// distinction. The equivalence is property-tested in
+/// `crates/serve/tests/properties.rs`.
+///
+/// An oversized length prefix is rejected from the 5 header bytes
+/// alone, before any payload-sized allocation.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary with nothing buffered.
+    pub fn new() -> Self {
+        FrameDecoder { buf: Vec::new() }
+    }
+
+    /// Appends raw transport bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the decoder sits at a frame boundary (a clean EOF here is
+    /// a clean close, not a protocol error).
+    pub fn at_boundary(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Extracts the next complete frame. `Ok(None)` means more bytes are
+    /// needed; an error is terminal (the stream is unusable, matching
+    /// [`read_frame`]'s verdict at the same point).
+    pub fn try_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        if self.buf.len() < 5 {
+            return Ok(None);
+        }
+        let kind = FrameKind::from_byte(self.buf[0])
+            .ok_or_else(|| malformed(format!("unknown frame kind {:#04x}", self.buf[0])))?;
+        let len = u32::from_le_bytes(self.buf[1..5].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(malformed(format!("frame payload {len} exceeds the cap")));
+        }
+        let total = 5 + len + 4;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[5..5 + len].to_vec();
+        let crc = u32::from_le_bytes(self.buf[5 + len..total].try_into().unwrap());
+        let expect = crc32_update(crc32_update(!0u32, &[self.buf[0]]), &payload) ^ !0u32;
+        if crc != expect {
+            return Err(malformed("frame checksum mismatch"));
+        }
+        self.buf.drain(..total);
+        Ok(Some(Frame { kind, payload }))
+    }
+
+    /// The verdict for an EOF observed now: `Ok` at a frame boundary,
+    /// the matching [`read_frame`] mid-frame error otherwise. Only
+    /// meaningful after [`FrameDecoder::try_frame`] returned `Ok(None)`
+    /// (a decode error is already terminal).
+    pub fn on_eof(&self) -> Result<(), ProtoError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        if self.buf.len() < 5 {
+            return Err(malformed("eof inside a frame header"));
+        }
+        let len = u32::from_le_bytes(self.buf[1..5].try_into().unwrap()) as usize;
+        if self.buf.len() < 5 + len {
+            Err(malformed("eof inside a frame payload"))
+        } else {
+            Err(malformed("eof inside a frame checksum"))
+        }
+    }
+}
+
 /// Encodes an [`FrameKind::Error`] payload.
 pub fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
     let mut out = vec![code as u8];
@@ -1012,6 +1209,14 @@ impl Digest {
     /// A fresh digest (the FNV-1a offset basis).
     pub fn new() -> Self {
         Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// A digest whose running state is `value` — resumes accumulation
+    /// exactly where a previous digest's [`value`](Self::value) left
+    /// off (the FNV-1a state *is* the value), so a churn driver can
+    /// carry one digest across reconnects.
+    pub fn seeded(value: u64) -> Self {
+        Digest(value)
     }
 
     /// Feeds bytes into the digest.
@@ -1353,6 +1558,135 @@ mod tests {
         let mut stats = sample_stats();
         stats.session.bins = vec![(0, 0); MAX_STATS_BINS + 1];
         assert!(decode_stats(&encode_stats(&stats)).is_err());
+    }
+
+    #[test]
+    fn migrate_codecs_round_trip() {
+        for req in [
+            MigrateReq {
+                session_id: 7,
+                target_shard: None,
+            },
+            MigrateReq {
+                session_id: u64::MAX,
+                target_shard: Some(3),
+            },
+        ] {
+            assert_eq!(decode_migrate_req(&encode_migrate_req(&req)).unwrap(), req);
+        }
+        let ack = MigrateAck {
+            session_id: 42,
+            from_shard: 1,
+            to_shard: 6,
+        };
+        assert_eq!(decode_migrate_ack(&encode_migrate_ack(&ack)).unwrap(), ack);
+
+        // Truncations and trailing garbage are rejected.
+        let req_bytes = encode_migrate_req(&MigrateReq {
+            session_id: 300,
+            target_shard: Some(2),
+        });
+        for cut in 0..req_bytes.len() {
+            assert!(decode_migrate_req(&req_bytes[..cut]).is_err());
+        }
+        let mut long = req_bytes.clone();
+        long.push(0);
+        assert!(decode_migrate_req(&long).is_err());
+        assert!(decode_migrate_req(&[7, 9]).is_err(), "unknown target tag");
+    }
+
+    #[test]
+    fn frame_decoder_matches_read_frame_over_chunked_stream() {
+        // Three frames, fed one byte at a time, must come out identical
+        // to blocking reads of the same stream.
+        let frames = [
+            (FrameKind::Hello, b"abc".to_vec()),
+            (FrameKind::Events, Vec::new()),
+            (FrameKind::Migrate, vec![0u8; 100]),
+        ];
+        let mut stream = Vec::new();
+        for (kind, payload) in &frames {
+            stream.extend_from_slice(&frame_bytes(*kind, payload));
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            decoder.feed(&[b]);
+            while let Some(frame) = decoder.try_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert!(decoder.at_boundary());
+        assert!(decoder.on_eof().is_ok());
+        let mut cursor = stream.as_slice();
+        for frame in &got {
+            assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), Some(frame));
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+        assert_eq!(got.len(), frames.len());
+    }
+
+    #[test]
+    fn frame_decoder_rejects_what_read_frame_rejects() {
+        // Unknown kind: rejected as soon as the header is complete.
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&[0xFF; 5]);
+        assert!(matches!(
+            decoder.try_frame(),
+            Err(ProtoError::Malformed(m)) if m.contains("unknown frame kind")
+        ));
+
+        // Oversized payload: rejected from the header, no allocation.
+        let mut decoder = FrameDecoder::new();
+        let mut header = vec![FrameKind::Events as u8];
+        header.extend_from_slice(&(MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes());
+        decoder.feed(&header);
+        assert!(matches!(
+            decoder.try_frame(),
+            Err(ProtoError::Malformed(m)) if m.contains("cap")
+        ));
+
+        // Corruption anywhere in a frame is caught.
+        let bytes = frame_bytes(FrameKind::Events, b"payload-bytes");
+        for i in 1..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&bad);
+            let verdict: Result<(), ProtoError> = loop {
+                match decoder.try_frame() {
+                    Ok(Some(_)) => continue,
+                    // The stream has ended: an incomplete frame takes
+                    // its verdict from the EOF rule, like read_frame.
+                    Ok(None) => break decoder.on_eof(),
+                    Err(e) => break Err(e),
+                }
+            };
+            let blocking = read_frame(&mut bad.as_slice());
+            assert_eq!(
+                verdict.is_err(),
+                blocking.is_err(),
+                "divergent verdict for flip at {i}"
+            );
+        }
+
+        // EOF mid-frame reproduces read_frame's exact messages.
+        let bytes = frame_bytes(FrameKind::Bye, b"xy");
+        for cut in 1..bytes.len() {
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&bytes[..cut]);
+            let incremental = match decoder.try_frame() {
+                Ok(None) => decoder.on_eof().unwrap_err(),
+                Ok(Some(_)) => panic!("truncated frame decoded at cut {cut}"),
+                Err(e) => e,
+            };
+            let blocking = read_frame(&mut &bytes[..cut]).unwrap_err();
+            let (ProtoError::Malformed(a), ProtoError::Malformed(b)) = (incremental, blocking)
+            else {
+                panic!("non-malformed verdict at cut {cut}");
+            };
+            assert_eq!(a, b, "divergent message at cut {cut}");
+        }
     }
 
     #[test]

@@ -1,168 +1,1050 @@
-//! `paco-served`: the multi-threaded streaming prediction server.
+//! `paco-served`: the sharded event-loop streaming prediction server.
 //!
-//! Plain `std::net` blocking I/O with scoped threads — one accept loop,
-//! one handler thread per connection, no async runtime. Each connection
-//! negotiates a session (fresh, reclaimed by id, or restored from a
-//! client-held snapshot), then streams EVENTS frames and receives one
-//! PREDICTIONS frame per batch. Sessions left behind by a dropped
-//! connection are parked in the sharded [`SessionTable`] for resume.
+//! N pinned worker shards, each multiplexing its connections with a
+//! non-blocking readiness loop over plain `std::net` — a small
+//! hand-rolled reactor, no async runtime. A blocking accept thread
+//! hands fresh connections to workers round-robin; once the HELLO
+//! handshake assigns a session, the connection moves to the session's
+//! *home worker* (`session_id % workers`), so sessions route by id
+//! hash.
+//!
+//! Each worker sweep drains its inbox, flushes pending writes, drains
+//! readable bytes into a per-connection [`FrameDecoder`] and processes
+//! the complete frames — the hot path stays lock-free (the only locks
+//! are the inbox mutex at sweep start and the fleet fold at batch
+//! cadence). Idle workers back off from yielding to short sleeps to a
+//! condvar wait, so an idle server burns almost no CPU.
+//!
+//! **Live migration**: a session moves between workers by saving its
+//! pipeline SNAPSHOT blob on the source worker and restoring it on the
+//! target — the same blob clients carry across reconnects, so the
+//! migration path *is* the snapshot path and inherits its bit-exactness
+//! proof. Exposed two ways: the operator `MIGRATE` control frame, and
+//! an automatic load-threshold policy that sheds one session from a hot
+//! worker to the least-loaded one (read from the
+//! `paco_shard_connections` gauges). A [`FaultInjector`] seam lets the
+//! test harness stall a shard, tear a migration snapshot mid-write, or
+//! sever a connection mid-migration; every fault must leave surviving
+//! sessions byte-identical to offline replay.
 
-use std::io::{BufReader, BufWriter};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use paco_obs::FlightKind;
-use paco_sim::OnlinePipeline;
+use paco_sim::{OnlineConfig, OnlinePipeline};
 use paco_types::fingerprint::code_fingerprint;
 
 use crate::metrics::{ServeMetrics, SessionMode};
 use crate::proto::{
-    decode_events_into, decode_hello, encode_error, encode_outcomes_into, encode_snapshot,
-    encode_stats, encode_welcome, write_frame, ErrorCode, FleetStats, FrameKind, Hello, ProtoError,
-    Resume, Snapshot, Stats, Welcome, PROTOCOL_VERSION,
+    decode_events_into, decode_hello, decode_migrate_req, encode_error, encode_migrate_ack,
+    encode_outcomes_into, encode_snapshot, encode_stats, encode_welcome, frame_bytes, ErrorCode,
+    FleetStats, Frame, FrameDecoder, FrameKind, Hello, MigrateAck, ProtoError, Resume, Snapshot,
+    Stats, Welcome, PROTOCOL_VERSION,
 };
 use crate::session::{Session, SessionTable};
 use crate::watch::{FleetAggregator, WatchState};
 
-/// How many EVENTS frames a connection handles between folds of its
-/// watch deltas into the fleet aggregator. Folding takes the fleet
-/// mutex, so it happens at this cadence (plus on STATS_REQ and at
-/// connection end), never per frame.
+/// How many EVENTS frames a session handles between folds of its watch
+/// deltas into the fleet aggregator. Folding takes the fleet mutex, so
+/// it happens at this cadence (plus on STATS_REQ and at session end),
+/// never per frame.
 const FOLD_EVERY_BATCHES: u64 = 32;
 
-/// Shared server control state: the shutdown flag plus handles to every
-/// live connection (so shutdown can unblock handler reads).
-#[derive(Debug, Default)]
-struct ServerShared {
-    shutdown: AtomicBool,
-    next_conn: std::sync::atomic::AtomicU64,
-    conns: Mutex<std::collections::HashMap<u64, TcpStream>>,
+/// Bytes read from one connection per `read` call.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// A connection whose decoder already buffers this much stops reading
+/// until frames drain — keeps one fire-hose client from starving its
+/// shard's siblings.
+const READ_HIGH_WATER: usize = 2 * 1024 * 1024;
+
+/// Idle sweeps a worker yields through before it starts sleeping. Kept
+/// small: on few-core hosts a longer yield spin starves the peer
+/// threads the workers are ping-ponging with (measured ~20% off
+/// `serve_throughput` at 32 on one vCPU), while the first few yields
+/// still catch the common back-to-back frame without a sleep.
+const IDLE_SPINS: u32 = 4;
+
+/// Sleep between sweeps once a worker with connections has gone idle.
+const IDLE_SLEEP: Duration = Duration::from_micros(100);
+
+/// How long a worker with no connections parks on its inbox condvar
+/// before re-checking the shutdown flag.
+const EMPTY_WAIT: Duration = Duration::from_millis(5);
+
+/// Server construction knobs beyond the bind address.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker shards (event loops); also the session-table shard count.
+    pub shards: usize,
+    /// The automatic migration policy's load threshold: a worker owning
+    /// more than this many connections sheds one session per sweep to
+    /// the least-loaded worker (as long as that worker owns strictly
+    /// fewer). `usize::MAX` disables the policy.
+    pub policy_watermark: usize,
 }
 
-impl ServerShared {
-    /// Registers a live connection; the returned id must be passed to
-    /// [`unregister`](Self::unregister) when the handler finishes, or
-    /// the duplicated fd would outlive the connection. `None` (the
-    /// connection must be dropped, not served) when the stream cannot be
-    /// tracked — an untracked connection would be unkillable at
-    /// shutdown, and its handler could block a scoped join forever.
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
-        let id = self
-            .next_conn
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let clone = stream.try_clone().ok()?;
-        self.conns
-            .lock()
-            .expect("conn registry poisoned")
-            .insert(id, clone);
-        // Close the race with shutdown_all(): if the flag was set while
-        // we were inserting, our entry may have missed the drain — sever
-        // the stream ourselves so the handler sees EOF immediately.
-        if self.shutdown.load(Ordering::SeqCst) {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        Some(id)
-    }
-
-    fn unregister(&self, id: u64) {
-        self.conns
-            .lock()
-            .expect("conn registry poisoned")
-            .remove(&id);
-    }
-
-    fn shutdown_all(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for (_, conn) in self.conns.lock().expect("conn registry poisoned").drain() {
-            let _ = conn.shutdown(Shutdown::Both);
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            shards: ServeMetrics::DEFAULT_SHARDS,
+            policy_watermark: 64,
         }
     }
 }
 
-/// Runs the accept loop until `shared` is shut down. Connection handlers
-/// run on scoped threads, so this function returns only after every
-/// handler has finished.
-fn serve(
-    listener: TcpListener,
-    table: &SessionTable,
-    shared: &ServerShared,
-    fleet: &FleetAggregator,
-    metrics: &ServeMetrics,
-) {
-    thread::scope(|scope| {
-        for stream in listener.incoming() {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else {
-                // Transient accept errors (aborted handshakes etc.);
-                // keep serving.
-                continue;
-            };
-            let Some(conn_id) = shared.register(&stream) else {
-                continue; // untrackable connection: refuse, don't serve
-            };
-            metrics.connections.inc();
-            metrics.recorder().record(FlightKind::ConnOpen, conn_id, 0);
-            scope.spawn(move || {
-                handle_conn(stream, conn_id, table, fleet, metrics);
-                metrics.recorder().record(FlightKind::ConnClose, conn_id, 0);
-                shared.unregister(conn_id);
-            });
-        }
-    });
-}
-
-/// A server running on a background thread. Dropping it (or calling
-/// [`stop`](Self::stop)) shuts the listener and every connection down and
-/// joins all threads.
+/// The in-process fault-injection seam the churn/fault harness drives.
+///
+/// Each fault is one-shot: armed by a test, consumed by the first
+/// worker that reaches the corresponding seam, then disarmed. The
+/// keystone requirement is that **no injected fault may corrupt a
+/// surviving session** — predictions stay byte-identical to offline
+/// replay whether a migration snapshot tore (the session keeps its
+/// original pipeline), a connection died mid-migration (the session
+/// parks for resume), or a shard stalled (its clients just wait).
 #[derive(Debug)]
-pub struct RunningServer {
-    addr: SocketAddr,
-    shared: Arc<ServerShared>,
+pub struct FaultInjector {
+    stall_shard: AtomicU64,
+    stall_ms: AtomicU64,
+    tear_snapshot: AtomicBool,
+    drop_migration: AtomicBool,
+}
+
+impl FaultInjector {
+    fn new() -> Self {
+        FaultInjector {
+            stall_shard: AtomicU64::new(u64::MAX),
+            stall_ms: AtomicU64::new(0),
+            tear_snapshot: AtomicBool::new(false),
+            drop_migration: AtomicBool::new(false),
+        }
+    }
+
+    /// Arms a one-shot stall: worker `shard` sleeps `ms` milliseconds
+    /// at the top of its next sweep (its connections see latency,
+    /// nothing else changes).
+    pub fn stall_shard(&self, shard: usize, ms: u64) {
+        self.stall_ms.store(ms, Ordering::Relaxed);
+        self.stall_shard.store(shard as u64, Ordering::Release);
+    }
+
+    /// Arms a one-shot torn snapshot write: the next migration's state
+    /// blob is truncated to half before the target worker restores it.
+    /// The restore must fail closed — the session keeps its original
+    /// pipeline and the failure lands as a `migrate-fail` flight event.
+    pub fn tear_next_migration_snapshot(&self) {
+        self.tear_snapshot.store(true, Ordering::Release);
+    }
+
+    /// Arms a one-shot mid-migration disconnect: the next migrating
+    /// connection is severed between snapshot save and restore. The
+    /// target worker adopts a dead socket, observes EOF, and parks the
+    /// session for a normal resume.
+    pub fn drop_next_migration_conn(&self) {
+        self.drop_migration.store(true, Ordering::Release);
+    }
+
+    fn take_stall(&self, shard: usize) -> Option<Duration> {
+        if self.stall_shard.load(Ordering::Acquire) != shard as u64 {
+            return None;
+        }
+        self.stall_shard
+            .compare_exchange(shard as u64, u64::MAX, Ordering::AcqRel, Ordering::Relaxed)
+            .ok()
+            .map(|_| Duration::from_millis(self.stall_ms.load(Ordering::Relaxed)))
+    }
+
+    fn take_tear(&self) -> bool {
+        self.tear_snapshot.swap(false, Ordering::AcqRel)
+    }
+
+    fn take_drop(&self) -> bool {
+        self.drop_migration.swap(false, Ordering::AcqRel)
+    }
+}
+
+/// A message into a worker's inbox.
+enum ShardMsg {
+    /// A freshly accepted, pre-handshake connection.
+    Conn(TcpStream, u64),
+    /// An established connection moving to its session's home worker.
+    Adopt(Box<Conn>),
+    /// A mid-flight migration: the connection, its session, and the
+    /// pipeline snapshot the target must restore.
+    Migrate(Box<Migration>),
+}
+
+/// The payload of [`ShardMsg::Migrate`].
+struct Migration {
+    conn: Conn,
+    blob: Vec<u8>,
+    from: u32,
+    operator: bool,
+}
+
+/// One worker's inbox: a mutexed queue plus a condvar so an empty
+/// worker can sleep instead of polling.
+struct Inbox {
+    queue: Mutex<Vec<ShardMsg>>,
+    signal: Condvar,
+}
+
+impl Inbox {
+    fn new() -> Self {
+        Inbox {
+            queue: Mutex::new(Vec::new()),
+            signal: Condvar::new(),
+        }
+    }
+}
+
+/// State shared by the accept thread, every worker, and the
+/// [`RunningServer`] handle.
+struct Shared {
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+    workers: usize,
+    policy_watermark: usize,
     table: Arc<SessionTable>,
     fleet: Arc<FleetAggregator>,
     metrics: Arc<ServeMetrics>,
+    faults: Arc<FaultInjector>,
+    inboxes: Vec<Inbox>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("workers", &self.workers)
+            .field("policy_watermark", &self.policy_watermark)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Shared {
+    fn send(&self, target: usize, msg: ShardMsg) {
+        self.inboxes[target]
+            .queue
+            .lock()
+            .expect("shard inbox poisoned")
+            .push(msg);
+        self.inboxes[target].signal.notify_one();
+    }
+
+    /// Parks a session that lost its connection (any non-BYE exit).
+    fn park_exit(&self, mut ctx: SessionCtx) {
+        ctx.session.watch.fold_into(&self.fleet);
+        self.fleet.session_ended();
+        self.metrics.session_parks.inc();
+        self.metrics
+            .recorder()
+            .record(FlightKind::SessionPark, ctx.session.id, 0);
+        self.table.park(ctx.session);
+        self.metrics.sessions_parked.set(self.table.parked() as f64);
+    }
+
+    /// Closes a connection outside any worker (shutdown leftovers),
+    /// parking its session if one is attached.
+    fn close_leftover(&self, mut conn: Conn) {
+        if let Some(ctx) = conn.session.take() {
+            self.park_exit(ctx);
+        }
+        self.metrics
+            .recorder()
+            .record(FlightKind::ConnClose, conn.id, 0);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Drains every inbox after the workers have exited: sessions
+    /// inside in-flight adoptions or migrations must land in the table,
+    /// not vanish.
+    fn drain_leftovers(&self) {
+        for inbox in &self.inboxes {
+            let msgs = std::mem::take(&mut *inbox.queue.lock().expect("shard inbox poisoned"));
+            for msg in msgs {
+                match msg {
+                    ShardMsg::Conn(stream, _) => {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                    ShardMsg::Adopt(conn) => self.close_leftover(*conn),
+                    ShardMsg::Migrate(pkg) => self.close_leftover(pkg.conn),
+                }
+            }
+        }
+    }
+}
+
+/// A session attached to a live connection, plus the per-connection
+/// bookkeeping the old thread-per-connection handler kept on its stack.
+struct SessionCtx {
+    session: Session,
+    /// The negotiated pipeline config — what a migration target feeds
+    /// `OnlinePipeline::new` before restoring the snapshot blob.
+    config: OnlineConfig,
+    batches: u64,
+    drift_noted: bool,
+}
+
+/// One multiplexed connection.
+struct Conn {
+    stream: TcpStream,
+    id: u64,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Set once the connection is done (refusal sent, BYE handled, or
+    /// EOF observed): stop reading, flush what remains, then close.
+    closing: bool,
+    session: Option<SessionCtx>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, id: u64) -> Self {
+        Conn {
+            stream,
+            id,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            closing: false,
+            session: None,
+        }
+    }
+
+    fn out_done(&self) -> bool {
+        self.out_pos == self.out.len()
+    }
+
+    /// Writes as much pending output as the socket accepts right now.
+    /// `Ok(true)` if any bytes moved.
+    fn flush(&mut self) -> std::io::Result<bool> {
+        let mut progress = false;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.out_pos += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_done() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(progress)
+    }
+}
+
+/// Queues one frame on a connection's output buffer.
+fn queue_frame(out: &mut Vec<u8>, kind: FrameKind, payload: &[u8]) {
+    out.extend_from_slice(&frame_bytes(kind, payload));
+}
+
+/// Packs a migration's shard pair into a flight event's `b` detail
+/// (`from` in the high 32 bits, `to` in the low).
+fn shard_pair(from: u32, to: u32) -> u64 {
+    ((from as u64) << 32) | to as u64
+}
+
+/// The human-facing message of a framing error (decode errors are
+/// always `Malformed`; a transport error inside the decoder cannot
+/// happen but renders sanely anyway).
+fn proto_msg(e: ProtoError) -> String {
+    match e {
+        ProtoError::Malformed(m) => m,
+        ProtoError::Io(e) => e.to_string(),
+    }
+}
+
+/// Per-worker scratch buffers, reused across every connection and frame
+/// the worker handles — a steady-state sweep allocates nothing.
+struct Scratch {
+    events: paco_types::EventBatch,
+    outcomes: paco_sim::OutcomeBatch,
+    predictions: Vec<u8>,
+    read_buf: Vec<u8>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            events: paco_types::EventBatch::new(),
+            outcomes: paco_sim::OutcomeBatch::new(),
+            predictions: Vec::new(),
+            read_buf: vec![0u8; READ_CHUNK],
+        }
+    }
+}
+
+/// What a sweep decided about one connection.
+enum Sweep {
+    Keep { active: bool },
+    Close,
+    Handoff { target: usize },
+    Migrate { target: usize, operator: bool },
+}
+
+/// What one frame's dispatch decided.
+enum Flow {
+    Continue,
+    Refuse(ErrorCode, String),
+    Bye,
+    Handoff(usize),
+    Migrate { target: usize, operator: bool },
+}
+
+/// One pinned worker shard: an event loop over the connections it owns.
+struct Worker {
+    index: usize,
+    shared: Arc<Shared>,
+}
+
+impl Worker {
+    fn run(&self) {
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut scratch = Scratch::new();
+        let mut idle = 0u32;
+        loop {
+            if let Some(wait) = self.shared.faults.take_stall(self.index) {
+                thread::sleep(wait);
+            }
+            let msgs = std::mem::take(
+                &mut *self.shared.inboxes[self.index]
+                    .queue
+                    .lock()
+                    .expect("shard inbox poisoned"),
+            );
+            let mut active = !msgs.is_empty();
+            for msg in msgs {
+                self.admit(&mut conns, msg);
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                for (_, conn) in conns.drain() {
+                    self.close_conn(conn);
+                }
+                self.shared.metrics.shard_connections[self.index].set(0.0);
+                return;
+            }
+            let mut ids: Vec<u64> = conns.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                let verdict = {
+                    let conn = conns.get_mut(&id).expect("conn vanished mid-sweep");
+                    self.sweep_conn(conn, &mut scratch)
+                };
+                match verdict {
+                    Sweep::Keep { active: a } => active |= a,
+                    Sweep::Close => {
+                        let conn = conns.remove(&id).expect("conn vanished mid-sweep");
+                        self.close_conn(conn);
+                        active = true;
+                    }
+                    Sweep::Handoff { target } => {
+                        let conn = conns.remove(&id).expect("conn vanished mid-sweep");
+                        self.shared.send(target, ShardMsg::Adopt(Box::new(conn)));
+                        active = true;
+                    }
+                    Sweep::Migrate { target, operator } => {
+                        let conn = conns.remove(&id).expect("conn vanished mid-sweep");
+                        self.start_migration(conn, target, operator);
+                        active = true;
+                    }
+                }
+            }
+            active |= self.try_policy_migration(&mut conns);
+            self.shared.metrics.shard_connections[self.index].set(conns.len() as f64);
+            if active {
+                idle = 0;
+            } else {
+                idle = idle.saturating_add(1);
+                self.backoff(idle, !conns.is_empty());
+            }
+        }
+    }
+
+    fn admit(&self, conns: &mut HashMap<u64, Conn>, msg: ShardMsg) {
+        match msg {
+            ShardMsg::Conn(stream, id) => {
+                let _ = stream.set_nodelay(true);
+                if stream.set_nonblocking(true).is_err() {
+                    // A socket that can't join the readiness loop is
+                    // refused (the close balances the open event).
+                    self.shared
+                        .metrics
+                        .recorder()
+                        .record(FlightKind::ConnClose, id, 0);
+                    return;
+                }
+                conns.insert(id, Conn::new(stream, id));
+            }
+            ShardMsg::Adopt(conn) => {
+                conns.insert(conn.id, *conn);
+            }
+            ShardMsg::Migrate(pkg) => {
+                let conn = self.finish_migration(*pkg);
+                conns.insert(conn.id, conn);
+            }
+        }
+    }
+
+    /// One readiness pass over one connection: flush, read, decode,
+    /// dispatch, flush.
+    fn sweep_conn(&self, conn: &mut Conn, scratch: &mut Scratch) -> Sweep {
+        let mut active = match conn.flush() {
+            Ok(progress) => progress,
+            Err(_) => return Sweep::Close,
+        };
+        if conn.closing {
+            return if conn.out_done() {
+                Sweep::Close
+            } else {
+                Sweep::Keep { active }
+            };
+        }
+
+        let mut saw_eof = false;
+        while conn.decoder.buffered() < READ_HIGH_WATER {
+            match conn.stream.read(&mut scratch.read_buf) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    active = true;
+                    conn.decoder.feed(&scratch.read_buf[..n]);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // A hard transport error ends the stream like an EOF;
+                // the decoder's boundary state decides the verdict.
+                Err(_) => {
+                    saw_eof = true;
+                    break;
+                }
+            }
+        }
+
+        loop {
+            match conn.decoder.try_frame() {
+                Ok(Some(frame)) => {
+                    active = true;
+                    match self.on_frame(conn, frame, scratch) {
+                        Flow::Continue => {}
+                        Flow::Refuse(code, msg) => {
+                            self.refuse(conn, code, &msg);
+                            break;
+                        }
+                        Flow::Bye => {
+                            let ctx = conn.session.take().expect("BYE without a session");
+                            self.bye_exit(ctx);
+                            conn.closing = true;
+                            break;
+                        }
+                        Flow::Handoff(target) => return Sweep::Handoff { target },
+                        Flow::Migrate { target, operator } => {
+                            return Sweep::Migrate { target, operator }
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    self.refuse(conn, ErrorCode::Malformed, &proto_msg(e));
+                    break;
+                }
+            }
+        }
+
+        if saw_eof && !conn.closing {
+            match conn.decoder.on_eof() {
+                Ok(()) => {
+                    // Clean close at a frame boundary: a non-BYE exit,
+                    // so the session parks for resume.
+                    if let Some(ctx) = conn.session.take() {
+                        self.shared.park_exit(ctx);
+                    }
+                    conn.closing = true;
+                }
+                Err(e) => self.refuse(conn, ErrorCode::Malformed, &proto_msg(e)),
+            }
+        }
+
+        if !conn.out_done() {
+            match conn.flush() {
+                Ok(progress) => active |= progress,
+                Err(_) => return Sweep::Close,
+            }
+        }
+        if conn.closing && conn.out_done() {
+            return Sweep::Close;
+        }
+        Sweep::Keep { active }
+    }
+
+    fn on_frame(&self, conn: &mut Conn, frame: Frame, scratch: &mut Scratch) -> Flow {
+        if conn.session.is_none() {
+            self.on_handshake_frame(conn, frame)
+        } else {
+            self.on_session_frame(conn, frame, scratch)
+        }
+    }
+
+    /// The first frame must be a valid HELLO; a good one establishes
+    /// the session and (usually) hands the connection to its home
+    /// worker.
+    fn on_handshake_frame(&self, conn: &mut Conn, frame: Frame) -> Flow {
+        if frame.kind != FrameKind::Hello {
+            return Flow::Refuse(
+                ErrorCode::Malformed,
+                "expected HELLO as the first frame".into(),
+            );
+        }
+        let hello = match decode_hello(&frame.payload) {
+            Ok(hello) => hello,
+            Err(e) => return Flow::Refuse(ErrorCode::Malformed, e.to_string()),
+        };
+        self.shared.metrics.frame(FrameKind::Hello).inc();
+        let session = match establish(&hello, &self.shared.table) {
+            Ok(session) => session,
+            Err((code, msg)) => return Flow::Refuse(code, msg),
+        };
+        let (mode, flight_kind) = match &hello.resume {
+            Resume::Fresh => (SessionMode::Fresh, FlightKind::SessionFresh),
+            Resume::SessionId(_) => (SessionMode::Resumed, FlightKind::SessionResume),
+            Resume::State(_) => (SessionMode::Restored, FlightKind::SessionRestore),
+        };
+        self.shared.fleet.session_started(mode);
+        self.shared
+            .metrics
+            .recorder()
+            .record(flight_kind, session.id, 0);
+        // A resume just removed a parked session; keep the gauge
+        // current.
+        self.shared
+            .metrics
+            .sessions_parked
+            .set(self.shared.table.parked() as f64);
+        // A reclaimed session may come back already drift-flagged; only
+        // a latch that happens on THIS connection records a flight
+        // event.
+        let drift_noted = session.watch.drift_flagged();
+        let welcome = Welcome {
+            session_id: session.id,
+            fingerprint: code_fingerprint(),
+            events: session.pipeline.events(),
+        };
+        queue_frame(&mut conn.out, FrameKind::Welcome, &encode_welcome(&welcome));
+        let home = (session.id % self.shared.workers as u64) as usize;
+        conn.session = Some(SessionCtx {
+            session,
+            config: hello.config,
+            batches: 0,
+            drift_noted,
+        });
+        if home == self.index {
+            Flow::Continue
+        } else {
+            Flow::Handoff(home)
+        }
+    }
+
+    fn on_session_frame(&self, conn: &mut Conn, frame: Frame, scratch: &mut Scratch) -> Flow {
+        let shared = &self.shared;
+        let metrics = &shared.metrics;
+        metrics.frame(frame.kind).inc();
+        let Conn { session, out, .. } = conn;
+        let ctx = session.as_mut().expect("session frame without a session");
+        match frame.kind {
+            FrameKind::Events => {
+                let started = Instant::now();
+                if let Err(e) = decode_events_into(&frame.payload, &mut scratch.events) {
+                    return Flow::Refuse(ErrorCode::Malformed, e.to_string());
+                }
+                scratch.outcomes.clear();
+                ctx.session
+                    .pipeline
+                    .run_batch(&scratch.events, &mut scratch.outcomes);
+                scratch.predictions.clear();
+                encode_outcomes_into(&mut scratch.predictions, &scratch.outcomes);
+                queue_frame(out, FrameKind::Predictions, &scratch.predictions);
+                // Watch telemetry rides the hot loop allocation-free;
+                // the fleet fold (which locks) runs at a batch cadence.
+                ctx.session.watch.observe_batch(&scratch.outcomes);
+                metrics.batch_events.record(scratch.events.len() as u64);
+                metrics
+                    .batch_handle_ns
+                    .record(started.elapsed().as_nanos() as u64);
+                if !ctx.drift_noted && ctx.session.watch.drift_flagged() {
+                    ctx.drift_noted = true;
+                    metrics.recorder().record(
+                        FlightKind::DriftLatch,
+                        ctx.session.id,
+                        ctx.session.watch.drift_window(),
+                    );
+                }
+                ctx.batches += 1;
+                if ctx.batches % FOLD_EVERY_BATCHES == 0 {
+                    ctx.session.watch.fold_into(&shared.fleet);
+                }
+                Flow::Continue
+            }
+            FrameKind::StatsReq => {
+                ctx.session.watch.fold_into(&shared.fleet);
+                let stats = Stats {
+                    session: ctx.session.watch.session_stats(ctx.session.id),
+                    fleet: shared.fleet.snapshot(shared.table.parked()),
+                };
+                queue_frame(out, FrameKind::Stats, &encode_stats(&stats));
+                Flow::Continue
+            }
+            FrameKind::SnapshotReq => {
+                let mut state = Vec::new();
+                ctx.session.pipeline.save_state(&mut state);
+                let snapshot = Snapshot {
+                    session_id: ctx.session.id,
+                    events: ctx.session.pipeline.events(),
+                    state,
+                };
+                queue_frame(out, FrameKind::Snapshot, &encode_snapshot(&snapshot));
+                Flow::Continue
+            }
+            FrameKind::Bye => Flow::Bye,
+            FrameKind::Migrate => {
+                let req = match decode_migrate_req(&frame.payload) {
+                    Ok(req) => req,
+                    Err(e) => return Flow::Refuse(ErrorCode::Malformed, e.to_string()),
+                };
+                if req.session_id != ctx.session.id {
+                    return Flow::Refuse(
+                        ErrorCode::BadState,
+                        format!(
+                            "MIGRATE names session {} but this connection owns session {}",
+                            req.session_id, ctx.session.id
+                        ),
+                    );
+                }
+                let target = match req.target_shard {
+                    Some(t) if (t as usize) >= shared.workers => {
+                        return Flow::Refuse(
+                            ErrorCode::BadState,
+                            format!("target shard {t} out of range ({} workers)", shared.workers),
+                        );
+                    }
+                    Some(t) => t as usize,
+                    None => self.least_loaded_other(),
+                };
+                if target == self.index {
+                    // Already there (or a single-worker server):
+                    // acknowledge without moving anything.
+                    let ack = MigrateAck {
+                        session_id: ctx.session.id,
+                        from_shard: self.index as u32,
+                        to_shard: self.index as u32,
+                    };
+                    queue_frame(out, FrameKind::Migrate, &encode_migrate_ack(&ack));
+                    return Flow::Continue;
+                }
+                Flow::Migrate {
+                    target,
+                    operator: true,
+                }
+            }
+            _ => Flow::Refuse(
+                ErrorCode::Malformed,
+                "unexpected frame kind from client".into(),
+            ),
+        }
+    }
+
+    /// The least-loaded worker other than this one, read from the
+    /// `paco_shard_connections` gauges (peers update theirs at sweep
+    /// cadence, so the reading may lag a sweep — good enough for load
+    /// shedding).
+    fn least_loaded_other(&self) -> usize {
+        let gauges = &self.shared.metrics.shard_connections;
+        (0..self.shared.workers)
+            .filter(|&j| j != self.index)
+            .min_by(|&a, &b| {
+                gauges[a]
+                    .value()
+                    .partial_cmp(&gauges[b].value())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(self.index)
+    }
+
+    /// The automatic rebalancing policy: a worker above the watermark
+    /// sheds its lowest-id session to the least-loaded worker, at most
+    /// one per sweep.
+    fn try_policy_migration(&self, conns: &mut HashMap<u64, Conn>) -> bool {
+        let shared = &self.shared;
+        if shared.workers < 2
+            || shared.shutdown.load(Ordering::Relaxed)
+            || conns.len() <= shared.policy_watermark
+        {
+            return false;
+        }
+        let target = self.least_loaded_other();
+        if shared.metrics.shard_connections[target].value() >= conns.len() as f64 {
+            return false;
+        }
+        let victim = conns
+            .iter()
+            .filter(|(_, c)| c.session.is_some() && !c.closing)
+            .min_by_key(|(_, c)| c.session.as_ref().map_or(u64::MAX, |s| s.session.id))
+            .map(|(&id, _)| id);
+        let Some(id) = victim else {
+            return false;
+        };
+        let conn = conns.remove(&id).expect("policy victim vanished");
+        self.start_migration(conn, target, false);
+        true
+    }
+
+    /// Source half of a migration: snapshot the pipeline (the tear
+    /// fault corrupts the blob here; the drop fault severs the stream
+    /// here) and ship the package to the target's inbox.
+    fn start_migration(&self, mut conn: Conn, target: usize, operator: bool) {
+        let mut blob = Vec::new();
+        {
+            let ctx = conn
+                .session
+                .as_mut()
+                .expect("migrating conn without session");
+            ctx.session.pipeline.save_state(&mut blob);
+        }
+        if self.shared.faults.take_tear() {
+            let keep = blob.len() / 2;
+            blob.truncate(keep);
+        }
+        if self.shared.faults.take_drop() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        self.shared.send(
+            target,
+            ShardMsg::Migrate(Box::new(Migration {
+                conn,
+                blob,
+                from: self.index as u32,
+                operator,
+            })),
+        );
+    }
+
+    /// Target half of a migration: restore the snapshot into a fresh
+    /// pipeline. A torn blob fails closed — the session keeps the
+    /// pipeline it arrived with (still byte-identical) and the failure
+    /// is recorded as `migrate-fail`.
+    fn finish_migration(&self, pkg: Migration) -> Conn {
+        let Migration {
+            mut conn,
+            blob,
+            from,
+            operator,
+        } = pkg;
+        let metrics = &self.shared.metrics;
+        let to = self.index as u32;
+        let ctx = conn.session.as_mut().expect("migration without session");
+        let mut restored = OnlinePipeline::new(&ctx.config);
+        let mut input = blob.as_slice();
+        if restored.load_state(&mut input) && input.is_empty() {
+            ctx.session.pipeline = restored;
+            metrics.recorder().record(
+                FlightKind::SessionMigrate,
+                ctx.session.id,
+                shard_pair(from, to),
+            );
+            metrics.migrations(operator).inc();
+        } else {
+            metrics.recorder().record(
+                FlightKind::MigrateFail,
+                ctx.session.id,
+                shard_pair(from, to),
+            );
+        }
+        if operator {
+            let ack = MigrateAck {
+                session_id: ctx.session.id,
+                from_shard: from,
+                to_shard: to,
+            };
+            queue_frame(&mut conn.out, FrameKind::Migrate, &encode_migrate_ack(&ack));
+        }
+        conn
+    }
+
+    /// Counts a refusal, answers with an ERROR frame, and finishes the
+    /// connection. A *malformed* refusal additionally lands in the
+    /// flight recorder and dumps it — the "something impossible arrived
+    /// on the wire" diagnostic path. A refused streaming connection
+    /// parks its session (the client may resume with correct framing).
+    fn refuse(&self, conn: &mut Conn, code: ErrorCode, msg: &str) {
+        let metrics = &self.shared.metrics;
+        let session_id = conn.session.as_ref().map_or(0, |c| c.session.id);
+        metrics.protocol_errors.inc();
+        if code == ErrorCode::Malformed {
+            metrics
+                .recorder()
+                .record(FlightKind::FrameError, conn.id, session_id);
+            metrics.recorder().dump("protocol error");
+        }
+        queue_frame(&mut conn.out, FrameKind::Error, &encode_error(code, msg));
+        conn.closing = true;
+        if let Some(ctx) = conn.session.take() {
+            self.shared.park_exit(ctx);
+        }
+    }
+
+    /// Clean close: the session is discarded, but its telemetry still
+    /// counts toward the fleet totals.
+    fn bye_exit(&self, mut ctx: SessionCtx) {
+        ctx.session.watch.fold_into(&self.shared.fleet);
+        self.shared.fleet.session_ended();
+        self.shared
+            .metrics
+            .recorder()
+            .record(FlightKind::SessionBye, ctx.session.id, 0);
+    }
+
+    /// Final teardown of one connection: best-effort flush, park any
+    /// still-attached session, record the close.
+    fn close_conn(&self, mut conn: Conn) {
+        let _ = conn.flush();
+        if let Some(ctx) = conn.session.take() {
+            self.shared.park_exit(ctx);
+        }
+        self.shared
+            .metrics
+            .recorder()
+            .record(FlightKind::ConnClose, conn.id, 0);
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Idle backoff: yield for the first [`IDLE_SPINS`] sweeps, then
+    /// short sleeps while connections exist, then a condvar wait once
+    /// the worker owns nothing at all.
+    fn backoff(&self, idle: u32, has_conns: bool) {
+        if idle < IDLE_SPINS {
+            thread::yield_now();
+            return;
+        }
+        if has_conns {
+            thread::sleep(IDLE_SLEEP);
+            return;
+        }
+        let inbox = &self.shared.inboxes[self.index];
+        let guard = inbox.queue.lock().expect("shard inbox poisoned");
+        if guard.is_empty() && !self.shared.shutdown.load(Ordering::SeqCst) {
+            let _ = inbox
+                .signal
+                .wait_timeout(guard, EMPTY_WAIT)
+                .expect("shard inbox poisoned");
+        }
+    }
+}
+
+/// The blocking accept loop: counts and stamps each connection, then
+/// deals it to a worker round-robin (session-id routing takes over
+/// after the handshake).
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    let mut next = 0usize;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            // Transient accept errors (aborted handshakes etc.); keep
+            // serving.
+            continue;
+        };
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.connections.inc();
+        shared
+            .metrics
+            .recorder()
+            .record(FlightKind::ConnOpen, conn_id, 0);
+        shared.send(next % shared.workers, ShardMsg::Conn(stream, conn_id));
+        next = next.wrapping_add(1);
+    }
+}
+
+/// A server running on background threads (one accept loop, N worker
+/// shards). Dropping it (or calling [`stop`](Self::stop)) shuts the
+/// listener and every worker down and joins all threads.
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
     accept_thread: Option<thread::JoinHandle<()>>,
+    worker_threads: Vec<thread::JoinHandle<()>>,
 }
 
 impl RunningServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral test port) and
-    /// starts serving with a session table of `shards` shards.
+    /// starts serving with `shards` worker shards and the default
+    /// migration policy.
     pub fn bind(addr: impl ToSocketAddrs, shards: usize) -> std::io::Result<RunningServer> {
+        RunningServer::bind_with(
+            addr,
+            ServeOptions {
+                shards,
+                ..ServeOptions::default()
+            },
+        )
+    }
+
+    /// Binds `addr` with explicit [`ServeOptions`].
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        options: ServeOptions,
+    ) -> std::io::Result<RunningServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let shared = Arc::new(ServerShared::default());
-        let table = Arc::new(SessionTable::new(shards));
-        let metrics = Arc::new(ServeMetrics::new());
+        let workers = options.shards.max(1);
+        let metrics = Arc::new(ServeMetrics::with_shards(workers));
         // The aggregator's scalar counters ARE the registry's cells:
         // fleet log, STATS frames and /metrics scrapes read one source.
         let fleet = Arc::new(FleetAggregator::with_counters(metrics.fleet.clone()));
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            workers,
+            policy_watermark: options.policy_watermark,
+            table: Arc::new(SessionTable::new(workers)),
+            fleet,
+            metrics,
+            faults: Arc::new(FaultInjector::new()),
+            inboxes: (0..workers).map(|_| Inbox::new()).collect(),
+        });
+        let mut worker_threads = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let worker = Worker {
+                index,
+                shared: Arc::clone(&shared),
+            };
+            worker_threads.push(
+                thread::Builder::new()
+                    .name(format!("paco-shard-{index}"))
+                    .spawn(move || worker.run())?,
+            );
+        }
         let accept_shared = Arc::clone(&shared);
-        let accept_table = Arc::clone(&table);
-        let accept_fleet = Arc::clone(&fleet);
-        let accept_metrics = Arc::clone(&metrics);
         let accept_thread = thread::Builder::new()
             .name("paco-served-accept".into())
-            .spawn(move || {
-                serve(
-                    listener,
-                    &accept_table,
-                    &accept_shared,
-                    &accept_fleet,
-                    &accept_metrics,
-                )
-            })?;
+            .spawn(move || accept_loop(listener, &accept_shared))?;
         Ok(RunningServer {
             addr,
             shared,
-            table,
-            fleet,
-            metrics,
             accept_thread: Some(accept_thread),
+            worker_threads,
         })
     }
 
@@ -174,51 +1056,72 @@ impl RunningServer {
     /// The server's metric plane (registry + flight recorder) — what
     /// `--metrics-addr` exposes and tests scrape.
     pub fn metrics(&self) -> &Arc<ServeMetrics> {
-        &self.metrics
+        &self.shared.metrics
+    }
+
+    /// The fault-injection seam the churn/fault harness arms.
+    pub fn faults(&self) -> &Arc<FaultInjector> {
+        &self.shared.faults
     }
 
     /// Sessions currently parked (detached, resumable).
     pub fn parked_sessions(&self) -> usize {
-        self.table.parked()
+        self.shared.table.parked()
     }
 
-    /// The current fleet-wide watch snapshot (what a STATS frame's fleet
-    /// half would report) — for the binary's periodic fleet log.
+    /// The current fleet-wide watch snapshot (what a STATS frame's
+    /// fleet half would report) — for the binary's periodic fleet log.
     pub fn fleet_snapshot(&self) -> FleetStats {
-        self.fleet.snapshot(self.table.parked())
+        self.shared.fleet.snapshot(self.shared.table.parked())
     }
 
     /// A `'static` snapshot closure over the same aggregate as
     /// [`fleet_snapshot`](Self::fleet_snapshot) — for detached logger
     /// threads that must outlive the borrow of `self`.
     pub fn fleet_handle(&self) -> impl Fn() -> FleetStats + Send + 'static {
-        let fleet = Arc::clone(&self.fleet);
-        let table = Arc::clone(&self.table);
-        move || fleet.snapshot(table.parked())
+        let shared = Arc::clone(&self.shared);
+        move || shared.fleet.snapshot(shared.table.parked())
     }
 
-    /// Shuts down: stops accepting, severs live connections, joins all
-    /// threads.
+    /// Shuts down: stops accepting, severs live connections (parking
+    /// their sessions), joins all threads.
     pub fn stop(mut self) {
         self.stop_inner();
     }
 
     fn stop_inner(&mut self) {
-        let Some(handle) = self.accept_thread.take() else {
+        let Some(accept) = self.accept_thread.take() else {
             return;
         };
-        self.shared.shutdown_all();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop: it re-checks the flag per connection.
         let _ = TcpStream::connect(self.addr);
-        let _ = handle.join();
+        for inbox in &self.shared.inboxes {
+            inbox.signal.notify_one();
+        }
+        let _ = accept.join();
+        for handle in self.worker_threads.drain(..) {
+            let _ = handle.join();
+        }
+        // Anything still queued in an inbox (say, a migration in flight
+        // at shutdown) must park its session, not leak it.
+        self.shared.drain_leftovers();
     }
 
     /// Blocks until the accept loop exits (for the foreground binary);
     /// the loop only exits via [`stop`](Self::stop) or process signals.
     pub fn join(mut self) {
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for inbox in &self.shared.inboxes {
+            inbox.signal.notify_one();
+        }
+        for handle in self.worker_threads.drain(..) {
             let _ = handle.join();
         }
+        self.shared.drain_leftovers();
     }
 }
 
@@ -326,212 +1229,4 @@ fn establish(hello: &Hello, table: &SessionTable) -> Result<Session, Refusal> {
             })
         }
     }
-}
-
-/// Serves one connection to completion. Never panics on client input;
-/// protocol violations answer with an ERROR frame and close.
-fn handle_conn(
-    stream: TcpStream,
-    conn_id: u64,
-    table: &SessionTable,
-    fleet: &FleetAggregator,
-    metrics: &ServeMetrics,
-) {
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-
-    // Every refusal counts; a *malformed* refusal is a protocol error,
-    // which additionally lands in the flight recorder and dumps it —
-    // the "something impossible arrived on the wire" diagnostic path.
-    let refuse = |writer: &mut BufWriter<TcpStream>, code: ErrorCode, msg: &str, session: u64| {
-        metrics.protocol_errors.inc();
-        if code == ErrorCode::Malformed {
-            metrics
-                .recorder()
-                .record(FlightKind::FrameError, conn_id, session);
-            metrics.recorder().dump("protocol error");
-        }
-        let _ = write_frame(writer, FrameKind::Error, &encode_error(code, msg));
-    };
-    let park = |session: Session| {
-        metrics.session_parks.inc();
-        metrics
-            .recorder()
-            .record(FlightKind::SessionPark, session.id, 0);
-        table.park(session);
-        metrics.sessions_parked.set(table.parked() as f64);
-    };
-
-    // --- Handshake ---------------------------------------------------
-    let hello = match crate::proto::read_frame(&mut reader) {
-        Ok(Some(frame)) if frame.kind == FrameKind::Hello => match decode_hello(&frame.payload) {
-            Ok(hello) => hello,
-            Err(e) => return refuse(&mut writer, ErrorCode::Malformed, &e.to_string(), 0),
-        },
-        Ok(Some(_)) => {
-            return refuse(
-                &mut writer,
-                ErrorCode::Malformed,
-                "expected HELLO as the first frame",
-                0,
-            )
-        }
-        Ok(None) => return,
-        Err(ProtoError::Malformed(m)) => return refuse(&mut writer, ErrorCode::Malformed, &m, 0),
-        Err(ProtoError::Io(_)) => return,
-    };
-    metrics.frame(FrameKind::Hello).inc();
-    let mut session = match establish(&hello, table) {
-        Ok(session) => session,
-        Err((code, msg)) => return refuse(&mut writer, code, &msg, 0),
-    };
-    let (mode, flight_kind) = match &hello.resume {
-        Resume::Fresh => (SessionMode::Fresh, FlightKind::SessionFresh),
-        Resume::SessionId(_) => (SessionMode::Resumed, FlightKind::SessionResume),
-        Resume::State(_) => (SessionMode::Restored, FlightKind::SessionRestore),
-    };
-    fleet.session_started(mode);
-    metrics.recorder().record(flight_kind, session.id, 0);
-    // A resume just removed a parked session; keep the gauge current.
-    metrics.sessions_parked.set(table.parked() as f64);
-    // A reclaimed session may come back already drift-flagged; only a
-    // latch that happens on THIS connection records a flight event.
-    let mut drift_noted = session.watch.drift_flagged();
-    let welcome = Welcome {
-        session_id: session.id,
-        fingerprint: code_fingerprint(),
-        events: session.pipeline.events(),
-    };
-    if write_frame(&mut writer, FrameKind::Welcome, &encode_welcome(&welcome)).is_err() {
-        // The connection died before the handshake completed. The
-        // session (possibly a just-claimed resume with accumulated
-        // state) must survive the transient failure like any post-
-        // handshake disconnect does.
-        session.watch.fold_into(fleet);
-        fleet.session_ended();
-        park(session);
-        return;
-    }
-
-    // --- Event stream ------------------------------------------------
-    // Sessions are parked (kept resumable) on any non-BYE exit; a clean
-    // BYE discards the session.
-    //
-    // The hot path is fully batched: EVENTS payloads decode straight
-    // into a struct-of-arrays EventBatch, run through the pipeline's
-    // monomorphized batch lane, and encode to the wire from an
-    // OutcomeBatch — all three buffers reused across frames, so a
-    // steady-state connection allocates nothing per frame. The bytes
-    // produced are identical to the per-event path (the parity suite
-    // replays the same traces through per-event pipelines and compares
-    // to the last bit).
-    let mut events = paco_types::EventBatch::new();
-    let mut outcomes = paco_sim::OutcomeBatch::new();
-    let mut predictions = Vec::new();
-    let mut batches = 0u64;
-    loop {
-        let frame = match crate::proto::read_frame(&mut reader) {
-            Ok(Some(frame)) => frame,
-            Ok(None) | Err(ProtoError::Io(_)) => break,
-            Err(ProtoError::Malformed(m)) => {
-                refuse(&mut writer, ErrorCode::Malformed, &m, session.id);
-                break;
-            }
-        };
-        metrics.frame(frame.kind).inc();
-        match frame.kind {
-            FrameKind::Events => {
-                let started = Instant::now();
-                if let Err(e) = decode_events_into(&frame.payload, &mut events) {
-                    refuse(
-                        &mut writer,
-                        ErrorCode::Malformed,
-                        &e.to_string(),
-                        session.id,
-                    );
-                    break;
-                }
-                outcomes.clear();
-                session.pipeline.run_batch(&events, &mut outcomes);
-                predictions.clear();
-                encode_outcomes_into(&mut predictions, &outcomes);
-                if write_frame(&mut writer, FrameKind::Predictions, &predictions).is_err() {
-                    break;
-                }
-                // Watch telemetry rides the hot loop allocation-free;
-                // the fleet fold (which locks) runs at a batch cadence.
-                session.watch.observe_batch(&outcomes);
-                metrics.batch_events.record(events.len() as u64);
-                metrics
-                    .batch_handle_ns
-                    .record(started.elapsed().as_nanos() as u64);
-                if !drift_noted && session.watch.drift_flagged() {
-                    drift_noted = true;
-                    metrics.recorder().record(
-                        FlightKind::DriftLatch,
-                        session.id,
-                        session.watch.drift_window(),
-                    );
-                }
-                batches += 1;
-                if batches % FOLD_EVERY_BATCHES == 0 {
-                    session.watch.fold_into(fleet);
-                }
-            }
-            FrameKind::StatsReq => {
-                session.watch.fold_into(fleet);
-                let stats = Stats {
-                    session: session.watch.session_stats(session.id),
-                    fleet: fleet.snapshot(table.parked()),
-                };
-                if write_frame(&mut writer, FrameKind::Stats, &encode_stats(&stats)).is_err() {
-                    break;
-                }
-            }
-            FrameKind::SnapshotReq => {
-                let mut state = Vec::new();
-                session.pipeline.save_state(&mut state);
-                let snapshot = Snapshot {
-                    session_id: session.id,
-                    events: session.pipeline.events(),
-                    state,
-                };
-                if write_frame(
-                    &mut writer,
-                    FrameKind::Snapshot,
-                    &encode_snapshot(&snapshot),
-                )
-                .is_err()
-                {
-                    break;
-                }
-            }
-            FrameKind::Bye => {
-                // Clean close: the session is discarded, but its
-                // telemetry still counts toward the fleet totals.
-                session.watch.fold_into(fleet);
-                fleet.session_ended();
-                metrics
-                    .recorder()
-                    .record(FlightKind::SessionBye, session.id, 0);
-                return;
-            }
-            _ => {
-                refuse(
-                    &mut writer,
-                    ErrorCode::Malformed,
-                    "unexpected frame kind from client",
-                    session.id,
-                );
-                break;
-            }
-        }
-    }
-    session.watch.fold_into(fleet);
-    fleet.session_ended();
-    park(session);
 }

@@ -60,7 +60,9 @@ pub struct SessionTable {
 
 impl SessionTable {
     /// Parked sessions a shard retains before evicting the oldest.
-    pub const MAX_PARKED_PER_SHARD: usize = 512;
+    /// Sized so the default 8-shard table holds the `serve_scale`
+    /// churn storm's ≥10k parked sessions without evictions.
+    pub const MAX_PARKED_PER_SHARD: usize = 2048;
 
     /// Creates a table with `shards` shards (at least 1).
     pub fn new(shards: usize) -> Self {

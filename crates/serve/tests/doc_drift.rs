@@ -67,6 +67,7 @@ fn frame_kind_table_matches_proto() {
         (FrameKind::Bye, "BYE"),
         (FrameKind::StatsReq, "STATS_REQ"),
         (FrameKind::Stats, "STATS"),
+        (FrameKind::Migrate, "MIGRATE"),
         (FrameKind::Error, "ERROR"),
     ];
     for &(kind, name) in expected {

@@ -1,19 +1,25 @@
-//! Property and adversarial tests for the `paco-serve` wire protocol:
-//! frame encode→decode is the identity over arbitrary payloads, and any
-//! truncation or corruption is rejected cleanly (mirroring the
-//! `paco-trace` corruption suite for the on-disk format).
+//! Property and adversarial tests for the `paco-serve` wire protocol
+//! and the serving reactor: frame encode→decode is the identity over
+//! arbitrary payloads, any truncation or corruption is rejected cleanly
+//! (mirroring the `paco-trace` corruption suite for the on-disk
+//! format), the incremental [`FrameDecoder`] the sharded reactor reads
+//! with agrees verdict-for-verdict with the blocking `read_frame`, and
+//! live migration between worker shards preserves byte-identical
+//! predictions at arbitrary cut points for every estimator kind.
 
+use paco::{PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
 use paco_serve::proto::{
     decode_events, decode_hello, decode_outcomes, decode_stats, encode_events, encode_hello,
-    encode_outcomes, encode_stats, frame_bytes, read_frame, FleetStats, Frame, FrameKind, Hello,
-    ProtoError, Resume, SessionStats, Stats, PROTOCOL_VERSION,
+    encode_outcomes, encode_stats, frame_bytes, read_frame, Digest, FleetStats, Frame,
+    FrameDecoder, FrameKind, Hello, ProtoError, Resume, SessionStats, Stats, PROTOCOL_VERSION,
 };
-use paco_sim::{EstimatorKind, OnlineConfig, OnlineOutcome};
+use paco_serve::{Client, ClientError, ErrorCode, RunningServer};
+use paco_sim::{EstimatorKind, OnlineConfig, OnlineOutcome, OnlinePipeline};
 use paco_types::{ControlKind, DynInstr, InstrClass, Pc};
 use proptest::prelude::*;
 
 fn kind_from(seed: u8) -> FrameKind {
-    match seed % 10 {
+    match seed % 11 {
         0 => FrameKind::Hello,
         1 => FrameKind::Welcome,
         2 => FrameKind::Events,
@@ -23,6 +29,7 @@ fn kind_from(seed: u8) -> FrameKind {
         6 => FrameKind::Bye,
         7 => FrameKind::StatsReq,
         8 => FrameKind::Stats,
+        9 => FrameKind::Migrate,
         _ => FrameKind::Error,
     }
 }
@@ -335,4 +342,273 @@ fn unknown_frame_kind_is_rejected() {
     let mut bytes = frame_bytes(FrameKind::Bye, &[]);
     bytes[0] = 0x6e; // no such kind
     assert!(read_frame(&mut bytes.as_slice()).is_err());
+}
+
+// ---------------------------------------------------------------------
+// FrameDecoder fuzzing: the reactor's incremental read path must agree
+// verdict-for-verdict with the blocking `read_frame`, no matter how the
+// bytes are chunked or mangled.
+// ---------------------------------------------------------------------
+
+/// Drains a byte stream through the blocking reference decoder:
+/// the frames it yields, or the error message it dies with.
+fn read_frame_verdict(bytes: &[u8]) -> Result<Vec<Frame>, String> {
+    let mut input = bytes;
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(&mut input) {
+            Ok(Some(frame)) => frames.push(frame),
+            Ok(None) => return Ok(frames),
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// Drains the same stream through the reactor's [`FrameDecoder`],
+/// feeding it in pseudo-random chunks derived from `chunk_seed`.
+fn decoder_verdict(bytes: &[u8], chunk_seed: u64) -> Result<Vec<Frame>, String> {
+    let mut decoder = FrameDecoder::new();
+    let mut state = chunk_seed | 1;
+    let mut fed = 0usize;
+    let mut frames = Vec::new();
+    while fed < bytes.len() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let step = 1 + ((state >> 33) as usize % 23);
+        let end = (fed + step).min(bytes.len());
+        decoder.feed(&bytes[fed..end]);
+        fed = end;
+        // Drain between feeds too: frames must surface as soon as their
+        // bytes are complete, regardless of chunk boundaries.
+        loop {
+            match decoder.try_frame() {
+                Ok(Some(frame)) => frames.push(frame),
+                Ok(None) => break,
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    match decoder.on_eof() {
+        Ok(()) => Ok(frames),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// A wire stream of several valid frames back to back.
+fn stream_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        (
+            any::<u8>(),
+            proptest::collection::vec(proptest::arbitrary::any::<u8>(), 0..96),
+        ),
+        0..6,
+    )
+    .prop_map(|frames| {
+        let mut bytes = Vec::new();
+        for (kind_seed, payload) in frames {
+            bytes.extend_from_slice(&frame_bytes(kind_from(kind_seed), &payload));
+        }
+        bytes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Clean streams: the incremental decoder yields exactly the frames
+    /// `read_frame` yields, under any chunking.
+    #[test]
+    fn decoder_matches_read_frame_on_clean_streams(
+        bytes in stream_strategy(),
+        chunk_seed in any::<u64>(),
+    ) {
+        prop_assert_eq!(decoder_verdict(&bytes, chunk_seed), read_frame_verdict(&bytes));
+    }
+
+    /// Truncated streams: cutting anywhere produces the same verdict —
+    /// same surviving frame prefix on both paths, or the same eof error
+    /// message (never a hang, never a silent partial frame).
+    #[test]
+    fn decoder_matches_read_frame_on_truncated_streams(
+        bytes in stream_strategy(),
+        cut_seed in any::<u64>(),
+        chunk_seed in any::<u64>(),
+    ) {
+        prop_assume!(!bytes.is_empty());
+        let cut = cut_seed as usize % bytes.len();
+        let cut_bytes = &bytes[..cut];
+        prop_assert_eq!(
+            decoder_verdict(cut_bytes, chunk_seed),
+            read_frame_verdict(cut_bytes)
+        );
+    }
+
+    /// Bit-flipped streams: any single-bit corruption lands the same
+    /// verdict on both paths (same frames decoded before the flip, same
+    /// rejection message at it).
+    #[test]
+    fn decoder_matches_read_frame_on_bitflipped_streams(
+        bytes in stream_strategy(),
+        victim in any::<u64>(),
+        bit in 0u32..8,
+        chunk_seed in any::<u64>(),
+    ) {
+        prop_assume!(!bytes.is_empty());
+        let mut bytes = bytes;
+        let idx = victim as usize % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        prop_assert_eq!(
+            decoder_verdict(&bytes, chunk_seed),
+            read_frame_verdict(&bytes)
+        );
+    }
+}
+
+/// An oversized length claim is rejected from the 5 header bytes alone —
+/// the decoder must not wait for (or allocate) the claimed payload, or a
+/// hostile header would stall its reactor shard forever.
+#[test]
+fn decoder_rejects_oversized_claim_from_header_alone() {
+    let mut decoder = FrameDecoder::new();
+    let mut header = vec![FrameKind::Events as u8];
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    decoder.feed(&header);
+    match decoder.try_frame() {
+        Err(ProtoError::Malformed(msg)) => assert!(msg.contains("cap"), "{msg}"),
+        other => panic!("oversized claim must fail immediately, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live migration parity: parking a session on one worker shard and
+// restoring its snapshot on another must leave the prediction stream
+// byte-identical to offline replay — at any cut point, for every
+// estimator kind.
+// ---------------------------------------------------------------------
+
+/// Every estimator kind the service can host.
+fn all_estimator_kinds() -> [EstimatorKind; 5] {
+    [
+        EstimatorKind::None,
+        EstimatorKind::Paco(PacoConfig::paper()),
+        EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
+        EstimatorKind::StaticMrt,
+        EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
+    ]
+}
+
+/// The offline oracle for a cut stream: per-event replay, digesting the
+/// outcome encodings with exactly the chunk boundaries the online
+/// client used (full batches to `cut` — which may fall mid-batch — then
+/// full batches again from it).
+fn cut_stream_digest(config: &OnlineConfig, events: &[DynInstr], cut: usize, batch: usize) -> u64 {
+    let mut pipeline = OnlinePipeline::new(config);
+    let mut digest = Digest::new();
+    for chunk in events[..cut]
+        .chunks(batch)
+        .chain(events[cut..].chunks(batch))
+    {
+        let outcomes: Vec<_> = chunk.iter().filter_map(|i| pipeline.on_instr(i)).collect();
+        digest.update(&encode_outcomes(&outcomes));
+    }
+    digest.value()
+}
+
+fn stream_chunks(client: &mut Client, events: &[DynInstr], batch: usize) {
+    for chunk in events.chunks(batch) {
+        client.send_events(chunk).expect("stream events");
+    }
+}
+
+/// Resumes a parked session, retrying the park race (the server sweeps
+/// the dropped connection's EOF asynchronously).
+fn resume_retrying(addr: std::net::SocketAddr, config: &OnlineConfig, session_id: u64) -> Client {
+    for _ in 0..500 {
+        match Client::resume_by_id(addr, config, session_id) {
+            Ok(client) => return client,
+            Err(ClientError::Server(ErrorCode::UnknownSession, _)) => {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Err(e) => panic!("resume failed: {e}"),
+        }
+    }
+    panic!("session {session_id} never parked");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Operator MIGRATE mid-stream: the session's pipeline snapshot
+    /// parks on its home shard and restores on an explicit target, with
+    /// the cut landing anywhere — including mid-batch and mid-watch-
+    /// window — and the prediction bytes never waver, whichever
+    /// estimator is inside.
+    #[test]
+    fn migration_at_arbitrary_cut_is_byte_identical(
+        events in proptest::collection::vec(event_strategy(), 2..160),
+        cut_seed in any::<u64>(),
+        batch_seed in any::<u64>(),
+    ) {
+        let server = RunningServer::bind("127.0.0.1:0", 3).expect("bind");
+        let cut = 1 + (cut_seed as usize % (events.len() - 1));
+        let batch = 1 + (batch_seed as usize % 48);
+        for kind in all_estimator_kinds() {
+            let config = OnlineConfig::tiny(kind);
+            let mut client = Client::connect(server.addr(), &config).expect("connect");
+            let home = (client.session_id() % 3) as u32;
+            let target = (home + 1) % 3;
+            stream_chunks(&mut client, &events[..cut], batch);
+            let ack = client.migrate(Some(target)).expect("migrate");
+            prop_assert_eq!(ack.session_id, client.session_id());
+            prop_assert_eq!(ack.from_shard, home);
+            prop_assert_eq!(ack.to_shard, target);
+            stream_chunks(&mut client, &events[cut..], batch);
+            prop_assert_eq!(
+                client.digest(),
+                cut_stream_digest(&config, &events, cut, batch),
+                "kind {:?} cut {} batch {}", config.estimator, cut, batch
+            );
+            client.bye().expect("bye");
+        }
+        server.stop();
+    }
+
+    /// The full churn step: drop without BYE at an arbitrary cut (the
+    /// session parks on shard A), resume by id, migrate to shard B,
+    /// finish the stream — one digest spans the whole life and still
+    /// matches offline replay for every estimator kind.
+    #[test]
+    fn park_resume_migrate_at_arbitrary_cut_is_byte_identical(
+        events in proptest::collection::vec(event_strategy(), 2..120),
+        cut_seed in any::<u64>(),
+        batch_seed in any::<u64>(),
+    ) {
+        let server = RunningServer::bind("127.0.0.1:0", 3).expect("bind");
+        let cut = 1 + (cut_seed as usize % (events.len() - 1));
+        let batch = 1 + (batch_seed as usize % 32);
+        for kind in all_estimator_kinds() {
+            let config = OnlineConfig::tiny(kind);
+            let mut client = Client::connect(server.addr(), &config).expect("connect");
+            let session_id = client.session_id();
+            stream_chunks(&mut client, &events[..cut], batch);
+            let carried = client.digest();
+            drop(client); // no BYE: parks on the home shard
+
+            let mut client = resume_retrying(server.addr(), &config, session_id);
+            client.seed_digest(carried);
+            prop_assert_eq!(client.resumed_events(), cut as u64);
+            let target = ((session_id % 3) as u32 + 2) % 3;
+            let ack = client.migrate(Some(target)).expect("migrate");
+            prop_assert_eq!(ack.to_shard, target);
+            stream_chunks(&mut client, &events[cut..], batch);
+            prop_assert_eq!(
+                client.digest(),
+                cut_stream_digest(&config, &events, cut, batch),
+                "kind {:?} cut {} batch {}", config.estimator, cut, batch
+            );
+            client.bye().expect("bye");
+        }
+        server.stop();
+    }
 }
