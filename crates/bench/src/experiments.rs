@@ -12,7 +12,7 @@
 //! itself — there is no positional coupling to break. All numeric
 //! assembly is delegated to `paco-analysis` aggregation functions.
 
-use paco::{LogMode, PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
+use paco::{AdaptiveMrtConfig, LogMode, PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
 use paco_analysis::{
     coverage_pct, gating_tradeoff, mean, mean_tradeoff, merge_bin_pairs, render_diagram_ascii,
     GatingTradeoff, ReliabilityDiagram, RunPoint, Table,
@@ -844,7 +844,7 @@ fn render_tab_a1(set: &ResultSet<'_>) -> String {
 /// Every estimator kind the robustness sweep exercises, in table order.
 /// `none` runs too: its cells provide the estimator-independent family
 /// profile (mispredict rates, MDC spread).
-pub fn robustness_estimators() -> [(&'static str, EstimatorKind); 5] {
+pub fn robustness_estimators() -> [(&'static str, EstimatorKind); 6] {
     [
         ("PaCo", paco_estimator()),
         (
@@ -855,6 +855,10 @@ pub fn robustness_estimators() -> [(&'static str, EstimatorKind); 5] {
         (
             "PerBranchMRT",
             EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
+        ),
+        (
+            "AdaptiveMRT",
+            EstimatorKind::AdaptiveMrt(AdaptiveMrtConfig::paper()),
         ),
         ("none", EstimatorKind::None),
     ]
@@ -885,7 +889,10 @@ fn render_robustness(set: &ResultSet<'_>) -> String {
         .filter(|(_, est)| {
             matches!(
                 est,
-                EstimatorKind::Paco(_) | EstimatorKind::StaticMrt | EstimatorKind::PerBranchMrt(_)
+                EstimatorKind::Paco(_)
+                    | EstimatorKind::StaticMrt
+                    | EstimatorKind::PerBranchMrt(_)
+                    | EstimatorKind::AdaptiveMrt(_)
             )
         })
         .collect();

@@ -42,6 +42,7 @@
 #![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adaptive;
 mod calculator;
 mod encoded;
 mod estimator;
@@ -52,6 +53,7 @@ mod paco_predictor;
 mod threshold_count;
 mod variants;
 
+pub use adaptive::{AdaptiveMrtConfig, AdaptiveMrtPredictor};
 pub use calculator::PathConfidenceCalculator;
 pub use encoded::EncodedProb;
 pub use estimator::{

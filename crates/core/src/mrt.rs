@@ -157,6 +157,38 @@ impl MispredictRateTable {
         }
     }
 
+    /// Like [`refresh`](Self::refresh) but passes each non-empty
+    /// bucket's freshly measured encoding through `map` (with its bucket
+    /// index) before latching it — the adaptive variant's blend hook.
+    /// Empty buckets keep their previous encoding, exactly as in
+    /// `refresh`.
+    pub fn refresh_map(
+        &mut self,
+        circuit: LogCircuit,
+        mut map: impl FnMut(usize, EncodedProb) -> EncodedProb,
+    ) {
+        for (i, (bucket, enc)) in self
+            .buckets
+            .iter_mut()
+            .zip(self.encodings.iter_mut())
+            .enumerate()
+        {
+            if !bucket.is_empty() {
+                *enc = map(i, circuit.encode_ratio(bucket.correct(), bucket.mispred()));
+                bucket.reset();
+            }
+        }
+    }
+
+    /// Resets every bucket's counters **without** latching new encodings.
+    /// The adaptive variant uses this to discard a measurement window
+    /// contaminated by a regime change before re-measuring from scratch.
+    pub fn reset_counters(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.reset();
+        }
+    }
+
     /// The latched encoded probability for an MDC value.
     #[inline]
     pub fn encoded(&self, mdc: Mdc) -> EncodedProb {

@@ -39,7 +39,7 @@
 
 use std::process::ExitCode;
 
-use paco::{PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
+use paco::{AdaptiveMrtConfig, PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
 use paco_corpus::{find_entry, CORPUS};
 use paco_serve::{
     control_events, corpus_control_events, corpus_splice_events, run_churn, run_load, ChurnOptions,
@@ -64,7 +64,7 @@ usage:
                 [--profile paper|tiny] [--lag K] [--json]
   paco-load version
 
-estimators: paco count static perbranch none   (default: paco)
+estimators: paco count static perbranch adaptive none   (default: paco)
 families:   loop_nest call_chain phased_flip markov_walk mispredict_storm
             biased_bimodal (seed defaults to the manifest's)
 defaults:   --threads 1, --batch 512, --profile paper, --corpus-instrs 200000
@@ -113,10 +113,11 @@ fn parse_estimator(name: &str) -> Result<EstimatorKind, String> {
         "count" => EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
         "static" => EstimatorKind::StaticMrt,
         "perbranch" => EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
+        "adaptive" => EstimatorKind::AdaptiveMrt(AdaptiveMrtConfig::paper()),
         "none" => EstimatorKind::None,
         other => {
             return Err(format!(
-                "unknown estimator `{other}` (paco|count|static|perbranch|none)"
+                "unknown estimator `{other}` (paco|count|static|perbranch|adaptive|none)"
             ))
         }
     })

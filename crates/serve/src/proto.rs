@@ -398,6 +398,16 @@ fn encode_estimator(out: &mut Vec<u8>, e: &paco_sim::EstimatorKind) {
             write_uvarint(out, cfg.entries as u64);
             out.push(log_mode_byte(cfg.log_mode));
         }
+        E::AdaptiveMrt(cfg) => {
+            out.push(5);
+            write_uvarint(out, cfg.refresh_period);
+            out.push(log_mode_byte(cfg.log_mode));
+            write_uvarint(out, cfg.detect_window as u64);
+            write_uvarint(out, cfg.threshold_permille as u64);
+            write_uvarint(out, cfg.limit_permille as u64);
+            write_uvarint(out, cfg.warmup_windows as u64);
+            out.push(cfg.blend as u8);
+        }
     }
 }
 
@@ -499,6 +509,39 @@ fn decode_estimator(input: &mut &[u8]) -> Result<paco_sim::EstimatorKind, ProtoE
             E::PerBranchMrt(paco::PerBranchMrtConfig {
                 entries,
                 log_mode: log_mode_from(mode)?,
+            })
+        }
+        5 => {
+            let refresh_period =
+                read_uvarint(input).ok_or_else(|| malformed("config: refresh period"))?;
+            let (&mode, rest) = input
+                .split_first()
+                .ok_or_else(|| malformed("config: log mode"))?;
+            *input = rest;
+            let u32_field = |input: &mut &[u8], what: &str| {
+                read_uvarint(input)
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| malformed(format!("config: {what}")))
+            };
+            let detect_window = u32_field(input, "detect window")?;
+            let threshold_permille = u32_field(input, "threshold permille")?;
+            let limit_permille = u32_field(input, "limit permille")?;
+            let warmup_windows = u32_field(input, "warmup windows")?;
+            let (&blend, rest) = input
+                .split_first()
+                .ok_or_else(|| malformed("config: blend flag"))?;
+            *input = rest;
+            if blend > 1 {
+                return Err(malformed("config: blend flag out of range"));
+            }
+            E::AdaptiveMrt(paco::AdaptiveMrtConfig {
+                refresh_period,
+                log_mode: log_mode_from(mode)?,
+                detect_window,
+                threshold_permille,
+                limit_permille,
+                warmup_windows,
+                blend: blend == 1,
             })
         }
         other => return Err(malformed(format!("config: unknown estimator tag {other}"))),
@@ -1333,6 +1376,8 @@ mod tests {
             E::ThresholdCount(paco::ThresholdCountConfig::paper_default()),
             E::StaticMrt,
             E::PerBranchMrt(paco::PerBranchMrtConfig::paper()),
+            E::AdaptiveMrt(paco::AdaptiveMrtConfig::paper()),
+            E::AdaptiveMrt(paco::AdaptiveMrtConfig::paper().with_blend(false)),
         ];
         for kind in kinds {
             let config = OnlineConfig::paper(kind);

@@ -131,6 +131,45 @@ fn churn_storm_holds_parity_and_reconciles_every_ledger() {
     server.stop();
 }
 
+/// The churn storm again, but with the change-point-aware estimator:
+/// every AdaptiveMrt session carries live CUSUM state (baseline rate,
+/// detection window, settle countdown) through park → migrate → resume,
+/// and must still finish byte-identical to offline replay. The config
+/// is hot-tuned so refreshes and detections actually fire inside the
+/// per-session event budget — a storm of inert detectors would prove
+/// nothing about snapshotting the detector mid-flight.
+#[test]
+fn adaptive_mrt_survives_churn_storm_byte_identical() {
+    const SESSIONS: usize = 600;
+    let server = RunningServer::bind("127.0.0.1:0", 4).expect("bind");
+    let pool = pool(30_000);
+    let adaptive = paco::AdaptiveMrtConfig::paper()
+        .with_refresh_period(40)
+        .with_detect_window(8);
+    let options = ChurnOptions {
+        config: OnlineConfig::tiny(EstimatorKind::AdaptiveMrt(adaptive)),
+        sessions: SESSIONS,
+        threads: 8,
+        batch: 24,
+        events_per_session: 96,
+        seed: 0xada7_715e,
+        migrate_every: 7,
+        resume_retries: 500,
+    };
+    let report = run_churn(server.addr(), &pool, &options).expect("adaptive churn storm");
+
+    assert_eq!(report.sessions, SESSIONS, "every session must finish");
+    assert!(
+        report.parity_ok(),
+        "AdaptiveMrt digest parity failed for sessions {:?}",
+        report.parity_failures
+    );
+    assert_eq!(report.migrated, SESSIONS.div_ceil(7));
+    assert_eq!(report.migrate_noops, 0);
+    assert_eq!(server.parked_sessions(), 0, "session table must drain");
+    server.stop();
+}
+
 /// A stalled shard delays its sessions but corrupts nothing.
 #[test]
 fn shard_stall_delays_but_preserves_parity() {

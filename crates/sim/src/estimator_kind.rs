@@ -1,8 +1,8 @@
 //! Configuration-level selection of a path confidence estimator.
 
 use paco::{
-    BranchFetchInfo, BranchToken, ConfidenceScore, PacoConfig, PathConfidenceEstimator,
-    PerBranchMrtConfig, ThresholdCountConfig,
+    AdaptiveMrtConfig, BranchFetchInfo, BranchToken, ConfidenceScore, PacoConfig,
+    PathConfidenceEstimator, PerBranchMrtConfig, ThresholdCountConfig,
 };
 use paco_types::canon::Canon;
 
@@ -19,6 +19,10 @@ pub enum EstimatorKind {
     StaticMrt,
     /// Appendix-A per-branch MRT.
     PerBranchMrt(PerBranchMrtConfig),
+    /// Change-point-aware MRT: CUSUM on the rolling mispredict rate
+    /// triggers early refreshes (with an optional calibration-weighted
+    /// static blend).
+    AdaptiveMrt(AdaptiveMrtConfig),
 }
 
 impl EstimatorKind {
@@ -48,6 +52,10 @@ impl Canon for EstimatorKind {
             EstimatorKind::StaticMrt => out.push(3),
             EstimatorKind::PerBranchMrt(cfg) => {
                 out.push(4);
+                cfg.canon(out);
+            }
+            EstimatorKind::AdaptiveMrt(cfg) => {
+                out.push(5);
                 cfg.canon(out);
             }
         }
@@ -92,11 +100,19 @@ mod tests {
             EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
             EstimatorKind::StaticMrt,
             EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
+            EstimatorKind::AdaptiveMrt(AdaptiveMrtConfig::paper()),
         ];
         let names: Vec<String> = kinds.iter().map(|k| k.build().name()).collect();
         assert_eq!(
             names,
-            ["none", "PaCo", "JRS-t3", "StaticMRT", "PerBranchMRT"]
+            [
+                "none",
+                "PaCo",
+                "JRS-t3",
+                "StaticMRT",
+                "PerBranchMRT",
+                "AdaptiveMRT"
+            ]
         );
     }
 

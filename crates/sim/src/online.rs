@@ -62,8 +62,8 @@
 //! last bit.
 
 use paco::{
-    BranchFetchInfo, BranchToken, ChunkOut, EstimatorChunk, PacoPredictor, PathConfidenceEstimator,
-    PerBranchMrtPredictor, StaticMrtPredictor, ThresholdCountPredictor,
+    AdaptiveMrtPredictor, BranchFetchInfo, BranchToken, ChunkOut, EstimatorChunk, PacoPredictor,
+    PathConfidenceEstimator, PerBranchMrtPredictor, StaticMrtPredictor, ThresholdCountPredictor,
 };
 use paco_branch::DirectionPredictor;
 use paco_branch::{ConfidenceConfig, MdcIndex, MdcTable, TournamentConfig, TournamentPredictor};
@@ -159,6 +159,20 @@ impl OnlineConfig {
         }
         if let EstimatorKind::PerBranchMrt(cfg) = self.estimator {
             table("per-branch MRT", cfg.entries)?;
+        }
+        if let EstimatorKind::AdaptiveMrt(cfg) = self.estimator {
+            if cfg.detect_window == 0 || cfg.detect_window > 1 << 20 {
+                return Err("adaptive MRT detect window outside 1..=2^20".into());
+            }
+            if cfg.threshold_permille > 1000 {
+                return Err("adaptive MRT threshold exceeds 1000 permille".into());
+            }
+            if cfg.limit_permille == 0 || cfg.limit_permille > 1_000_000 {
+                return Err("adaptive MRT limit outside 1..=10^6 permille".into());
+            }
+            if cfg.warmup_windows > 1 << 12 {
+                return Err("adaptive MRT warmup windows exceed the service cap".into());
+            }
         }
         if self.resolve_lag > Self::MAX_RESOLVE_LAG {
             return Err("resolve lag exceeds the service cap".into());
@@ -319,6 +333,7 @@ pub(crate) enum EstimatorLane {
     ThresholdCount(ThresholdCountPredictor),
     StaticMrt(StaticMrtPredictor),
     PerBranchMrt(PerBranchMrtPredictor),
+    AdaptiveMrt(AdaptiveMrtPredictor),
 }
 
 impl EstimatorLane {
@@ -340,6 +355,9 @@ impl EstimatorLane {
             EstimatorKind::PerBranchMrt(cfg) => {
                 EstimatorLane::PerBranchMrt(PerBranchMrtPredictor::new(cfg))
             }
+            EstimatorKind::AdaptiveMrt(cfg) => {
+                EstimatorLane::AdaptiveMrt(AdaptiveMrtPredictor::new(cfg))
+            }
         }
     }
 
@@ -352,6 +370,7 @@ impl EstimatorLane {
             EstimatorLane::ThresholdCount(e) => Box::new(e),
             EstimatorLane::StaticMrt(e) => Box::new(e),
             EstimatorLane::PerBranchMrt(e) => Box::new(e),
+            EstimatorLane::AdaptiveMrt(e) => Box::new(e),
         }
     }
 
@@ -362,6 +381,7 @@ impl EstimatorLane {
             EstimatorLane::ThresholdCount(e) => e,
             EstimatorLane::StaticMrt(e) => e,
             EstimatorLane::PerBranchMrt(e) => e,
+            EstimatorLane::AdaptiveMrt(e) => e,
         }
     }
 
@@ -372,6 +392,7 @@ impl EstimatorLane {
             EstimatorLane::ThresholdCount(e) => e,
             EstimatorLane::StaticMrt(e) => e,
             EstimatorLane::PerBranchMrt(e) => e,
+            EstimatorLane::AdaptiveMrt(e) => e,
         }
     }
 }
@@ -1159,6 +1180,7 @@ impl OnlinePipeline {
             EstimatorLane::ThresholdCount(est) => self.core.process_batch_fused(est, events, out),
             EstimatorLane::StaticMrt(est) => self.core.process_batch_fused(est, events, out),
             EstimatorLane::PerBranchMrt(est) => self.core.process_batch_fused(est, events, out),
+            EstimatorLane::AdaptiveMrt(est) => self.core.process_batch_fused(est, events, out),
         }
     }
 
@@ -1184,6 +1206,7 @@ impl OnlinePipeline {
             EstimatorLane::ThresholdCount(est) => self.core.process_batch(est, events, out, probe),
             EstimatorLane::StaticMrt(est) => self.core.process_batch(est, events, out, probe),
             EstimatorLane::PerBranchMrt(est) => self.core.process_batch(est, events, out, probe),
+            EstimatorLane::AdaptiveMrt(est) => self.core.process_batch(est, events, out, probe),
         }
     }
 
@@ -1306,7 +1329,7 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paco::{PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
+    use paco::{AdaptiveMrtConfig, PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
     use paco_workloads::{BenchmarkId, Workload};
 
     fn paco_tiny() -> OnlineConfig {
@@ -1316,13 +1339,18 @@ mod tests {
         ))
     }
 
-    fn all_kinds() -> [EstimatorKind; 5] {
+    fn all_kinds() -> [EstimatorKind; 6] {
         [
             EstimatorKind::None,
             EstimatorKind::Paco(PacoConfig::paper().with_refresh_period(500)),
             EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
             EstimatorKind::StaticMrt,
             EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
+            EstimatorKind::AdaptiveMrt(
+                AdaptiveMrtConfig::paper()
+                    .with_refresh_period(500)
+                    .with_detect_window(16),
+            ),
         ]
     }
 

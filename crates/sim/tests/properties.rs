@@ -11,7 +11,7 @@
 //! a blob taken at an arbitrary event index must resume bit-identically
 //! however the remaining stream is then chunked.
 
-use paco::{PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
+use paco::{AdaptiveMrtConfig, PacoConfig, PerBranchMrtConfig, ThresholdCountConfig};
 use paco_sim::{EstimatorKind, NoProbe, OnlineConfig, OnlinePipeline, OutcomeBatch};
 use paco_types::{DynInstr, EventBatch};
 use paco_workloads::{BenchmarkId, Workload};
@@ -26,6 +26,14 @@ fn all_kinds() -> Vec<EstimatorKind> {
         EstimatorKind::ThresholdCount(ThresholdCountConfig::paper_default()),
         EstimatorKind::StaticMrt,
         EstimatorKind::PerBranchMrt(PerBranchMrtConfig::paper()),
+        // Hot-tuned so periodic refreshes, CUSUM latches, and early
+        // refreshes all actually fire within a few hundred events —
+        // paper() would sit idle at property-test stream lengths.
+        EstimatorKind::AdaptiveMrt(
+            AdaptiveMrtConfig::paper()
+                .with_refresh_period(500)
+                .with_detect_window(16),
+        ),
     ]
 }
 
